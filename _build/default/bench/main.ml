@@ -1,0 +1,641 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 5) plus the ablations DESIGN.md calls out, printing
+   paper-shaped tables. See EXPERIMENTS.md for the experiment index and
+   the measured-vs-paper discussion.
+
+   Scaling: XROUTE_BENCH_SCALE (a float, default 1.0) multiplies the
+   workload sizes; the defaults are chosen so the full run finishes in a
+   few minutes on a laptop. The paper's original sizes correspond to
+   roughly XROUTE_BENCH_SCALE=10 for the table-size experiments. *)
+
+open Xroute_core
+open Xroute_overlay
+
+let scale =
+  match Sys.getenv_opt "XROUTE_BENCH_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 1.0)
+  | None -> 1.0
+
+let scaled n = max 1 (int_of_float (float_of_int n *. scale))
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+let nitf = Lazy.force Xroute_dtd.Dtd_samples.nitf
+let psd = Lazy.force Xroute_dtd.Dtd_samples.psd
+let nitf_graph = Xroute_dtd.Dtd_graph.build nitf
+let psd_graph = Xroute_dtd.Dtd_graph.build psd
+let nitf_advs = Xroute_dtd.Dtd_paths.advertisements nitf_graph
+let psd_advs = Xroute_dtd.Dtd_paths.advertisements psd_graph
+
+let tree_of_xpes ?covers xpes =
+  let tree : int Sub_tree.t = Sub_tree.create ?covers () in
+  List.iteri (fun i x -> ignore (Sub_tree.insert tree x i)) xpes;
+  tree
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: routing table size vs number of XPEs (Sets A and B)       *)
+(* ------------------------------------------------------------------ *)
+
+let fig6 () =
+  section
+    "Figure 6 - Routing table size vs #XPath queries (NITF)\n\
+     (paper: covering compacts Set A by ~90% and Set B by ~50%;\n\
+     without covering the table grows linearly)";
+  let max_count = scaled 10_000 in
+  let steps = List.init 5 (fun i -> max_count * (i + 1) / 5) in
+  Printf.printf "%10s %14s %18s %18s\n" "#queries" "no covering" "Set A covering" "Set B covering";
+  List.iter
+    (fun count ->
+      let set_a =
+        Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params nitf)
+          ~count ~seed:11 ()
+      in
+      let set_b =
+        Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_b_params nitf)
+          ~count ~seed:12 ()
+      in
+      let rts_a = List.length (Sub_tree.maximal (tree_of_xpes set_a)) in
+      let rts_b = List.length (Sub_tree.maximal (tree_of_xpes set_b)) in
+      (* without covering the routing table holds every distinct XPE *)
+      Printf.printf "%10d %14d %11d (-%2.0f%%) %11d (-%2.0f%%)\n%!" count count rts_a
+        (100.0 *. float_of_int (count - rts_a) /. float_of_int (max 1 count))
+        rts_b
+        (100.0 *. float_of_int (List.length set_b - rts_b)
+        /. float_of_int (max 1 (List.length set_b))))
+    steps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: covering vs perfect vs imperfect merging (Set B)          *)
+(* ------------------------------------------------------------------ *)
+
+let fig7 () =
+  section
+    "Figure 7 - Routing table size: covering vs merging (Set B, NITF)\n\
+     (paper: perfect merging compacts the covered table to ~87%, \n\
+     imperfect merging with D<=0.1 to ~67%)";
+  let universe =
+    Xroute_dtd.Dtd_paths.sample_paths ~count:30_000 ~max_depth:10
+      (Xroute_support.Prng.create 99) nitf_graph
+    |> List.sort_uniq Stdlib.compare
+  in
+  let max_count = scaled 10_000 in
+  let steps = List.init 4 (fun i -> max_count * (i + 1) / 4) in
+  Printf.printf "%10s %10s %16s %18s\n" "#queries" "covering" "perfect merging" "imperfect (D<=0.1)";
+  List.iter
+    (fun count ->
+      let xpes =
+        Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_b_params nitf)
+          ~count ~seed:12 ()
+      in
+      let maximal = List.map Sub_tree.node_xpe (Sub_tree.maximal (tree_of_xpes xpes)) in
+      let rts_cov = List.length maximal in
+      let merged_size max_degree =
+        let applied, kept = Merge.merge_set ~max_degree ~universe maximal in
+        List.length applied + List.length kept
+      in
+      let rts_pm = merged_size 0.0 in
+      let rts_ipm = merged_size 0.1 in
+      Printf.printf "%10d %10d %10d (%3.0f%%) %10d (%3.0f%%)\n%!" (List.length xpes) rts_cov
+        rts_pm
+        (100.0 *. float_of_int rts_pm /. float_of_int (max 1 rts_cov))
+        rts_ipm
+        (100.0 *. float_of_int rts_ipm /. float_of_int (max 1 rts_cov)))
+    steps
+
+(* ------------------------------------------------------------------ *)
+(* Figure 8: XPE processing time with/without covering                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Processing an arriving XPE: with covering, check the tree first and
+   only match uncovered XPEs against the advertisements; without, match
+   every XPE against every advertisement. *)
+let fig8 () =
+  section
+    "Figure 8 - XPE processing time, NITF vs PSD, covering on/off\n\
+     (paper: covering improves NITF processing by up to 49.2%; NITF\n\
+     benefits more because its advertisement set is far larger)";
+  let total = scaled 5000 in
+  let batch = max 1 (total / 10) in
+  let process dtd_name advs params =
+    let xpes =
+      Xroute_workload.Workload.xpes ~params ~count:total ~seed:21 ()
+    in
+    let engine = Adv_match.Paper in
+    (* without covering *)
+    let (), t_nocov =
+      time_it (fun () ->
+          List.iter
+            (fun xpe ->
+              List.iter (fun adv -> ignore (Adv_match.overlaps ~engine xpe adv)) advs)
+            xpes)
+    in
+    (* with covering *)
+    let tree : int Sub_tree.t = Sub_tree.create () in
+    let covered = ref 0 in
+    let (), t_cov =
+      time_it (fun () ->
+          List.iteri
+            (fun i xpe ->
+              if Sub_tree.is_covered tree xpe then incr covered
+              else
+                List.iter (fun adv -> ignore (Adv_match.overlaps ~engine xpe adv)) advs;
+              ignore (Sub_tree.insert tree xpe i))
+            xpes)
+    in
+    Printf.printf
+      "%-5s (%4d advs): no-cov %7.1f ms  with-cov %7.1f ms  (%4.1f%% faster; %2.0f%% covered)\n%!"
+      dtd_name (List.length advs) (t_nocov *. 1000.0) (t_cov *. 1000.0)
+      (100.0 *. (t_nocov -. t_cov) /. t_nocov)
+      (100.0 *. float_of_int !covered /. float_of_int (List.length xpes));
+    ignore batch
+  in
+  process "NITF" nitf_advs (Xroute_workload.Workload.set_a_params nitf);
+  process "PSD" psd_advs (Xroute_workload.Workload.set_a_params psd)
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: publication routing time                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section
+    "Table 1 - Publication routing time per message (NITF, Sets A/B)\n\
+     (paper: covering cuts Set A from 13.96 to 2.15 ms (-84.6%) and\n\
+     Set B from 14.23 to 7.47 ms (-47.5%); merging improves it further)";
+  let count = scaled 10_000 in
+  let docs = Xroute_workload.Workload.documents ~dtd:nitf ~count:(scaled 100) ~seed:31 () in
+  let pubs = Xroute_workload.Workload.publications_of_documents docs in
+  let n_pubs = List.length pubs in
+  let universe =
+    Xroute_dtd.Dtd_paths.sample_paths ~count:30_000 ~max_depth:10
+      (Xroute_support.Prng.create 99) nitf_graph
+    |> List.sort_uniq Stdlib.compare
+  in
+  Printf.printf "%-20s %14s %14s   (%d XPEs, %d publications)\n" "Method" "Set A (ms)"
+    "Set B (ms)" count n_pubs;
+  let route_time tree =
+    let (), t =
+      time_it (fun () ->
+          List.iter
+            (fun (p : Xroute_xml.Xml_paths.publication) ->
+              ignore (Sub_tree.match_path tree p.steps p.attrs))
+            pubs)
+    in
+    t *. 1000.0 /. float_of_int n_pubs
+  in
+  let per_set params seed =
+    let xpes = Xroute_workload.Workload.xpes ~params ~count ~seed () in
+    let flat = let t : int Sub_tree.t = Sub_tree.create ~flat:true () in List.iteri (fun i x -> ignore (Sub_tree.insert t x i)) xpes; t in
+    let covered = tree_of_xpes xpes in
+    let maximal = List.map Sub_tree.node_xpe (Sub_tree.maximal covered) in
+    let merged_tree max_degree =
+      let applied, kept = Merge.merge_set ~max_degree ~universe maximal in
+      tree_of_xpes (List.map (fun m -> m.Merge.xpe) applied @ kept)
+    in
+    let t_none = route_time flat in
+    let t_cov = route_time covered in
+    let t_pm = route_time (merged_tree 0.0) in
+    let t_ipm = route_time (merged_tree 0.1) in
+    (t_none, t_cov, t_pm, t_ipm)
+  in
+  let a = per_set (Xroute_workload.Workload.set_a_params nitf) 11 in
+  let b = per_set (Xroute_workload.Workload.set_b_params nitf) 12 in
+  let row name fa fb = Printf.printf "%-20s %14.4f %14.4f\n%!" name fa fb in
+  let a1, a2, a3, a4 = a and b1, b2, b3, b4 = b in
+  row "No Covering" a1 b1;
+  row "Covering" a2 b2;
+  row "Perfect Merging" a3 b3;
+  row "Imperfect Merging" a4 b4;
+  Printf.printf "Set A covering speedup: %.1f%%  (paper: 84.6%%)\n"
+    (100.0 *. (a1 -. a2) /. a1);
+  Printf.printf "Set B covering speedup: %.1f%%  (paper: 47.5%%)\n%!"
+    (100.0 *. (b1 -. b2) /. b1)
+
+(* ------------------------------------------------------------------ *)
+(* Tables 2 and 3: network traffic and delay, 7 and 127 brokers        *)
+(* ------------------------------------------------------------------ *)
+
+let run_network ~levels ~subs_per_client ~doc_count strategy_name =
+  let strategy = Option.get (Broker.strategy_of_name strategy_name) in
+  let topo = Topology.binary_tree ~levels in
+  let config = { Net.default_config with Net.strategy; latency = Latency.cluster } in
+  let net = Net.create ~config topo in
+  let prng = Xroute_support.Prng.create 404 in
+  let publisher = Net.add_client net ~broker:0 in
+  let leaves = Topology.binary_tree_leaves ~levels in
+  let clients = List.map (fun b -> Net.add_client net ~broker:b) leaves in
+  ignore (Net.advertise_dtd net publisher psd_advs);
+  Net.run net;
+  let params = Xroute_workload.Xpath_gen.default_params psd in
+  List.iter
+    (fun c ->
+      let xpes =
+        Xroute_workload.Xpath_gen.generate ~distinct:false params
+          (Xroute_support.Prng.split prng) ~count:subs_per_client
+      in
+      List.iter (fun x -> ignore (Net.subscribe net c x)) xpes)
+    clients;
+  Net.run net;
+  (match strategy.Broker.merging with
+  | Broker.No_merging -> ()
+  | _ ->
+    Net.set_universe net
+      (Xroute_dtd.Dtd_paths.enumerate_paths ~max_depth:10 ~max_count:3000 psd_graph);
+    Net.merge_all net);
+  let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:doc_count ~seed:51 () in
+  let t_pub_start = Sim.now (Net.sim net) in
+  List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+  Net.run net;
+  ignore t_pub_start;
+  (Net.total_traffic net, Net.mean_delivery_delay net, Net.total_deliveries net)
+
+let network_table ~levels ~subs_per_client ~doc_count title paper_hint =
+  section (title ^ "\n" ^ paper_hint);
+  Printf.printf "%-24s %16s %12s %12s\n" "Method" "Network Traffic" "Delay (ms)" "Deliveries";
+  let base = ref 0 in
+  List.iter
+    (fun name ->
+      let traffic, delay, deliveries =
+        run_network ~levels ~subs_per_client ~doc_count name
+      in
+      if !base = 0 then base := traffic;
+      Printf.printf "%-24s %16d %12.3f %12d   (%.1f%% of baseline)\n%!" name traffic delay
+        deliveries
+        (100.0 *. float_of_int traffic /. float_of_int !base))
+    Broker.strategy_names
+
+let table2 () =
+  network_table ~levels:3 ~subs_per_client:(scaled 1000) ~doc_count:(scaled 50)
+    "Table 2 - 7-broker network (PSD, 1000 XPEs per subscriber, 50 docs)"
+    "(paper: adv+cov reduce traffic to ~66%; covering cuts delay ~4x;\n merging compacts further at slight traffic increase for IPM)"
+
+let table3 () =
+  (* The paper uses 1000 XPEs per subscriber; the flooding baselines make
+     that a long run (every subscription crosses all 126 links and every
+     publication is matched against every broker's full table), so the
+     default is scaled down; XROUTE_BENCH_SCALE=10 restores paper size. *)
+  network_table ~levels:7
+    ~subs_per_client:(scaled 100)
+    ~doc_count:(scaled 20)
+    "Table 3 - 127-broker network (PSD, 100 XPEs per subscriber, 20 docs)"
+    "(paper: adv+cov reduce traffic to ~50%; benefits grow with size)"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 9: false positives vs imperfect degree                       *)
+(* ------------------------------------------------------------------ *)
+
+let fig9 () =
+  section
+    "Figure 9 - False positives vs imperfect merging degree (PSD)\n\
+     (paper: false positives grow with the degree bound; D <= 0.1 keeps\n\
+     them under ~2%)";
+  (* Subscribers are interested in most-but-not-all children of each
+     container element: the canonical situation where merging a sibling
+     group to a wildcard overshoots by exactly the missing siblings.
+     False positives are the *extra* in-network drops relative to a
+     no-merging control (publications for which no subscriber exists at
+     all are dropped at the publisher's edge in every strategy and do
+     not count). *)
+  let paths = Xroute_dtd.Dtd_paths.enumerate_paths ~max_depth:10 ~max_count:3000 psd_graph in
+  let groups : (string, string array list) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun path ->
+      let n = Array.length path in
+      if n >= 2 then begin
+        let prefix = String.concat "/" (Array.to_list (Array.sub path 0 (n - 1))) in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt groups prefix) in
+        Hashtbl.replace groups prefix (path :: existing)
+      end)
+    paths;
+  let run merging =
+    let strategy = { Broker.default_strategy with Broker.merging } in
+    let topo = Topology.binary_tree ~levels:3 in
+    let net = Net.create ~config:{ Net.default_config with Net.strategy } topo in
+    let prng = Xroute_support.Prng.create 640 in
+    let publisher = Net.add_client net ~broker:0 in
+    let leaves = Topology.binary_tree_leaves ~levels:3 in
+    let clients = List.map (fun b -> Net.add_client net ~broker:b) leaves in
+    ignore (Net.advertise_dtd net publisher psd_advs);
+    Net.run net;
+    List.iter
+      (fun c ->
+        Hashtbl.iter
+          (fun _prefix members ->
+            if List.length members >= 3 then begin
+              let members = Xroute_support.Prng.shuffle prng (Array.of_list members) in
+              let drop = 1 + Xroute_support.Prng.int prng (Array.length members / 3 + 1) in
+              Array.iteri
+                (fun i path ->
+                  if i >= drop then
+                    ignore
+                      (Net.subscribe net c
+                         (Xroute_xpath.Xpe.absolute_of_names (Array.to_list path))))
+                members
+            end)
+          groups)
+      clients;
+    Net.run net;
+    Net.set_universe net paths;
+    Net.merge_all net;
+    let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 40) ~seed:61 () in
+    List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+    Net.run net;
+    ((Net.traffic net).Net.pub, Net.dropped_publications net, Net.total_deliveries net)
+  in
+  let base_pubs, base_dropped, base_deliveries = run Broker.No_merging in
+  Printf.printf "(control without merging: %d pub messages, %d edge drops)\n" base_pubs
+    base_dropped;
+  Printf.printf "%10s %18s %16s\n" "Degree" "pub messages" "false pos (%)";
+  List.iter
+    (fun degree ->
+      let merging = if degree = 0.0 then Broker.Perfect else Broker.Imperfect degree in
+      let pubs, dropped, deliveries = run merging in
+      if deliveries <> base_deliveries then
+        Printf.printf "WARNING: deliveries changed (%d vs %d)\n" deliveries base_deliveries;
+      Printf.printf "%10.2f %18d %15.2f%%\n%!" degree pubs
+        (100.0 *. float_of_int (max 0 (dropped - base_dropped)) /. float_of_int (max 1 pubs)))
+    [ 0.0; 0.05; 0.1; 0.15; 0.2 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 10 and 11: notification delay vs hops (PlanetLab model)     *)
+(* ------------------------------------------------------------------ *)
+
+let delay_vs_hops ~dtd ~advs ~doc_sizes title paper_hint =
+  section (title ^ "\n" ^ paper_hint);
+  let hops = [ 2; 3; 4; 5; 6 ] in
+  Printf.printf "%8s" "size";
+  List.iter (fun h -> Printf.printf "  %8s" (Printf.sprintf "%d hops" h)) hops;
+  Printf.printf "\n";
+  let subs_per_client = scaled 400 in
+  List.iter
+    (fun target_bytes ->
+      let run_with use_cover =
+        let strategy = { Broker.default_strategy with Broker.use_cover } in
+        let config =
+          { Net.default_config with Net.strategy; latency = Latency.planetlab; seed = 7 }
+        in
+        let topo = Topology.line 7 in
+        let net = Net.create ~config topo in
+        let publisher = Net.add_client net ~broker:0 in
+        let subscribers = List.map (fun h -> (h, Net.add_client net ~broker:h)) hops in
+        ignore (Net.advertise_dtd net publisher advs);
+        Net.run net;
+        let prng = Xroute_support.Prng.create 777 in
+        let params = Xroute_workload.Workload.set_a_params dtd in
+        List.iter
+          (fun (_, c) ->
+            List.iter
+              (fun x -> ignore (Net.subscribe net c x))
+              (Xroute_workload.Xpath_gen.generate ~distinct:false params
+                 (Xroute_support.Prng.split prng) ~count:subs_per_client);
+            (* one catch-all marker so every document is delivered *)
+            ignore
+              (Net.subscribe net c
+                 (Xroute_xpath.Xpe_parser.parse ("/" ^ Xroute_dtd.Dtd_ast.root dtd))))
+          subscribers;
+        Net.run net;
+        let gen_prng = Xroute_support.Prng.create 888 in
+        let gparams = Xroute_workload.Xml_gen.default_params dtd in
+        for doc_id = 0 to scaled 10 - 1 do
+          let doc = Xroute_workload.Xml_gen.generate_sized gparams gen_prng ~target_bytes in
+          ignore (Net.publish_doc net publisher ~doc_id doc)
+        done;
+        Net.run net;
+        let delays = Net.delivery_delays net in
+        List.map
+          (fun (h, c) ->
+            let ds =
+              List.filter_map
+                (fun (cid, _, d) -> if cid = c.Net.cid then Some d else None)
+                delays
+            in
+            ( h,
+              if ds = [] then nan
+              else List.fold_left ( +. ) 0.0 ds /. float_of_int (List.length ds) ))
+          subscribers
+      in
+      let with_cov = run_with true in
+      let without_cov = run_with false in
+      Printf.printf "%5dK +cov" (target_bytes / 1024);
+      List.iter (fun h -> Printf.printf "  %8.2f" (List.assoc h with_cov)) hops;
+      Printf.printf "\n%5dK -cov" (target_bytes / 1024);
+      List.iter (fun h -> Printf.printf "  %8.2f" (List.assoc h without_cov)) hops;
+      Printf.printf "\n%!")
+    doc_sizes
+
+let fig10 () =
+  delay_vs_hops ~dtd:psd ~advs:psd_advs
+    ~doc_sizes:[ 2048; 10240; 20480 ]
+    "Figure 10 - Notification delay vs hops, PSD documents (PlanetLab model)"
+    "(paper: delay linear in hops; covering cuts it by up to 74%;\n larger documents take longer)"
+
+let fig11 () =
+  delay_vs_hops ~dtd:nitf ~advs:nitf_advs
+    ~doc_sizes:[ 2048; 20480; 40960 ]
+    "Figure 11 - Notification delay vs hops, NITF documents (PlanetLab model)"
+    "(paper: same shape as Fig. 10 with larger documents and tables)"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_exact_cover () =
+  section
+    "Ablation - paper covering rules vs exact automata containment\n\
+     (completeness buys extra table compaction at a CPU price)";
+  let count = scaled 4000 in
+  let xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_b_params nitf) ~count
+      ~seed:71 ()
+  in
+  let run name covers =
+    let (tree : int Sub_tree.t), t =
+      time_it (fun () ->
+          let tree = Sub_tree.create ~covers () in
+          List.iteri (fun i x -> ignore (Sub_tree.insert tree x i)) xpes;
+          tree)
+    in
+    Printf.printf "%-14s table=%6d  build time=%8.1f ms\n%!" name
+      (List.length (Sub_tree.maximal tree))
+      (t *. 1000.0)
+  in
+  run "paper rules" (fun a b -> Cover.covers a b);
+  run "exact" (fun a b -> Cover.covers ~engine:Cover.Exact a b)
+
+let ablation_yfilter () =
+  section
+    "Ablation - covering tree vs YFilter-style shared NFA (matching)\n\
+     (the paper's table organization vs the classic NFA filter; Sec. 6\n\
+     discussion. Build cost, table size and per-publication match time)";
+  let count = scaled 10_000 in
+  let xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params nitf) ~count
+      ~seed:11 ()
+  in
+  let docs = Xroute_workload.Workload.documents ~dtd:nitf ~count:(scaled 60) ~seed:35 () in
+  let pubs = Xroute_workload.Workload.publications_of_documents docs in
+  let n_pubs = List.length pubs in
+  (* covering tree *)
+  let tree, t_tree_build = time_it (fun () -> tree_of_xpes xpes) in
+  let (), t_tree_match =
+    time_it (fun () ->
+        List.iter
+          (fun (p : Xroute_xml.Xml_paths.publication) ->
+            ignore (Sub_tree.match_path tree p.steps p.attrs))
+          pubs)
+  in
+  (* yfilter *)
+  let yf, t_yf_build =
+    time_it (fun () ->
+        let yf : int Yfilter.t = Yfilter.create () in
+        List.iteri (fun i x -> Yfilter.insert yf x i) xpes;
+        yf)
+  in
+  let (), t_yf_match =
+    time_it (fun () ->
+        List.iter
+          (fun (p : Xroute_xml.Xml_paths.publication) ->
+            ignore (Yfilter.match_path yf p.steps p.attrs))
+          pubs)
+  in
+  Printf.printf "%-16s build %8.1f ms  match %8.4f ms/pub  (state: %d nodes)\n"
+    "covering tree" (t_tree_build *. 1000.)
+    (t_tree_match *. 1000. /. float_of_int n_pubs)
+    (Sub_tree.size tree);
+  Printf.printf "%-16s build %8.1f ms  match %8.4f ms/pub  (state: %d NFA states)\n%!"
+    "yfilter" (t_yf_build *. 1000.)
+    (t_yf_match *. 1000. /. float_of_int n_pubs)
+    (Yfilter.state_count yf)
+
+let ablation_trail_routing () =
+  section
+    "Ablation - XTreeNet-style trail routing (match once, follow trails)\n\
+     (interior brokers restrict matching to the trailed subtrees)";
+  let run trail_routing =
+    let strategy = { Broker.default_strategy with Broker.trail_routing } in
+    let topo = Topology.line 7 in
+    let net = Net.create ~config:{ Net.default_config with Net.strategy } topo in
+    let publisher = Net.add_client net ~broker:0 in
+    let subscriber = Net.add_client net ~broker:6 in
+    ignore (Net.advertise_dtd net publisher psd_advs);
+    Net.run net;
+    let prng = Xroute_support.Prng.create 81 in
+    let params = Xroute_workload.Xpath_gen.default_params psd in
+    List.iter
+      (fun x -> ignore (Net.subscribe net subscriber x))
+      (Xroute_workload.Xpath_gen.generate ~distinct:false params prng ~count:(scaled 800));
+    Net.run net;
+    let work_before =
+      Array.fold_left (fun acc b -> acc + Broker.work b) 0 (Net.brokers net)
+    in
+    let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 40) ~seed:82 () in
+    List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+    Net.run net;
+    let work =
+      Array.fold_left (fun acc b -> acc + Broker.work b) 0 (Net.brokers net) - work_before
+    in
+    (work, Net.total_deliveries net)
+  in
+  let w_plain, d_plain = run false in
+  let w_trail, d_trail = run true in
+  Printf.printf "plain:  match work %8d  deliveries %d\n" w_plain d_plain;
+  Printf.printf "trails: match work %8d  deliveries %d  (%.1f%% less work)\n%!" w_trail d_trail
+    (100.0 *. float_of_int (w_plain - w_trail) /. float_of_int (max 1 w_plain))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core algorithms                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro_benchmarks () =
+  section "Micro-benchmarks (Bechamel; ns per operation)";
+  let open Bechamel in
+  let xp = Xroute_xpath.Xpe_parser.parse in
+  let ad = Xroute_xpath.Adv.parse in
+  let abs_xpe = xp "/nitf/body/*/block/p" in
+  let rel_xpe = xp "block/p/em" in
+  let des_xpe = xp "/nitf//block/*//em" in
+  let rec_adv = ad "/nitf/body/body.content(/block)+/p/em" in
+  let plain_adv = Xroute_xpath.Adv.of_names [ "nitf"; "body"; "body.content"; "block"; "p"; "em" ] in
+  let plain_syms = Xroute_xpath.Adv.to_symbols plain_adv in
+  let s1 = xp "/nitf/body/*//p" and s2 = xp "/nitf/body/body.content/block/p/em" in
+  let tree = tree_of_xpes
+      (Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params nitf)
+         ~count:2000 ~seed:91 ()) in
+  let path = [| "nitf"; "body"; "body.content"; "block"; "p"; "em" |] in
+  let tests =
+    [
+      Test.make ~name:"AbsExprAndAdv"
+        (Staged.stage (fun () -> Adv_match.abs_expr_and_adv abs_xpe.Xroute_xpath.Xpe.steps plain_syms));
+      Test.make ~name:"RelExprAndAdv"
+        (Staged.stage (fun () -> Adv_match.rel_expr_and_adv rel_xpe.Xroute_xpath.Xpe.steps plain_syms));
+      Test.make ~name:"RelExprAndAdv-naive"
+        (Staged.stage (fun () -> Adv_match.rel_expr_and_adv_naive rel_xpe.Xroute_xpath.Xpe.steps plain_syms));
+      Test.make ~name:"DesExprAndAdv"
+        (Staged.stage (fun () -> Adv_match.des_expr_and_adv des_xpe plain_syms));
+      Test.make ~name:"RecAdvMatch"
+        (Staged.stage (fun () -> Adv_match.expr_and_rec_adv abs_xpe rec_adv));
+      Test.make ~name:"ExactOverlap(NFA)"
+        (Staged.stage (fun () -> Adv_match.overlaps_exact abs_xpe rec_adv));
+      Test.make ~name:"Cover.covers"
+        (Staged.stage (fun () -> Cover.covers s1 s2));
+      Test.make ~name:"Cover.covers-exact"
+        (Staged.stage (fun () -> Cover.covers ~engine:Cover.Exact s1 s2));
+      Test.make ~name:"SubTree.match(2k)"
+        (Staged.stage (fun () -> Sub_tree.match_names tree path));
+      Test.make ~name:"SubTree.is_covered(2k)"
+        (Staged.stage (fun () -> Sub_tree.is_covered tree s2));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ e ] -> e
+            | _ -> nan
+          in
+          Printf.printf "%-28s %12.1f ns/op\n%!" name estimate)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let only =
+    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> Some rest | _ -> None
+  in
+  let want name = match only with None -> true | Some l -> List.mem name l in
+  Printf.printf "xroute experiment harness (scale %.2f; set XROUTE_BENCH_SCALE to change)\n" scale;
+  Printf.printf "NITF advertisements: %d, PSD advertisements: %d (paper ratio: ~35x)\n%!"
+    (List.length nitf_advs) (List.length psd_advs);
+  if want "fig6" then fig6 ();
+  if want "fig7" then fig7 ();
+  if want "fig8" then fig8 ();
+  if want "table1" then table1 ();
+  if want "table2" then table2 ();
+  if want "table3" then table3 ();
+  if want "fig9" then fig9 ();
+  if want "fig10" then fig10 ();
+  if want "fig11" then fig11 ();
+  if want "ablation-exact-cover" then ablation_exact_cover ();
+  if want "ablation-yfilter" then ablation_yfilter ();
+  if want "ablation-trail" then ablation_trail_routing ();
+  if want "micro" then micro_benchmarks ();
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,1 @@
+bin/xroute.ml: Arg Cmd Cmdliner Fmt_tty List Logs Printf String Sys Term Xroute_core Xroute_dtd Xroute_overlay Xroute_support Xroute_workload Xroute_xml Xroute_xpath

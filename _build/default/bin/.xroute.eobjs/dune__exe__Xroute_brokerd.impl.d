@@ -1,0 +1,1 @@
+bin/xroute_brokerd.ml: Arg Cmd Cmdliner Fmt_tty Format Logs Printf String Sys Term Xroute_core Xroute_daemon

@@ -1,0 +1,1 @@
+bin/xroute_brokerd.mli:

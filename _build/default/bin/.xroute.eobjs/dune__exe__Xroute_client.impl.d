@@ -1,0 +1,1 @@
+bin/xroute_client.ml: Arg Cmd Cmdliner Fun List Printf Term Unix Xroute_core Xroute_daemon Xroute_dtd Xroute_xml Xroute_xpath

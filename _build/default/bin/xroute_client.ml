@@ -1,0 +1,98 @@
+(* Interactive client for the broker daemon: subscribe, advertise and
+   publish from the command line.
+
+     xroute_client --port 7002 --id 42 subscribe '//section/para'
+     xroute_client --port 7002 --id 42 listen '//section/para'
+     xroute_client --port 7000 --id 7 advertise-dtd book
+     xroute_client --port 7000 --id 7 publish doc.xml *)
+
+open Cmdliner
+
+let connect_args =
+  let host = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Broker host.") in
+  let port = Arg.(required & opt (some int) None & info [ "port" ] ~doc:"Broker port.") in
+  let id = Arg.(value & opt int (Unix.getpid ()) & info [ "id" ] ~doc:"Client id.") in
+  Term.(const (fun h p i -> (h, p, i)) $ host $ port $ id)
+
+let with_client (host, port, id) f =
+  let c = Xroute_daemon.Client.connect ~client_id:id ~host ~port in
+  Fun.protect ~finally:(fun () -> Xroute_daemon.Client.close c) (fun () -> f c)
+
+let subscribe_cmd =
+  let xpe_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPE") in
+  let run conn xpe_s =
+    match Xroute_xpath.Xpe_parser.parse_opt xpe_s with
+    | None ->
+      prerr_endline "xroute_client: cannot parse the XPE";
+      exit 1
+    | Some xpe ->
+      with_client conn (fun c ->
+          let id = Xroute_daemon.Client.subscribe c xpe in
+          Printf.printf "subscribed as %d.%d\n" id.Xroute_core.Message.origin
+            id.Xroute_core.Message.seq)
+  in
+  Cmd.v (Cmd.info "subscribe" ~doc:"Register an XPath subscription and exit.")
+    Term.(const run $ connect_args $ xpe_arg)
+
+let listen_cmd =
+  let xpe_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPE") in
+  let run conn xpe_s =
+    match Xroute_xpath.Xpe_parser.parse_opt xpe_s with
+    | None ->
+      prerr_endline "xroute_client: cannot parse the XPE";
+      exit 1
+    | Some xpe ->
+      with_client conn (fun c ->
+          ignore (Xroute_daemon.Client.subscribe c xpe);
+          Printf.printf "listening for %s (ctrl-c to stop)\n%!" xpe_s;
+          let rec loop () =
+            (match Xroute_daemon.Client.recv ~timeout:3600.0 c with
+            | Some (Xroute_core.Message.Publish { pub; _ }) ->
+              Printf.printf "doc %d: %s\n%!" pub.doc_id
+                (Xroute_xml.Xml_paths.publication_to_string pub)
+            | Some _ | None -> ());
+            loop ()
+          in
+          loop ())
+  in
+  Cmd.v (Cmd.info "listen" ~doc:"Subscribe and print notifications forever.")
+    Term.(const run $ connect_args $ xpe_arg)
+
+let advertise_dtd_cmd =
+  let dtd_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DTD") in
+  let run conn dtd_spec =
+    match Xroute_dtd.Dtd_samples.by_name dtd_spec with
+    | None ->
+      prerr_endline ("xroute_client: unknown sample DTD " ^ dtd_spec);
+      exit 1
+    | Some dtd ->
+      with_client conn (fun c ->
+          let advs = Xroute_dtd.Dtd_paths.advertisements (Xroute_dtd.Dtd_graph.build dtd) in
+          List.iter (fun a -> ignore (Xroute_daemon.Client.advertise c a)) advs;
+          Printf.printf "advertised %d patterns from %s\n" (List.length advs) dtd_spec)
+  in
+  Cmd.v (Cmd.info "advertise-dtd" ~doc:"Advertise every pattern of a sample DTD.")
+    Term.(const run $ connect_args $ dtd_arg)
+
+let publish_cmd =
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.xml") in
+  let doc_id_arg = Arg.(value & opt int 1 & info [ "doc-id" ] ~doc:"Document id.") in
+  let run conn file doc_id =
+    let ic = open_in_bin file in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    match Xroute_xml.Xml_parser.parse_opt content with
+    | None ->
+      prerr_endline "xroute_client: cannot parse the document";
+      exit 1
+    | Some doc ->
+      with_client conn (fun c ->
+          let n = Xroute_daemon.Client.publish_doc c ~doc_id doc in
+          Printf.printf "published doc %d as %d path publications\n" doc_id n)
+  in
+  Cmd.v (Cmd.info "publish" ~doc:"Publish an XML document.")
+    Term.(const run $ connect_args $ file_arg $ doc_id_arg)
+
+let () =
+  let info = Cmd.info "xroute_client" ~version:"1.0.0" ~doc:"Client for the XML router daemon" in
+  exit (Cmd.eval (Cmd.group info [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd ]))

@@ -1,0 +1,1 @@
+examples/insurance_claims.ml: Hashtbl Lazy List Net Printf String Topology Xroute_dtd Xroute_overlay Xroute_xml Xroute_xpath

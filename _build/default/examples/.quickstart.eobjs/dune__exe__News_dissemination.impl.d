@@ -1,0 +1,1 @@
+examples/news_dissemination.ml: Hashtbl Lazy List Net Option Printf Topology Xroute_core Xroute_dtd Xroute_overlay Xroute_support Xroute_workload

@@ -1,0 +1,1 @@
+examples/protein_feed.ml: Adv_match Cover Lazy List Merge Printf Sub_tree Xpe Xpe_parser Xroute_automata Xroute_core Xroute_dtd Xroute_support Xroute_workload Xroute_xpath

@@ -1,0 +1,1 @@
+lib/automata/lang.ml: Hashtbl List Nfa Queue Regex Set String Xroute_xpath

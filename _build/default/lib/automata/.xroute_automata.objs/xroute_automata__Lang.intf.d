@@ -1,0 +1,1 @@
+lib/automata/lang.mli: Xroute_xpath

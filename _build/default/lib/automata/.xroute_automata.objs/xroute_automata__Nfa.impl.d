@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Int List Queue Regex Set String

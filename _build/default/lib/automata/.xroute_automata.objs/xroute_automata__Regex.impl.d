@@ -1,0 +1,1 @@
+lib/automata/regex.ml: Array Format List Set String Xroute_xpath

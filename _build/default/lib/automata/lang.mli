@@ -1,0 +1,18 @@
+(** Exact decision procedures on the path languages of XPEs and
+    advertisements (at the element-name level; attribute predicates are
+    invisible here). *)
+
+(** Exact subscription/advertisement overlap: [P(adv) ∩ P(xpe) ≠ ∅]. *)
+val xpe_overlaps_adv : Xroute_xpath.Xpe.t -> Xroute_xpath.Adv.t -> bool
+
+(** Exact XPE containment: [P(s1) ⊇ P(s2)]. *)
+val xpe_contains : Xroute_xpath.Xpe.t -> Xroute_xpath.Xpe.t -> bool
+
+(** Exact advertisement containment: [P(a1) ⊇ P(a2)]. *)
+val adv_contains : Xroute_xpath.Adv.t -> Xroute_xpath.Adv.t -> bool
+
+(** Do two XPE languages overlap? *)
+val xpe_overlaps : Xroute_xpath.Xpe.t -> Xroute_xpath.Xpe.t -> bool
+
+(** Language equivalence of two XPEs. *)
+val xpe_equiv : Xroute_xpath.Xpe.t -> Xroute_xpath.Xpe.t -> bool

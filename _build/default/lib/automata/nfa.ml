@@ -1,0 +1,170 @@
+(* Thompson-style NFA over the symbolic alphabet of element names.
+
+   States are integers; transitions carry a {!Regex.label} ([Exact name]
+   or [Any]); epsilon edges come from the construction. The automata here
+   are tiny (XPEs and advertisements have around ten steps), so adjacency
+   lists and set-based closures are plenty fast. *)
+
+module Int_set = Set.Make (Int)
+
+type t = {
+  state_count : int;
+  start : int;
+  accept : int;
+  (* edges.(q) = outgoing labelled transitions of q *)
+  edges : (Regex.label * int) list array;
+  epsilons : int list array;
+}
+
+(* Builder with mutable accumulation. *)
+type builder = {
+  mutable next : int;
+  mutable trans : (int * Regex.label * int) list;
+  mutable eps : (int * int) list;
+}
+
+let new_state b =
+  let s = b.next in
+  b.next <- s + 1;
+  s
+
+let add_edge b q label q' = b.trans <- (q, label, q') :: b.trans
+let add_eps b q q' = b.eps <- (q, q') :: b.eps
+
+(* Compile [regex] between a fresh pair of (entry, exit) states. *)
+let rec compile b regex =
+  match regex with
+  | Regex.Eps ->
+    let entry = new_state b and exit = new_state b in
+    add_eps b entry exit;
+    (entry, exit)
+  | Regex.Sym label ->
+    let entry = new_state b and exit = new_state b in
+    add_edge b entry label exit;
+    (entry, exit)
+  | Regex.Seq rs ->
+    let entry = new_state b in
+    let final =
+      List.fold_left
+        (fun prev r ->
+          let e, x = compile b r in
+          add_eps b prev e;
+          x)
+        entry rs
+    in
+    (entry, final)
+  | Regex.Alt rs ->
+    let entry = new_state b and exit = new_state b in
+    List.iter
+      (fun r ->
+        let e, x = compile b r in
+        add_eps b entry e;
+        add_eps b x exit)
+      rs;
+    (entry, exit)
+  | Regex.Star r ->
+    let entry = new_state b and exit = new_state b in
+    let e, x = compile b r in
+    add_eps b entry e;
+    add_eps b x exit;
+    add_eps b entry exit;
+    add_eps b x e;
+    (entry, exit)
+  | Regex.Plus r ->
+    let e, x = compile b r in
+    add_eps b x e;
+    (e, x)
+
+let of_regex regex =
+  let b = { next = 0; trans = []; eps = [] } in
+  let start, accept = compile b regex in
+  let edges = Array.make b.next [] in
+  List.iter (fun (q, label, q') -> edges.(q) <- (label, q') :: edges.(q)) b.trans;
+  let epsilons = Array.make b.next [] in
+  List.iter (fun (q, q') -> epsilons.(q) <- q' :: epsilons.(q)) b.eps;
+  { state_count = b.next; start; accept; edges; epsilons }
+
+let state_count t = t.state_count
+
+(* Epsilon closure of a state set. *)
+let closure t set =
+  let rec go frontier acc =
+    match frontier with
+    | [] -> acc
+    | q :: rest ->
+      let nexts = List.filter (fun q' -> not (Int_set.mem q' acc)) t.epsilons.(q) in
+      go (nexts @ rest) (List.fold_left (fun acc q' -> Int_set.add q' acc) acc nexts)
+  in
+  go (Int_set.elements set) set
+
+let label_admits label name =
+  match label with Regex.Any -> true | Regex.Exact n -> String.equal n name
+
+(* One step of the subset simulation on a concrete name. *)
+let step t set name =
+  Int_set.fold
+    (fun q acc ->
+      List.fold_left
+        (fun acc (label, q') -> if label_admits label name then Int_set.add q' acc else acc)
+        acc t.edges.(q))
+    set Int_set.empty
+
+let accepts t path =
+  let init = closure t (Int_set.singleton t.start) in
+  let final =
+    Array.fold_left (fun set name -> closure t (step t set name)) init path
+  in
+  Int_set.mem t.accept final
+
+(* Do two labels admit a common name? (The alphabet is infinite, so
+   Any/Any always overlaps.) *)
+let labels_overlap a b =
+  match (a, b) with
+  | Regex.Any, _ | _, Regex.Any -> true
+  | Regex.Exact x, Regex.Exact y -> String.equal x y
+
+(* Intersection non-emptiness by BFS over the product of the two NFAs.
+   Exact: decides whether some path is accepted by both. *)
+let intersect_nonempty a b =
+  let module Pair_set = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let close (qa, qb) =
+    let ca = closure a (Int_set.singleton qa) in
+    let cb = closure b (Int_set.singleton qb) in
+    Int_set.fold
+      (fun x acc -> Int_set.fold (fun y acc -> Pair_set.add (x, y) acc) cb acc)
+      ca Pair_set.empty
+  in
+  let seen = ref Pair_set.empty in
+  let queue = Queue.create () in
+  let push pair =
+    Pair_set.iter
+      (fun p ->
+        if not (Pair_set.mem p !seen) then begin
+          seen := Pair_set.add p !seen;
+          Queue.push p queue
+        end)
+      (close pair)
+  in
+  push (a.start, b.start);
+  let exception Found in
+  try
+    while not (Queue.is_empty queue) do
+      let qa, qb = Queue.pop queue in
+      if qa = a.accept && qb = b.accept then raise Found;
+      List.iter
+        (fun (la, qa') ->
+          List.iter
+            (fun (lb, qb') -> if labels_overlap la lb then push (qa', qb'))
+            b.edges.(qb))
+        a.edges.(qa)
+    done;
+    false
+  with Found -> true
+
+let start_set t = closure t (Int_set.singleton t.start)
+
+let is_accepting t set = Int_set.mem t.accept set

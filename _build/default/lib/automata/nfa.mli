@@ -1,0 +1,25 @@
+(** Thompson-style NFA over the symbolic alphabet of element names. *)
+
+type t
+
+val of_regex : Regex.t -> t
+
+val state_count : t -> int
+
+(** Does the automaton accept this concrete path? *)
+val accepts : t -> string array -> bool
+
+(** Exact intersection non-emptiness over the infinite name alphabet:
+    is there a path accepted by both automata? *)
+val intersect_nonempty : t -> t -> bool
+
+(**/**)
+
+module Int_set : Set.S with type elt = int
+
+(** Exposed for {!Lang}'s subset construction. *)
+val closure : t -> Int_set.t -> Int_set.t
+
+val step : t -> Int_set.t -> string -> Int_set.t
+val start_set : t -> Int_set.t
+val is_accepting : t -> Int_set.t -> bool

@@ -1,0 +1,90 @@
+(* Regular expressions over element names with a wildcard letter.
+
+   XPEs and advertisements both denote regular languages of element
+   paths; this module is the shared syntax the automata are built from.
+   The wildcard [Any] matches every element name (the alphabet is the
+   infinite set of XML names, handled symbolically). *)
+
+type label = Exact of string | Any
+
+type t =
+  | Eps  (* the empty string *)
+  | Sym of label
+  | Seq of t list
+  | Alt of t list
+  | Star of t
+  | Plus of t
+
+let eps = Eps
+let sym label = Sym label
+let exact name = Sym (Exact name)
+let any = Sym Any
+
+let seq = function [] -> Eps | [ r ] -> r | rs -> Seq rs
+let alt = function [] -> invalid_arg "Regex.alt: empty alternation" | [ r ] -> r | rs -> Alt rs
+let star r = Star r
+let plus r = Plus r
+
+(* Element names mentioned anywhere in the expression. *)
+let names t =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Eps -> acc
+    | Sym (Exact n) -> S.add n acc
+    | Sym Any -> acc
+    | Seq rs | Alt rs -> List.fold_left go acc rs
+    | Star r | Plus r -> go acc r
+  in
+  S.elements (go S.empty t)
+
+let label_to_string = function Exact n -> n | Any -> "."
+
+let rec to_string = function
+  | Eps -> "()"
+  | Sym l -> label_to_string l
+  | Seq rs -> String.concat " " (List.map atom_string rs)
+  | Alt rs -> String.concat " | " (List.map atom_string rs)
+  | Star r -> atom_string r ^ "*"
+  | Plus r -> atom_string r ^ "+"
+
+and atom_string r =
+  match r with
+  | Eps | Sym _ -> to_string r
+  | Seq [ r' ] | Alt [ r' ] -> atom_string r'
+  | _ -> "(" ^ to_string r ^ ")"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* The path language of an XPE under publication-matching semantics:
+   anchored at the root, each Child step consumes one name, each Desc step
+   allows a gap, and a trailing gap accepts any continuation of the path
+   below the selected node (prefix semantics). Attribute predicates are
+   name-level invisible and ignored here. *)
+let of_xpe xpe =
+  let step_regex (s : Xroute_xpath.Xpe.step) =
+    let symbol =
+      match s.test with
+      | Xroute_xpath.Xpe.Star -> any
+      | Xroute_xpath.Xpe.Name n -> exact n
+    in
+    match s.axis with
+    | Xroute_xpath.Xpe.Child -> [ symbol ]
+    | Xroute_xpath.Xpe.Desc -> [ star any; symbol ]
+  in
+  let body = List.concat_map step_regex (Xroute_xpath.Xpe.semantic_steps xpe) in
+  seq (body @ [ star any ])
+
+(* The path language of an advertisement: a full-length match, each
+   [(...)+] group one or more times. *)
+let of_adv adv =
+  let rec part_regex = function
+    | Xroute_xpath.Adv.Lit symbols ->
+      seq
+        (Array.to_list symbols
+        |> List.map (function Xroute_xpath.Xpe.Star -> any | Xroute_xpath.Xpe.Name n -> exact n))
+    | Xroute_xpath.Adv.Group inner -> plus (seq (List.map part_regex inner))
+  in
+  seq (List.map part_regex (Xroute_xpath.Adv.parts adv))
+
+(* A fixed path as a regex (for spot checks). *)
+let of_path path = seq (Array.to_list path |> List.map exact)

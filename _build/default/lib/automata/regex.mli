@@ -1,0 +1,43 @@
+(** Regular expressions over element names with a wildcard letter: the
+    shared syntax from which XPE and advertisement automata are built.
+    [Any] matches every element name (the alphabet of XML names is
+    treated symbolically). *)
+
+type label = Exact of string | Any
+
+type t =
+  | Eps  (** the empty string *)
+  | Sym of label
+  | Seq of t list
+  | Alt of t list
+  | Star of t
+  | Plus of t
+
+val eps : t
+val sym : label -> t
+val exact : string -> t
+val any : t
+
+(** Smart constructors; [seq []] is {!eps}.
+    @raise Invalid_argument on [alt []]. *)
+val seq : t list -> t
+
+val alt : t list -> t
+val star : t -> t
+val plus : t -> t
+
+(** Element names mentioned, sorted and distinct. *)
+val names : t -> string list
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Path language of an XPE under publication-matching semantics
+    (anchoring, gaps for [//], trailing gap for the prefix rule). *)
+val of_xpe : Xroute_xpath.Xpe.t -> t
+
+(** Path language of an advertisement (full-length match). *)
+val of_adv : Xroute_xpath.Adv.t -> t
+
+(** A fixed path as a literal sequence. *)
+val of_path : string array -> t

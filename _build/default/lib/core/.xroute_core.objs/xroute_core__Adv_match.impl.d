@@ -1,0 +1,1 @@
+lib/core/adv_match.ml: Adv Array Hashtbl List String Xpe Xroute_automata Xroute_xpath

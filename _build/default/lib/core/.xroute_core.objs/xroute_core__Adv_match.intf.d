@@ -1,0 +1,1 @@
+lib/core/adv_match.mli: Adv Xpe Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/broker.ml: Adv_match Cover List Logs Merge Message Option Rtable Sub_tree Xpe Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Adv Array Buffer Char Format List Message Printf Result String Xpe Xpe_parser Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/cover.ml: Adv Array List String Xpe Xroute_automata Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/cover.mli: Adv Xpe Xroute_xpath

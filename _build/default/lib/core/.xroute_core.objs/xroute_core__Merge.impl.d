@@ -1,0 +1,1 @@
+lib/core/merge.ml: Array Cover Hashtbl List Option Printf Scanf Set String Xpe Xpe_eval Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/message.ml: Adv Array Format List String Xpe Xroute_xml Xroute_xpath

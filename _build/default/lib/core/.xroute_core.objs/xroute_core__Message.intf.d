@@ -1,0 +1,1 @@
+lib/core/message.mli: Adv Format Xpe Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/rtable.ml: Adv Adv_match Cover Format List Map Message Sub_tree Xpe_eval Xroute_xml Xroute_xpath

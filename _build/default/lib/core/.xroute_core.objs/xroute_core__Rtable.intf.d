@@ -1,0 +1,1 @@
+lib/core/rtable.mli: Adv Adv_match Format Map Message Sub_tree Xpe Xroute_xml Xroute_xpath

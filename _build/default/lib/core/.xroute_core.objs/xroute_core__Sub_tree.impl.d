@@ -1,0 +1,1 @@
+lib/core/sub_tree.ml: Array Cover Format Hashtbl List Option Xpe Xpe_eval Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/sub_tree.mli: Xpe Xroute_xpath

@@ -1,0 +1,1 @@
+lib/core/yfilter.ml: Array Hashtbl List String Xpe Xpe_eval Xroute_xpath

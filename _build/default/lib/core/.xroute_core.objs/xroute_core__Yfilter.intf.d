@@ -1,0 +1,1 @@
+lib/core/yfilter.mli: Xpe Xroute_xpath

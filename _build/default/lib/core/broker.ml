@@ -1,0 +1,484 @@
+(* The content-based XML router (broker).
+
+   A broker holds an SRT and a PRT, talks to neighbor brokers and local
+   clients, and implements the routing strategies of the paper's
+   evaluation (Tables 2-3):
+
+   - advertisement-based routing on/off: with advertisements,
+     subscriptions follow the reverse advertisement paths; without, they
+     flood;
+   - covering on/off: a covered subscription is stored but not
+     forwarded, and forwarding a new subscription unsubscribes the
+     maximal subscriptions it covers;
+   - merging off / perfect / imperfect: a periodic merge pass replaces
+     sets of forwarded subscriptions by mergers (Sec. 4.3); originals
+     stay in the local PRT, so false positives die here and never reach
+     clients.
+
+   [handle] is a pure-ish state machine: it consumes one message and
+   returns the messages to emit, so the overlay simulator (and the
+   tests) stay in full control of delivery order and timing. *)
+
+open Xroute_xpath
+
+let log_src = Logs.Src.create "xroute.broker" ~doc:"Content-based XML router"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type merge_mode = No_merging | Perfect | Imperfect of float
+
+type strategy = {
+  use_adv : bool;  (* advertisement-based subscription routing *)
+  use_cover : bool;  (* covering-based forwarding suppression *)
+  merging : merge_mode;
+  adv_cover : bool;  (* advertisement covering in the SRT (extension) *)
+  trail_routing : bool;  (* XTreeNet-style restricted re-matching *)
+  exact_engines : bool;  (* automata engines instead of the paper's *)
+}
+
+let default_strategy =
+  {
+    use_adv = true;
+    use_cover = true;
+    merging = No_merging;
+    adv_cover = false;
+    trail_routing = false;
+    exact_engines = false;
+  }
+
+(* The six rows of Tables 2 and 3. *)
+let strategy_of_name = function
+  | "no-Adv-no-Cov" -> Some { default_strategy with use_adv = false; use_cover = false }
+  | "no-Adv-with-Cov" -> Some { default_strategy with use_adv = false; use_cover = true }
+  | "with-Adv-no-Cov" -> Some { default_strategy with use_adv = true; use_cover = false }
+  | "with-Adv-with-Cov" -> Some { default_strategy with use_adv = true; use_cover = true }
+  | "with-Adv-with-CovPM" -> Some { default_strategy with merging = Perfect }
+  | "with-Adv-with-CovIPM" -> Some { default_strategy with merging = Imperfect 0.1 }
+  | _ -> None
+
+let strategy_names =
+  [
+    "no-Adv-no-Cov";
+    "no-Adv-with-Cov";
+    "with-Adv-no-Cov";
+    "with-Adv-with-Cov";
+    "with-Adv-with-CovPM";
+    "with-Adv-with-CovIPM";
+  ]
+
+type counters = {
+  mutable msgs_in : int;
+  mutable advs_in : int;
+  mutable subs_in : int;
+  mutable pubs_in : int;
+  mutable unsubs_in : int;
+  mutable pubs_dropped : int; (* arrived with no matching subscription *)
+  mutable deliveries : int; (* publications handed to local clients *)
+}
+
+type merger_record = {
+  merger_id : Message.sub_id;
+  merger_xpe : Xpe.t;
+  mutable member_ids : Message.sub_id list;
+}
+
+type t = {
+  id : int;
+  strategy : strategy;
+  covers : Xpe.t -> Xpe.t -> bool; (* the covering predicate in force *)
+  mutable neighbors : int list;
+  srt : Rtable.Srt.t;
+  prt : Rtable.Prt.t;
+  (* where each subscription id was forwarded (undone on unsubscribe) *)
+  mutable forwarded : Rtable.endpoint list Rtable.Prt.Id_map.t;
+  (* merge bookkeeping *)
+  mutable mergers : merger_record list;
+  mutable suppressed : Rtable.Prt.Id_map.key list; (* ids replaced by a merger *)
+  mutable merge_seq : int;
+  (* path universe for the imperfect degree (publisher DTD knowledge) *)
+  mutable universe : string array list;
+  counters : counters;
+}
+
+let create ?(strategy = default_strategy) ~id ~neighbors () =
+  let covers =
+    if not strategy.use_cover then fun _ _ -> false
+    else if strategy.exact_engines then fun s1 s2 -> Cover.covers ~engine:Cover.Exact s1 s2
+    else fun s1 s2 -> Cover.covers s1 s2
+  in
+  let flat = not strategy.use_cover in
+  let engine = if strategy.exact_engines then Adv_match.Exact else Adv_match.Paper in
+  {
+    id;
+    strategy;
+    covers;
+    neighbors;
+    srt = Rtable.Srt.create ~use_cover:strategy.adv_cover ~engine ();
+    prt = Rtable.Prt.create ~flat ~covers ();
+    forwarded = Rtable.Prt.Id_map.empty;
+    mergers = [];
+    suppressed = [];
+    merge_seq = 0;
+    universe = [];
+    counters =
+      {
+        msgs_in = 0;
+        advs_in = 0;
+        subs_in = 0;
+        pubs_in = 0;
+        unsubs_in = 0;
+        pubs_dropped = 0;
+        deliveries = 0;
+      };
+  }
+
+let id t = t.id
+let strategy t = t.strategy
+let counters t = t.counters
+let srt_size t = Rtable.Srt.size t.srt
+let prt_size t = Rtable.Prt.size t.prt
+let set_universe t universe = t.universe <- universe
+
+(* Match-work performed so far: the quantity the processing-delay model
+   charges for (covering shrinks it). *)
+let work t =
+  Rtable.Srt.match_ops t.srt + Rtable.Prt.match_checks t.prt + Rtable.Prt.cover_checks t.prt
+
+let neighbor_endpoints ?(except = []) t =
+  List.filter_map
+    (fun n ->
+      let ep = Rtable.Neighbor n in
+      if List.exists (Rtable.endpoint_equal ep) except then None else Some ep)
+    t.neighbors
+
+let is_neighbor_ep = function Rtable.Neighbor _ -> true | Rtable.Client _ -> false
+
+let record_forwarded t sub_id targets =
+  let existing =
+    Option.value ~default:[] (Rtable.Prt.Id_map.find_opt sub_id t.forwarded)
+  in
+  let added =
+    List.filter
+      (fun ep -> not (List.exists (Rtable.endpoint_equal ep) existing))
+      targets
+  in
+  t.forwarded <- Rtable.Prt.Id_map.add sub_id (added @ existing) t.forwarded;
+  added
+
+let forwarded_targets t sub_id =
+  Option.value ~default:[] (Rtable.Prt.Id_map.find_opt sub_id t.forwarded)
+
+let is_suppressed t id =
+  List.exists (fun i -> Message.compare_sub_id i id = 0) t.suppressed
+
+(* Targets a subscription should be forwarded to (before covering
+   decisions): matching advertisement hops, or all neighbors when not
+   advertisement-based. Never back to where it came from; never to
+   clients. *)
+let sub_targets t ~from xpe =
+  let raw =
+    if t.strategy.use_adv then Rtable.Srt.hops_for_sub t.srt xpe
+    else neighbor_endpoints t
+  in
+  List.filter
+    (fun ep -> is_neighbor_ep ep && not (Rtable.endpoint_equal ep from))
+    raw
+
+(* Covering-based suppression is per next hop: forwarding [xpe] to [ep]
+   is redundant exactly when some other subscription covering [xpe] has
+   already been forwarded to [ep] (a coverer from the direction of [ep]
+   itself draws no publications from there, hence "other" and
+   "forwarded"). Active mergers count as coverers of their members. *)
+
+(* Endpoints already served for [xpe] by some other subscription or
+   merger: the union of the coverers' forwarded-target sets. *)
+let served_endpoints t ~self_id xpe =
+  if not t.strategy.use_cover then []
+  else begin
+    let from_tree =
+      List.concat_map
+        (fun node ->
+          List.concat_map
+            (fun (p : Rtable.Prt.payload) ->
+              if Message.compare_sub_id p.id self_id = 0 then []
+              else forwarded_targets t p.id)
+            (Sub_tree.node_payloads node))
+        (Sub_tree.coverers (Rtable.Prt.tree t.prt) xpe)
+    in
+    let from_mergers =
+      List.concat_map
+        (fun m ->
+          if t.covers m.merger_xpe xpe then forwarded_targets t m.merger_id else [])
+        t.mergers
+    in
+    from_tree @ from_mergers
+  end
+
+let served_at t ~self_id xpe ep =
+  List.exists (Rtable.endpoint_equal ep) (served_endpoints t ~self_id xpe)
+
+let unserved_targets t ~self_id xpe targets =
+  match targets with
+  | [] -> []
+  | targets ->
+    let served = served_endpoints t ~self_id xpe in
+    List.filter (fun ep -> not (List.exists (Rtable.endpoint_equal ep) served)) targets
+
+(* ------------------------------------------------------------------ *)
+(* Advertisements                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let handle_advertise t ~from id adv =
+  t.counters.advs_in <- t.counters.advs_in + 1;
+  match Rtable.Srt.add t.srt id adv from with
+  | `Duplicate -> []
+  | `Covered _ -> [] (* advertisement covering suppressed storage and forwarding *)
+  | `Stored ->
+    (* Flood on. *)
+    let flood =
+      List.map
+        (fun ep -> (ep, Message.Advertise { id; adv }))
+        (neighbor_endpoints ~except:[ from ] t)
+    in
+    (* Forward stored subscriptions that overlap the new advertisement
+       towards it (otherwise subscribers that registered first would
+       never reach this publisher). Only the forwarded set needs to go:
+       maximal subscriptions plus active mergers. *)
+    let sub_msgs =
+      if not t.strategy.use_adv then []
+      else if not (is_neighbor_ep from) then []
+      else begin
+        (* Every stored subscription may need to reach the new
+           advertiser; visiting parents before children lets coverers be
+           forwarded first and then suppress their covered subtrees via
+           the per-target rule. *)
+        let candidates = ref [] in
+        Sub_tree.iter
+          (fun node ->
+            List.iter
+              (fun (p : Rtable.Prt.payload) ->
+                if not (is_suppressed t p.id) then
+                  candidates := (p.id, Sub_tree.node_xpe node, p.hop) :: !candidates)
+              (Sub_tree.node_payloads node))
+          (Rtable.Prt.tree t.prt);
+        let candidates =
+          List.rev !candidates
+          @ List.map (fun m -> (m.merger_id, m.merger_xpe, Rtable.Neighbor t.id)) t.mergers
+        in
+        List.filter_map
+          (fun (sub_id, xpe, hop) ->
+            if Rtable.endpoint_equal hop from then None
+            else if List.exists (Rtable.endpoint_equal from) (forwarded_targets t sub_id) then
+              None
+            else begin
+              let engine = if t.strategy.exact_engines then Adv_match.Exact else Adv_match.Paper in
+              if Adv_match.overlaps ~engine xpe adv && not (served_at t ~self_id:sub_id xpe from)
+              then begin
+                ignore (record_forwarded t sub_id [ from ]);
+                Some (from, Message.Subscribe { id = sub_id; xpe })
+              end
+              else None
+            end)
+          candidates
+      end
+    in
+    flood @ sub_msgs
+
+let handle_unadvertise t ~from id =
+  match Rtable.Srt.remove t.srt id with
+  | None -> []
+  | Some _ ->
+    List.map
+      (fun ep -> (ep, Message.Unadvertise { id }))
+      (neighbor_endpoints ~except:[ from ] t)
+
+(* ------------------------------------------------------------------ *)
+(* Subscriptions                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let handle_subscribe t ~from id xpe =
+  t.counters.subs_in <- t.counters.subs_in + 1;
+  if Rtable.Prt.mem t.prt id then [] (* duplicate *)
+  else begin
+    (* Subscriptions this one strictly covers (equal XPEs are kept:
+       they already serve their targets). Computed before insertion. *)
+    let displaced =
+      if t.strategy.use_cover then
+        List.filter
+          (fun (node, _) -> not (Xpe.equal (Sub_tree.node_xpe node) xpe))
+          (Rtable.Prt.covered_maximal t.prt xpe)
+      else []
+    in
+    let targets = sub_targets t ~from xpe in
+    let needed = unserved_targets t ~self_id:id xpe targets in
+    ignore (Rtable.Prt.insert t.prt id xpe from);
+    let fresh = record_forwarded t id needed in
+    let sub_msgs = List.map (fun ep -> (ep, Message.Subscribe { id; xpe })) fresh in
+    (* Unsubscribe displaced subscriptions, but only at next hops now
+       served by this subscription (elsewhere they must keep drawing
+       publications for their own subscribers). *)
+    let mine = forwarded_targets t id in
+    let unsub_msgs =
+      List.concat_map
+        (fun (_node, (p : Rtable.Prt.payload)) ->
+          if is_suppressed t p.id then []
+          else begin
+            let where = forwarded_targets t p.id in
+            let redundant, kept =
+              List.partition (fun ep -> List.exists (Rtable.endpoint_equal ep) mine) where
+            in
+            t.forwarded <- Rtable.Prt.Id_map.add p.id kept t.forwarded;
+            List.map (fun ep -> (ep, Message.Unsubscribe { id = p.id })) redundant
+          end)
+        displaced
+    in
+    sub_msgs @ unsub_msgs
+  end
+
+let handle_unsubscribe t ~from id =
+  t.counters.unsubs_in <- t.counters.unsubs_in + 1;
+  ignore from;
+  match Rtable.Prt.remove t.prt id with
+  | None -> []
+  | Some (_payload, node, _was_sole_maximal, _children) ->
+    let removed_xpe = Sub_tree.node_xpe node in
+    let where = forwarded_targets t id in
+    t.forwarded <- Rtable.Prt.Id_map.remove id t.forwarded;
+    let upstream = List.map (fun ep -> (ep, Message.Unsubscribe { id })) where in
+    (* Every subscription the departed one covered — its former children,
+       equal subscriptions sharing its node, and covered subscriptions in
+       other subtrees (the super-pointer relations) — may have relied on
+       its forwarding; re-forward each wherever it is no longer served.
+       Only needed when the departed subscription was forwarded at all. *)
+    let reforward_msgs =
+      if (not t.strategy.use_cover) || where = [] then []
+      else begin
+        let reforward_node n =
+          let xpe = Sub_tree.node_xpe n in
+          List.concat_map
+            (fun (p : Rtable.Prt.payload) ->
+              if is_suppressed t p.id then []
+              else begin
+                let targets = sub_targets t ~from:p.hop xpe in
+                let needed = unserved_targets t ~self_id:p.id xpe targets in
+                let fresh = record_forwarded t p.id needed in
+                List.map (fun ep -> (ep, Message.Subscribe { id = p.id; xpe })) fresh
+              end)
+            (Sub_tree.node_payloads n)
+        in
+        List.concat_map reforward_node
+          (Sub_tree.covered_nodes (Rtable.Prt.tree t.prt) removed_xpe)
+      end
+    in
+    upstream @ reforward_msgs
+
+(* ------------------------------------------------------------------ *)
+(* Publications                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let handle_publish t ~from pub trail =
+  t.counters.pubs_in <- t.counters.pubs_in + 1;
+  let payloads =
+    if t.strategy.trail_routing && trail <> [] then Rtable.Prt.match_pub_from t.prt trail pub
+    else Rtable.Prt.match_pub t.prt pub
+  in
+  (* Group matched subscription ids by next hop (for trails). *)
+  let by_hop : (Rtable.endpoint * Message.sub_id list ref) list ref = ref [] in
+  List.iter
+    (fun (p : Rtable.Prt.payload) ->
+      if not (Rtable.endpoint_equal p.hop from) then begin
+        match List.find_opt (fun (ep, _) -> Rtable.endpoint_equal ep p.hop) !by_hop with
+        | Some (_, ids) -> ids := p.id :: !ids
+        | None -> by_hop := (p.hop, ref [ p.id ]) :: !by_hop
+      end)
+    payloads;
+  if !by_hop = [] then t.counters.pubs_dropped <- t.counters.pubs_dropped + 1;
+  List.map
+    (fun (ep, ids) ->
+      (match ep with
+      | Rtable.Client _ -> t.counters.deliveries <- t.counters.deliveries + 1
+      | Rtable.Neighbor _ -> ());
+      let trail = if t.strategy.trail_routing && is_neighbor_ep ep then !ids else [] in
+      (ep, Message.Publish { pub; trail }))
+    !by_hop
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let handle t ~from (msg : Message.t) =
+  t.counters.msgs_in <- t.counters.msgs_in + 1;
+  Log.debug (fun m ->
+      m "broker %d <- %a: %a" t.id Rtable.pp_endpoint from Message.pp msg);
+  match msg with
+  | Message.Advertise { id; adv } -> handle_advertise t ~from id adv
+  | Message.Unadvertise { id } -> handle_unadvertise t ~from id
+  | Message.Subscribe { id; xpe } -> handle_subscribe t ~from id xpe
+  | Message.Unsubscribe { id } -> handle_unsubscribe t ~from id
+  | Message.Publish { pub; trail } -> handle_publish t ~from pub trail
+
+(* ------------------------------------------------------------------ *)
+(* Merging pass                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Periodic merging (Sec. 4.3): replace forwarded subscriptions by
+   mergers within the configured imperfect degree. Originals stay in the
+   PRT for exact local delivery; upstream they are unsubscribed and the
+   merger subscribed in their place. *)
+let merge_pass t =
+  match t.strategy.merging with
+  | No_merging -> []
+  | mode ->
+    let max_degree = match mode with Perfect -> 0.0 | Imperfect d -> d | No_merging -> 0.0 in
+    (* Mergeable population: maximal, not suppressed, forwarded somewhere. *)
+    let population =
+      Sub_tree.maximal (Rtable.Prt.tree t.prt)
+      |> List.concat_map (fun node ->
+             List.filter_map
+               (fun (p : Rtable.Prt.payload) ->
+                 if is_suppressed t p.id then None
+                 else if forwarded_targets t p.id = [] then None
+                 else Some (Sub_tree.node_xpe node, p.id))
+               (Sub_tree.node_payloads node))
+    in
+    let xpes = List.sort_uniq Xpe.compare (List.map fst population) in
+    let applied, _kept = Merge.merge_set ~max_degree ~universe:t.universe xpes in
+    List.concat_map
+      (fun (m : Merge.merger) ->
+        let member_ids =
+          List.filter_map
+            (fun (xpe, sub_id) ->
+              if List.exists (Xpe.equal xpe) m.originals then Some sub_id else None)
+            population
+        in
+        if List.length member_ids < 2 then []
+        else begin
+          t.merge_seq <- t.merge_seq + 1;
+          let merger_id = { Message.origin = (t.id * 1_000_000) + 999_000; seq = t.merge_seq } in
+          let record = { merger_id; merger_xpe = m.xpe; member_ids } in
+          t.mergers <- record :: t.mergers;
+          t.suppressed <- member_ids @ t.suppressed;
+          (* Subscribe the merger along its own (unserved) targets. *)
+          let targets = sub_targets t ~from:(Rtable.Neighbor t.id) m.xpe in
+          let targets = unserved_targets t ~self_id:merger_id m.xpe targets in
+          let fresh = record_forwarded t merger_id targets in
+          let sub_msgs =
+            List.map (fun ep -> (ep, Message.Subscribe { id = merger_id; xpe = m.xpe })) fresh
+          in
+          (* Unsubscribe the originals wherever they had been forwarded. *)
+          let unsub_msgs =
+            List.concat_map
+              (fun sub_id ->
+                let where = forwarded_targets t sub_id in
+                t.forwarded <- Rtable.Prt.Id_map.remove sub_id t.forwarded;
+                List.map (fun ep -> (ep, Message.Unsubscribe { id = sub_id })) where)
+              member_ids
+          in
+          sub_msgs @ unsub_msgs
+        end)
+      applied
+
+(* Forwarded routing table size: what this broker's upstream neighbors
+   store because of it — the paper's compaction metric counts the local
+   table instead, which [prt_size] reports. *)
+let forwarded_count t = Rtable.Prt.Id_map.cardinal t.forwarded

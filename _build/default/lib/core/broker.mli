@@ -1,0 +1,67 @@
+(** The content-based XML router: SRT + PRT + the routing protocol under
+    the strategies of the paper's evaluation. [handle] consumes one
+    message and returns the messages to emit, leaving delivery order and
+    timing to the caller (the overlay simulator or the tests). *)
+
+
+type merge_mode = No_merging | Perfect | Imperfect of float
+
+type strategy = {
+  use_adv : bool;  (** advertisement-based subscription routing *)
+  use_cover : bool;  (** covering-based forwarding suppression *)
+  merging : merge_mode;
+  adv_cover : bool;  (** advertisement covering in the SRT (extension) *)
+  trail_routing : bool;  (** XTreeNet-style restricted re-matching *)
+  exact_engines : bool;  (** automata engines instead of the paper's *)
+}
+
+(** Advertisements + covering, no merging. *)
+val default_strategy : strategy
+
+(** The six rows of Tables 2-3 by name (see {!strategy_names}). *)
+val strategy_of_name : string -> strategy option
+
+val strategy_names : string list
+
+type counters = {
+  mutable msgs_in : int;
+  mutable advs_in : int;
+  mutable subs_in : int;
+  mutable pubs_in : int;
+  mutable unsubs_in : int;
+  mutable pubs_dropped : int;
+      (** publications that produced no output: in-network false
+          positives under merging *)
+  mutable deliveries : int;  (** publications handed to local clients *)
+}
+
+type t
+
+val create : ?strategy:strategy -> id:int -> neighbors:int list -> unit -> t
+
+val id : t -> int
+val strategy : t -> strategy
+val counters : t -> counters
+val srt_size : t -> int
+val prt_size : t -> int
+
+(** Paths derivable from the publisher's DTD, needed by merging to
+    compute imperfect degrees. *)
+val set_universe : t -> string array list -> unit
+
+(** Cumulative match/cover operations — the processing-cost measure the
+    delay model charges. *)
+val work : t -> int
+
+(** Process one message from a neighbor or client; returns the messages
+    to send. *)
+val handle : t -> from:Rtable.endpoint -> Message.t -> (Rtable.endpoint * Message.t) list
+
+(** Periodic merging pass (Sec. 4.3): replaces forwarded subscriptions
+    by mergers within the strategy's degree bound; originals stay in the
+    PRT so false positives never reach clients. Returns the subscription
+    and unsubscription messages to send. *)
+val merge_pass : t -> (Rtable.endpoint * Message.t) list
+
+(** Number of subscriptions this broker has forwarded upstream. *)
+val forwarded_count : t -> int

@@ -1,0 +1,42 @@
+(** Covering detection between XPEs (Sec. 4.2): [covers s1 s2] soundly
+    decides [P(s1) ⊇ P(s2)]. The paper's algorithms are deliberately
+    incomplete in places (safe for routing: missed covering costs
+    compactness, never correctness); the [Exact] engine decides true
+    containment via the automata library. *)
+
+open Xroute_xpath
+
+(** Positional covering rule on node tests: [*] covers anything, a name
+    covers only itself. *)
+val test_covers : Xpe.nodetest -> Xpe.nodetest -> bool
+
+(** Step covering: node test plus predicate subset (fewer predicates
+    select more). *)
+val step_covers : Xpe.step -> Xpe.step -> bool
+
+(** Two absolute simple XPEs (AbsSimCov). *)
+val abs_sim_cov : Xpe.t -> Xpe.t -> bool
+
+(** Relative simple [s1] against simple [s2] (RelSimCov). *)
+val rel_sim_cov : Xpe.t -> Xpe.t -> bool
+
+(** XPEs with descendant operators (DesCov): order-preserving placement
+    of [s1]'s segments with the wildcard-overhang special case. *)
+val des_cov : Xpe.t -> Xpe.t -> bool
+
+(** The paper's dispatching pipeline. *)
+val covers_paper : Xpe.t -> Xpe.t -> bool
+
+(** Automata-based containment (exact for predicate-free XPEs; falls
+    back to the paper rules otherwise). *)
+val covers_exact : Xpe.t -> Xpe.t -> bool
+
+type engine = Paper | Exact
+
+(** [covers ?engine s1 s2] — defaults to the paper engine. *)
+val covers : ?engine:engine -> Xpe.t -> Xpe.t -> bool
+
+(** Covering between advertisements: positional rules for non-recursive
+    ones (same-length requirement — advertisements match full paths),
+    exact containment for recursive ones. *)
+val adv_covers : Adv.t -> Adv.t -> bool

@@ -1,0 +1,29 @@
+(** Protocol messages exchanged between brokers and clients. *)
+
+open Xroute_xpath
+
+(** Globally unique subscription/advertisement identifier: assigned at
+    the origin and stable as the message propagates. *)
+type sub_id = { origin : int; seq : int }
+
+val compare_sub_id : sub_id -> sub_id -> int
+
+type t =
+  | Advertise of { id : sub_id; adv : Adv.t }
+  | Unadvertise of { id : sub_id }
+  | Subscribe of { id : sub_id; xpe : Xpe.t }
+  | Unsubscribe of { id : sub_id }
+  | Publish of {
+      pub : Xroute_xml.Xml_paths.publication;
+      trail : sub_id list;
+          (** XTreeNet-style optimization: ids of the upstream
+              subscriptions this publication matched; the receiver may
+              restrict matching to their subtrees. *)
+    }
+
+val pp_sub_id : Format.formatter -> sub_id -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Approximate wire size in bytes, for traffic/transmission modeling. *)
+val wire_size : t -> int

@@ -1,0 +1,170 @@
+(* Routing tables of a content-based XML router (Sec. 2.1).
+
+   The subscription routing table (SRT) stores <advertisement, last-hop>
+   tuples: a subscription is forwarded to the last hops of the
+   advertisements it overlaps. The publication routing table (PRT)
+   stores <subscription, last-hop> tuples: a publication is forwarded to
+   the last hops of the subscriptions it matches. The PRT is a
+   {!Sub_tree}, so covering-based compaction and pruned matching come
+   from the data structure; disabling covering just plugs in a constant-
+   false covering predicate, degrading the tree to a flat list. *)
+
+open Xroute_xpath
+
+type endpoint = Neighbor of int | Client of int
+
+let endpoint_equal a b =
+  match (a, b) with
+  | Neighbor x, Neighbor y | Client x, Client y -> x = y
+  | Neighbor _, Client _ | Client _, Neighbor _ -> false
+
+let pp_endpoint ppf = function
+  | Neighbor b -> Format.fprintf ppf "broker:%d" b
+  | Client c -> Format.fprintf ppf "client:%d" c
+
+(* ------------------------------------------------------------------ *)
+(* Subscription routing table                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Srt = struct
+  type entry = { id : Message.sub_id; adv : Adv.t; hop : endpoint }
+
+  type t = {
+    mutable entries : entry list;
+    use_cover : bool; (* advertisement covering (extension) *)
+    engine : Adv_match.engine;
+    mutable match_ops : int;
+  }
+
+  let create ?(use_cover = false) ?(engine = Adv_match.Paper) () =
+    { entries = []; use_cover; engine; match_ops = 0 }
+
+  let size t = List.length t.entries
+  let match_ops t = t.match_ops
+  let entries t = t.entries
+
+  let mem t id = List.exists (fun e -> Message.compare_sub_id e.id id = 0) t.entries
+
+  (* Store an advertisement. With advertisement covering enabled, an
+     entry covered by an existing same-hop advertisement is redundant:
+     subscriptions overlapping it also overlap the coverer and are routed
+     to the same hop. Returns [`Stored]/[`Covered of coverer_id]. *)
+  let add t id adv hop =
+    if mem t id then `Duplicate
+    else begin
+      let coverer =
+        if not t.use_cover then None
+        else
+          List.find_opt
+            (fun e -> endpoint_equal e.hop hop && Cover.adv_covers e.adv adv)
+            t.entries
+      in
+      match coverer with
+      | Some e -> `Covered e.id
+      | None ->
+        t.entries <- { id; adv; hop } :: t.entries;
+        `Stored
+    end
+
+  let remove t id =
+    let removed, kept =
+      List.partition (fun e -> Message.compare_sub_id e.id id = 0) t.entries
+    in
+    t.entries <- kept;
+    match removed with e :: _ -> Some e.hop | [] -> None
+
+  (* Last hops of the advertisements overlapping the subscription. *)
+  let hops_for_sub t xpe =
+    let hops =
+      List.filter_map
+        (fun e ->
+          t.match_ops <- t.match_ops + 1;
+          if Adv_match.overlaps ~engine:t.engine xpe e.adv then Some e.hop else None)
+        t.entries
+    in
+    List.fold_left (fun acc h -> if List.exists (endpoint_equal h) acc then acc else h :: acc) [] hops
+
+  (* Advertisements (ids) from a given hop. *)
+  let ids_from t hop =
+    List.filter_map
+      (fun e -> if endpoint_equal e.hop hop then Some e.id else None)
+      t.entries
+end
+
+(* ------------------------------------------------------------------ *)
+(* Publication routing table                                           *)
+(* ------------------------------------------------------------------ *)
+
+module Prt = struct
+  type payload = { id : Message.sub_id; hop : endpoint }
+
+  module Id_map = Map.Make (struct
+    type t = Message.sub_id
+
+    let compare = Message.compare_sub_id
+  end)
+
+  type t = {
+    tree : payload Sub_tree.t;
+    mutable by_id : (payload Sub_tree.node * payload) Id_map.t;
+  }
+
+  let create ?flat ?covers () =
+    { tree = Sub_tree.create ?flat ?covers (); by_id = Id_map.empty }
+
+  let size t = Sub_tree.size t.tree
+  let tree t = t.tree
+  let mem t id = Id_map.mem id t.by_id
+  let find t id = Id_map.find_opt id t.by_id
+
+  (* Is a new subscription covered by a stored one? (Checked before
+     insertion; equality counts as covered.) *)
+  let is_covered t xpe = Sub_tree.is_covered t.tree xpe
+
+  (* Maximal stored subscriptions covered by [xpe] — the ones whose
+     forwarding becomes redundant when [xpe] is forwarded. *)
+  let covered_maximal t xpe =
+    Sub_tree.covered_roots t.tree xpe
+    |> List.concat_map (fun node ->
+           List.map (fun p -> (node, p)) (Sub_tree.node_payloads node))
+
+  let insert t id xpe hop =
+    let payload = { id; hop } in
+    let node = Sub_tree.insert t.tree xpe payload in
+    t.by_id <- Id_map.add id (node, payload) t.by_id;
+    (node, payload)
+
+  let remove t id =
+    match Id_map.find_opt id t.by_id with
+    | None -> None
+    | Some (node, payload) ->
+      let was_maximal = List.exists (fun n -> n == node) (Sub_tree.maximal t.tree) in
+      let children = Sub_tree.node_children node in
+      let last_payload = match Sub_tree.node_payloads node with [ _ ] -> true | _ -> false in
+      Sub_tree.remove_payload t.tree node payload;
+      t.by_id <- Id_map.remove id t.by_id;
+      Some (payload, node, was_maximal && last_payload, children)
+
+  (* Publication matching: endpoints of matching subscriptions. *)
+  let match_pub t (pub : Xroute_xml.Xml_paths.publication) =
+    Sub_tree.match_path t.tree pub.steps pub.attrs
+
+  (* Matching restricted to the subtrees of the given subscription ids
+     (trail routing): sound because a publication failing a node cannot
+     match anything the node covers. *)
+  let match_pub_from t ids (pub : Xroute_xml.Xml_paths.publication) =
+    let acc = ref [] in
+    let rec go node =
+      if Xpe_eval.matches_steps (Sub_tree.node_xpe node) pub.steps pub.attrs then begin
+        acc := List.rev_append (Sub_tree.node_payloads node) !acc;
+        List.iter go (Sub_tree.node_children node)
+      end
+    in
+    List.iter
+      (fun id -> match Id_map.find_opt id t.by_id with Some (node, _) -> go node | None -> ())
+      ids;
+    List.rev !acc
+
+  let match_checks t = Sub_tree.match_checks t.tree
+  let cover_checks t = Sub_tree.cover_checks t.tree
+end

@@ -1,0 +1,84 @@
+(** Routing tables of a content-based XML router (Sec. 2.1): the
+    subscription routing table (SRT) maps advertisements to last hops;
+    the publication routing table (PRT) maps subscriptions to last hops
+    and is backed by the covering {!Sub_tree}. *)
+
+open Xroute_xpath
+
+(** A routing next/last hop: a neighbor broker or a local client. *)
+type endpoint = Neighbor of int | Client of int
+
+val endpoint_equal : endpoint -> endpoint -> bool
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+module Srt : sig
+  type entry = { id : Message.sub_id; adv : Adv.t; hop : endpoint }
+  type t
+
+  (** [create ~use_cover ~engine ()] — [use_cover] enables advertisement
+      covering (same-hop covered advertisements are suppressed). *)
+  val create : ?use_cover:bool -> ?engine:Adv_match.engine -> unit -> t
+
+  val size : t -> int
+
+  (** Matching operations performed so far (metrics). *)
+  val match_ops : t -> int
+
+  val entries : t -> entry list
+  val mem : t -> Message.sub_id -> bool
+
+  (** Store an advertisement; [`Covered id] means a same-hop coverer
+      makes it redundant, [`Duplicate] that the id is already stored. *)
+  val add :
+    t -> Message.sub_id -> Adv.t -> endpoint -> [ `Stored | `Covered of Message.sub_id | `Duplicate ]
+
+  (** Remove by id, returning the stored hop. *)
+  val remove : t -> Message.sub_id -> endpoint option
+
+  (** Last hops of the advertisements overlapping a subscription
+      (deduplicated) — where the subscription must be forwarded. *)
+  val hops_for_sub : t -> Xpe.t -> endpoint list
+
+  (** Advertisement ids stored from a given hop. *)
+  val ids_from : t -> endpoint -> Message.sub_id list
+end
+
+module Prt : sig
+  type payload = { id : Message.sub_id; hop : endpoint }
+
+  module Id_map : Map.S with type key = Message.sub_id
+
+  type t
+
+  val create : ?flat:bool -> ?covers:(Xpe.t -> Xpe.t -> bool) -> unit -> t
+  val size : t -> int
+  val tree : t -> payload Sub_tree.t
+  val mem : t -> Message.sub_id -> bool
+  val find : t -> Message.sub_id -> (payload Sub_tree.node * payload) option
+
+  (** Is the XPE covered by a stored subscription? *)
+  val is_covered : t -> Xpe.t -> bool
+
+  (** Maximal stored subscriptions covered by the XPE, with their
+      payloads. *)
+  val covered_maximal : t -> Xpe.t -> (payload Sub_tree.node * payload) list
+
+  val insert : t -> Message.sub_id -> Xpe.t -> endpoint -> payload Sub_tree.node * payload
+
+  (** Remove by id; returns [(payload, node, node_removed_from_maximal,
+      promoted_children)]. *)
+  val remove :
+    t ->
+    Message.sub_id ->
+    (payload * payload Sub_tree.node * bool * payload Sub_tree.node list) option
+
+  (** Payloads of subscriptions matching a publication. *)
+  val match_pub : t -> Xroute_xml.Xml_paths.publication -> payload list
+
+  (** Matching restricted to the subtrees of the given ids (trail
+      routing); sound by the covering-pruning argument. *)
+  val match_pub_from : t -> Message.sub_id list -> Xroute_xml.Xml_paths.publication -> payload list
+
+  val match_checks : t -> int
+  val cover_checks : t -> int
+end

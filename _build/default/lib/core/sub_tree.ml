@@ -1,0 +1,399 @@
+(* The subscription tree (Sec. 4.1 of the paper).
+
+   Subscriptions are stored so that every node's XPE covers the XPEs of
+   its entire subtree. Because covering is only a partial order, a node
+   may be covered by subscriptions outside its ancestor chain; "super
+   pointers" record such extra covering relations, turning the structure
+   into a DAG.
+
+   The protocol-relevant queries are:
+   - [is_covered]: is a new subscription covered by a stored one? This is
+     decided by scanning root children and descending only into covering
+     children — complete, because covering is transitive, so if anything
+     covers the new XPE then some maximal (depth-1) node does;
+   - [covered_roots]: the depth-1 nodes a new subscription covers (these
+     are the previously forwarded subscriptions that must be
+     unsubscribed when the new one takes over);
+   - [match_names]: all payloads whose XPE matches a publication, with
+     subtree pruning — if a node fails to match, nothing it covers can
+     match, so its subtree is skipped. This pruning is where
+     covering-based routing gains its publication routing time.
+
+   The covering predicate is injected at creation, so the tree runs on
+   either the paper engine or the exact automata engine. *)
+
+open Xroute_xpath
+
+type 'a node = {
+  id : int;
+  xpe : Xpe.t;
+  mutable payloads : 'a list;
+  mutable parent : 'a node option; (* None for the virtual root *)
+  mutable children : 'a node list;
+  mutable supers : 'a node list; (* nodes this one covers outside its subtree *)
+}
+
+type 'a t = {
+  covers : Xpe.t -> Xpe.t -> bool;
+  flat : bool; (* no covering organization: all nodes sit under the root *)
+  root : 'a node; (* virtual: covers everything, holds no subscription *)
+  by_key : (string, 'a node) Hashtbl.t; (* canonical XPE -> its node *)
+  (* First-step index over the root fringe (the paper's Sec. 4.1 search
+     optimizations): a subscription whose first semantic step is a plain
+     child name test can only stand in a covering relation with root
+     nodes sharing that name or root nodes in the [general] bucket
+     (wildcard-first, descendant-first, relative). Root-level scans are
+     the hot path of insertion and covering queries. *)
+  root_named : (string, 'a node list) Hashtbl.t;
+  mutable root_general : 'a node list;
+  mutable next_id : int;
+  mutable count : int; (* stored subscriptions (root excluded) *)
+  mutable cover_checks : int; (* covering tests performed, for metrics *)
+  mutable match_checks : int; (* publication match tests performed *)
+}
+
+(* The index key of an XPE: [Some name] when its first semantic step is a
+   child-axis name test, [None] for the general bucket. *)
+let first_step_key xpe =
+  match Xpe.semantic_steps xpe with
+  | { Xpe.axis = Xpe.Child; test = Xpe.Name n; _ } :: _ -> Some n
+  | _ -> None
+
+(* [flat] builds the no-covering baseline: insertion appends under the
+   root in O(1) and no covering relation is ever reported. *)
+let create ?(flat = false) ?(covers = fun s1 s2 -> Cover.covers s1 s2) () =
+  let root =
+    {
+      id = 0;
+      xpe = Xpe.absolute_of_names [ "*" ];
+      (* placeholder; never consulted *)
+      payloads = [];
+      parent = None;
+      children = [];
+      supers = [];
+    }
+  in
+  {
+    covers = (if flat then fun _ _ -> false else covers);
+    flat;
+    root;
+    by_key = Hashtbl.create 64;
+    root_named = Hashtbl.create 64;
+    root_general = [];
+    next_id = 1;
+    count = 0;
+    cover_checks = 0;
+    match_checks = 0;
+  }
+
+let size t = t.count
+let root t = t.root
+let cover_checks t = t.cover_checks
+let match_checks t = t.match_checks
+
+let node_xpe n = n.xpe
+let node_payloads n = n.payloads
+let node_children n = n.children
+let node_supers n = n.supers
+
+let is_root n = n.parent = None
+
+let covers_checked t s1 s2 =
+  t.cover_checks <- t.cover_checks + 1;
+  t.covers s1 s2
+
+(* ---------------- root fringe index ---------------- *)
+
+let root_index_add t n =
+  match first_step_key n.xpe with
+  | Some name ->
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.root_named name) in
+    Hashtbl.replace t.root_named name (n :: existing)
+  | None -> t.root_general <- n :: t.root_general
+
+let root_index_remove t n =
+  match first_step_key n.xpe with
+  | Some name ->
+    let existing = Option.value ~default:[] (Hashtbl.find_opt t.root_named name) in
+    Hashtbl.replace t.root_named name (List.filter (fun x -> x.id <> n.id) existing)
+  | None -> t.root_general <- List.filter (fun x -> x.id <> n.id) t.root_general
+
+(* Root nodes that can possibly cover [xpe] (complete: a coverer of a
+   name-first XPE must share the name or be in the general bucket). *)
+let root_cover_candidates t xpe =
+  match first_step_key xpe with
+  | Some name ->
+    Option.value ~default:[] (Hashtbl.find_opt t.root_named name) @ t.root_general
+  | None -> t.root.children
+
+(* Root nodes that [xpe] can possibly cover: a name-first XPE only covers
+   nodes sharing its first name; anything else may cover anything. *)
+let root_covered_candidates t xpe =
+  match first_step_key xpe with
+  | Some name -> Option.value ~default:[] (Hashtbl.find_opt t.root_named name)
+  | None -> t.root.children
+
+let rec iter_subtree f n =
+  f n;
+  List.iter (iter_subtree f) n.children
+
+(* All stored nodes (excluding the virtual root). *)
+let iter f t = List.iter (iter_subtree f) t.root.children
+
+let fold f acc t =
+  let acc = ref acc in
+  iter (fun n -> acc := f !acc n) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc n -> n :: acc) [] t)
+
+(* Maximal stored subscriptions: the forwarded set under covering-based
+   routing. *)
+let maximal t = t.root.children
+
+let depth t =
+  let rec go n = 1 + List.fold_left (fun acc c -> max acc (go c)) 0 n.children in
+  List.fold_left (fun acc c -> max acc (go c)) 0 t.root.children
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Find the stored node whose XPE equals [xpe] (hash lookup on the
+   canonical form; equal XPEs always share one node). *)
+let find_equal t xpe = Hashtbl.find_opt t.by_key (Xpe.to_string xpe)
+
+(* Is [xpe] covered by a stored subscription (strictly or equally)? By
+   transitivity it suffices to look at depth-1 nodes. *)
+let is_covered t xpe =
+  (not t.flat)
+  && ((match find_equal t xpe with Some _ -> true | None -> false)
+     || List.exists (fun c -> covers_checked t c.xpe xpe) (root_cover_candidates t xpe))
+
+(* Depth-1 nodes covered by [xpe]. *)
+let covered_roots t xpe =
+  if t.flat then []
+  else List.filter (fun c -> covers_checked t xpe c.xpe) (root_covered_candidates t xpe)
+
+(* All stored nodes covered by [xpe]: subtrees of covered roots plus
+   whatever super pointers reach (used by diagnostics and merging). *)
+let covered_nodes t xpe =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec add n =
+    if not (Hashtbl.mem seen n.id) then begin
+      Hashtbl.add seen n.id ();
+      acc := n :: !acc;
+      List.iter add n.children;
+      List.iter add n.supers
+    end
+  in
+  let rec scan n =
+    List.iter
+      (fun c -> if covers_checked t xpe c.xpe then add c else scan c)
+      n.children
+  in
+  scan t.root;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Insertion                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let attach t parent n =
+  n.parent <- Some parent;
+  parent.children <- n :: parent.children;
+  if is_root parent then root_index_add t n
+
+let detach_from t parent n =
+  parent.children <- List.filter (fun x -> x.id <> n.id) parent.children;
+  if is_root parent then root_index_remove t n
+
+(* Insert a subscription. Returns the node holding it (an existing node
+   when an equal XPE is already stored — payloads accumulate). Cases
+   follow Sec. 4.1:
+   1. no covering relation with any child: new sibling; children of the
+      parent that the new node covers are re-parented under it (case 2 of
+      the paper, generalized to several nodes);
+   3. a child covers the new subscription: descend into it. *)
+let insert t xpe payload =
+  match find_equal t xpe with
+  | Some node ->
+    (* equal XPEs share a node; payloads accumulate *)
+    node.payloads <- payload :: node.payloads;
+    node
+  | None ->
+    let fresh () =
+      let n =
+        { id = t.next_id; xpe; payloads = [ payload ]; parent = None; children = []; supers = [] }
+      in
+      t.next_id <- t.next_id + 1;
+      t.count <- t.count + 1;
+      Hashtbl.replace t.by_key (Xpe.to_string xpe) n;
+      n
+    in
+    if t.flat then begin
+      let n = fresh () in
+      attach t t.root n;
+      n
+    end
+    else begin
+      let rec place parent =
+        let candidates =
+          if is_root parent then root_cover_candidates t xpe else parent.children
+        in
+        let covering = List.find_opt (fun c -> covers_checked t c.xpe xpe) candidates in
+        match covering with
+        | Some c -> place c
+        | None ->
+          let covered_candidates =
+            if is_root parent then root_covered_candidates t xpe else parent.children
+          in
+          let covered = List.filter (fun c -> covers_checked t xpe c.xpe) covered_candidates in
+          let n = fresh () in
+          (* attach the new node first: [attach]/[detach_from] maintain
+             the root-fringe index based on the parent, so the node must
+             know its place before it adopts children *)
+          attach t parent n;
+          (* re-parent covered siblings under the new node *)
+          List.iter
+            (fun c ->
+              detach_from t parent c;
+              attach t n c)
+            covered;
+          (* super pointers: the parent's supers that the new node covers
+             move to it (paper, case 1/2). *)
+          let moved, kept =
+            List.partition (fun s -> covers_checked t xpe s.xpe) parent.supers
+          in
+          parent.supers <- kept;
+          n.supers <- moved;
+          n
+      in
+      place t.root
+    end
+
+(* Record an extra covering relation discovered outside the tree shape
+   (lazy super-pointer maintenance). *)
+let add_super coverer covered =
+  if not (List.exists (fun s -> s.id = covered.id) coverer.supers) then
+    coverer.supers <- covered :: coverer.supers
+
+(* ------------------------------------------------------------------ *)
+(* Removal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Remove one payload occurrence; the node disappears when its last
+   payload does, its children being promoted to the parent. Super
+   pointers to the node are dropped lazily during traversals; here we
+   clean eagerly to keep the structure tight. *)
+let remove_node t n =
+  match n.parent with
+  | None -> invalid_arg "Sub_tree.remove_node: virtual root"
+  | Some p ->
+    Hashtbl.remove t.by_key (Xpe.to_string n.xpe);
+    detach_from t p n;
+    List.iter (fun c -> attach t p c) n.children;
+    n.children <- [];
+    (* drop super pointers to n *)
+    iter (fun m -> m.supers <- List.filter (fun s -> s.id <> n.id) m.supers) t;
+    p.supers <- List.filter (fun s -> s.id <> n.id) p.supers;
+    t.count <- t.count - 1
+
+(* Remove one occurrence (physical equality) of [payload]; the node is
+   deleted with its children promoted when its last payload goes. *)
+let remove_payload t n payload =
+  let rec drop_one = function
+    | [] -> []
+    | x :: rest -> if x == payload then rest else x :: drop_one rest
+  in
+  n.payloads <- drop_one n.payloads;
+  match n.payloads with [] -> remove_node t n | _ :: _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Publication matching                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* All payloads of nodes matching the publication, pruning subtrees at
+   the first non-matching node. *)
+let match_path t steps attrs =
+  let acc = ref [] in
+  let rec go n =
+    t.match_checks <- t.match_checks + 1;
+    if Xpe_eval.matches_steps n.xpe steps attrs then begin
+      acc := List.rev_append n.payloads !acc;
+      List.iter go n.children
+    end
+  in
+  List.iter go t.root.children;
+  List.rev !acc
+
+let match_names t steps = match_path t steps (Array.make (Array.length steps) [])
+
+(* Exhaustive matching without pruning, for the no-covering baseline and
+   for cross-checking the pruned version in tests. *)
+let match_path_linear t steps attrs =
+  let acc = ref [] in
+  iter
+    (fun n ->
+      t.match_checks <- t.match_checks + 1;
+      if Xpe_eval.matches_steps n.xpe steps attrs then acc := List.rev_append n.payloads !acc)
+    t;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Invariants (for tests)                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Check structural invariants; returns a list of violation messages. *)
+let check_invariants t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let rec go n =
+    List.iter
+      (fun c ->
+        (match c.parent with
+        | Some p when p.id = n.id -> ()
+        | _ -> err "node %d has a wrong parent pointer" c.id);
+        if not (is_root n) && not (t.covers n.xpe c.xpe) then
+          err "parent %s does not cover child %s" (Xpe.to_string n.xpe) (Xpe.to_string c.xpe);
+        go c)
+      n.children;
+    if not (is_root n) then
+      List.iter
+        (fun s ->
+          if not (t.covers n.xpe s.xpe) then
+            err "super pointer %s -> %s without covering" (Xpe.to_string n.xpe)
+              (Xpe.to_string s.xpe))
+        n.supers
+  in
+  go t.root;
+  (* count consistency *)
+  let counted = fold (fun acc _ -> acc + 1) 0 t in
+  if counted <> t.count then err "size mismatch: counted %d, recorded %d" counted t.count;
+  List.rev !errors
+
+(* All stored nodes whose XPE covers [xpe] (strictly or equally). Found
+   by descending into every covering child: any coverer's ancestors also
+   cover, so the covering-descent frontier reaches them all. The root
+   fringe is pre-filtered through the first-step index. *)
+let coverers t xpe =
+  if t.flat then []
+  else begin
+    let acc = ref [] in
+    let rec go children =
+      List.iter
+        (fun c ->
+          if covers_checked t c.xpe xpe then begin
+            acc := c :: !acc;
+            go c.children
+          end)
+        children
+    in
+    go (root_cover_candidates t xpe);
+    List.rev !acc
+  end
+
+(* Total stored payloads (equal XPEs share one node but keep all their
+   payloads). *)
+let payload_count t = fold (fun acc n -> acc + List.length n.payloads) 0 t

@@ -1,0 +1,180 @@
+(* YFilter-style shared-prefix NFA index over a subscription set.
+
+   The paper's evaluation contrasts its covering-organized routing table
+   with YFilter (Diao et al.), the classic NFA-based XML filter: all
+   XPEs are compiled into one automaton sharing common prefixes, and a
+   publication is matched by simulating the automaton once, regardless
+   of how many subscriptions are stored.
+
+   Because publications here are root-to-leaf paths, the automaton is a
+   trie of location steps: child-axis edges consume exactly the next
+   element; descendant-axis edges may consume any later element, which
+   is realized by keeping nodes with descendant out-edges alive in the
+   frontier. A relative XPE starts with a semantic descendant step
+   (Xpe.semantic_steps), so it shares the same machinery. An XPE accepts
+   as soon as its last step is consumed (prefix semantics).
+
+   Attribute predicates are verified lazily: accepting nodes store the
+   original XPE, and payloads whose XPE carries predicates are
+   re-checked with the exact evaluator. *)
+
+open Xroute_xpath
+
+type edge_key = { axis : Xpe.axis; test : Xpe.nodetest }
+
+let edge_key_equal a b = a.axis = b.axis && Xpe.compare_nodetest a.test b.test = 0
+
+type 'a node = {
+  id : int;
+  mutable edges : (edge_key * 'a node) list;
+  (* accepting entries: the source XPE (for predicate re-checks) plus
+     its payloads *)
+  mutable accepts : (Xpe.t * 'a list ref) list;
+}
+
+type 'a t = {
+  root : 'a node;
+  mutable next_id : int;
+  mutable size : int; (* stored payloads *)
+  mutable states : int;
+}
+
+let create () =
+  { root = { id = 0; edges = []; accepts = [] }; next_id = 1; size = 0; states = 1 }
+
+let size t = t.size
+let state_count t = t.states
+
+(* Steps of an XPE normalized for the index: predicates do not take part
+   in the automaton (they are re-checked at accept time). *)
+let index_steps xpe =
+  List.map (fun (s : Xpe.step) -> { axis = s.axis; test = s.test }) (Xpe.semantic_steps xpe)
+
+let find_or_add_child t node key =
+  match List.find_opt (fun (k, _) -> edge_key_equal k key) node.edges with
+  | Some (_, child) -> child
+  | None ->
+    let child = { id = t.next_id; edges = []; accepts = [] } in
+    t.next_id <- t.next_id + 1;
+    t.states <- t.states + 1;
+    node.edges <- (key, child) :: node.edges;
+    child
+
+let insert t xpe payload =
+  let final =
+    List.fold_left (fun node key -> find_or_add_child t node key) t.root (index_steps xpe)
+  in
+  (match List.find_opt (fun (x, _) -> Xpe.equal x xpe) final.accepts with
+  | Some (_, payloads) -> payloads := payload :: !payloads
+  | None -> final.accepts <- (xpe, ref [ payload ]) :: final.accepts);
+  t.size <- t.size + 1
+
+(* Remove payloads selected by [pred] under the exact XPE. Unreferenced
+   automaton states are left in place (YFilter prunes lazily too); the
+   stored size shrinks. *)
+let remove t xpe pred =
+  let rec walk node = function
+    | [] ->
+      List.iter
+        (fun (x, payloads) ->
+          if Xpe.equal x xpe then begin
+            let kept = List.filter (fun p -> not (pred p)) !payloads in
+            t.size <- t.size - (List.length !payloads - List.length kept);
+            payloads := kept
+          end)
+        node.accepts;
+      node.accepts <- List.filter (fun (_, payloads) -> !payloads <> []) node.accepts
+    | key :: rest -> (
+      match List.find_opt (fun (k, _) -> edge_key_equal k key) node.edges with
+      | Some (_, child) -> walk child rest
+      | None -> ())
+  in
+  walk t.root (index_steps xpe)
+
+let test_admits (test : Xpe.nodetest) element =
+  match test with Xpe.Star -> true | Xpe.Name n -> String.equal n element
+
+(* Does the node keep itself alive in the frontier? True when some
+   outgoing edge uses the descendant axis — it may fire at any later
+   position. *)
+let has_desc_edge node = List.exists (fun (k, _) -> k.axis = Xpe.Desc) node.edges
+
+(* Simulate the automaton over a path, collecting accepting payloads.
+
+   Two frontiers: [fresh] nodes were reached exactly at the previous
+   position boundary — both their child and descendant edges may fire on
+   the next element; [alive] nodes have descendant out-edges and, once
+   reached, persist forever — but only their descendant edges keep
+   firing (their child edges were only valid immediately after they
+   were reached). *)
+let match_path t steps attrs =
+  let acc = ref [] in
+  let seen_accept = Hashtbl.create 8 in
+  let collect node =
+    if not (Hashtbl.mem seen_accept node.id) then begin
+      Hashtbl.add seen_accept node.id ();
+      List.iter
+        (fun (xpe, payloads) ->
+          if (not (Xpe.has_predicates xpe)) || Xpe_eval.matches_steps xpe steps attrs then
+            acc := List.rev_append !payloads !acc)
+        node.accepts
+    end
+  in
+  let alive_set = Hashtbl.create 16 in
+  let alive = ref [] in
+  let keep_alive node =
+    if has_desc_edge node && not (Hashtbl.mem alive_set node.id) then begin
+      Hashtbl.add alive_set node.id ();
+      alive := node :: !alive
+    end
+  in
+  let fresh = ref [ t.root ] in
+  collect t.root;
+  keep_alive t.root;
+  let n = Array.length steps in
+  for i = 0 to n - 1 do
+    let element = steps.(i) in
+    (* Snapshot: nodes becoming alive while consuming this element must
+       not fire on the same element. *)
+    let alive_now = !alive in
+    let next_set = Hashtbl.create 16 in
+    let next = ref [] in
+    let reach child =
+      collect child;
+      keep_alive child;
+      if not (Hashtbl.mem next_set child.id) then begin
+        Hashtbl.add next_set child.id ();
+        next := child :: !next
+      end
+    in
+    let fire ~allow_child node =
+      List.iter
+        (fun (key, child) ->
+          let usable = match key.axis with Xpe.Child -> allow_child | Xpe.Desc -> true in
+          if usable && test_admits key.test element then reach child)
+        node.edges
+    in
+    List.iter (fire ~allow_child:true) !fresh;
+    (* alive nodes not in the fresh set fire descendant edges only *)
+    let fresh_ids = Hashtbl.create 8 in
+    List.iter (fun node -> Hashtbl.replace fresh_ids node.id ()) !fresh;
+    List.iter
+      (fun node -> if not (Hashtbl.mem fresh_ids node.id) then fire ~allow_child:false node)
+      alive_now;
+    fresh := !next
+  done;
+  List.rev !acc
+
+let match_names t steps = match_path t steps (Array.make (Array.length steps) [])
+
+(* All stored (xpe, payload) pairs, for diagnostics and tests. *)
+let to_list t =
+  let acc = ref [] in
+  let rec walk node =
+    List.iter
+      (fun (xpe, payloads) -> List.iter (fun p -> acc := (xpe, p) :: !acc) !payloads)
+      node.accepts;
+    List.iter (fun (_, child) -> walk child) node.edges
+  in
+  walk t.root;
+  List.rev !acc

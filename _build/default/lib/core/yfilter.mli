@@ -1,0 +1,33 @@
+(** YFilter-style shared-prefix NFA index over a subscription set: all
+    XPEs compile into one automaton; a publication is matched by one
+    simulation pass, independently of the number of stored
+    subscriptions. The baseline the paper's routing tables are contrasted
+    with. *)
+
+open Xroute_xpath
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Stored payloads. *)
+val size : 'a t -> int
+
+(** Automaton states (shared prefixes keep this well below the total
+    number of steps). *)
+val state_count : 'a t -> int
+
+val insert : 'a t -> Xpe.t -> 'a -> unit
+
+(** [remove t xpe pred] drops the payloads of the exact [xpe] selected
+    by [pred]. *)
+val remove : 'a t -> Xpe.t -> ('a -> bool) -> unit
+
+(** Payloads of all subscriptions matching the path (attribute
+    predicates re-checked against [attrs]). *)
+val match_path : 'a t -> string array -> (string * string) list array -> 'a list
+
+val match_names : 'a t -> string array -> 'a list
+
+(** All stored (xpe, payload) pairs. *)
+val to_list : 'a t -> (Xpe.t * 'a) list

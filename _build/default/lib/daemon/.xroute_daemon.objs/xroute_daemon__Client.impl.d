@@ -1,0 +1,1 @@
+lib/daemon/client.ml: Array Buffer Bytes Codec Hashtbl List Message Printf String Unix Xroute_core Xroute_xml

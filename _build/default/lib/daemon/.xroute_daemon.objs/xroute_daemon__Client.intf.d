@@ -1,0 +1,1 @@
+lib/daemon/client.mli: Message Xroute_core Xroute_xml Xroute_xpath

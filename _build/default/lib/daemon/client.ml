@@ -1,0 +1,115 @@
+(* Blocking TCP client for the broker daemon: connects to a broker,
+   identifies itself, and exchanges codec-framed messages. Used by the
+   command-line tools, the examples and the end-to-end network test. *)
+
+open Xroute_core
+
+type t = {
+  fd : Unix.file_descr;
+  client_id : int;
+  mutable next_seq : int;
+  inbuf : Buffer.t;
+}
+
+let send_line t line =
+  let data = line ^ "\n" in
+  let rec write off =
+    if off < String.length data then begin
+      let n = Unix.write_substring t.fd data off (String.length data - off) in
+      write (off + n)
+    end
+  in
+  write 0
+
+let connect ~client_id ~host ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  Unix.connect fd (Unix.ADDR_INET (addr, port));
+  let t = { fd; client_id; next_seq = 0; inbuf = Buffer.create 256 } in
+  send_line t (Printf.sprintf "HELLO|client|%d" client_id);
+  t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  t.next_seq <- t.next_seq + 1;
+  { Message.origin = t.client_id; seq = t.next_seq }
+
+let send t msg = send_line t ("M|" ^ Codec.encode msg)
+
+let advertise t adv =
+  let id = fresh_id t in
+  send t (Message.Advertise { id; adv });
+  id
+
+let subscribe t xpe =
+  let id = fresh_id t in
+  send t (Message.Subscribe { id; xpe });
+  id
+
+let unsubscribe t id = send t (Message.Unsubscribe { id })
+let unadvertise t id = send t (Message.Unadvertise { id })
+
+(* Publish a document: decomposed at the client edge, as in the paper. *)
+let publish_doc t ~doc_id root =
+  let pubs = Xroute_xml.Xml_paths.decompose ~doc_id root in
+  List.iter (fun pub -> send t (Message.Publish { pub; trail = [] })) pubs;
+  List.length pubs
+
+(* Receive the next message, waiting up to [timeout] seconds; [None] on
+   timeout. *)
+let recv ?(timeout = 1.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let line_from_buffer () =
+    let data = Buffer.contents t.inbuf in
+    match String.index_opt data '\n' with
+    | Some i ->
+      let line = String.sub data 0 i in
+      Buffer.clear t.inbuf;
+      Buffer.add_string t.inbuf (String.sub data (i + 1) (String.length data - i - 1));
+      Some line
+    | None -> None
+  in
+  let rec go () =
+    match line_from_buffer () with
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "M" :: _ -> (
+        match Codec.decode (String.sub line 2 (String.length line - 2)) with
+        | Ok msg -> Some msg
+        | Error _ -> go ())
+      | _ -> go () (* control line; skip *))
+    | None ->
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else begin
+        match Unix.select [ t.fd ] [] [] remaining with
+        | [], _, _ -> None
+        | _ -> (
+          let buf = Bytes.create 4096 in
+          match Unix.read t.fd buf 0 4096 with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes t.inbuf buf 0 n;
+            go ())
+      end
+  in
+  go ()
+
+(* Collect distinct delivered doc ids until [timeout] seconds pass
+   without a new message. *)
+let drain_deliveries ?(timeout = 0.5) t =
+  let docs = Hashtbl.create 8 in
+  let rec go () =
+    match recv ~timeout t with
+    | Some (Message.Publish { pub; _ }) ->
+      Hashtbl.replace docs pub.doc_id ();
+      go ()
+    | Some _ -> go ()
+    | None -> ()
+  in
+  go ();
+  List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) docs [])

@@ -1,0 +1,27 @@
+(** Blocking TCP client for the broker daemon. *)
+
+open Xroute_core
+
+type t
+
+(** Connect and identify as [client_id]. *)
+val connect : client_id:int -> host:string -> port:int -> t
+
+val close : t -> unit
+
+(** Send a raw protocol message. *)
+val send : t -> Message.t -> unit
+
+val advertise : t -> Xroute_xpath.Adv.t -> Message.sub_id
+val subscribe : t -> Xroute_xpath.Xpe.t -> Message.sub_id
+val unsubscribe : t -> Message.sub_id -> unit
+val unadvertise : t -> Message.sub_id -> unit
+
+(** Decompose a document and publish its paths; returns how many. *)
+val publish_doc : t -> doc_id:int -> Xroute_xml.Xml_tree.t -> int
+
+(** Next message, waiting up to [timeout] seconds. *)
+val recv : ?timeout:float -> t -> Message.t option
+
+(** Distinct delivered doc ids until [timeout] seconds pass quietly. *)
+val drain_deliveries : ?timeout:float -> t -> int list

@@ -1,0 +1,215 @@
+(* TCP deployment of a content-based XML router.
+
+   One daemon hosts one {!Xroute_core.Broker} behind a listening socket
+   and drives it with a single-threaded select loop. Peers speak a
+   line-oriented protocol:
+
+     HELLO|broker|<id>          identify as neighbor broker <id>
+     HELLO|client|<id>          identify as client <id>
+     M|<codec line>             a routed message (see Xroute_core.Codec)
+
+   Outgoing neighbor links follow the lower-id-dials convention: the
+   daemon with the smaller id connects, the other accepts; this yields
+   exactly one TCP connection per overlay edge. Connections are retried
+   while the loop runs, so start order does not matter. *)
+
+open Xroute_core
+
+let log_src = Logs.Src.create "xroute.daemon" ~doc:"TCP broker daemon"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable endpoint : Rtable.endpoint option; (* set after HELLO *)
+  inbuf : Buffer.t;
+  mutable outbuf : string; (* bytes not yet written *)
+  mutable closed : bool;
+}
+
+type t = {
+  broker : Broker.t;
+  listen_fd : Unix.file_descr;
+  port : int;
+  neighbors : (int * (string * int)) list; (* id -> address *)
+  mutable conns : conn list;
+  mutable last_dial : float;
+  mutable stop_requested : bool;
+}
+
+let broker t = t.broker
+let port t = t.port
+
+(* ---------------- low-level helpers ---------------- *)
+
+let conn_of fd =
+  Unix.set_nonblock fd;
+  { fd; endpoint = None; inbuf = Buffer.create 256; outbuf = ""; closed = false }
+
+let enqueue conn line =
+  if not conn.closed then conn.outbuf <- conn.outbuf ^ line ^ "\n"
+
+let close_conn t conn =
+  if not conn.closed then begin
+    conn.closed <- true;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    match conn.endpoint with
+    | Some ep -> Log.info (fun m -> m "broker %d: %a disconnected" (Broker.id t.broker) Rtable.pp_endpoint ep)
+    | None -> ()
+  end
+
+let conn_for t ep =
+  List.find_opt
+    (fun c ->
+      (not c.closed)
+      && match c.endpoint with Some e -> Rtable.endpoint_equal e ep | None -> false)
+    t.conns
+
+(* ---------------- creation ---------------- *)
+
+let create ?(strategy = Broker.default_strategy) ~id ~port ~neighbors () =
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen listen_fd 16;
+  Unix.set_nonblock listen_fd;
+  let actual_port =
+    match Unix.getsockname listen_fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  let broker = Broker.create ~strategy ~id ~neighbors:(List.map fst neighbors) () in
+  Log.info (fun m -> m "broker %d listening on port %d" id actual_port);
+  {
+    broker;
+    listen_fd;
+    port = actual_port;
+    neighbors;
+    conns = [];
+    last_dial = 0.0;
+    stop_requested = false;
+  }
+
+let request_stop t = t.stop_requested <- true
+
+(* ---------------- protocol ---------------- *)
+
+let send_message t ep (msg : Message.t) =
+  match conn_for t ep with
+  | Some conn -> enqueue conn ("M|" ^ Codec.encode msg)
+  | None ->
+    Log.warn (fun m ->
+        m "broker %d: no connection for %a, dropping %a" (Broker.id t.broker)
+          Rtable.pp_endpoint ep Message.pp msg)
+
+let dispatch t outputs = List.iter (fun (ep, msg) -> send_message t ep msg) outputs
+
+let handle_line t conn line =
+  match String.split_on_char '|' line with
+  | "HELLO" :: kind :: id :: _ -> (
+    match (kind, int_of_string_opt id) with
+    | "broker", Some b -> conn.endpoint <- Some (Rtable.Neighbor b)
+    | "client", Some c -> conn.endpoint <- Some (Rtable.Client c)
+    | _ -> Log.warn (fun m -> m "malformed HELLO %S" line))
+  | "M" :: _ -> (
+    match conn.endpoint with
+    | None -> Log.warn (fun m -> m "message before HELLO, ignoring")
+    | Some from -> (
+      let payload = String.sub line 2 (String.length line - 2) in
+      match Codec.decode payload with
+      | Ok msg -> dispatch t (Broker.handle t.broker ~from msg)
+      | Error e ->
+        Log.warn (fun m -> m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))
+  | "PING" :: _ -> enqueue conn "PONG"
+  | _ -> Log.warn (fun m -> m "unknown line %S" line)
+
+(* Extract complete lines from the connection buffer. *)
+let drain_lines t conn =
+  let data = Buffer.contents conn.inbuf in
+  let rec go start =
+    match String.index_from_opt data start '\n' with
+    | Some i ->
+      let line = String.sub data start (i - start) in
+      if line <> "" then handle_line t conn line;
+      go (i + 1)
+    | None ->
+      Buffer.clear conn.inbuf;
+      Buffer.add_string conn.inbuf (String.sub data start (String.length data - start))
+  in
+  go 0
+
+(* ---------------- dialing ---------------- *)
+
+(* Connect to lower-id neighbors that are not connected yet. *)
+let dial_missing t =
+  let now = Unix.gettimeofday () in
+  if now -. t.last_dial >= 0.05 then begin
+    t.last_dial <- now;
+    List.iter
+      (fun (nid, (host, port)) ->
+        if nid < Broker.id t.broker && conn_for t (Rtable.Neighbor nid) = None then begin
+          try
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            let addr =
+              try Unix.inet_addr_of_string host
+              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            in
+            Unix.connect fd (Unix.ADDR_INET (addr, port));
+            let conn = conn_of fd in
+            conn.endpoint <- Some (Rtable.Neighbor nid);
+            enqueue conn (Printf.sprintf "HELLO|broker|%d" (Broker.id t.broker));
+            t.conns <- conn :: t.conns;
+            Log.info (fun m -> m "broker %d connected to neighbor %d" (Broker.id t.broker) nid)
+          with Unix.Unix_error _ -> () (* retry on the next tick *)
+        end)
+      t.neighbors
+  end
+
+(* ---------------- the event loop ---------------- *)
+
+(* One iteration: accept, read, process, write. [timeout] bounds the
+   select wait in seconds. *)
+let step ?(timeout = 0.05) t =
+  dial_missing t;
+  let readable = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
+  let writable = List.filter_map (fun c -> if c.outbuf <> "" then Some c.fd else None) t.conns in
+  match Unix.select readable writable [] timeout with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | rs, ws, _ ->
+    (* accept *)
+    if List.memq t.listen_fd rs then begin
+      match Unix.accept t.listen_fd with
+      | fd, _ -> t.conns <- conn_of fd :: t.conns
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    end;
+    (* read *)
+    List.iter
+      (fun conn ->
+        if List.memq conn.fd rs then begin
+          let buf = Bytes.create 4096 in
+          match Unix.read conn.fd buf 0 4096 with
+          | 0 -> close_conn t conn
+          | n ->
+            Buffer.add_subbytes conn.inbuf buf 0 n;
+            drain_lines t conn
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | exception Unix.Unix_error _ -> close_conn t conn
+        end)
+      (List.filter (fun c -> not c.closed) t.conns);
+    (* write *)
+    List.iter
+      (fun conn ->
+        if List.memq conn.fd ws && conn.outbuf <> "" then begin
+          match Unix.write_substring conn.fd conn.outbuf 0 (String.length conn.outbuf) with
+          | n -> conn.outbuf <- String.sub conn.outbuf n (String.length conn.outbuf - n)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+          | exception Unix.Unix_error _ -> close_conn t conn
+        end)
+      (List.filter (fun c -> not c.closed) t.conns)
+
+(* Run until [request_stop] (or forever). *)
+let run ?(timeout = 0.05) t =
+  while not t.stop_requested do
+    step ~timeout t
+  done;
+  List.iter (fun c -> close_conn t c) t.conns;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())

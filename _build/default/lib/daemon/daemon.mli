@@ -1,0 +1,36 @@
+(** TCP deployment of a content-based XML router: one daemon hosts one
+    {!Xroute_core.Broker} behind a listening socket with a single-
+    threaded select loop. The wire protocol is line-oriented:
+    [HELLO|broker|<id>] / [HELLO|client|<id>] identify a peer, then
+    [M|<codec line>] carries routed messages. Lower-id brokers dial
+    their higher-id neighbors, giving one TCP connection per overlay
+    edge; dialing is retried, so start order does not matter. *)
+
+type t
+
+(** [create ~id ~port ~neighbors ()] binds the listening socket
+    immediately ([port = 0] picks a free port; see {!port}). [neighbors]
+    maps neighbor broker ids to their (host, port) addresses. *)
+val create :
+  ?strategy:Xroute_core.Broker.strategy ->
+  id:int ->
+  port:int ->
+  neighbors:(int * (string * int)) list ->
+  unit ->
+  t
+
+(** The hosted broker (for inspection). *)
+val broker : t -> Xroute_core.Broker.t
+
+(** The bound port. *)
+val port : t -> int
+
+(** One event-loop iteration (dial, select, read, process, write). *)
+val step : ?timeout:float -> t -> unit
+
+(** Loop on {!step} until {!request_stop}, then close every socket. *)
+val run : ?timeout:float -> t -> unit
+
+(** Make {!run} return after its current iteration. Safe to call from
+    another thread. *)
+val request_stop : t -> unit

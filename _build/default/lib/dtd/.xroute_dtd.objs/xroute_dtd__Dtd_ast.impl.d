@@ -1,0 +1,1 @@
+lib/dtd/dtd_ast.ml: Format Hashtbl List Map Printf String

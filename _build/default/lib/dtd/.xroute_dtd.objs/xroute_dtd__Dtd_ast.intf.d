@@ -1,0 +1,1 @@
+lib/dtd/dtd_ast.mli: Format Map

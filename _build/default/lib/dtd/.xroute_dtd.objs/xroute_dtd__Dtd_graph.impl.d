@@ -1,0 +1,1 @@
+lib/dtd/dtd_graph.ml: Dtd_ast Hashtbl List Map Option Set String

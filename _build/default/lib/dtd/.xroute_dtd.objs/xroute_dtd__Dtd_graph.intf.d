@@ -1,0 +1,1 @@
+lib/dtd/dtd_graph.mli: Dtd_ast

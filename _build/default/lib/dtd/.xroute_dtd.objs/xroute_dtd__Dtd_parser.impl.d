@@ -1,0 +1,1 @@
+lib/dtd/dtd_parser.ml: Dtd_ast Hashtbl List Option Printf String

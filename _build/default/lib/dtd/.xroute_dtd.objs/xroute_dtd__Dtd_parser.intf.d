@@ -1,0 +1,1 @@
+lib/dtd/dtd_parser.mli: Dtd_ast

@@ -1,0 +1,1 @@
+lib/dtd/dtd_paths.ml: Array Dtd_ast Dtd_graph List Set String Xroute_support Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+lib/dtd/dtd_paths.mli: Dtd_graph Xroute_support Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+lib/dtd/dtd_printer.ml: Buffer Dtd_ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/dtd/dtd_printer.mli: Dtd_ast Format

@@ -1,0 +1,1 @@
+lib/dtd/dtd_samples.ml: Dtd_parser Lazy Printf

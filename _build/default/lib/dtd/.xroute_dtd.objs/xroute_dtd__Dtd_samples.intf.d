@@ -1,0 +1,1 @@
+lib/dtd/dtd_samples.mli: Dtd_ast

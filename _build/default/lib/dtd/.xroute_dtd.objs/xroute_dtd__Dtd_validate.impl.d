@@ -1,0 +1,1 @@
+lib/dtd/dtd_validate.ml: Dtd_ast Format List Printf String Xroute_xml

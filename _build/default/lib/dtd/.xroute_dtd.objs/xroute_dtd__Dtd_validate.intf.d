@@ -1,0 +1,1 @@
+lib/dtd/dtd_validate.mli: Dtd_ast Format Xroute_xml

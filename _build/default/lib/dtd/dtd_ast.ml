@@ -1,0 +1,119 @@
+(* Document Type Definition model.
+
+   A DTD declares, for each element, a content model constraining its
+   children, plus attribute lists. The dissemination network uses DTDs as
+   the source of advertisements: the DTD determines every root-to-leaf
+   element path a conforming document can exhibit (Sec. 3.1). *)
+
+module String_map = Map.Make (String)
+
+(* Content particle of an element declaration. *)
+type particle =
+  | Elem of string
+  | Seq of particle list  (* (a, b, c) *)
+  | Choice of particle list  (* (a | b | c) *)
+  | Opt of particle  (* p? *)
+  | Star of particle  (* p* *)
+  | Plus of particle  (* p+ *)
+
+type content =
+  | Empty  (* EMPTY *)
+  | Any  (* ANY *)
+  | Pcdata  (* (#PCDATA) *)
+  | Mixed of string list  (* (#PCDATA | a | b)* *)
+  | Children of particle
+
+type attr_type = Cdata | Id | Idref | Nmtoken | Enum of string list
+
+type attr_default = Required | Implied | Fixed of string | Default of string
+
+type attr_decl = { attr_name : string; attr_type : attr_type; attr_default : attr_default }
+
+type element_decl = { el_name : string; content : content; attrs : attr_decl list }
+
+type t = {
+  root : string;  (* document element; first declared element by convention *)
+  elements : element_decl String_map.t;
+}
+
+let create ~root decls =
+  let elements =
+    List.fold_left (fun acc d -> String_map.add d.el_name d acc) String_map.empty decls
+  in
+  if not (String_map.mem root elements) then
+    invalid_arg (Printf.sprintf "Dtd_ast.create: root element %S is not declared" root);
+  { root; elements }
+
+let root t = t.root
+
+let find t name = String_map.find_opt name t.elements
+
+let element_names t = List.map fst (String_map.bindings t.elements)
+
+let element_count t = String_map.cardinal t.elements
+
+let fold f t acc = String_map.fold (fun _ d acc -> f d acc) t.elements acc
+
+(* Element names referenced by a particle, in first-occurrence order. *)
+let particle_elements particle =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      acc := n :: !acc
+    end
+  in
+  let rec go = function
+    | Elem n -> add n
+    | Seq ps | Choice ps -> List.iter go ps
+    | Opt p | Star p | Plus p -> go p
+  in
+  go particle;
+  List.rev !acc
+
+(* Child element names allowed directly under [decl]. For [Any], the
+   caller must substitute the full element list. *)
+let content_elements = function
+  | Empty | Pcdata | Any -> []
+  | Mixed names -> names
+  | Children p -> particle_elements p
+
+(* Can the element legally have no element children (making it a path
+   leaf)? A particle is "nullable" when it can match the empty sequence;
+   Mixed content can always be text-only. *)
+let rec particle_nullable = function
+  | Elem _ -> false
+  | Seq ps -> List.for_all particle_nullable ps
+  | Choice ps -> List.exists particle_nullable ps
+  | Opt _ | Star _ -> true
+  | Plus p -> particle_nullable p
+
+let can_be_leaf decl =
+  match decl.content with
+  | Empty | Pcdata | Any -> true
+  | Mixed _ -> true
+  | Children p -> particle_nullable p
+
+let particle_to_string particle =
+  let rec go = function
+    | Elem n -> n
+    | Seq ps -> "(" ^ String.concat ", " (List.map go ps) ^ ")"
+    | Choice ps -> "(" ^ String.concat " | " (List.map go ps) ^ ")"
+    | Opt p -> go p ^ "?"
+    | Star p -> go p ^ "*"
+    | Plus p -> go p ^ "+"
+  in
+  go particle
+
+let content_to_string = function
+  | Empty -> "EMPTY"
+  | Any -> "ANY"
+  | Pcdata -> "(#PCDATA)"
+  | Mixed names -> "(#PCDATA | " ^ String.concat " | " names ^ ")*"
+  | Children p -> particle_to_string p
+
+let pp ppf t =
+  String_map.iter
+    (fun _ d -> Format.fprintf ppf "<!ELEMENT %s %s>@\n" d.el_name (content_to_string d.content))
+    t.elements

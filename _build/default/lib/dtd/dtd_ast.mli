@@ -1,0 +1,55 @@
+(** Document Type Definition model. *)
+
+module String_map : Map.S with type key = string
+
+type particle =
+  | Elem of string
+  | Seq of particle list  (** [(a, b, c)] *)
+  | Choice of particle list  (** [(a | b | c)] *)
+  | Opt of particle  (** [p?] *)
+  | Star of particle  (** [p*] *)
+  | Plus of particle  (** [p+] *)
+
+type content =
+  | Empty
+  | Any
+  | Pcdata
+  | Mixed of string list  (** [(#PCDATA | a | b)*] *)
+  | Children of particle
+
+type attr_type = Cdata | Id | Idref | Nmtoken | Enum of string list
+
+type attr_default = Required | Implied | Fixed of string | Default of string
+
+type attr_decl = { attr_name : string; attr_type : attr_type; attr_default : attr_default }
+
+type element_decl = { el_name : string; content : content; attrs : attr_decl list }
+
+type t
+
+(** @raise Invalid_argument if [root] is not among the declarations. *)
+val create : root:string -> element_decl list -> t
+
+val root : t -> string
+val find : t -> string -> element_decl option
+val element_names : t -> string list
+val element_count : t -> int
+val fold : (element_decl -> 'a -> 'a) -> t -> 'a -> 'a
+
+(** Element names referenced by a particle, first-occurrence order. *)
+val particle_elements : particle -> string list
+
+(** Child element names allowed directly under a content model ([]
+    for [Empty]/[Pcdata]/[Any]). *)
+val content_elements : content -> string list
+
+(** Can the particle match the empty sequence? *)
+val particle_nullable : particle -> bool
+
+(** Can the element legally have no element children (i.e. be a leaf of a
+    root-to-leaf path)? *)
+val can_be_leaf : element_decl -> bool
+
+val particle_to_string : particle -> string
+val content_to_string : content -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+(* Element-reference graph of a DTD.
+
+   Nodes are declared elements; there is an edge a -> b when b may appear
+   as a direct child of a. The graph drives recursion detection ("a DTD is
+   recursive if it contains elements that are defined in terms of the
+   elements themselves", Sec. 3.1) and the path enumeration behind
+   advertisement generation. *)
+
+module String_map = Map.Make (String)
+module String_set = Set.Make (String)
+
+type t = {
+  dtd : Dtd_ast.t;
+  children : string list String_map.t; (* direct child elements, decl order *)
+  reachable : String_set.t; (* elements reachable from the root *)
+  recursive_elements : String_set.t; (* elements on some cycle *)
+}
+
+let children_of dtd decl =
+  match decl.Dtd_ast.content with
+  | Dtd_ast.Any -> Dtd_ast.element_names dtd
+  | content -> Dtd_ast.content_elements content
+
+let build dtd =
+  let children =
+    Dtd_ast.fold
+      (fun decl acc -> String_map.add decl.Dtd_ast.el_name (children_of dtd decl) acc)
+      dtd String_map.empty
+  in
+  let children_list name = Option.value ~default:[] (String_map.find_opt name children) in
+  (* Reachability from the root. *)
+  let reachable = ref String_set.empty in
+  let rec visit name =
+    if not (String_set.mem name !reachable) then begin
+      reachable := String_set.add name !reachable;
+      List.iter visit (children_list name)
+    end
+  in
+  visit (Dtd_ast.root dtd);
+  (* Tarjan's strongly-connected components; an element is recursive when
+     its SCC has more than one node, or it has a self-edge. *)
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let recursive = ref String_set.empty in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.find_opt on_stack w = Some true then
+          Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (children_list v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      (* v is the root of an SCC; pop it. *)
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.replace on_stack w false;
+          if String.equal w v then w :: acc else pop (w :: acc)
+      in
+      let scc = pop [] in
+      let is_cyclic =
+        match scc with
+        | [ single ] -> List.exists (String.equal single) (children_list single)
+        | _ -> true
+      in
+      if is_cyclic then List.iter (fun w -> recursive := String_set.add w !recursive) scc
+    end
+  in
+  List.iter
+    (fun name -> if not (Hashtbl.mem index name) then strongconnect name)
+    (Dtd_ast.element_names dtd);
+  { dtd; children; reachable = !reachable; recursive_elements = !recursive }
+
+let dtd t = t.dtd
+
+let children t name = Option.value ~default:[] (String_map.find_opt name t.children)
+
+let is_reachable t name = String_set.mem name t.reachable
+
+let reachable_elements t = String_set.elements t.reachable
+
+let recursive_elements t = String_set.elements t.recursive_elements
+
+let is_recursive_element t name = String_set.mem name t.recursive_elements
+
+(* A DTD is recursive when a recursive element is reachable from the
+   root. *)
+let is_recursive t =
+  String_set.exists (fun e -> String_set.mem e t.reachable) t.recursive_elements
+
+(* Elements declared but unreachable from the root (usually a DTD
+   authoring mistake; reported by the CLI). *)
+let unreachable_elements t =
+  List.filter (fun e -> not (String_set.mem e t.reachable)) (Dtd_ast.element_names t.dtd)
+
+(* Leaves: reachable elements that can close a root-to-leaf path. *)
+let leaf_elements t =
+  List.filter
+    (fun e ->
+      String_set.mem e t.reachable
+      &&
+      match Dtd_ast.find t.dtd e with Some d -> Dtd_ast.can_be_leaf d | None -> false)
+    (Dtd_ast.element_names t.dtd)

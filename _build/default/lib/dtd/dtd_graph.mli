@@ -1,0 +1,29 @@
+(** Element-reference graph of a DTD: edges are the "may appear as a direct
+    child of" relation. Supports recursion detection and path
+    enumeration. *)
+
+type t
+
+val build : Dtd_ast.t -> t
+val dtd : t -> Dtd_ast.t
+
+(** Direct child elements of an element (declaration order). [Any] content
+    yields every declared element. *)
+val children : t -> string -> string list
+
+val is_reachable : t -> string -> bool
+val reachable_elements : t -> string list
+
+(** Elements on some cycle of the reference graph. *)
+val recursive_elements : t -> string list
+
+val is_recursive_element : t -> string -> bool
+
+(** True when a recursive element is reachable from the root — the paper's
+    notion of a recursive DTD. *)
+val is_recursive : t -> bool
+
+val unreachable_elements : t -> string list
+
+(** Reachable elements that can legally terminate a root-to-leaf path. *)
+val leaf_elements : t -> string list

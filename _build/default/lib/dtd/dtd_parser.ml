@@ -1,0 +1,378 @@
+(* Parser for DTD (internal-subset) syntax.
+
+   Handles <!ELEMENT>, <!ATTLIST>, comments, processing instructions and
+   parameter entities (<!ENTITY % name "...">, expanded textually at use
+   sites %name;) — enough to parse real-world DTDs in the NITF style,
+   which lean heavily on parameter entities for shared content models. *)
+
+exception Parse_error of { pos : int; message : string }
+
+type state = {
+  mutable input : string;
+  mutable pos : int;
+  entities : (string, string) Hashtbl.t;
+}
+
+let error st message = raise (Parse_error { pos = st.pos; message })
+
+let eof st = st.pos >= String.length st.input
+
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let skip_string st s =
+  if not (looking_at st s) then error st (Printf.sprintf "expected %S" s);
+  st.pos <- st.pos + String.length s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* Skip whitespace; expand parameter-entity references (%name; — no space
+   after the percent sign, which distinguishes them from <!ENTITY % ...>
+   declarations) by splicing their replacement text into the input. *)
+let rec skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done;
+  let next = if st.pos + 1 < String.length st.input then st.input.[st.pos + 1] else '\000' in
+  let name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  if peek st = '%' && name_start next then begin
+    expand_entity st;
+    skip_space st
+  end
+
+and expand_entity st =
+  advance st (* '%' *);
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then error st "unterminated parameter entity reference";
+  let name = String.sub st.input start (st.pos - start) in
+  advance st (* ';' *);
+  match Hashtbl.find_opt st.entities name with
+  | None -> error st (Printf.sprintf "undefined parameter entity %%%s;" name)
+  | Some replacement ->
+    let before = String.sub st.input 0 (st.pos - (String.length name + 2)) in
+    let after = String.sub st.input st.pos (String.length st.input - st.pos) in
+    st.input <- before ^ " " ^ replacement ^ " " ^ after;
+    st.pos <- String.length before
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.' || c = ':'
+
+let parse_name st =
+  skip_space st;
+  if not (is_name_start (peek st)) then
+    error st (Printf.sprintf "expected a name, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_quoted st =
+  skip_space st;
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected quoted literal";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    advance st
+  done;
+  if eof st then error st "unterminated literal";
+  let s = String.sub st.input start (st.pos - start) in
+  advance st;
+  s
+
+(* Content particle grammar (after an opening '(' is consumed, [parse_group]
+   handles both sequences and choices). *)
+let rec parse_cp st =
+  skip_space st;
+  let base =
+    if peek st = '(' then begin
+      advance st;
+      parse_group st
+    end
+    else Dtd_ast.Elem (parse_name st)
+  in
+  parse_modifier st base
+
+and parse_modifier st base =
+  match peek st with
+  | '?' ->
+    advance st;
+    Dtd_ast.Opt base
+  | '*' ->
+    advance st;
+    Dtd_ast.Star base
+  | '+' ->
+    advance st;
+    Dtd_ast.Plus base
+  | _ -> base
+
+and parse_group st =
+  let first = parse_cp st in
+  skip_space st;
+  match peek st with
+  | ')' ->
+    advance st;
+    (* A single-item group: keep it as a Seq of one for faithfulness. *)
+    Dtd_ast.Seq [ first ]
+  | ',' ->
+    let rec items acc =
+      skip_space st;
+      match peek st with
+      | ',' ->
+        advance st;
+        items (parse_cp st :: acc)
+      | ')' ->
+        advance st;
+        List.rev acc
+      | c -> error st (Printf.sprintf "expected ',' or ')', found %C" c)
+    in
+    Dtd_ast.Seq (items [ first ])
+  | '|' ->
+    let rec items acc =
+      skip_space st;
+      match peek st with
+      | '|' ->
+        advance st;
+        items (parse_cp st :: acc)
+      | ')' ->
+        advance st;
+        List.rev acc
+      | c -> error st (Printf.sprintf "expected '|' or ')', found %C" c)
+    in
+    Dtd_ast.Choice (items [ first ])
+  | c -> error st (Printf.sprintf "expected ',', '|' or ')', found %C" c)
+
+let parse_content st =
+  skip_space st;
+  if looking_at st "EMPTY" then begin
+    skip_string st "EMPTY";
+    Dtd_ast.Empty
+  end
+  else if looking_at st "ANY" then begin
+    skip_string st "ANY";
+    Dtd_ast.Any
+  end
+  else if peek st = '(' then begin
+    advance st;
+    skip_space st;
+    if looking_at st "#PCDATA" then begin
+      skip_string st "#PCDATA";
+      skip_space st;
+      if peek st = ')' then begin
+        advance st;
+        (* Optional '*' after (#PCDATA) is legal. *)
+        if peek st = '*' then advance st;
+        Dtd_ast.Pcdata
+      end
+      else begin
+        let rec names acc =
+          skip_space st;
+          match peek st with
+          | '|' ->
+            advance st;
+            names (parse_name st :: acc)
+          | ')' ->
+            advance st;
+            List.rev acc
+          | c -> error st (Printf.sprintf "expected '|' or ')' in mixed content, found %C" c)
+        in
+        let ns = names [] in
+        if peek st <> '*' then error st "mixed content must end with ')*'";
+        advance st;
+        Dtd_ast.Mixed ns
+      end
+    end
+    else Dtd_ast.Children (parse_modifier st (parse_group st))
+  end
+  else error st "expected a content model"
+
+let parse_attr_type st =
+  skip_space st;
+  if looking_at st "CDATA" then begin
+    skip_string st "CDATA";
+    Dtd_ast.Cdata
+  end
+  else if looking_at st "IDREF" then begin
+    skip_string st "IDREF";
+    Dtd_ast.Idref
+  end
+  else if looking_at st "ID" then begin
+    skip_string st "ID";
+    Dtd_ast.Id
+  end
+  else if looking_at st "NMTOKEN" then begin
+    skip_string st "NMTOKEN";
+    Dtd_ast.Nmtoken
+  end
+  else if peek st = '(' then begin
+    advance st;
+    let rec values acc =
+      skip_space st;
+      let v = parse_name st in
+      skip_space st;
+      match peek st with
+      | '|' ->
+        advance st;
+        values (v :: acc)
+      | ')' ->
+        advance st;
+        List.rev (v :: acc)
+      | c -> error st (Printf.sprintf "expected '|' or ')' in enumeration, found %C" c)
+    in
+    Dtd_ast.Enum (values [])
+  end
+  else error st "expected an attribute type"
+
+let parse_attr_default st =
+  skip_space st;
+  if looking_at st "#REQUIRED" then begin
+    skip_string st "#REQUIRED";
+    Dtd_ast.Required
+  end
+  else if looking_at st "#IMPLIED" then begin
+    skip_string st "#IMPLIED";
+    Dtd_ast.Implied
+  end
+  else if looking_at st "#FIXED" then begin
+    skip_string st "#FIXED";
+    Dtd_ast.Fixed (parse_quoted st)
+  end
+  else Dtd_ast.Default (parse_quoted st)
+
+let skip_comment st =
+  skip_string st "<!--";
+  let rec go () =
+    if eof st then error st "unterminated comment"
+    else if looking_at st "-->" then skip_string st "-->"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_pi st =
+  skip_string st "<?";
+  let rec go () =
+    if eof st then error st "unterminated processing instruction"
+    else if looking_at st "?>" then skip_string st "?>"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+type raw = {
+  mutable order : string list; (* element names, declaration order (reversed) *)
+  contents : (string, Dtd_ast.content) Hashtbl.t;
+  attlists : (string, Dtd_ast.attr_decl list) Hashtbl.t;
+}
+
+let parse_declaration st raw =
+  if looking_at st "<!--" then skip_comment st
+  else if looking_at st "<?" then skip_pi st
+  else if looking_at st "<!ELEMENT" then begin
+    skip_string st "<!ELEMENT";
+    let name = parse_name st in
+    let content = parse_content st in
+    skip_space st;
+    skip_string st ">";
+    if Hashtbl.mem raw.contents name then
+      error st (Printf.sprintf "duplicate declaration of element %S" name);
+    Hashtbl.replace raw.contents name content;
+    raw.order <- name :: raw.order
+  end
+  else if looking_at st "<!ATTLIST" then begin
+    skip_string st "<!ATTLIST";
+    let el = parse_name st in
+    let rec attrs acc =
+      skip_space st;
+      if peek st = '>' then begin
+        advance st;
+        List.rev acc
+      end
+      else begin
+        let attr_name = parse_name st in
+        let attr_type = parse_attr_type st in
+        let attr_default = parse_attr_default st in
+        attrs ({ Dtd_ast.attr_name; attr_type; attr_default } :: acc)
+      end
+    in
+    let decls = attrs [] in
+    let existing = Option.value ~default:[] (Hashtbl.find_opt raw.attlists el) in
+    Hashtbl.replace raw.attlists el (existing @ decls)
+  end
+  else if looking_at st "<!ENTITY" then begin
+    skip_string st "<!ENTITY";
+    skip_space st;
+    if peek st <> '%' then error st "only parameter entities are supported";
+    advance st;
+    let name = parse_name st in
+    let value = parse_quoted st in
+    skip_space st;
+    skip_string st ">";
+    (* First declaration binds, per the XML spec. *)
+    if not (Hashtbl.mem st.entities name) then Hashtbl.replace st.entities name value
+  end
+  else error st (Printf.sprintf "unexpected input at %C" (peek st))
+
+let parse ?root input =
+  let st = { input; pos = 0; entities = Hashtbl.create 8 } in
+  let raw = { order = []; contents = Hashtbl.create 16; attlists = Hashtbl.create 8 } in
+  let rec loop () =
+    skip_space st;
+    if not (eof st) then begin
+      parse_declaration st raw;
+      loop ()
+    end
+  in
+  loop ();
+  let order = List.rev raw.order in
+  let root =
+    match (root, order) with
+    | Some r, _ -> r
+    | None, first :: _ -> first
+    | None, [] -> error st "no element declarations"
+  in
+  let decls =
+    List.map
+      (fun name ->
+        {
+          Dtd_ast.el_name = name;
+          content = Hashtbl.find raw.contents name;
+          attrs = Option.value ~default:[] (Hashtbl.find_opt raw.attlists name);
+        })
+      order
+  in
+  (* Check that referenced elements are declared. *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun child ->
+          if not (Hashtbl.mem raw.contents child) then
+            error st
+              (Printf.sprintf "element %S references undeclared element %S" d.Dtd_ast.el_name
+                 child))
+        (Dtd_ast.content_elements d.Dtd_ast.content))
+    decls;
+  Dtd_ast.create ~root decls
+
+let parse_opt ?root input =
+  try Some (parse ?root input) with Parse_error _ | Invalid_argument _ -> None
+
+let error_message = function
+  | Parse_error { pos; message } ->
+    Some (Printf.sprintf "DTD parse error at offset %d: %s" pos message)
+  | _ -> None

@@ -1,0 +1,15 @@
+(** Parser for DTD internal-subset syntax: [<!ELEMENT>], [<!ATTLIST>],
+    comments and parameter entities. *)
+
+exception Parse_error of { pos : int; message : string }
+
+(** [parse ?root input] parses a sequence of declarations. The document
+    root defaults to the first declared element.
+    @raise Parse_error on syntax errors, duplicate or dangling element
+    declarations. *)
+val parse : ?root:string -> string -> Dtd_ast.t
+
+val parse_opt : ?root:string -> string -> Dtd_ast.t option
+
+(** Human-readable rendering of a {!Parse_error}; [None] otherwise. *)
+val error_message : exn -> string option

@@ -1,0 +1,210 @@
+(* Root-to-leaf path enumeration and advertisement generation (Sec. 3.1).
+
+   The DTD induces the set of root-to-leaf element paths a conforming
+   document can contain. For a non-recursive DTD this set is finite and
+   every path becomes a non-recursive advertisement. For a recursive DTD
+   the set is infinite but regular; we generate recursive advertisements
+   with [(...)+] groups:
+
+   - DFS over the element graph with each element at most once on the
+     stack enumerates the simple root-to-leaf paths;
+   - a child edge pointing back into the DFS stack ("back edge" from stack
+     position [j] to position [i]) witnesses that the segment
+     [stack[i..j]] may repeat, so leaf paths passing through [j] wrap that
+     segment in a [(...)+] group. Nested intervals produce the paper's
+     embedded-recursive advertisements, disjoint intervals the
+     series-recursive ones.
+
+   Limitations (documented in DESIGN.md): when two loop intervals cross
+   (i1 < i2 <= j1 < j2) a single advertisement of the paper's shape cannot
+   express both; we emit one advertisement per maximal non-crossing
+   choice. When an SCC contains two distinct cycles through the same entry
+   element, paths alternating between them are not covered by any single
+   generated advertisement; [validate] detects such gaps, and the bundled
+   sample DTDs avoid them. Elements with ANY content contribute a
+   wildcard tail advertisement "prefix(/ star )+". *)
+
+module String_set = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded path enumeration                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* All root-to-leaf name paths of length <= [max_depth]; cycles are
+   unrolled up to the bound. Exponential in [max_depth]: intended for
+   tests, oracles and the imperfect-degree universe of small DTDs. *)
+let enumerate_paths ?(max_count = max_int) ~max_depth graph =
+  let dtd = Dtd_graph.dtd graph in
+  let acc = ref [] in
+  let count = ref 0 in
+  let exception Done in
+  let emit path =
+    acc := Array.of_list (List.rev path) :: !acc;
+    incr count;
+    if !count >= max_count then raise Done
+  in
+  let rec walk name depth rev_path =
+    let rev_path = name :: rev_path in
+    (match Dtd_ast.find dtd name with
+    | Some decl when Dtd_ast.can_be_leaf decl -> emit rev_path
+    | Some _ -> ()
+    | None -> ());
+    if depth < max_depth then
+      List.iter (fun child -> walk child (depth + 1) rev_path) (Dtd_graph.children graph name)
+  in
+  (try walk (Dtd_ast.root dtd) 1 [] with Done -> ());
+  List.rev !acc
+
+(* Random root-to-leaf paths by uniform walks, for large DTDs where full
+   enumeration blows up. Walks that exceed [max_depth] without reaching a
+   leaf-capable element are retried. *)
+let sample_paths ~count ~max_depth prng graph =
+  let dtd = Dtd_graph.dtd graph in
+  let can_leaf name =
+    match Dtd_ast.find dtd name with Some d -> Dtd_ast.can_be_leaf d | None -> false
+  in
+  let rec one_walk () =
+    let rec go name depth rev_path =
+      let rev_path = name :: rev_path in
+      let children = Dtd_graph.children graph name in
+      let stop_here =
+        can_leaf name && (children = [] || depth >= max_depth || Xroute_support.Prng.bool prng)
+      in
+      if stop_here then Some (Array.of_list (List.rev rev_path))
+      else if children = [] || depth >= max_depth then
+        if can_leaf name then Some (Array.of_list (List.rev rev_path)) else None
+      else go (Xroute_support.Prng.choose_list prng children) (depth + 1) rev_path
+    in
+    match go (Dtd_ast.root dtd) 1 [] with Some p -> p | None -> one_walk ()
+  in
+  List.init count (fun _ -> one_walk ())
+
+(* ------------------------------------------------------------------ *)
+(* Advertisement generation                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* An interval [(i, j)] means stack positions i..j form a repeatable
+   segment (there is a back edge from the element at j to the one at i). *)
+type interval = { lo : int; hi : int }
+
+let crosses a b =
+  (a.lo < b.lo && b.lo <= a.hi && a.hi < b.hi)
+  || (b.lo < a.lo && a.lo <= b.hi && b.hi < a.hi)
+
+(* Maximal pairwise-non-crossing subsets of [intervals] (nesting and
+   disjointness allowed). Exponential in the number of crossing pairs,
+   which real DTDs keep at zero; capped by [max_choices]. *)
+let non_crossing_choices ~max_choices intervals =
+  let rec go chosen = function
+    | [] -> [ List.rev chosen ]
+    | iv :: rest ->
+      if List.exists (crosses iv) chosen then
+        (* Either drop [iv] or drop the conflicting ones: branch. *)
+        go chosen rest
+        @ go (iv :: List.filter (fun c -> not (crosses iv c)) chosen) rest
+      else go (iv :: chosen) rest
+  in
+  let choices = go [] intervals in
+  (* Keep only maximal subsets, dedup, cap. *)
+  let subset a b = List.for_all (fun x -> List.mem x b) a in
+  let maximal =
+    List.filter (fun c -> not (List.exists (fun c' -> c != c' && subset c c' && not (subset c' c)) choices)) choices
+  in
+  let dedup =
+    List.sort_uniq compare (List.map (List.sort compare) maximal)
+  in
+  let rec take n = function [] -> [] | x :: r -> if n = 0 then [] else x :: take (n - 1) r in
+  take max_choices dedup
+
+(* Build an advertisement from a concrete name path and non-crossing loop
+   intervals. *)
+let adv_of_path_with_intervals path intervals =
+  let n = Array.length path in
+  let sym i = Xroute_xpath.Xpe.Name path.(i) in
+  (* Intervals sorted outermost-first: by lo ascending, hi descending. *)
+  let sorted = List.sort (fun a b -> if a.lo <> b.lo then compare a.lo b.lo else compare b.hi a.hi) intervals in
+  let rec build lo hi intervals =
+    match intervals with
+    | [] -> if lo > hi then [] else [ Xroute_xpath.Adv.Lit (Array.init (hi - lo + 1) (fun k -> sym (lo + k))) ]
+    | iv :: rest ->
+      let inside, after = List.partition (fun x -> x.lo >= iv.lo && x.hi <= iv.hi) rest in
+      let prefix = if lo > iv.lo - 1 then [] else [ Xroute_xpath.Adv.Lit (Array.init (iv.lo - lo) (fun k -> sym (lo + k))) ] in
+      let inside_parts =
+        (* the chosen interval itself wraps positions iv.lo..iv.hi *)
+        List.filter (fun x -> not (x.lo = iv.lo && x.hi = iv.hi)) inside
+      in
+      prefix
+      @ [ Xroute_xpath.Adv.Group (build iv.lo iv.hi inside_parts) ]
+      @ build (iv.hi + 1) hi after
+  in
+  ignore n;
+  Xroute_xpath.Adv.make (build 0 (Array.length path - 1) sorted)
+
+module Adv_set = Set.Make (Xroute_xpath.Adv)
+
+(* Generate the advertisement set of a DTD. *)
+let advertisements ?(max_choices = 16) graph =
+  let dtd = Dtd_graph.dtd graph in
+  let advs = ref Adv_set.empty in
+  let add a = advs := Adv_set.add a !advs in
+  (* stack grows downward in lists; we track (name, position) plus the
+     loop intervals discovered so far on this path. *)
+  let rec walk name stack_rev depth intervals on_stack =
+    let stack_rev = name :: stack_rev in
+    let on_stack = Dtd_ast.String_map.add name depth on_stack in
+    let decl = Dtd_ast.find dtd name in
+    let is_any = match decl with Some { Dtd_ast.content = Dtd_ast.Any; _ } -> Some () | _ -> None in
+    let children = match is_any with Some () -> [] | None -> Dtd_graph.children graph name in
+    (* Record back edges from this node. *)
+    let intervals =
+      List.fold_left
+        (fun acc child ->
+          match Dtd_ast.String_map.find_opt child on_stack with
+          | Some i -> { lo = i; hi = depth } :: acc
+          | None -> acc)
+        intervals children
+    in
+    let emit_leaf () =
+      let path = Array.of_list (List.rev stack_rev) in
+      match intervals with
+      | [] -> add (adv_of_path_with_intervals path [])
+      | intervals ->
+        List.iter
+          (fun choice -> add (adv_of_path_with_intervals path choice))
+          (non_crossing_choices ~max_choices intervals)
+    in
+    (match decl with
+    | Some d when Dtd_ast.can_be_leaf d -> emit_leaf ()
+    | _ -> ());
+    (match is_any with
+    | Some () ->
+      (* ANY content: arbitrary non-empty descendant chains. *)
+      let path = Array.of_list (List.rev stack_rev) in
+      let base = adv_of_path_with_intervals path [] in
+      add (Xroute_xpath.Adv.make (Xroute_xpath.Adv.parts base @ [ Xroute_xpath.Adv.Group [ Xroute_xpath.Adv.Lit [| Xroute_xpath.Xpe.Star |] ] ]))
+    | None ->
+      List.iter
+        (fun child ->
+          if not (Dtd_ast.String_map.mem child on_stack) then
+            walk child stack_rev (depth + 1) intervals on_stack)
+        children)
+  in
+  walk (Dtd_ast.root dtd) [] 0 [] Dtd_ast.String_map.empty;
+  Adv_set.elements !advs
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Paths (up to [max_depth]) not matched by any advertisement; empty on
+   DTDs within the supported fragment. *)
+let validate ?(max_depth = 10) ?(max_count = 200_000) graph advs =
+  enumerate_paths ~max_count ~max_depth graph
+  |> List.filter (fun path -> not (List.exists (fun a -> Xroute_xpath.Adv.matches_names a path) advs))
+
+(* Does any advertisement of [advs] match every path of the document? *)
+let covers_document graph advs root =
+  ignore graph;
+  Xroute_xml.Xml_paths.decompose ~doc_id:0 root
+  |> List.for_all (fun (p : Xroute_xml.Xml_paths.publication) ->
+         List.exists (fun a -> Xroute_xpath.Adv.matches_names a p.steps) advs)

@@ -1,0 +1,31 @@
+(** Root-to-leaf path enumeration and advertisement generation from DTDs
+    (Sec. 3.1 of the paper). *)
+
+(** All root-to-leaf name paths of length at most [max_depth] (cycles
+    unrolled up to the bound), capped at [max_count] paths. Exponential in
+    [max_depth]; intended for oracles and small DTDs. *)
+val enumerate_paths :
+  ?max_count:int -> max_depth:int -> Dtd_graph.t -> string array list
+
+(** [sample_paths ~count ~max_depth prng graph] draws random root-to-leaf
+    paths by uniform walks (used as a path universe on large DTDs). *)
+val sample_paths :
+  count:int -> max_depth:int -> Xroute_support.Prng.t -> Dtd_graph.t -> string array list
+
+(** Generate the advertisement set of a DTD: one (possibly recursive)
+    advertisement per simple root-to-leaf path shape, with repeatable
+    segments wrapped in [(...)+] groups; see the module implementation
+    notes for the supported fragment. [max_choices] caps the number of
+    advertisements emitted per path when loop intervals cross. *)
+val advertisements : ?max_choices:int -> Dtd_graph.t -> Xroute_xpath.Adv.t list
+
+(** Paths (up to [max_depth], at most [max_count]) not matched by any of
+    the advertisements; empty when generation was exact for this DTD. *)
+val validate :
+  ?max_depth:int -> ?max_count:int -> Dtd_graph.t -> Xroute_xpath.Adv.t list ->
+  string array list
+
+(** True when every root-to-leaf path of the document is matched by some
+    advertisement. *)
+val covers_document :
+  Dtd_graph.t -> Xroute_xpath.Adv.t list -> Xroute_xml.Xml_tree.t -> bool

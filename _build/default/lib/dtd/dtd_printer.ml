@@ -1,0 +1,70 @@
+(* Serialization of a DTD back to declaration syntax — the inverse of
+   {!Dtd_parser} (up to parameter-entity expansion, which the parser
+   splices in). Lets programmatically-built or transformed DTDs be
+   written out for external tools and round-trip tests. *)
+
+let attr_type_to_string = function
+  | Dtd_ast.Cdata -> "CDATA"
+  | Dtd_ast.Id -> "ID"
+  | Dtd_ast.Idref -> "IDREF"
+  | Dtd_ast.Nmtoken -> "NMTOKEN"
+  | Dtd_ast.Enum values -> "(" ^ String.concat " | " values ^ ")"
+
+let attr_default_to_string = function
+  | Dtd_ast.Required -> "#REQUIRED"
+  | Dtd_ast.Implied -> "#IMPLIED"
+  | Dtd_ast.Fixed v -> Printf.sprintf "#FIXED %S" v
+  | Dtd_ast.Default v -> Printf.sprintf "%S" v
+
+(* Content model in declaration syntax. A bare element reference must be
+   parenthesized at the top level of <!ELEMENT>. *)
+let content_decl_string content =
+  match content with
+  | Dtd_ast.Empty -> "EMPTY"
+  | Dtd_ast.Any -> "ANY"
+  | Dtd_ast.Pcdata -> "(#PCDATA)"
+  | Dtd_ast.Mixed names -> "(#PCDATA | " ^ String.concat " | " names ^ ")*"
+  | Dtd_ast.Children p -> (
+    match p with
+    | Dtd_ast.Elem _ | Dtd_ast.Opt (Dtd_ast.Elem _) | Dtd_ast.Star (Dtd_ast.Elem _)
+    | Dtd_ast.Plus (Dtd_ast.Elem _) -> (
+      (* wrap a bare (possibly modified) element reference *)
+      match p with
+      | Dtd_ast.Elem n -> "(" ^ n ^ ")"
+      | Dtd_ast.Opt (Dtd_ast.Elem n) -> "(" ^ n ^ ")?"
+      | Dtd_ast.Star (Dtd_ast.Elem n) -> "(" ^ n ^ ")*"
+      | Dtd_ast.Plus (Dtd_ast.Elem n) -> "(" ^ n ^ ")+"
+      | _ -> assert false)
+    | _ -> Dtd_ast.particle_to_string p)
+
+let element_decl_to_string (d : Dtd_ast.element_decl) =
+  Printf.sprintf "<!ELEMENT %s %s>" d.el_name (content_decl_string d.content)
+
+let attlist_to_string (d : Dtd_ast.element_decl) =
+  match d.attrs with
+  | [] -> None
+  | attrs ->
+    Some
+      (Printf.sprintf "<!ATTLIST %s %s>" d.el_name
+         (String.concat " "
+            (List.map
+               (fun (a : Dtd_ast.attr_decl) ->
+                 Printf.sprintf "%s %s %s" a.attr_name (attr_type_to_string a.attr_type)
+                   (attr_default_to_string a.attr_default))
+               attrs)))
+
+let to_string dtd =
+  let buf = Buffer.create 1024 in
+  Dtd_ast.fold
+    (fun d () ->
+      Buffer.add_string buf (element_decl_to_string d);
+      Buffer.add_char buf '\n';
+      match attlist_to_string d with
+      | Some line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n'
+      | None -> ())
+    dtd ();
+  Buffer.contents buf
+
+let pp ppf dtd = Format.pp_print_string ppf (to_string dtd)

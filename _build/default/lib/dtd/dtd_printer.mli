@@ -1,0 +1,11 @@
+(** Serialization of a DTD back to declaration syntax (inverse of
+    {!Dtd_parser} up to parameter-entity expansion). *)
+
+val attr_type_to_string : Dtd_ast.attr_type -> string
+val attr_default_to_string : Dtd_ast.attr_default -> string
+val element_decl_to_string : Dtd_ast.element_decl -> string
+
+(** The full DTD, one declaration per line. *)
+val to_string : Dtd_ast.t -> string
+
+val pp : Format.formatter -> Dtd_ast.t -> unit

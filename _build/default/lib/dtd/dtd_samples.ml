@@ -1,0 +1,310 @@
+(* Bundled sample DTDs.
+
+   The paper evaluates on the NITF (News Industry Text Format) DTD — large
+   and recursive — and the PSD (Protein Sequence Database) DTD — smaller
+   and non-recursive, observing that NITF yields roughly 35x more
+   advertisements than PSD. The original DTDs are not redistributable
+   here, so these are synthetic stand-ins with the same character: [nitf]
+   is recursive (self-recursive containers plus a nested list cycle) with a
+   rich vocabulary; [psd] is non-recursive; the advertisement-set size
+   ratio is of the same order as the paper reports.
+
+   [book] and [insurance] are small DTDs used by the examples and tests. *)
+
+let book_source =
+  {|
+<!-- A small teaching DTD. -->
+<!ELEMENT book (title, author+, chapter+, index?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT author (name, affiliation?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT affiliation (#PCDATA)>
+<!ELEMENT chapter (title, section+)>
+<!ELEMENT section (title, para*, section*)>
+<!ELEMENT para (#PCDATA)>
+<!ELEMENT index (entry*)>
+<!ELEMENT entry (#PCDATA)>
+<!ATTLIST book isbn CDATA #REQUIRED lang (en | fr | de) "en">
+<!ATTLIST chapter number NMTOKEN #IMPLIED>
+|}
+
+let insurance_source =
+  {|
+<!-- Insurance message DTD for the paper's motivating scenario: claims,
+     bids and requests for proposal routed to matching experts. -->
+<!ELEMENT insurance (claim | bid | rfp)>
+<!ELEMENT claim (claimant, policy, incident, assessment?)>
+<!ELEMENT claimant (person, contact)>
+<!ELEMENT person (name, language?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT language (#PCDATA)>
+<!ELEMENT contact (email | phone | address)>
+<!ELEMENT email (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT policy (holder, coverage+)>
+<!ELEMENT holder (#PCDATA)>
+<!ELEMENT coverage (#PCDATA)>
+<!ELEMENT incident (date, location, description, damage*)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT location (city, country)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT damage (item, amount)>
+<!ELEMENT item (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT assessment (expert, verdict)>
+<!ELEMENT expert (person)>
+<!ELEMENT verdict (#PCDATA)>
+<!ELEMENT bid (bidder, policy, amount)>
+<!ELEMENT bidder (person, contact)>
+<!ELEMENT rfp (requester, coverage+, deadline)>
+<!ELEMENT requester (person, contact)>
+<!ELEMENT deadline (#PCDATA)>
+<!ATTLIST claim urgency (low | normal | high) "normal" currency CDATA #IMPLIED>
+<!ATTLIST incident kind (auto | home | health | travel) #REQUIRED>
+|}
+
+let psd_source =
+  {|
+<!-- Protein Sequence Database-like DTD: non-recursive, moderate size. -->
+<!ENTITY % evidence "evidence-code, citation?">
+<!ELEMENT ProteinDatabase (ProteinEntry+)>
+<!ELEMENT ProteinEntry (header, protein, organism, reference+, genetics?, classification?, keywords?, feature*, dbrefs?, summary, sequence)>
+<!ELEMENT header (uid, accession+, created_date, seq-rev_date, ann-rev_date)>
+<!ELEMENT uid (#PCDATA)>
+<!ELEMENT accession (#PCDATA)>
+<!ELEMENT created_date (#PCDATA)>
+<!ELEMENT seq-rev_date (#PCDATA)>
+<!ELEMENT ann-rev_date (#PCDATA)>
+<!ELEMENT protein (name, alt-name*, contains?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT alt-name (#PCDATA)>
+<!ELEMENT contains (#PCDATA)>
+<!ELEMENT organism (source, common?, formal-names?)>
+<!ELEMENT source (#PCDATA)>
+<!ELEMENT common (#PCDATA)>
+<!ELEMENT formal-names (formal-name+)>
+<!ELEMENT formal-name (#PCDATA)>
+<!ELEMENT reference (refinfo, accinfo*)>
+<!ELEMENT refinfo (authors, citation, volume?, year, pages?, title?, xrefs?)>
+<!ELEMENT authors (author+)>
+<!ELEMENT author (#PCDATA)>
+<!ELEMENT citation (#PCDATA)>
+<!ELEMENT volume (#PCDATA)>
+<!ELEMENT year (#PCDATA)>
+<!ELEMENT pages (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT xrefs (xref+)>
+<!ELEMENT xref (db, uid)>
+<!ELEMENT db (#PCDATA)>
+<!ELEMENT accinfo (accession, mol-type?, seq-spec?, %evidence;)>
+<!ELEMENT mol-type (#PCDATA)>
+<!ELEMENT seq-spec (#PCDATA)>
+<!ELEMENT evidence-code (#PCDATA)>
+<!ELEMENT genetics (gene+, introns?)>
+<!ELEMENT gene (#PCDATA)>
+<!ELEMENT introns (#PCDATA)>
+<!ELEMENT classification (superfamily?, family*)>
+<!ELEMENT superfamily (#PCDATA)>
+<!ELEMENT family (#PCDATA)>
+<!ELEMENT keywords (keyword+)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT feature (feature-type, description?, seq-spec, status?)>
+<!ELEMENT feature-type (#PCDATA)>
+<!ELEMENT description (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT dbrefs (genbank?, embl?, ddbj?, pir?, swissprot?, trembl?, pdb?, prosite?, interpro?, pfam?, prints?, prodom?, smart?, omim?, kegg?, go?, ec?, mgd?, sgd?, flybase?)>
+<!ELEMENT genbank (#PCDATA)>
+<!ELEMENT embl (#PCDATA)>
+<!ELEMENT ddbj (#PCDATA)>
+<!ELEMENT pir (#PCDATA)>
+<!ELEMENT swissprot (#PCDATA)>
+<!ELEMENT trembl (#PCDATA)>
+<!ELEMENT pdb (#PCDATA)>
+<!ELEMENT prosite (#PCDATA)>
+<!ELEMENT interpro (#PCDATA)>
+<!ELEMENT pfam (#PCDATA)>
+<!ELEMENT prints (#PCDATA)>
+<!ELEMENT prodom (#PCDATA)>
+<!ELEMENT smart (#PCDATA)>
+<!ELEMENT omim (#PCDATA)>
+<!ELEMENT kegg (#PCDATA)>
+<!ELEMENT go (#PCDATA)>
+<!ELEMENT ec (#PCDATA)>
+<!ELEMENT mgd (#PCDATA)>
+<!ELEMENT sgd (#PCDATA)>
+<!ELEMENT flybase (#PCDATA)>
+<!ELEMENT summary (length, type)>
+<!ELEMENT length (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT sequence (#PCDATA)>
+<!ATTLIST ProteinEntry id CDATA #REQUIRED>
+<!ATTLIST sequence checksum CDATA #IMPLIED>
+|}
+
+let nitf_source =
+  {|
+<!-- NITF-like news DTD: large vocabulary, recursive content containers.
+     Recursion: block nests within itself, list/list.item form a nested
+     cycle (list.item repeats within a list, lists nest within items),
+     and q quotes nest within themselves, yielding simple-, series- and
+     embedded-recursive advertisements. -->
+<!ENTITY % inline "p | em | strong | a | br | q | person | org | location | money | num | chron | copyrite | classifier | virtloc | alt-code">
+<!ENTITY % blocks "block | list | table | media | quote | pre | hr | bq | fn | ol | dl">
+<!ELEMENT nitf (head, body)>
+<!ELEMENT head (title?, meta*, tobject?, iim?, docdata?, pubdata*, revision-history?)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT meta EMPTY>
+<!ELEMENT tobject (tobject.property*, tobject.subject*)>
+<!ELEMENT tobject.property EMPTY>
+<!ELEMENT tobject.subject (subject-code?, subject-matter?, subject-detail?)>
+<!ELEMENT subject-code (#PCDATA)>
+<!ELEMENT subject-matter (#PCDATA)>
+<!ELEMENT subject-detail (#PCDATA)>
+<!ELEMENT iim (ds*)>
+<!ELEMENT ds EMPTY>
+<!ELEMENT docdata (doc-id?, urgency?, fixture?, date-issue?, date-release?, date-expire?, doc-scope*, series?, ed-msg?, du-key?, doc-copyright?, key-list?, identified-content?, del-list?)>
+<!ELEMENT doc-id EMPTY>
+<!ELEMENT urgency EMPTY>
+<!ELEMENT fixture EMPTY>
+<!ELEMENT date-issue EMPTY>
+<!ELEMENT date-release EMPTY>
+<!ELEMENT date-expire EMPTY>
+<!ELEMENT doc-scope EMPTY>
+<!ELEMENT series EMPTY>
+<!ELEMENT ed-msg (#PCDATA)>
+<!ELEMENT du-key EMPTY>
+<!ELEMENT doc-copyright (copyrite.year?, copyrite.holder?)>
+<!ELEMENT key-list (keyword*)>
+<!ELEMENT keyword (#PCDATA)>
+<!ELEMENT identified-content (person | org | location | event | function | object)*>
+<!ELEMENT del-list (from-src*)>
+<!ELEMENT from-src (#PCDATA)>
+<!ELEMENT event (event.name?, event.code?, event.date?)>
+<!ELEMENT event.name (#PCDATA)>
+<!ELEMENT event.code (#PCDATA)>
+<!ELEMENT event.date (#PCDATA)>
+<!ELEMENT function (#PCDATA)>
+<!ELEMENT object (object.title?, object.code?)>
+<!ELEMENT object.title (#PCDATA)>
+<!ELEMENT object.code (#PCDATA)>
+<!ELEMENT pubdata EMPTY>
+<!ELEMENT revision-history (revision+)>
+<!ELEMENT revision (#PCDATA)>
+<!ELEMENT body (body.head?, body.content*, body.end?)>
+<!ELEMENT body.head (hedline?, note*, rights?, byline*, distributor?, dateline*, abstract*, series?)>
+<!ELEMENT hedline (hl1, hl2*)>
+<!ELEMENT hl1 (#PCDATA)>
+<!ELEMENT hl2 (#PCDATA)>
+<!ELEMENT note (p*)>
+<!ELEMENT rights (rights.owner?, rights.startdate?, rights.enddate?, rights.agent?, rights.geography?, rights.type?, rights.limitations?)>
+<!ELEMENT rights.owner (#PCDATA)>
+<!ELEMENT rights.startdate (#PCDATA)>
+<!ELEMENT rights.enddate (#PCDATA)>
+<!ELEMENT rights.agent (#PCDATA)>
+<!ELEMENT rights.geography (#PCDATA)>
+<!ELEMENT rights.type (#PCDATA)>
+<!ELEMENT rights.limitations (#PCDATA)>
+<!ELEMENT byline (person?, byttl?, location?, virtloc?)>
+<!ELEMENT byttl (#PCDATA)>
+<!ELEMENT distributor (org?)>
+<!ELEMENT dateline (location?, story.date?)>
+<!ELEMENT story.date (#PCDATA)>
+<!ELEMENT abstract (p*)>
+<!ELEMENT body.content (%blocks;)*>
+<!ELEMENT block (tagline?, (%blocks; | %inline;)*)>
+<!ELEMENT tagline (#PCDATA)>
+<!ELEMENT p (#PCDATA | em | strong | a | q | person | org | location | money | num | chron | classifier | virtloc | alt-code)*>
+<!ELEMENT em (#PCDATA)>
+<!ELEMENT strong (#PCDATA)>
+<!ELEMENT a (#PCDATA)>
+<!ELEMENT br EMPTY>
+<!ELEMENT q (#PCDATA | q)*>
+<!ELEMENT person (name.given?, name.family?, function?, title?)>
+<!ELEMENT name.given (#PCDATA)>
+<!ELEMENT name.family (#PCDATA)>
+<!ELEMENT org (org.name?, org.id?, org.value?)>
+<!ELEMENT org.name (#PCDATA)>
+<!ELEMENT org.id (#PCDATA)>
+<!ELEMENT org.value (#PCDATA)>
+<!ELEMENT location (sublocation?, city?, state?, region?, country?)>
+<!ELEMENT sublocation (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT state (#PCDATA)>
+<!ELEMENT region (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT money (amount?, currency?)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT currency (#PCDATA)>
+<!ELEMENT num (frac?, sub?, sup?)>
+<!ELEMENT frac (frac-num, frac-sep?, frac-den)>
+<!ELEMENT frac-num (#PCDATA)>
+<!ELEMENT frac-sep (#PCDATA)>
+<!ELEMENT frac-den (#PCDATA)>
+<!ELEMENT sub (#PCDATA)>
+<!ELEMENT sup (#PCDATA)>
+<!ELEMENT chron EMPTY>
+<!ELEMENT copyrite (copyrite.year?, copyrite.holder?)>
+<!ELEMENT copyrite.year (#PCDATA)>
+<!ELEMENT copyrite.holder (#PCDATA)>
+<!ELEMENT classifier (#PCDATA)>
+<!ELEMENT virtloc (#PCDATA)>
+<!ELEMENT alt-code (#PCDATA)>
+<!ELEMENT list (list.item+)>
+<!ELEMENT list.item (p | list | list.item)*>
+<!ELEMENT ol (li+)>
+<!ELEMENT li (p | em | strong | a)*>
+<!ELEMENT dl (dt | dd)+>
+<!ELEMENT dt (#PCDATA)>
+<!ELEMENT dd (p | em | strong)*>
+<!ELEMENT table (caption?, colgroup*, thead?, tbody?, tr*)>
+<!ELEMENT caption (#PCDATA)>
+<!ELEMENT colgroup (col*)>
+<!ELEMENT col EMPTY>
+<!ELEMENT thead (tr+)>
+<!ELEMENT tbody (tr+)>
+<!ELEMENT tr (th | td)+>
+<!ELEMENT th (#PCDATA | em | strong | num)*>
+<!ELEMENT td (#PCDATA | em | strong | num | money | chron)*>
+<!ELEMENT media (media-reference+, media-caption*, media-producer?, media-metadata*)>
+<!ELEMENT media-reference EMPTY>
+<!ELEMENT media-caption (p*)>
+<!ELEMENT media-producer (#PCDATA)>
+<!ELEMENT media-metadata EMPTY>
+<!ELEMENT quote (p | list)*>
+<!ELEMENT bq (p*, credit?)>
+<!ELEMENT credit (#PCDATA | person | org)*>
+<!ELEMENT fn (p*)>
+<!ELEMENT pre (#PCDATA)>
+<!ELEMENT hr EMPTY>
+<!ELEMENT body.end (tagline?, bibliography?)>
+<!ELEMENT bibliography (#PCDATA)>
+<!ATTLIST nitf version CDATA #IMPLIED change.date CDATA #IMPLIED>
+<!ATTLIST urgency ed-urg NMTOKEN #IMPLIED>
+<!ATTLIST media media-type (text | audio | image | video | data) #REQUIRED>
+<!ATTLIST block style CDATA #IMPLIED>
+<!ATTLIST tobject tobject.type (news | analysis | feature) "news">
+<!ATTLIST date-issue norm CDATA #IMPLIED>
+|}
+
+let parse_exn name source =
+  match Dtd_parser.parse_opt source with
+  | Some dtd -> dtd
+  | None -> failwith (Printf.sprintf "Dtd_samples: bundled DTD %S does not parse" name)
+
+let book = lazy (parse_exn "book" book_source)
+let insurance = lazy (parse_exn "insurance" insurance_source)
+let psd = lazy (parse_exn "psd" psd_source)
+let nitf = lazy (parse_exn "nitf" nitf_source)
+
+let by_name = function
+  | "book" -> Some (Lazy.force book)
+  | "insurance" -> Some (Lazy.force insurance)
+  | "psd" -> Some (Lazy.force psd)
+  | "nitf" -> Some (Lazy.force nitf)
+  | _ -> None
+
+let names = [ "book"; "insurance"; "psd"; "nitf" ]

@@ -1,0 +1,18 @@
+(** Bundled sample DTDs: [nitf] (large, recursive) and [psd]
+    (non-recursive) stand in for the DTDs of the paper's evaluation;
+    [book] and [insurance] serve the examples and tests. *)
+
+val book_source : string
+val insurance_source : string
+val psd_source : string
+val nitf_source : string
+
+val book : Dtd_ast.t lazy_t
+val insurance : Dtd_ast.t lazy_t
+val psd : Dtd_ast.t lazy_t
+val nitf : Dtd_ast.t lazy_t
+
+(** Look a sample up by name ("book", "insurance", "psd", "nitf"). *)
+val by_name : string -> Dtd_ast.t option
+
+val names : string list

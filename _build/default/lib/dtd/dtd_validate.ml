@@ -1,0 +1,141 @@
+(* Validation of XML documents against a DTD.
+
+   The dissemination network assumes publishers emit documents
+   conforming to the DTD their advertisements were derived from
+   (Sec. 3.1); this module checks that assumption. Content models are
+   matched against the child-element sequence by backtracking (the
+   models are tiny); attribute lists are checked for required/fixed/
+   enumerated constraints. *)
+
+type error = {
+  element : string; (* element where the violation occurred *)
+  message : string;
+}
+
+let pp_error ppf e = Format.fprintf ppf "<%s>: %s" e.element e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Does the particle match exactly the sequence of child names?
+   Continuation-passing backtracking; [k] receives the remaining
+   suffix. *)
+let rec match_particle (p : Dtd_ast.particle) names (k : string list -> bool) =
+  match p with
+  | Dtd_ast.Elem e -> (
+    match names with n :: rest when String.equal n e -> k rest | _ -> false)
+  | Dtd_ast.Seq ps ->
+    let rec go ps names =
+      match ps with [] -> k names | p :: rest -> match_particle p names (fun left -> go rest left)
+    in
+    go ps names
+  | Dtd_ast.Choice ps -> List.exists (fun p -> match_particle p names k) ps
+  | Dtd_ast.Opt p -> match_particle p names k || k names
+  | Dtd_ast.Star p ->
+    let rec loop names =
+      k names
+      || match_particle p names (fun left -> if List.length left < List.length names then loop left else false)
+    in
+    loop names
+  | Dtd_ast.Plus p ->
+    match_particle p names (fun left ->
+        let rec loop names =
+          k names
+          || match_particle p names (fun left' ->
+                 if List.length left' < List.length names then loop left' else false)
+        in
+        loop left)
+
+let particle_matches p names = match_particle p names (fun rest -> rest = [])
+
+(* Check one element's attributes against its declaration. *)
+let check_attrs (decl : Dtd_ast.element_decl) (node : Xroute_xml.Xml_tree.t) =
+  let errors = ref [] in
+  let err fmt =
+    Format.kasprintf
+      (fun message -> errors := { element = decl.el_name; message } :: !errors)
+      fmt
+  in
+  let present = Xroute_xml.Xml_tree.attrs node in
+  (* declared constraints *)
+  List.iter
+    (fun (a : Dtd_ast.attr_decl) ->
+      match List.assoc_opt a.attr_name present with
+      | None -> (
+        match a.attr_default with
+        | Dtd_ast.Required -> err "missing required attribute %s" a.attr_name
+        | Dtd_ast.Implied | Dtd_ast.Fixed _ | Dtd_ast.Default _ -> ())
+      | Some value -> (
+        (match a.attr_type with
+        | Dtd_ast.Enum allowed when not (List.mem value allowed) ->
+          err "attribute %s has value %S, allowed: %s" a.attr_name value
+            (String.concat " | " allowed)
+        | Dtd_ast.Enum _ | Dtd_ast.Cdata | Dtd_ast.Id | Dtd_ast.Idref | Dtd_ast.Nmtoken -> ());
+        match a.attr_default with
+        | Dtd_ast.Fixed fixed when not (String.equal value fixed) ->
+          err "attribute %s must be fixed to %S" a.attr_name fixed
+        | Dtd_ast.Fixed _ | Dtd_ast.Required | Dtd_ast.Implied | Dtd_ast.Default _ -> ()))
+    decl.attrs;
+  (* undeclared attributes *)
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (a : Dtd_ast.attr_decl) -> a.attr_name = name) decl.attrs) then
+        err "undeclared attribute %s" name)
+    present;
+  List.rev !errors
+
+(* Check one element's content against its declaration. *)
+let check_content (decl : Dtd_ast.element_decl) (node : Xroute_xml.Xml_tree.t) =
+  let child_names = List.map Xroute_xml.Xml_tree.name (Xroute_xml.Xml_tree.children node) in
+  let text = Xroute_xml.Xml_tree.text node in
+  let fail message = [ { element = decl.el_name; message } ] in
+  match decl.content with
+  | Dtd_ast.Any -> []
+  | Dtd_ast.Empty ->
+    if child_names <> [] then fail "EMPTY element has children"
+    else if text <> "" then fail "EMPTY element has character data"
+    else []
+  | Dtd_ast.Pcdata ->
+    if child_names <> [] then fail "PCDATA element has element children" else []
+  | Dtd_ast.Mixed allowed ->
+    List.filter_map
+      (fun n ->
+        if List.mem n allowed then None
+        else Some { element = decl.el_name; message = Printf.sprintf "element %s not allowed in mixed content" n })
+      child_names
+  | Dtd_ast.Children p ->
+    if text <> "" then fail "element content cannot carry character data"
+    else if particle_matches p child_names then []
+    else
+      fail
+        (Printf.sprintf "children (%s) do not match content model %s"
+           (String.concat ", " child_names)
+           (Dtd_ast.particle_to_string p))
+
+(* Validate a whole document. *)
+let validate (dtd : Dtd_ast.t) (root : Xroute_xml.Xml_tree.t) =
+  let errors = ref [] in
+  let add es = errors := List.rev_append es !errors in
+  if not (String.equal (Xroute_xml.Xml_tree.name root) (Dtd_ast.root dtd)) then
+    add
+      [
+        {
+          element = Xroute_xml.Xml_tree.name root;
+          message =
+            Printf.sprintf "root element is %s, DTD expects %s" (Xroute_xml.Xml_tree.name root)
+              (Dtd_ast.root dtd);
+        };
+      ];
+  let rec walk node =
+    (match Dtd_ast.find dtd (Xroute_xml.Xml_tree.name node) with
+    | None ->
+      add
+        [ { element = Xroute_xml.Xml_tree.name node; message = "element is not declared" } ]
+    | Some decl ->
+      add (check_content decl node);
+      add (check_attrs decl node));
+    List.iter walk (Xroute_xml.Xml_tree.children node)
+  in
+  walk root;
+  List.rev !errors
+
+let is_valid dtd root = validate dtd root = []

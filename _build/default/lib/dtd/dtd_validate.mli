@@ -1,0 +1,16 @@
+(** Validation of XML documents against a DTD: root element, content
+    models (by backtracking over the particle), and attribute
+    constraints (required, fixed, enumerations, undeclared). *)
+
+type error = { element : string; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** Does the particle match exactly this child-name sequence? *)
+val particle_matches : Dtd_ast.particle -> string list -> bool
+
+(** All violations, document order; empty for a valid document. *)
+val validate : Dtd_ast.t -> Xroute_xml.Xml_tree.t -> error list
+
+val is_valid : Dtd_ast.t -> Xroute_xml.Xml_tree.t -> bool

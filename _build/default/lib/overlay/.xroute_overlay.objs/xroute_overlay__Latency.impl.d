@@ -1,0 +1,1 @@
+lib/overlay/latency.ml: Hashtbl List Topology Xroute_support

@@ -1,0 +1,1 @@
+lib/overlay/latency.mli: Hashtbl Topology Xroute_support

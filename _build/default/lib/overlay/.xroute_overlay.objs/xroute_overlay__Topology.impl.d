@@ -1,0 +1,1 @@
+lib/overlay/topology.ml: Array Fun List Queue Xroute_support

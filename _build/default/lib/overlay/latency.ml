@@ -1,0 +1,46 @@
+(* Link latency models (milliseconds).
+
+   The paper deploys on a local 20-node cluster and on PlanetLab. The
+   cluster model uses small, nearly uniform latencies; the PlanetLab
+   model draws per-link latencies from a long-tailed Pareto distribution
+   (wide-area RTTs are heavy-tailed) and keeps them fixed for the run,
+   with the documented 15-ish percent per-measurement jitter. *)
+
+type model = {
+  sample_link : Xroute_support.Prng.t -> float; (* base latency of a new link *)
+  jitter : float; (* multiplicative jitter amplitude per message, e.g. 0.15 *)
+}
+
+let constant ms = { sample_link = (fun _ -> ms); jitter = 0.0 }
+
+(* Local cluster: ~0.1-0.25 ms, negligible jitter. *)
+let cluster = { sample_link = (fun prng -> 0.1 +. Xroute_support.Prng.float prng 0.15); jitter = 0.02 }
+
+(* PlanetLab-like: Pareto with minimum 0.4 ms and tail index 1.8, capped;
+   15% jitter as the paper reports for its PlanetLab runs. *)
+let planetlab =
+  {
+    sample_link =
+      (fun prng -> min 5.0 (Xroute_support.Prng.pareto prng ~alpha:1.8 ~xm:0.4));
+    jitter = 0.15;
+  }
+
+(* Fix a latency per undirected link of the topology. *)
+let assign model prng topo =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let key = (min a b, max a b) in
+      Hashtbl.replace table key (model.sample_link prng))
+    (Topology.edges topo);
+  table
+
+(* Latency of one message over a link, with per-message jitter. *)
+let link_delay model table prng a b =
+  let key = (min a b, max a b) in
+  let base = match Hashtbl.find_opt table key with Some l -> l | None -> 0.1 in
+  if model.jitter <= 0.0 then base
+  else begin
+    let f = 1.0 +. ((Xroute_support.Prng.unit_float prng -. 0.5) *. 2.0 *. model.jitter) in
+    base *. f
+  end

@@ -1,0 +1,17 @@
+(** Link latency models (ms): near-uniform cluster links and a
+    long-tailed PlanetLab-like model with per-message jitter. *)
+
+type model = {
+  sample_link : Xroute_support.Prng.t -> float;  (** base latency of a link *)
+  jitter : float;  (** multiplicative per-message jitter amplitude *)
+}
+
+val constant : float -> model
+val cluster : model
+val planetlab : model
+
+(** Fix a base latency for every link of the topology. *)
+val assign : model -> Xroute_support.Prng.t -> Topology.t -> (int * int, float) Hashtbl.t
+
+(** Latency of one message over a link, jitter applied. *)
+val link_delay : model -> (int * int, float) Hashtbl.t -> Xroute_support.Prng.t -> int -> int -> float

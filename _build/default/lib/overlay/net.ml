@@ -1,0 +1,246 @@
+(* The dissemination network: brokers wired over a topology, clients at
+   the edge, and a discrete-event simulation of message exchange.
+
+   Modeling (see DESIGN.md): each message delivery costs the link's
+   latency (from the configured model), a per-byte transmission charge
+   (so bigger documents travel slower) and the receiving broker's
+   processing time, which is proportional to the number of match/cover
+   operations the broker actually performed — the quantity covering
+   optimizations reduce. Notification delay therefore shrinks when
+   routing tables shrink, reproducing the mechanism behind the paper's
+   Figures 10 and 11. *)
+
+open Xroute_core
+
+let log_src = Logs.Src.create "xroute.net" ~doc:"Dissemination network simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  strategy : Broker.strategy;
+  latency : Latency.model;
+  per_match_cost : float; (* ms per match/cover operation *)
+  per_msg_cost : float; (* fixed per-message processing, ms *)
+  per_byte_cost : float; (* transmission, ms per byte *)
+  client_link : float; (* client <-> home broker latency, ms *)
+  seed : int;
+}
+
+let default_config =
+  {
+    strategy = Broker.default_strategy;
+    latency = Latency.cluster;
+    per_match_cost = 0.0002;
+    per_msg_cost = 0.005;
+    per_byte_cost = 0.0001;
+    client_link = 0.05;
+    seed = 42;
+  }
+
+type client = {
+  cid : int;
+  home : int; (* broker id *)
+  delivered : (int, float) Hashtbl.t; (* doc_id -> first delivery time *)
+  mutable path_messages : int; (* path publications received *)
+}
+
+type traffic = {
+  mutable adv : int;
+  mutable unadv : int;
+  mutable sub : int;
+  mutable unsub : int;
+  mutable pub : int;
+}
+
+type t = {
+  topo : Topology.t;
+  config : config;
+  sim : Sim.t;
+  prng : Xroute_support.Prng.t;
+  latency_table : (int * int, float) Hashtbl.t;
+  brokers : Broker.t array;
+  mutable clients : client list;
+  mutable next_cid : int;
+  mutable next_seq : int;
+  traffic : traffic; (* messages received by brokers, by kind *)
+  pub_emit : (int, float) Hashtbl.t; (* doc_id -> emit time *)
+  mutable delivery_delays : (int * int * float) list; (* client, doc, delay *)
+}
+
+let create ?(config = default_config) topo =
+  let prng = Xroute_support.Prng.create config.seed in
+  let latency_table = Latency.assign config.latency prng topo in
+  let brokers =
+    Array.init (Topology.broker_count topo) (fun b ->
+        Broker.create ~strategy:config.strategy ~id:b ~neighbors:(Topology.neighbors topo b) ())
+  in
+  {
+    topo;
+    config;
+    sim = Sim.create ();
+    prng;
+    latency_table;
+    brokers;
+    clients = [];
+    next_cid = 0;
+    next_seq = 0;
+    traffic = { adv = 0; unadv = 0; sub = 0; unsub = 0; pub = 0 };
+    pub_emit = Hashtbl.create 64;
+    delivery_delays = [];
+  }
+
+let topology t = t.topo
+let sim t = t.sim
+let broker t b = t.brokers.(b)
+let brokers t = t.brokers
+let clients t = t.clients
+
+let fresh_sub_id t ~origin =
+  t.next_seq <- t.next_seq + 1;
+  { Message.origin; seq = t.next_seq }
+
+let add_client t ~broker =
+  if broker < 0 || broker >= Array.length t.brokers then invalid_arg "Net.add_client";
+  let c = { cid = t.next_cid; home = broker; delivered = Hashtbl.create 16; path_messages = 0 } in
+  t.next_cid <- t.next_cid + 1;
+  t.clients <- c :: t.clients;
+  c
+
+let find_client t cid = List.find_opt (fun c -> c.cid = cid) t.clients
+
+let count_traffic t (msg : Message.t) =
+  match msg with
+  | Message.Advertise _ -> t.traffic.adv <- t.traffic.adv + 1
+  | Message.Unadvertise _ -> t.traffic.unadv <- t.traffic.unadv + 1
+  | Message.Subscribe _ -> t.traffic.sub <- t.traffic.sub + 1
+  | Message.Unsubscribe _ -> t.traffic.unsub <- t.traffic.unsub + 1
+  | Message.Publish _ -> t.traffic.pub <- t.traffic.pub + 1
+
+let total_traffic t =
+  t.traffic.adv + t.traffic.unadv + t.traffic.sub + t.traffic.unsub + t.traffic.pub
+
+let traffic t = t.traffic
+
+(* Client-side reception. *)
+let client_receive t c (msg : Message.t) =
+  match msg with
+  | Message.Publish { pub; _ } ->
+    c.path_messages <- c.path_messages + 1;
+    if not (Hashtbl.mem c.delivered pub.doc_id) then begin
+      let now = Sim.now t.sim in
+      Hashtbl.replace c.delivered pub.doc_id now;
+      Log.debug (fun m -> m "client %d received doc %d at t=%.3fms" c.cid pub.doc_id now);
+      match Hashtbl.find_opt t.pub_emit pub.doc_id with
+      | Some emitted -> t.delivery_delays <- (c.cid, pub.doc_id, now -. emitted) :: t.delivery_delays
+      | None -> ()
+    end
+  | Message.Advertise _ | Message.Unadvertise _ | Message.Subscribe _ | Message.Unsubscribe _ ->
+    () (* control messages are broker-internal *)
+
+(* Deliver [msg] to broker [b]; schedule whatever it emits. *)
+let rec broker_receive t ~from b (msg : Message.t) =
+  count_traffic t msg;
+  let broker = t.brokers.(b) in
+  let w0 = Broker.work broker in
+  let outs = Broker.handle broker ~from msg in
+  let work = Broker.work broker - w0 in
+  let processing =
+    t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
+  in
+  List.iter (fun (ep, m) -> send t ~src:b ~processing ep m) outs
+
+and send t ~src ~processing ep (msg : Message.t) =
+  let size_cost = float_of_int (Message.wire_size msg) *. t.config.per_byte_cost in
+  match ep with
+  | Rtable.Neighbor n ->
+    let link = Latency.link_delay t.config.latency t.latency_table t.prng src n in
+    Sim.schedule t.sim
+      ~delay:(processing +. size_cost +. link)
+      (fun () -> broker_receive t ~from:(Rtable.Neighbor src) n msg)
+  | Rtable.Client cid ->
+    Sim.schedule t.sim
+      ~delay:(processing +. size_cost +. t.config.client_link)
+      (fun () ->
+        match find_client t cid with
+        | Some c -> client_receive t c msg
+        | None -> ())
+
+(* Client-originated injection. *)
+let inject t (c : client) msg =
+  Sim.schedule t.sim ~delay:t.config.client_link (fun () ->
+      broker_receive t ~from:(Rtable.Client c.cid) c.home msg)
+
+(* ------------------------------------------------------------------ *)
+(* Client operations                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let advertise t c adv =
+  let id = fresh_sub_id t ~origin:c.cid in
+  inject t c (Message.Advertise { id; adv });
+  id
+
+let advertise_dtd t c advs = List.map (fun adv -> advertise t c adv) advs
+
+let subscribe t c xpe =
+  let id = fresh_sub_id t ~origin:c.cid in
+  inject t c (Message.Subscribe { id; xpe });
+  id
+
+let unsubscribe t c id = inject t c (Message.Unsubscribe { id })
+
+let unadvertise t c id = inject t c (Message.Unadvertise { id })
+
+(* Publish a document: decompose into path publications at the edge. *)
+let publish_doc t c ~doc_id root =
+  Hashtbl.replace t.pub_emit doc_id (Sim.now t.sim);
+  let pubs = Xroute_xml.Xml_paths.decompose ~doc_id root in
+  List.iter (fun pub -> inject t c (Message.Publish { pub; trail = [] })) pubs;
+  List.length pubs
+
+(* Publish pre-extracted path publications (workload replay). *)
+let publish_paths t c pubs =
+  List.iter
+    (fun (pub : Xroute_xml.Xml_paths.publication) ->
+      if not (Hashtbl.mem t.pub_emit pub.doc_id) then
+        Hashtbl.replace t.pub_emit pub.doc_id (Sim.now t.sim);
+      inject t c (Message.Publish { pub; trail = [] }))
+    pubs
+
+(* Run the simulation to quiescence. *)
+let run t = Sim.run t.sim
+
+(* Run a merging pass on every broker and deliver what it emits. *)
+let merge_all t =
+  Array.iteri
+    (fun b broker ->
+      let outs = Broker.merge_pass broker in
+      List.iter (fun (ep, m) -> send t ~src:b ~processing:0.0 ep m) outs)
+    t.brokers;
+  run t
+
+let set_universe t universe = Array.iter (fun b -> Broker.set_universe b universe) t.brokers
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* (client, doc, delay-ms) notifications recorded so far. *)
+let delivery_delays t = t.delivery_delays
+
+let mean_delivery_delay t =
+  match t.delivery_delays with
+  | [] -> 0.0
+  | l ->
+    List.fold_left (fun acc (_, _, d) -> acc +. d) 0.0 l /. float_of_int (List.length l)
+
+(* Total routing table entries across brokers. *)
+let total_prt_size t = Array.fold_left (fun acc b -> acc + Broker.prt_size b) 0 t.brokers
+let total_srt_size t = Array.fold_left (fun acc b -> acc + Broker.srt_size b) 0 t.brokers
+
+let total_deliveries t =
+  List.fold_left (fun acc c -> acc + Hashtbl.length c.delivered) 0 t.clients
+
+(* Publications that reached a broker with no matching subscription:
+   with merging these are the in-network false positives. *)
+let dropped_publications t =
+  Array.fold_left (fun acc b -> acc + (Broker.counters b).pubs_dropped) 0 t.brokers

@@ -1,0 +1,95 @@
+(** The dissemination network: brokers wired over a topology, clients at
+    the edge, and a discrete-event simulation of message exchange.
+
+    Each delivery costs link latency + per-byte transmission + the
+    receiving broker's processing time, the latter proportional to the
+    match/cover operations actually performed — so smaller routing
+    tables mean lower notification delay, the mechanism behind the
+    paper's Figures 10-11. *)
+
+open Xroute_core
+
+type config = {
+  strategy : Broker.strategy;
+  latency : Latency.model;
+  per_match_cost : float;  (** ms per match/cover operation *)
+  per_msg_cost : float;  (** fixed per-message processing, ms *)
+  per_byte_cost : float;  (** transmission, ms per byte *)
+  client_link : float;  (** client-to-home-broker latency, ms *)
+  seed : int;
+}
+
+val default_config : config
+
+type client = {
+  cid : int;
+  home : int;  (** broker id *)
+  delivered : (int, float) Hashtbl.t;  (** doc_id -> first delivery time *)
+  mutable path_messages : int;  (** path publications received *)
+}
+
+type traffic = {
+  mutable adv : int;
+  mutable unadv : int;
+  mutable sub : int;
+  mutable unsub : int;
+  mutable pub : int;
+}
+
+type t
+
+val create : ?config:config -> Topology.t -> t
+
+val topology : t -> Topology.t
+val sim : t -> Sim.t
+val broker : t -> int -> Broker.t
+val brokers : t -> Broker.t array
+val clients : t -> client list
+
+val add_client : t -> broker:int -> client
+val find_client : t -> int -> client option
+
+(** Client operations; all enqueue work — call {!run} to execute. *)
+
+val advertise : t -> client -> Xroute_xpath.Adv.t -> Message.sub_id
+val advertise_dtd : t -> client -> Xroute_xpath.Adv.t list -> Message.sub_id list
+val subscribe : t -> client -> Xroute_xpath.Xpe.t -> Message.sub_id
+val unsubscribe : t -> client -> Message.sub_id -> unit
+val unadvertise : t -> client -> Message.sub_id -> unit
+
+(** Decompose a document at the edge and publish its paths; returns the
+    number of path publications. *)
+val publish_doc : t -> client -> doc_id:int -> Xroute_xml.Xml_tree.t -> int
+
+(** Replay pre-extracted path publications. *)
+val publish_paths : t -> client -> Xroute_xml.Xml_paths.publication list -> unit
+
+(** Run the simulation to quiescence. *)
+val run : t -> unit
+
+(** Run a merging pass on every broker and deliver what it emits. *)
+val merge_all : t -> unit
+
+(** Hand the DTD-derived path universe to every broker (for merging). *)
+val set_universe : t -> string array list -> unit
+
+(** {2 Metrics} *)
+
+(** Messages received by brokers, by kind. *)
+val traffic : t -> traffic
+
+val total_traffic : t -> int
+
+(** (client, doc, delay-ms) per first delivery. *)
+val delivery_delays : t -> (int * int * float) list
+
+val mean_delivery_delay : t -> float
+val total_prt_size : t -> int
+val total_srt_size : t -> int
+
+(** Distinct (client, document) deliveries. *)
+val total_deliveries : t -> int
+
+(** Publications that reached a broker and produced no output — the
+    in-network false positives under imperfect merging. *)
+val dropped_publications : t -> int

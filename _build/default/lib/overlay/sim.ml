@@ -1,0 +1,55 @@
+(* Discrete-event simulation engine.
+
+   Events are closures ordered by (virtual time, insertion sequence);
+   the sequence number makes simultaneous events deterministic. Virtual
+   time is in milliseconds. *)
+
+type event = { time : float; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Xroute_support.Heap.t;
+  mutable now : float;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let compare_event a b =
+  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+
+let create () =
+  let dummy = { time = 0.0; seq = -1; action = ignore } in
+  {
+    queue = Xroute_support.Heap.create ~capacity:1024 ~cmp:compare_event ~dummy ();
+    now = 0.0;
+    next_seq = 0;
+    executed = 0;
+  }
+
+let now t = t.now
+let pending t = Xroute_support.Heap.length t.queue
+let executed t = t.executed
+
+(* Schedule [action] to run [delay] ms from the current virtual time. *)
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  let ev = { time = t.now +. delay; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  Xroute_support.Heap.push t.queue ev
+
+(* Run until the queue drains (or [max_events] is hit, a runaway guard). *)
+let run ?(max_events = 50_000_000) t =
+  let rec loop budget =
+    if budget <= 0 then failwith "Sim.run: event budget exhausted (runaway simulation?)"
+    else
+      match Xroute_support.Heap.pop_min t.queue with
+      | None -> ()
+      | Some ev ->
+        t.now <- max t.now ev.time;
+        t.executed <- t.executed + 1;
+        ev.action ();
+        loop (budget - 1)
+  in
+  loop max_events
+
+(* Advance virtual time to at least [time] even with an empty queue. *)
+let advance_to t time = if time > t.now then t.now <- time

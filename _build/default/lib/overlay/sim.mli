@@ -1,0 +1,23 @@
+(** Discrete-event simulation engine: closures ordered by (virtual time,
+    insertion sequence); time is in milliseconds. *)
+
+type t
+
+val create : unit -> t
+
+(** Current virtual time (ms). *)
+val now : t -> float
+
+val pending : t -> int
+val executed : t -> int
+
+(** Schedule an action [delay] ms from now.
+    @raise Invalid_argument on negative delays. *)
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+
+(** Run until the queue drains.
+    @raise Failure when [max_events] is exceeded (runaway guard). *)
+val run : ?max_events:int -> t -> unit
+
+(** Advance the clock without executing anything. *)
+val advance_to : t -> float -> unit

@@ -1,0 +1,111 @@
+(* Broker overlay topologies.
+
+   The paper's evaluation uses complete binary trees of 7 and 127 brokers
+   (each broker connected to 2 subordinate brokers, subscribers on the
+   leaves); lines and stars support the hop-count experiments and tests,
+   and random trees exercise robustness. *)
+
+type t = {
+  broker_count : int;
+  edges : (int * int) list; (* undirected, i < j *)
+  adjacency : int list array;
+}
+
+let build broker_count edges =
+  let adjacency = Array.make broker_count [] in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= broker_count || b >= broker_count || a = b then
+        invalid_arg "Topology.build: edge out of range";
+      adjacency.(a) <- b :: adjacency.(a);
+      adjacency.(b) <- a :: adjacency.(b))
+    edges;
+  Array.iteri (fun i l -> adjacency.(i) <- List.sort_uniq compare l) adjacency;
+  { broker_count; edges; adjacency }
+
+(* Complete binary tree with [levels] levels: 2^levels - 1 brokers,
+   node i has children 2i+1 and 2i+2. levels=3 gives the paper's
+   7-broker overlay, levels=7 the 127-broker one. *)
+let binary_tree ~levels =
+  if levels < 1 then invalid_arg "Topology.binary_tree: levels must be >= 1";
+  let n = (1 lsl levels) - 1 in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    if l < n then edges := (i, l) :: !edges;
+    if r < n then edges := (i, r) :: !edges
+  done;
+  build n !edges
+
+(* Indices of the leaf brokers of [binary_tree ~levels]. *)
+let binary_tree_leaves ~levels =
+  let n = (1 lsl levels) - 1 in
+  let first_leaf = (1 lsl (levels - 1)) - 1 in
+  List.init (n - first_leaf) (fun k -> first_leaf + k)
+
+let line n =
+  if n < 1 then invalid_arg "Topology.line: need at least one broker";
+  build n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let star n =
+  if n < 1 then invalid_arg "Topology.star: need at least one broker";
+  build n (List.init (max 0 (n - 1)) (fun i -> (0, i + 1)))
+
+(* Random tree: broker i >= 1 attaches to a uniformly chosen earlier
+   broker. *)
+let random_tree prng n =
+  if n < 1 then invalid_arg "Topology.random_tree: need at least one broker";
+  let edges = List.init (max 0 (n - 1)) (fun i -> (Xroute_support.Prng.int prng (i + 1), i + 1)) in
+  build n edges
+
+let broker_count t = t.broker_count
+let edges t = t.edges
+let neighbors t b = t.adjacency.(b)
+
+(* BFS shortest path (list of brokers, endpoints included). *)
+let path t src dst =
+  if src = dst then [ src ]
+  else begin
+    let prev = Array.make t.broker_count (-1) in
+    let visited = Array.make t.broker_count false in
+    let q = Queue.create () in
+    visited.(src) <- true;
+    Queue.push src q;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty q) do
+      let b = Queue.pop q in
+      List.iter
+        (fun n ->
+          if not visited.(n) then begin
+            visited.(n) <- true;
+            prev.(n) <- b;
+            if n = dst then found := true;
+            Queue.push n q
+          end)
+        t.adjacency.(b)
+    done;
+    if not !found then []
+    else begin
+      let rec walk acc b = if b = src then src :: acc else walk (b :: acc) prev.(b) in
+      walk [] dst
+    end
+  end
+
+(* Number of overlay hops between two brokers. *)
+let distance t src dst =
+  match path t src dst with [] -> -1 | p -> List.length p - 1
+
+let is_connected t =
+  t.broker_count <= 1
+  ||
+  let reachable = List.length (List.filter (fun b -> distance t 0 b >= 0) (List.init t.broker_count Fun.id)) in
+  reachable = t.broker_count
+
+let diameter t =
+  let d = ref 0 in
+  for i = 0 to t.broker_count - 1 do
+    for j = i + 1 to t.broker_count - 1 do
+      d := max !d (distance t i j)
+    done
+  done;
+  !d

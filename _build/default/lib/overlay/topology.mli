@@ -1,0 +1,35 @@
+(** Broker overlay topologies: the paper's 7- and 127-broker complete
+    binary trees, plus lines, stars and random trees. *)
+
+type t
+
+(** [build n edges] — undirected graph on brokers [0..n-1].
+    @raise Invalid_argument on out-of-range or self edges. *)
+val build : int -> (int * int) list -> t
+
+(** Complete binary tree with [levels] levels: [2^levels - 1] brokers
+    (3 levels = the paper's 7-broker overlay, 7 levels = 127). *)
+val binary_tree : levels:int -> t
+
+(** Leaf brokers of {!binary_tree}. *)
+val binary_tree_leaves : levels:int -> int list
+
+val line : int -> t
+val star : int -> t
+
+(** Random tree: each broker attaches to a uniformly chosen earlier
+    one. *)
+val random_tree : Xroute_support.Prng.t -> int -> t
+
+val broker_count : t -> int
+val edges : t -> (int * int) list
+val neighbors : t -> int -> int list
+
+(** BFS shortest path, endpoints included; [] when disconnected. *)
+val path : t -> int -> int -> int list
+
+(** Hop distance; -1 when disconnected. *)
+val distance : t -> int -> int -> int
+
+val is_connected : t -> bool
+val diameter : t -> int

@@ -1,0 +1,1 @@
+lib/support/zipf.ml: Array Prng

@@ -1,0 +1,79 @@
+(* Array-backed binary min-heap, parameterized by an explicit comparison.
+
+   This is the event queue of the discrete-event simulator: the hot path is
+   [push]/[pop_min] with float keys, so we avoid a functor and polymorphic
+   compare and store the ordering as a closure. *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable size : int;
+  cmp : 'a -> 'a -> int;
+  dummy : 'a;
+}
+
+let create ?(capacity = 16) ~cmp ~dummy () =
+  let capacity = max capacity 1 in
+  { data = Array.make capacity dummy; size = 0; cmp; dummy }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t =
+  let data' = Array.make (2 * Array.length t.data) t.dummy in
+  Array.blit t.data 0 data' 0 t.size;
+  t.data <- data'
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let smallest = if r < t.size && t.cmp t.data.(r) t.data.(smallest) < 0 then r else smallest in
+  if smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(smallest);
+    t.data.(smallest) <- tmp;
+    sift_down t smallest
+  end
+
+let push t x =
+  if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek_min t = if t.size = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.size = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.size <- t.size - 1;
+    t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- t.dummy;
+    if t.size > 0 then sift_down t 0;
+    Some min
+  end
+
+let clear t =
+  Array.fill t.data 0 t.size t.dummy;
+  t.size <- 0
+
+(* Sorted (ascending) list of the heap contents; does not disturb [t]. *)
+let to_list t =
+  let copy = { t with data = Array.copy t.data } in
+  let rec drain acc = match pop_min copy with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,25 @@
+(** Array-backed binary min-heap with an explicit comparison function.
+
+    Used as the event queue of the discrete-event simulator
+    ({!Xroute_overlay.Sim}). *)
+
+type 'a t
+
+(** [create ~cmp ~dummy ()] makes an empty heap. [dummy] is a placeholder
+    value used to fill unused slots (it is never returned). *)
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> dummy:'a -> unit -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+(** Smallest element, if any, without removing it. *)
+val peek_min : 'a t -> 'a option
+
+(** Remove and return the smallest element. *)
+val pop_min : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+(** Contents in ascending order; the heap is left untouched. *)
+val to_list : 'a t -> 'a list

@@ -1,0 +1,92 @@
+(* Deterministic pseudo-random number generator based on splitmix64.
+
+   The workload generators and the simulator must produce identical streams
+   across OCaml versions and platforms, so we do not rely on [Stdlib.Random]
+   (whose algorithm changed between releases). Splitmix64 is tiny, passes
+   BigCrush, and supports cheap stream splitting. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* Core splitmix64 step: advance the state and mix the output. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Derive an independent generator; used to give each broker / generator its
+   own stream so that adding one consumer does not shift every other one. *)
+let split t =
+  let seed = next_int64 t in
+  { state = Int64.mul seed 0x2545F4914F6CDD1DL }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec go () =
+    let r = bits62 t in
+    let v = r mod bound in
+    if r - v > (max_int / 2) * 2 - bound then go () else v
+  in
+  go ()
+
+let int_in_range t ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_in_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  if bound <= 0.0 then invalid_arg "Prng.float: bound must be positive";
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 53 significant bits, uniform in [0, 1). *)
+  r /. 9007199254740992.0 *. bound
+
+let unit_float t = float t 1.0
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p = unit_float t < p
+
+(* Uniformly pick an element of a non-empty array. *)
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Prng.choose_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+(* In-place Fisher-Yates shuffle. *)
+let shuffle_in_place t arr =
+  let n = Array.length arr in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let shuffle t arr =
+  let arr' = Array.copy arr in
+  shuffle_in_place t arr';
+  arr'
+
+(* Exponentially distributed float with the given mean, for link latencies. *)
+let exponential t ~mean =
+  let u = unit_float t in
+  -. mean *. log (1.0 -. u)
+
+(* Pareto distribution; [alpha] controls the tail, [xm] is the minimum.
+   Used for PlanetLab-like long-tailed latencies. *)
+let pareto t ~alpha ~xm =
+  let u = unit_float t in
+  xm /. ((1.0 -. u) ** (1.0 /. alpha))

@@ -1,0 +1,57 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All randomized components of the repository (workload generators,
+    topologies, the latency model) draw from this generator so that every
+    experiment is reproducible bit-for-bit from its seed, independently of
+    the OCaml version. *)
+
+type t
+
+(** [create seed] returns a fresh generator. Equal seeds give equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] derives a statistically independent generator and advances
+    [t]. *)
+val split : t -> t
+
+(** Next raw 64-bit output. *)
+val next_int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound), without modulo bias.
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in_range t ~lo ~hi] is uniform in [lo, hi] inclusive. *)
+val int_in_range : t -> lo:int -> hi:int -> int
+
+(** [float t bound] is uniform in [0, bound). *)
+val float : t -> float -> float
+
+(** Uniform in [0, 1). *)
+val unit_float : t -> float
+
+val bool : t -> bool
+
+(** [bernoulli t p] is [true] with probability [p]. *)
+val bernoulli : t -> float -> bool
+
+(** Uniform element of a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** Uniform element of a non-empty list. *)
+val choose_list : t -> 'a list -> 'a
+
+val shuffle_in_place : t -> 'a array -> unit
+
+(** Functional Fisher-Yates shuffle. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** Exponential variate with the given mean. *)
+val exponential : t -> mean:float -> float
+
+(** Pareto variate with tail index [alpha] and minimum [xm]. *)
+val pareto : t -> alpha:float -> xm:float -> float

@@ -1,0 +1,69 @@
+(* Descriptive statistics over float samples, used by the experiment
+   harness to report means, percentiles and confidence-style spreads. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let mean samples =
+  match Array.length samples with
+  | 0 -> 0.0
+  | n -> Array.fold_left ( +. ) 0.0 samples /. float_of_int n
+
+let stddev samples =
+  let n = Array.length samples in
+  if n < 2 then 0.0
+  else begin
+    let m = mean samples in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 samples in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+(* Nearest-rank percentile on a sorted copy. [q] in [0, 1]. *)
+let percentile samples q =
+  let n = Array.length samples in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+let summarize samples =
+  let n = Array.length samples in
+  if n = 0 then
+    { count = 0; mean = 0.; stddev = 0.; min = 0.; max = 0.; p50 = 0.; p95 = 0.; p99 = 0. }
+  else begin
+    let sorted = Array.copy samples in
+    Array.sort compare sorted;
+    let pct q =
+      let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      sorted.(max 0 (min (n - 1) rank))
+    in
+    {
+      count = n;
+      mean = mean samples;
+      stddev = stddev samples;
+      min = sorted.(0);
+      max = sorted.(n - 1);
+      p50 = pct 0.50;
+      p95 = pct 0.95;
+      p99 = pct 0.99;
+    }
+  end
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p95 s.p99 s.max
+
+(* Ratio formatted as a percentage change, e.g. reduction of table sizes. *)
+let reduction ~before ~after =
+  if before = 0.0 then 0.0 else (before -. after) /. before *. 100.0

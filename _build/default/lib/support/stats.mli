@@ -1,0 +1,28 @@
+(** Descriptive statistics for the experiment harness. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val mean : float array -> float
+
+(** Sample standard deviation (n-1 denominator); 0 for fewer than two
+    samples. *)
+val stddev : float array -> float
+
+(** Nearest-rank percentile; [q] in [0, 1]. *)
+val percentile : float array -> float -> float
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+(** [reduction ~before ~after] is the percentage reduction from [before]
+    to [after]. *)
+val reduction : before:float -> after:float -> float

@@ -1,0 +1,43 @@
+(* Zipf-distributed sampler over ranks 0..n-1.
+
+   The XPath workload generator skews element choices with a Zipf law so
+   that subscription sets exhibit the overlap ("covering rate") the paper's
+   Sets A and B require. Sampling uses the inverse-CDF over precomputed
+   cumulative weights: O(log n) per draw, exact for any exponent. *)
+
+type t = {
+  cumulative : float array; (* cumulative.(i) = P(rank <= i) *)
+  n : int;
+}
+
+let create ~n ~exponent =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if exponent < 0.0 then invalid_arg "Zipf.create: exponent must be >= 0";
+  let weights = Array.init n (fun i -> 1.0 /. (float_of_int (i + 1) ** exponent)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cumulative = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (weights.(i) /. total);
+    cumulative.(i) <- !acc
+  done;
+  cumulative.(n - 1) <- 1.0;
+  { cumulative; n }
+
+let support t = t.n
+
+(* Binary search for the first index whose cumulative weight exceeds [u]. *)
+let sample t prng =
+  let u = Prng.unit_float prng in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cumulative.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let probability t rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if rank = 0 then t.cumulative.(0)
+  else t.cumulative.(rank) -. t.cumulative.(rank - 1)

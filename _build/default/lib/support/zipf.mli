@@ -1,0 +1,17 @@
+(** Zipf-distributed sampler over ranks [0..n-1].
+
+    [exponent = 0.] degenerates to the uniform distribution; larger
+    exponents concentrate mass on low ranks. *)
+
+type t
+
+val create : n:int -> exponent:float -> t
+
+(** Number of ranks. *)
+val support : t -> int
+
+(** Draw a rank in [0..n-1]. *)
+val sample : t -> Prng.t -> int
+
+(** Probability mass of a rank. *)
+val probability : t -> int -> float

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: List Xml_gen Xpath_gen Xroute_core Xroute_support Xroute_xml

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Xpath_gen Xroute_dtd Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+lib/workload/xml_gen.ml: Buffer Hashtbl List Printf Xroute_dtd Xroute_support Xroute_xml

@@ -1,0 +1,1 @@
+lib/workload/xpath_gen.ml: Hashtbl List Option Printf Xpe Xroute_dtd Xroute_support Xroute_xpath

@@ -1,0 +1,1 @@
+lib/workload/xpath_gen.mli: Xroute_dtd Xroute_support Xroute_xpath

@@ -1,0 +1,65 @@
+(* Canned workloads mirroring the paper's evaluation setups.
+
+   Set A and Set B are NITF XPE populations whose generator knobs (W, DO,
+   skew) are tuned so that covering removes roughly 90% and 50% of the
+   subscriptions respectively (Sec. 5, "Routing Table Size"). The
+   document workloads bound nesting to 10 levels, matching the maximum
+   XPE length. *)
+
+(* High overlap (~90% of the population covered at 20k queries): mixed
+   lengths create prefix covering, moderate wildcards add pattern
+   covering. *)
+let set_a_params dtd =
+  {
+    (Xpath_gen.default_params dtd) with
+    Xpath_gen.wildcard_prob = 0.10;
+    desc_prob = 0.02;
+    min_depth = 6;
+    max_depth = 8;
+    relative_prob = 0.0;
+    skew = 0.0;
+    max_wildcards = 2;
+  }
+
+(* Lower overlap (~55-60% covered): uniform-length queries cannot cover
+   each other through prefixes, so only wildcard-superset patterns
+   remain comparable. *)
+let set_b_params dtd =
+  {
+    (Xpath_gen.default_params dtd) with
+    Xpath_gen.wildcard_prob = 0.30;
+    desc_prob = 0.0;
+    min_depth = 7;
+    max_depth = 7;
+    relative_prob = 0.0;
+    skew = 0.0;
+    max_wildcards = 3;
+  }
+
+let xpes ?(distinct = true) ~params ~count ~seed () =
+  let prng = Xroute_support.Prng.create seed in
+  Xpath_gen.generate ~distinct params prng ~count
+
+(* Documents and their extracted path publications. *)
+let documents ~dtd ~count ~seed ?(max_levels = 10) ?(target_bytes = 0) () =
+  let prng = Xroute_support.Prng.create seed in
+  let params = { (Xml_gen.default_params dtd) with Xml_gen.max_levels } in
+  List.init count (fun _ ->
+      if target_bytes > 0 then Xml_gen.generate_sized params prng ~target_bytes
+      else Xml_gen.generate params prng)
+
+let publications_of_documents docs =
+  List.concat (List.mapi (fun doc_id doc -> Xroute_xml.Xml_paths.decompose ~doc_id doc) docs)
+
+(* The fraction of XPEs removed from a routing table by covering: insert
+   everything into a subscription tree and compare the maximal fringe
+   with the population (the paper's covering rate for Sets A and B). *)
+let covering_rate ?covers xpes =
+  match xpes with
+  | [] -> 0.0
+  | _ ->
+    let tree : int Xroute_core.Sub_tree.t = Xroute_core.Sub_tree.create ?covers () in
+    List.iteri (fun i xpe -> ignore (Xroute_core.Sub_tree.insert tree xpe i)) xpes;
+    let maximal = List.length (Xroute_core.Sub_tree.maximal tree) in
+    let total = List.length xpes in
+    float_of_int (total - maximal) /. float_of_int total

@@ -1,0 +1,26 @@
+(** Canned workloads mirroring the paper's evaluation setups: Set A
+    (high covering rate) and Set B (moderate covering rate) XPE
+    populations, document workloads, and the covering-rate metric. *)
+
+(** Generator parameters tuned for a ~90% covering rate at 10-20k
+    queries. *)
+val set_a_params : Xroute_dtd.Dtd_ast.t -> Xpath_gen.params
+
+(** Generator parameters tuned for a ~50-60% covering rate. *)
+val set_b_params : Xroute_dtd.Dtd_ast.t -> Xpath_gen.params
+
+val xpes :
+  ?distinct:bool -> params:Xpath_gen.params -> count:int -> seed:int -> unit ->
+  Xroute_xpath.Xpe.t list
+
+val documents :
+  dtd:Xroute_dtd.Dtd_ast.t -> count:int -> seed:int -> ?max_levels:int -> ?target_bytes:int ->
+  unit -> Xroute_xml.Xml_tree.t list
+
+val publications_of_documents :
+  Xroute_xml.Xml_tree.t list -> Xroute_xml.Xml_paths.publication list
+
+(** Fraction of a population removed from the routing table by covering
+    (the paper's covering rate). *)
+val covering_rate : ?covers:(Xroute_xpath.Xpe.t -> Xroute_xpath.Xpe.t -> bool) ->
+  Xroute_xpath.Xpe.t list -> float

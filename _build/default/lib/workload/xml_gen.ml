@@ -1,0 +1,186 @@
+(* XML document generator driven by a DTD, after the IBM XML Generator
+   used by the paper: documents are random derivations of the DTD's
+   content models, with a maximum nesting level (the paper uses 10, in
+   line with the maximum XPE length) and controllable repetition counts
+   and target sizes. *)
+
+type params = {
+  dtd : Xroute_dtd.Dtd_ast.t;
+  max_levels : int; (* maximum element nesting depth (paper: 10) *)
+  max_repeats : int; (* cap on * / + repetitions *)
+  text_chunk : int; (* bytes of character data per text leaf *)
+}
+
+let default_params dtd = { dtd; max_levels = 10; max_repeats = 3; text_chunk = 24 }
+
+(* Minimal element-subtree depth, for forced termination at the level
+   cap: at the cap we always pick the shallowest alternative. *)
+let min_depths dtd =
+  let table = Hashtbl.create 64 in
+  let rec depth name visiting =
+    match Hashtbl.find_opt table name with
+    | Some d -> d
+    | None ->
+      if List.mem name visiting then 1_000_000 (* cycle: unbounded through here *)
+      else begin
+        let d =
+          match Xroute_dtd.Dtd_ast.find dtd name with
+          | None -> 1
+          | Some decl ->
+            if Xroute_dtd.Dtd_ast.can_be_leaf decl then 1
+            else begin
+              (* must produce at least one child: the cheapest one *)
+              let children = Xroute_dtd.Dtd_ast.content_elements decl.content in
+              1
+              + List.fold_left
+                  (fun acc c -> min acc (depth c (name :: visiting)))
+                  999_999 children
+            end
+        in
+        Hashtbl.replace table name d;
+        d
+      end
+  in
+  Xroute_dtd.Dtd_ast.fold (fun decl () -> ignore (depth decl.el_name [])) dtd ();
+  fun name -> match Hashtbl.find_opt table name with Some d -> d | None -> 1
+
+let words =
+  [|
+    "data"; "item"; "value"; "report"; "alpha"; "beta"; "gamma"; "delta"; "omega"; "node";
+    "path"; "query"; "route"; "press"; "market"; "update"; "daily"; "note"; "entry"; "text";
+  |]
+
+let random_text prng n =
+  let buf = Buffer.create n in
+  while Buffer.length buf < n do
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Xroute_support.Prng.choose prng words)
+  done;
+  Buffer.sub buf 0 n
+
+(* Attribute values honouring the declaration. *)
+let gen_attrs params prng name =
+  match Xroute_dtd.Dtd_ast.find params.dtd name with
+  | None -> []
+  | Some decl ->
+    List.filter_map
+      (fun (a : Xroute_dtd.Dtd_ast.attr_decl) ->
+        let include_it =
+          match a.attr_default with
+          | Xroute_dtd.Dtd_ast.Required -> true
+          | Xroute_dtd.Dtd_ast.Fixed _ -> true
+          | Xroute_dtd.Dtd_ast.Implied | Xroute_dtd.Dtd_ast.Default _ ->
+            Xroute_support.Prng.bernoulli prng 0.5
+        in
+        if not include_it then None
+        else begin
+          let value =
+            match (a.attr_default, a.attr_type) with
+            | Xroute_dtd.Dtd_ast.Fixed v, _ -> v
+            | _, Xroute_dtd.Dtd_ast.Enum values -> Xroute_support.Prng.choose_list prng values
+            | _, (Xroute_dtd.Dtd_ast.Cdata | Xroute_dtd.Dtd_ast.Nmtoken) ->
+              Xroute_support.Prng.choose prng words
+            | _, (Xroute_dtd.Dtd_ast.Id | Xroute_dtd.Dtd_ast.Idref) ->
+              Printf.sprintf "id%d" (Xroute_support.Prng.int prng 100000)
+          in
+          Some (a.attr_name, value)
+        end)
+      decl.attrs
+
+let generate params prng =
+  let dtd = params.dtd in
+  let min_depth = min_depths dtd in
+  let repeats ~at_least =
+    if at_least > 0 then Xroute_support.Prng.int_in_range prng ~lo:1 ~hi:(max 1 params.max_repeats)
+    else Xroute_support.Prng.int_in_range prng ~lo:0 ~hi:params.max_repeats
+  in
+  let rec element name level =
+    let decl = Xroute_dtd.Dtd_ast.find dtd name in
+    let attrs = gen_attrs params prng name in
+    let forced = level >= params.max_levels in
+    let children, text =
+      match decl with
+      | None -> ([], "")
+      | Some d -> (
+        match d.content with
+        | Xroute_dtd.Dtd_ast.Empty -> ([], "")
+        | Xroute_dtd.Dtd_ast.Pcdata -> ([], random_text prng params.text_chunk)
+        | Xroute_dtd.Dtd_ast.Any -> ([], random_text prng params.text_chunk)
+        | Xroute_dtd.Dtd_ast.Mixed names ->
+          let picks =
+            if forced then []
+            else
+              List.filter
+                (fun n -> min_depth n + level < params.max_levels + 2
+                          && Xroute_support.Prng.bernoulli prng 0.4)
+                names
+          in
+          (List.map (fun n -> element n (level + 1)) picks, random_text prng params.text_chunk)
+        | Xroute_dtd.Dtd_ast.Children p -> (particle p level ~forced, ""))
+    in
+    Xroute_xml.Xml_tree.element ~attrs ~text name children
+  and particle p level ~forced =
+    match p with
+    | Xroute_dtd.Dtd_ast.Elem name -> [ element name (level + 1) ]
+    | Xroute_dtd.Dtd_ast.Seq ps -> List.concat_map (fun q -> particle q level ~forced) ps
+    | Xroute_dtd.Dtd_ast.Choice ps ->
+      let pick =
+        if forced then begin
+          (* shallowest alternative *)
+          let cost q =
+            match Xroute_dtd.Dtd_ast.particle_elements q with
+            | [] -> 0
+            | names -> List.fold_left (fun acc n -> min acc (min_depth n)) 999_999 names
+          in
+          List.fold_left
+            (fun best q -> match best with
+              | None -> Some q
+              | Some b -> if cost q < cost b then Some q else best)
+            None ps
+        end
+        else (match ps with [] -> None | _ -> Some (Xroute_support.Prng.choose_list prng ps))
+      in
+      (match pick with None -> [] | Some q -> particle q level ~forced)
+    | Xroute_dtd.Dtd_ast.Opt q ->
+      if forced || Xroute_support.Prng.bool prng then
+        if forced then [] else particle q level ~forced
+      else []
+    | Xroute_dtd.Dtd_ast.Star q ->
+      if forced then []
+      else begin
+        let n = repeats ~at_least:0 in
+        List.concat (List.init n (fun _ -> particle q level ~forced))
+      end
+    | Xroute_dtd.Dtd_ast.Plus q ->
+      let n = if forced then 1 else repeats ~at_least:1 in
+      List.concat (List.init n (fun _ -> particle q level ~forced))
+  in
+  element (Xroute_dtd.Dtd_ast.root dtd) 1
+
+(* Generate a document close to [target_bytes]: derive a skeleton, then
+   top leaf texts up (or regenerate bigger) until the serialized size is
+   within ~10% of the target. *)
+let generate_sized params prng ~target_bytes =
+  let doc = generate params prng in
+  let current = Xroute_xml.Xml_printer.byte_size doc in
+  if current >= target_bytes then doc
+  else begin
+    (* Distribute the missing bytes over the text leaves. *)
+    let leaves = ref 0 in
+    let () =
+      Xroute_xml.Xml_tree.fold
+        (fun () n -> if Xroute_xml.Xml_tree.children n = [] then incr leaves)
+        () doc
+    in
+    let missing = target_bytes - current in
+    let per_leaf = if !leaves = 0 then missing else missing / max 1 !leaves in
+    let rec pad node =
+      let open Xroute_xml.Xml_tree in
+      match children node with
+      | [] ->
+        let extra = random_text prng (max 1 per_leaf) in
+        element ~attrs:(attrs node) ~text:(text node ^ " " ^ extra) (name node) []
+      | kids -> element ~attrs:(attrs node) ~text:(text node) (name node) (List.map pad kids)
+    in
+    pad doc
+  end

@@ -1,0 +1,20 @@
+(** XML document generator driven by a DTD (after the IBM XML Generator
+    used by the paper): random derivations of the content models with a
+    nesting cap and controllable sizes. *)
+
+type params = {
+  dtd : Xroute_dtd.Dtd_ast.t;
+  max_levels : int;  (** maximum element nesting depth (paper: 10) *)
+  max_repeats : int;  (** cap on [*] / [+] repetitions *)
+  text_chunk : int;  (** bytes of character data per text leaf *)
+}
+
+val default_params : Xroute_dtd.Dtd_ast.t -> params
+
+(** One random conforming document. *)
+val generate : params -> Xroute_support.Prng.t -> Xroute_xml.Xml_tree.t
+
+(** A document of roughly [target_bytes] serialized size (leaf texts are
+    padded). *)
+val generate_sized :
+  params -> Xroute_support.Prng.t -> target_bytes:int -> Xroute_xml.Xml_tree.t

@@ -1,0 +1,216 @@
+(* XPath query workload generator, after the generator of Diao et al.
+   used by the paper: queries are random walks over the DTD, decorated
+   with wildcards (probability W) and descendant operators (probability
+   DO), optionally relative, optionally carrying attribute predicates,
+   with element choices skewed by a Zipf law so that subscription
+   populations overlap (the knob behind the paper's Set A / Set B
+   covering rates). *)
+
+open Xroute_xpath
+
+type params = {
+  dtd : Xroute_dtd.Dtd_ast.t;
+  max_depth : int; (* maximum number of location steps (paper: 10) *)
+  min_depth : int;
+  wildcard_prob : float; (* W: a step's name test becomes * *)
+  desc_prob : float; (* DO: a step's operator becomes // *)
+  relative_prob : float; (* the XPE keeps no root anchoring *)
+  pred_prob : float; (* a step gains an attribute predicate *)
+  skew : float; (* Zipf exponent over child choices (0 = uniform) *)
+  max_wildcards : int; (* cap on * steps per query: a handful of heavily
+                          starred queries would cover whole workloads *)
+}
+
+let default_params dtd =
+  {
+    dtd;
+    max_depth = 10;
+    min_depth = 2;
+    wildcard_prob = 0.2;
+    desc_prob = 0.2;
+    relative_prob = 0.1;
+    pred_prob = 0.0;
+    skew = 0.9;
+    max_wildcards = max_int;
+  }
+
+(* Pick from a list with Zipf skew over its (stable) order; the Zipf
+   tables are shared per (length, skew). *)
+let zipf_cache : (int * float, Xroute_support.Zipf.t) Hashtbl.t = Hashtbl.create 16
+
+let pick_skewed prng ~skew items =
+  match items with
+  | [] -> None
+  | [ x ] -> Some x
+  | items ->
+    let n = List.length items in
+    let z =
+      match Hashtbl.find_opt zipf_cache (n, skew) with
+      | Some z -> z
+      | None ->
+        let z = Xroute_support.Zipf.create ~n ~exponent:skew in
+        Hashtbl.replace zipf_cache (n, skew) z;
+        z
+    in
+    Some (List.nth items (Xroute_support.Zipf.sample z prng))
+
+(* A random attribute predicate for an element, when it declares usable
+   attributes. *)
+let random_predicate prng (dtd : Xroute_dtd.Dtd_ast.t) name =
+  match Xroute_dtd.Dtd_ast.find dtd name with
+  | None -> None
+  | Some decl ->
+    let usable =
+      List.filter_map
+        (fun (a : Xroute_dtd.Dtd_ast.attr_decl) ->
+          match a.attr_type with
+          | Xroute_dtd.Dtd_ast.Enum values when values <> [] -> Some (a.attr_name, values)
+          | Xroute_dtd.Dtd_ast.Cdata | Xroute_dtd.Dtd_ast.Id | Xroute_dtd.Dtd_ast.Idref
+          | Xroute_dtd.Dtd_ast.Nmtoken | Xroute_dtd.Dtd_ast.Enum _ ->
+            None)
+        decl.attrs
+    in
+    (match usable with
+    | [] -> None
+    | l ->
+      let attr, values = Xroute_support.Prng.choose_list prng l in
+      Some { Xpe.attr; value = Xroute_support.Prng.choose_list prng values })
+
+(* Height of each element: the longest downward path starting at it
+   (elements on cycles are unbounded). Guides walks so they only enter
+   subtrees that can still reach the target query length — without this,
+   walks dead-end early and the resulting short queries cover everything
+   below them, flattening any covering-rate target. *)
+let heights_cache : (string, (string, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 4
+
+let heights_of dtd =
+  let key =
+    Printf.sprintf "%s#%d" (Xroute_dtd.Dtd_ast.root dtd) (Xroute_dtd.Dtd_ast.element_count dtd)
+  in
+  match Hashtbl.find_opt heights_cache key with
+  | Some h -> h
+  | None ->
+    let table = Hashtbl.create 64 in
+    let unbounded = 1_000_000 in
+    let rec height name visiting =
+      match Hashtbl.find_opt table name with
+      | Some h -> h
+      | None ->
+        if List.mem name visiting then unbounded
+        else begin
+          let children =
+            match Xroute_dtd.Dtd_ast.find dtd name with
+            | Some d -> Xroute_dtd.Dtd_ast.content_elements d.content
+            | None -> []
+          in
+          let h =
+            1
+            + List.fold_left (fun acc c -> max acc (height c (name :: visiting))) 0 children
+          in
+          let h = min h unbounded in
+          (* only memoize cycle-free results; conservative on cycles *)
+          if h < unbounded then Hashtbl.replace table name h else Hashtbl.replace table name unbounded;
+          h
+        end
+    in
+    Xroute_dtd.Dtd_ast.fold (fun d () -> ignore (height d.el_name [])) dtd ();
+    Hashtbl.replace heights_cache key table;
+    table
+
+(* One random XPE. A walk that still dead-ends before [min_depth] steps
+   (possible only from unlucky retry exhaustion) is redrawn. *)
+let rec generate_one ?(attempts = 25) params prng =
+  let dtd = params.dtd in
+  let heights = heights_of dtd in
+  let height name = Option.value ~default:1 (Hashtbl.find_opt heights name) in
+  let target_len =
+    Xroute_support.Prng.int_in_range prng ~lo:params.min_depth ~hi:params.max_depth
+  in
+  (* Walk the element graph from the root; prefer children whose height
+     still allows [n] more steps. *)
+  let rec walk name acc n =
+    if n <= 0 then List.rev acc
+    else begin
+      let children =
+        match Xroute_dtd.Dtd_ast.find dtd name with
+        | Some d -> Xroute_dtd.Dtd_ast.content_elements d.content
+        | None -> []
+      in
+      let viable = List.filter (fun c -> height c >= n) children in
+      let pool = if viable <> [] then viable else children in
+      match pick_skewed prng ~skew:params.skew pool with
+      | None -> List.rev acc
+      | Some child -> walk child (child :: acc) (n - 1)
+    end
+  in
+  let root = Xroute_dtd.Dtd_ast.root dtd in
+  let names = walk root [ root ] (target_len - 1) in
+  if List.length names < params.min_depth && attempts > 0 then
+    generate_one ~attempts:(attempts - 1) params prng
+  else begin
+  let relative = Xroute_support.Prng.bernoulli prng params.relative_prob in
+  (* A relative XPE keeps a random suffix of the walk. *)
+  let names =
+    if relative && List.length names > 1 then begin
+      let drop = Xroute_support.Prng.int prng (List.length names - 1) in
+      let rec drop_n n = function l when n <= 0 -> l | _ :: tl -> drop_n (n - 1) tl | [] -> [] in
+      drop_n drop names
+    end
+    else names
+  in
+  let steps =
+    List.mapi
+      (fun i name ->
+        (* Wildcards and descendant operators are damped on the first
+           step: every document path shares the DTD root, so queries
+           like //root or /* cover the whole workload and would flatten
+           any covering-rate target. *)
+        let wprob = if i = 0 then params.wildcard_prob *. 0.15 else params.wildcard_prob in
+        let dprob = if i = 0 then params.desc_prob *. 0.1 else params.desc_prob in
+        let test =
+          if Xroute_support.Prng.bernoulli prng wprob then Xpe.Star else Xpe.Name name
+        in
+        let axis =
+          if i = 0 then
+            if relative then Xpe.Child
+            else if Xroute_support.Prng.bernoulli prng dprob then Xpe.Desc
+            else Xpe.Child
+          else if Xroute_support.Prng.bernoulli prng params.desc_prob then Xpe.Desc
+          else Xpe.Child
+        in
+        let preds =
+          if test <> Xpe.Star && Xroute_support.Prng.bernoulli prng params.pred_prob then
+            match random_predicate prng dtd name with Some p -> [ p ] | None -> []
+          else []
+        in
+        Xpe.step ~preds axis test)
+      names
+  in
+  let stars = List.length (List.filter (fun (s : Xpe.step) -> s.test = Xpe.Star) steps) in
+  if stars > params.max_wildcards && attempts > 0 then
+    generate_one ~attempts:(attempts - 1) params prng
+  else match steps with [] -> Xpe.absolute_of_names [ root ] | _ -> Xpe.make ~relative steps
+  end
+
+(* [count] XPEs; with [distinct] (the paper's setting) duplicates are
+   re-drawn, giving up after a bounded number of attempts. *)
+let generate ?(distinct = true) params prng ~count =
+  if not distinct then List.init count (fun _ -> generate_one params prng)
+  else begin
+    let seen = Hashtbl.create (2 * count) in
+    let acc = ref [] in
+    let produced = ref 0 in
+    let attempts = ref 0 in
+    let max_attempts = (count * 50) + 1000 in
+    while !produced < count && !attempts < max_attempts do
+      incr attempts;
+      let xpe = generate_one params prng in
+      let key = Xpe.to_string xpe in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        acc := xpe :: !acc;
+        incr produced
+      end
+    done;
+    List.rev !acc
+  end

@@ -1,0 +1,29 @@
+(** XPath query workload generator (after Diao et al.'s generator used
+    by the paper): random DTD walks decorated with wildcards (W),
+    descendant operators (DO), optional relativity and attribute
+    predicates, with Zipf-skewed element choices. *)
+
+type params = {
+  dtd : Xroute_dtd.Dtd_ast.t;
+  max_depth : int;  (** maximum number of location steps (paper: 10) *)
+  min_depth : int;
+  wildcard_prob : float;  (** W: a step's name test becomes [*] *)
+  desc_prob : float;  (** DO: a step's operator becomes [//] *)
+  relative_prob : float;  (** the XPE keeps no root anchoring *)
+  pred_prob : float;  (** a step gains an attribute predicate *)
+  skew : float;  (** Zipf exponent over child choices (0 = uniform) *)
+  max_wildcards : int;
+      (** cap on [*] steps per query: a handful of heavily starred
+          queries would cover whole workloads *)
+}
+
+val default_params : Xroute_dtd.Dtd_ast.t -> params
+
+(** One random XPE. *)
+val generate_one : ?attempts:int -> params -> Xroute_support.Prng.t -> Xroute_xpath.Xpe.t
+
+(** [count] XPEs; with [distinct] (the paper's setting) duplicates are
+    re-drawn, giving up after a bounded number of attempts (the result
+    may then be shorter than [count]). *)
+val generate :
+  ?distinct:bool -> params -> Xroute_support.Prng.t -> count:int -> Xroute_xpath.Xpe.t list

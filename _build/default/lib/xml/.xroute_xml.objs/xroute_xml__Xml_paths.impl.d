@@ -1,0 +1,1 @@
+lib/xml/xml_paths.ml: Array Format Hashtbl List Printf String Xml_printer Xml_tree

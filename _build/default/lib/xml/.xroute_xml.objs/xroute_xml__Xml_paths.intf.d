@@ -1,0 +1,1 @@
+lib/xml/xml_paths.mli: Format Xml_tree

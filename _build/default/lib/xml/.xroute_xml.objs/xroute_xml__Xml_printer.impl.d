@@ -1,0 +1,1 @@
+lib/xml/xml_printer.ml: Buffer Format List String Xml_tree

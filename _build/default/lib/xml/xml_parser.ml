@@ -1,0 +1,341 @@
+(* Hand-written recursive-descent XML parser.
+
+   Supports the subset of XML needed by the dissemination network and its
+   workload generators: prolog, comments, processing instructions, DOCTYPE
+   declarations (the internal subset is captured verbatim so it can be fed
+   to the DTD parser), elements, attributes, character data, CDATA sections
+   and the predefined / numeric entity references.
+
+   The parser reports errors with line/column positions. It is not a
+   validating parser; well-formedness (tag balance, attribute uniqueness)
+   is checked, validity against a DTD is the job of Xroute_dtd. *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+type parsed = {
+  root : Xml_tree.t;
+  doctype_name : string option;
+  internal_subset : string option;
+}
+
+let error st message = raise (Parse_error { line = st.line; col = st.col; message })
+
+let eof st = st.pos >= String.length st.input
+
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let peek2 st = if st.pos + 1 >= String.length st.input then '\000' else st.input.[st.pos + 1]
+
+let advance st =
+  if not (eof st) then begin
+    (if st.input.[st.pos] = '\n' then begin
+       st.line <- st.line + 1;
+       st.col <- 1
+     end
+     else st.col <- st.col + 1);
+    st.pos <- st.pos + 1
+  end
+
+let expect st c =
+  if peek st <> c then error st (Printf.sprintf "expected %C, found %C" c (peek st));
+  advance st
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let skip_string st s =
+  if not (looking_at st s) then error st (Printf.sprintf "expected %S" s);
+  String.iter (fun _ -> advance st) s
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_space st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    error st (Printf.sprintf "expected a name, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Entity reference after the '&' has been consumed. *)
+let parse_entity st =
+  let start = st.pos in
+  while (not (eof st)) && peek st <> ';' do
+    advance st
+  done;
+  if eof st then error st "unterminated entity reference";
+  let entity = String.sub st.input start (st.pos - start) in
+  expect st ';';
+  match entity with
+  | "lt" -> "<"
+  | "gt" -> ">"
+  | "amp" -> "&"
+  | "apos" -> "'"
+  | "quot" -> "\""
+  | _ ->
+    if String.length entity > 1 && entity.[0] = '#' then begin
+      let code =
+        try
+          if String.length entity > 2 && (entity.[1] = 'x' || entity.[1] = 'X') then
+            int_of_string ("0x" ^ String.sub entity 2 (String.length entity - 2))
+          else int_of_string (String.sub entity 1 (String.length entity - 1))
+        with Failure _ -> error st (Printf.sprintf "bad character reference &%s;" entity)
+      in
+      if code < 0 || code > 0x10FFFF then error st "character reference out of range";
+      (* Encode the code point as UTF-8. *)
+      let buf = Buffer.create 4 in
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+      end;
+      Buffer.contents buf
+    end
+    else error st (Printf.sprintf "unknown entity &%s;" entity)
+
+let parse_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected quoted attribute value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then error st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string buf (parse_entity st);
+      go ()
+    end
+    else if peek st = '<' then error st "'<' is not allowed in attribute values"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_attributes st =
+  let rec go acc =
+    skip_space st;
+    if is_name_start (peek st) then begin
+      let key = parse_name st in
+      skip_space st;
+      expect st '=';
+      skip_space st;
+      let value = parse_attr_value st in
+      if List.mem_assoc key acc then
+        error st (Printf.sprintf "duplicate attribute %S" key);
+      go ((key, value) :: acc)
+    end
+    else List.rev acc
+  in
+  go []
+
+let skip_comment st =
+  skip_string st "<!--";
+  let rec go () =
+    if eof st then error st "unterminated comment"
+    else if looking_at st "-->" then skip_string st "-->"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_pi st =
+  skip_string st "<?";
+  let rec go () =
+    if eof st then error st "unterminated processing instruction"
+    else if looking_at st "?>" then skip_string st "?>"
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_cdata st =
+  skip_string st "<![CDATA[";
+  let buf = Buffer.create 32 in
+  let rec go () =
+    if eof st then error st "unterminated CDATA section"
+    else if looking_at st "]]>" then skip_string st "]]>"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+(* <!DOCTYPE name [internal subset]> after "<!DOCTYPE" is recognized. *)
+let parse_doctype st =
+  skip_string st "<!DOCTYPE";
+  skip_space st;
+  let name = parse_name st in
+  skip_space st;
+  (* Skip an optional external id without interpreting it. *)
+  let rec skip_external () =
+    if peek st <> '[' && peek st <> '>' && not (eof st) then begin
+      (if peek st = '"' || peek st = '\'' then begin
+         let q = peek st in
+         advance st;
+         while (not (eof st)) && peek st <> q do advance st done;
+         if eof st then error st "unterminated literal in DOCTYPE";
+         advance st
+       end
+       else advance st);
+      skip_external ()
+    end
+  in
+  skip_external ();
+  let subset =
+    if peek st = '[' then begin
+      advance st;
+      let start = st.pos in
+      let depth = ref 0 in
+      let rec go () =
+        if eof st then error st "unterminated internal DTD subset"
+        else if peek st = '[' then begin incr depth; advance st; go () end
+        else if peek st = ']' then
+          if !depth = 0 then ()
+          else begin decr depth; advance st; go () end
+        else begin advance st; go () end
+      in
+      go ();
+      let subset = String.sub st.input start (st.pos - start) in
+      expect st ']';
+      Some subset
+    end
+    else None
+  in
+  skip_space st;
+  expect st '>';
+  (name, subset)
+
+let rec parse_misc st =
+  skip_space st;
+  if looking_at st "<!--" then begin
+    skip_comment st;
+    parse_misc st
+  end
+  else if looking_at st "<?" then begin
+    skip_pi st;
+    parse_misc st
+  end
+
+let rec parse_element st =
+  expect st '<';
+  let tag = parse_name st in
+  let attrs = parse_attributes st in
+  skip_space st;
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    Xml_tree.element ~attrs tag []
+  end
+  else begin
+    expect st '>';
+    let text = Buffer.create 16 in
+    let rec content children =
+      if eof st then error st (Printf.sprintf "unterminated element <%s>" tag)
+      else if looking_at st "</" then begin
+        skip_string st "</";
+        let closing = parse_name st in
+        if closing <> tag then
+          error st (Printf.sprintf "mismatched closing tag </%s>, expected </%s>" closing tag);
+        skip_space st;
+        expect st '>';
+        List.rev children
+      end
+      else if looking_at st "<!--" then begin
+        skip_comment st;
+        content children
+      end
+      else if looking_at st "<![CDATA[" then begin
+        Buffer.add_string text (parse_cdata st);
+        content children
+      end
+      else if looking_at st "<?" then begin
+        skip_pi st;
+        content children
+      end
+      else if peek st = '<' then begin
+        let child = parse_element st in
+        content (child :: children)
+      end
+      else if peek st = '&' then begin
+        advance st;
+        Buffer.add_string text (parse_entity st);
+        content children
+      end
+      else begin
+        Buffer.add_char text (peek st);
+        advance st;
+        content children
+      end
+    in
+    let children = content [] in
+    Xml_tree.element ~attrs ~text:(String.trim (Buffer.contents text)) tag children
+  end
+
+let parse_full input =
+  let st = { input; pos = 0; line = 1; col = 1 } in
+  parse_misc st;
+  let doctype_name, internal_subset =
+    if looking_at st "<!DOCTYPE" then begin
+      let name, subset = parse_doctype st in
+      (Some name, subset)
+    end
+    else (None, None)
+  in
+  parse_misc st;
+  if eof st || peek st <> '<' then error st "expected root element";
+  if peek2 st = '!' || peek2 st = '?' then error st "expected root element";
+  let root = parse_element st in
+  parse_misc st;
+  if not (eof st) then error st "trailing content after root element";
+  { root; doctype_name; internal_subset }
+
+let parse input = (parse_full input).root
+
+let parse_opt input = try Some (parse input) with Parse_error _ -> None
+
+let error_message = function
+  | Parse_error { line; col; message } ->
+    Some (Printf.sprintf "XML parse error at line %d, column %d: %s" line col message)
+  | _ -> None

@@ -1,0 +1,26 @@
+(** Hand-written XML parser (well-formedness only; DTD validation lives in
+    [Xroute_dtd]). *)
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type parsed = {
+  root : Xml_tree.t;
+  doctype_name : string option;  (** root name declared by [<!DOCTYPE ...>] *)
+  internal_subset : string option;
+      (** raw internal DTD subset, parseable by [Xroute_dtd.Dtd_parser] *)
+}
+
+(** Parse a document, returning the root plus DOCTYPE information.
+    @raise Parse_error on malformed input. *)
+val parse_full : string -> parsed
+
+(** Parse a document and return its root element.
+    @raise Parse_error on malformed input. *)
+val parse : string -> Xml_tree.t
+
+(** Like {!parse} but returns [None] on malformed input. *)
+val parse_opt : string -> Xml_tree.t option
+
+(** Human-readable rendering of a {!Parse_error}; [None] for other
+    exceptions. *)
+val error_message : exn -> string option

@@ -1,0 +1,96 @@
+(* XML serialization. [to_string] produces compact output whose size is the
+   "document size" used by the notification-delay experiments; [pp] produces
+   indented output for humans. *)
+
+let escape_text s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_attr s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_attrs buf attrs =
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf k;
+      Buffer.add_string buf "=\"";
+      Buffer.add_string buf (escape_attr v);
+      Buffer.add_char buf '"')
+    attrs
+
+let rec add_node buf node =
+  let open Xml_tree in
+  Buffer.add_char buf '<';
+  Buffer.add_string buf (name node);
+  add_attrs buf (attrs node);
+  match (children node, text node) with
+  | [], "" -> Buffer.add_string buf "/>"
+  | children_list, txt ->
+    Buffer.add_char buf '>';
+    if txt <> "" then Buffer.add_string buf (escape_text txt);
+    List.iter (add_node buf) children_list;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf (name node);
+    Buffer.add_char buf '>'
+
+let to_string node =
+  let buf = Buffer.create 256 in
+  add_node buf node;
+  Buffer.contents buf
+
+(* Serialized byte size without materializing the string. *)
+let byte_size node =
+  let rec go acc node =
+    let open Xml_tree in
+    let attr_len =
+      List.fold_left
+        (fun acc (k, v) -> acc + 4 + String.length k + String.length (escape_attr v))
+        0 (attrs node)
+    in
+    match (children node, text node) with
+    | [], "" -> acc + 3 + String.length (name node) + attr_len
+    | children_list, txt ->
+      let acc = acc + 5 + (2 * String.length (name node)) + attr_len in
+      let acc = acc + String.length (escape_text txt) in
+      List.fold_left go acc children_list
+  in
+  go 0 node
+
+let rec pp ?(indent = 0) ppf node =
+  let open Xml_tree in
+  let pad = String.make indent ' ' in
+  match (children node, text node) with
+  | [], "" ->
+    Format.fprintf ppf "%s<%s%t/>" pad (name node) (fun ppf ->
+        List.iter (fun (k, v) -> Format.fprintf ppf " %s=\"%s\"" k (escape_attr v)) (attrs node))
+  | [], txt ->
+    Format.fprintf ppf "%s<%s%t>%s</%s>" pad (name node)
+      (fun ppf ->
+        List.iter (fun (k, v) -> Format.fprintf ppf " %s=\"%s\"" k (escape_attr v)) (attrs node))
+      (escape_text txt) (name node)
+  | children_list, txt ->
+    Format.fprintf ppf "%s<%s%t>" pad (name node) (fun ppf ->
+        List.iter (fun (k, v) -> Format.fprintf ppf " %s=\"%s\"" k (escape_attr v)) (attrs node));
+    if txt <> "" then Format.fprintf ppf "@\n%s %s" pad (escape_text txt);
+    List.iter (fun c -> Format.fprintf ppf "@\n%a" (pp ~indent:(indent + 2)) c) children_list;
+    Format.fprintf ppf "@\n%s</%s>" pad (name node)
+
+let to_pretty_string node = Format.asprintf "%a" (pp ~indent:0) node

@@ -1,0 +1,14 @@
+(** XML serialization. *)
+
+(** Compact single-line serialization; inverse of [Xml_parser.parse] up to
+    whitespace normalization. *)
+val to_string : Xml_tree.t -> string
+
+(** Byte length of {!to_string} without building the string. This is the
+    document size used by the delay experiments. *)
+val byte_size : Xml_tree.t -> int
+
+(** Indented serialization for humans. *)
+val pp : ?indent:int -> Format.formatter -> Xml_tree.t -> unit
+
+val to_pretty_string : Xml_tree.t -> string

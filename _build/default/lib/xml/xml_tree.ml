@@ -1,0 +1,54 @@
+(* XML document model.
+
+   The dissemination network treats a document as a tree of elements; text
+   and attributes are carried along (and used by the attribute-predicate
+   extension) but routing decisions are made on element paths. *)
+
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  children : t list;
+  text : string; (* concatenated character data directly under this element *)
+}
+
+type document = {
+  root : t;
+  doc_id : int;
+}
+
+let element ?(attrs = []) ?(text = "") name children = { name; attrs; children; text }
+
+let leaf ?(attrs = []) ?(text = "") name = element ~attrs ~text name []
+
+let name t = t.name
+let attrs t = t.attrs
+let children t = t.children
+let text t = t.text
+
+let attr t key = List.assoc_opt key t.attrs
+
+let rec fold f acc t = List.fold_left (fold f) (f acc t) t.children
+
+(* Number of element nodes. *)
+let size t = fold (fun acc _ -> acc + 1) 0 t
+
+let rec depth t =
+  match t.children with
+  | [] -> 1
+  | children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
+
+let rec equal a b =
+  String.equal a.name b.name
+  && List.length a.attrs = List.length b.attrs
+  && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && String.equal v v') a.attrs b.attrs
+  && String.equal a.text b.text
+  && List.length a.children = List.length b.children
+  && List.for_all2 equal a.children b.children
+
+(* Distinct element names used in the document, sorted. *)
+let element_names t =
+  let module S = Set.Make (String) in
+  let set = fold (fun acc n -> S.add n.name acc) S.empty t in
+  S.elements set
+
+let document ~doc_id root = { root; doc_id }

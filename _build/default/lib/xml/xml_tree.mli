@@ -1,0 +1,40 @@
+(** XML document model: a tree of elements with attributes and character
+    data. Routing decisions are made on element paths; attributes feed
+    the predicate extension. *)
+
+type t = {
+  name : string;
+  attrs : (string * string) list;
+  children : t list;
+  text : string;  (** concatenated character data directly under this element *)
+}
+
+type document = { root : t; doc_id : int }
+
+val element : ?attrs:(string * string) list -> ?text:string -> string -> t list -> t
+
+(** Element with no children. *)
+val leaf : ?attrs:(string * string) list -> ?text:string -> string -> t
+
+val name : t -> string
+val attrs : t -> (string * string) list
+val children : t -> t list
+val text : t -> string
+val attr : t -> string -> string option
+
+(** Pre-order fold over all element nodes. *)
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+
+(** Number of element nodes. *)
+val size : t -> int
+
+(** Maximum nesting depth (1 for a leaf). *)
+val depth : t -> int
+
+(** Structural equality (names, attributes in order, text, children). *)
+val equal : t -> t -> bool
+
+(** Distinct element names, sorted. *)
+val element_names : t -> string list
+
+val document : doc_id:int -> t -> document

@@ -1,0 +1,1 @@
+lib/xpath/adv.ml: Array Buffer Format Hashtbl List Printf Stdlib String Xpe

@@ -1,0 +1,1 @@
+lib/xpath/adv.mli: Format Xpe

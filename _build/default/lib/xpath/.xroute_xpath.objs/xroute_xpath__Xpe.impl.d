@@ -1,0 +1,1 @@
+lib/xpath/xpe.ml: Bool Buffer Format Hashtbl List Printf String

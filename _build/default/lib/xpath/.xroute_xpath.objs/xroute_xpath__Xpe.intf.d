@@ -1,0 +1,1 @@
+lib/xpath/xpe.mli: Format

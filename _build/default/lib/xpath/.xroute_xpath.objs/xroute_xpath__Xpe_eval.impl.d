@@ -1,0 +1,1 @@
+lib/xpath/xpe_eval.ml: Array List String Xpe Xroute_xml

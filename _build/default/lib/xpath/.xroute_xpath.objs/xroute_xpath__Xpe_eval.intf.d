@@ -1,0 +1,1 @@
+lib/xpath/xpe_eval.mli: Xpe Xroute_xml

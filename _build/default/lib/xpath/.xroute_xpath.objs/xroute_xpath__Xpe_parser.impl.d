@@ -1,0 +1,1 @@
+lib/xpath/xpe_parser.ml: List Printf String Xpe

@@ -1,0 +1,58 @@
+(* XPE evaluation against concrete paths and documents.
+
+   An XPE selects nodes; in the dissemination setting a publication (a
+   root-to-leaf path) matches an XPE when the XPE selects some node on the
+   path. Concretely, the XPE pattern must match a prefix of the path
+   (absolute) or start anywhere (relative / leading [//]), with [//]
+   allowing gaps.
+
+   Matching is plain backtracking: XPEs and paths are bounded to ~10 steps
+   in the paper's workloads, so worst-case exponential blowup from many
+   [//] operators is irrelevant; correctness and clarity win. *)
+
+let test_matches test element =
+  match test with Xpe.Star -> true | Xpe.Name n -> String.equal n element
+
+let preds_match preds attrs =
+  List.for_all
+    (fun { Xpe.attr; value } ->
+      match List.assoc_opt attr attrs with Some v -> String.equal v value | None -> false)
+    preds
+
+let step_matches (s : Xpe.step) element attrs =
+  test_matches s.test element && preds_match s.preds attrs
+
+(* Match the semantic steps against [steps]/[attrs] starting at [i]:
+   a Child step consumes position [i]; a Desc step consumes some
+   position [j >= i]. *)
+let rec match_from ~steps ~attrs xpe_steps i =
+  let n = Array.length steps in
+  match xpe_steps with
+  | [] -> true
+  | ({ Xpe.axis = Child; _ } as s) :: rest ->
+    i < n && step_matches s steps.(i) attrs.(i) && match_from ~steps ~attrs rest (i + 1)
+  | ({ Xpe.axis = Desc; _ } as s) :: rest ->
+    let rec try_at j =
+      if j >= n then false
+      else if step_matches s steps.(j) attrs.(j) && match_from ~steps ~attrs rest (j + 1) then true
+      else try_at (j + 1)
+    in
+    try_at i
+
+let matches_steps xpe steps attrs = match_from ~steps ~attrs (Xpe.semantic_steps xpe) 0
+
+(* Publication match: prefix/infix semantics described above. *)
+let matches_publication xpe (p : Xroute_xml.Xml_paths.publication) =
+  matches_steps xpe p.steps p.attrs
+
+(* Element-name-only matching (no attributes), used by the workload
+   and merging machinery where paths are bare name sequences. *)
+let matches_names xpe names =
+  matches_steps xpe names (Array.make (Array.length names) [])
+
+(* A document matches when some root-to-leaf path does. *)
+let matches_document xpe root =
+  List.exists (matches_publication xpe) (Xroute_xml.Xml_paths.decompose ~doc_id:0 root)
+
+(* All publications of [pubs] matching [xpe]. *)
+let filter xpe pubs = List.filter (matches_publication xpe) pubs

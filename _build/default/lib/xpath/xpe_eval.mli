@@ -1,0 +1,22 @@
+(** Evaluation of XPEs against paths and documents.
+
+    A publication [/t1/.../tn] matches an XPE when the XPE selects a node
+    on the path: the pattern matches a prefix (absolute XPE) or any infix
+    starting point (relative XPE / leading [//]), with [//] allowing
+    gaps. *)
+
+(** [matches_steps xpe steps attrs] — core matcher over a concrete path
+    given as element names plus per-position attributes. [steps] and
+    [attrs] must have equal lengths. *)
+val matches_steps : Xpe.t -> string array -> (string * string) list array -> bool
+
+val matches_publication : Xpe.t -> Xroute_xml.Xml_paths.publication -> bool
+
+(** Match a bare name sequence (all attribute lists empty). *)
+val matches_names : Xpe.t -> string array -> bool
+
+(** True when some root-to-leaf path of the document matches. *)
+val matches_document : Xpe.t -> Xroute_xml.Xml_tree.t -> bool
+
+val filter :
+  Xpe.t -> Xroute_xml.Xml_paths.publication list -> Xroute_xml.Xml_paths.publication list

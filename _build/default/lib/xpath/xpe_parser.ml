@@ -1,0 +1,108 @@
+(* Parser for the XPE fragment: [/], [//], [*], names, and attribute
+   equality predicates such as [//book/chapter[@lang='en']/title]. *)
+
+exception Parse_error of { pos : int; message : string }
+
+type state = { input : string; mutable pos : int }
+
+let error st message = raise (Parse_error { pos = st.pos; message })
+
+let eof st = st.pos >= String.length st.input
+
+let peek st = if eof st then '\000' else st.input.[st.pos]
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then
+    error st (Printf.sprintf "expected an element name or *, found %C" (peek st));
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+let parse_test st =
+  if peek st = '*' then begin
+    advance st;
+    Xpe.Star
+  end
+  else Xpe.Name (parse_name st)
+
+(* A predicate of the form [@attr='value'] or [@attr="value"]. *)
+let parse_predicate st =
+  advance st (* '[' *);
+  if peek st <> '@' then error st "only attribute predicates [@name='value'] are supported";
+  advance st;
+  let attr = parse_name st in
+  if peek st <> '=' then error st "expected '=' in attribute predicate";
+  advance st;
+  let quote = peek st in
+  if quote <> '\'' && quote <> '"' then error st "expected quoted value in attribute predicate";
+  advance st;
+  let start = st.pos in
+  while (not (eof st)) && peek st <> quote do
+    advance st
+  done;
+  if eof st then error st "unterminated attribute value";
+  let value = String.sub st.input start (st.pos - start) in
+  advance st (* closing quote *);
+  if peek st <> ']' then error st "expected ']' to close predicate";
+  advance st;
+  { Xpe.attr; value }
+
+let parse_predicates st =
+  let rec go acc = if peek st = '[' then go (parse_predicate st :: acc) else List.rev acc in
+  go []
+
+let parse_step st axis =
+  let test = parse_test st in
+  let preds = parse_predicates st in
+  Xpe.step ~preds axis test
+
+let parse input =
+  let st = { input; pos = 0 } in
+  if eof st then error st "empty XPath expression";
+  let relative, first_axis =
+    if looking_at st "//" then begin
+      advance st;
+      advance st;
+      (false, Xpe.Desc)
+    end
+    else if peek st = '/' then begin
+      advance st;
+      (false, Xpe.Child)
+    end
+    else (true, Xpe.Child)
+  in
+  let first = parse_step st first_axis in
+  let rec go acc =
+    if eof st then List.rev acc
+    else if looking_at st "//" then begin
+      advance st;
+      advance st;
+      go (parse_step st Xpe.Desc :: acc)
+    end
+    else if peek st = '/' then begin
+      advance st;
+      go (parse_step st Xpe.Child :: acc)
+    end
+    else error st (Printf.sprintf "unexpected character %C" (peek st))
+  in
+  let steps = go [ first ] in
+  Xpe.make ~relative steps
+
+let parse_opt input = try Some (parse input) with Parse_error _ | Invalid_argument _ -> None
+
+let error_message = function
+  | Parse_error { pos; message } ->
+    Some (Printf.sprintf "XPath parse error at offset %d: %s" pos message)
+  | _ -> None

@@ -1,0 +1,12 @@
+(** Parser for XPEs, inverse of [Xpe.to_string]. *)
+
+exception Parse_error of { pos : int; message : string }
+
+(** @raise Parse_error on syntax errors. *)
+val parse : string -> Xpe.t
+
+val parse_opt : string -> Xpe.t option
+
+(** Human-readable rendering of a {!Parse_error}; [None] for other
+    exceptions. *)
+val error_message : exn -> string option

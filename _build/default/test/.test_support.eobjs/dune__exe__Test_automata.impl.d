@@ -1,0 +1,1 @@
+test/test_automata.ml: Adv Alcotest Array Lang List Nfa Printf Regex String Xpe_eval Xpe_parser Xroute_automata Xroute_xpath

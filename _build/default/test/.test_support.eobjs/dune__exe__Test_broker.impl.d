@@ -1,0 +1,1 @@
+test/test_broker.ml: Adv Alcotest Array Broker List Message Rtable String Xpe_parser Xroute_core Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_codec.ml: Adv Alcotest Array Codec List Message QCheck QCheck_alcotest Xpe Xpe_parser Xroute_core Xroute_xml Xroute_xpath

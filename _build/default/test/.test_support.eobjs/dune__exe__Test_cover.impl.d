@@ -1,0 +1,1 @@
+test/test_cover.ml: Adv Alcotest Cover List Xpe Xpe_parser Xroute_automata Xroute_core Xroute_support Xroute_xpath

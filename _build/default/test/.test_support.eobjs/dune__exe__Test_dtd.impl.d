@@ -1,0 +1,1 @@
+test/test_dtd.ml: Alcotest Array Dtd_ast Dtd_graph Dtd_parser Dtd_paths Dtd_printer Dtd_samples Dtd_validate Hashtbl List Option String Xroute_dtd Xroute_support Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Hashtbl Lazy List Net Option Topology Xroute_core Xroute_dtd Xroute_overlay Xroute_support Xroute_workload Xroute_xpath

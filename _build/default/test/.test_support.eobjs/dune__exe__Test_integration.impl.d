@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Hashtbl Lazy List Net Printf Topology Xroute_core Xroute_dtd Xroute_overlay Xroute_support Xroute_workload Xroute_xml Xroute_xpath

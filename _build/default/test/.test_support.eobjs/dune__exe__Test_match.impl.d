@@ -1,0 +1,1 @@
+test/test_match.ml: Adv Adv_match Alcotest Array List String Xpe Xpe_parser Xroute_core Xroute_support Xroute_xpath

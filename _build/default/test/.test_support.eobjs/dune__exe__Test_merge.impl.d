@@ -1,0 +1,1 @@
+test/test_merge.ml: Alcotest Array Lazy List Merge Printf String Unix Xpe Xpe_parser Xroute_automata Xroute_core Xroute_dtd Xroute_support Xroute_workload Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Hashtbl Latency Lazy List Net Option Sim String Topology Xroute_core Xroute_dtd Xroute_overlay Xroute_support Xroute_workload Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_rtable.ml: Adv Adv_match Alcotest List Message Rtable Sub_tree Xpe Xpe_parser Xroute_core Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_subtree.ml: Alcotest Array List String Sub_tree Xpe Xpe_parser Xroute_core Xroute_support Xroute_xpath

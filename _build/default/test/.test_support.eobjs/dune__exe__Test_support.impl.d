@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Array Fun Heap List Prng Stats Xroute_support Zipf

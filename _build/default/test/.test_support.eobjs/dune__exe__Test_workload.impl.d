@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lazy List Printf Workload Xml_gen Xpath_gen Xroute_dtd Xroute_support Xroute_workload Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List String Xml_parser Xml_paths Xml_printer Xml_tree Xroute_xml

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Adv Alcotest Array List String Xpe Xpe_eval Xpe_parser Xroute_xml Xroute_xpath

@@ -1,0 +1,149 @@
+(* Tests for the wire codec: hand-written cases, error handling, and a
+   QCheck round-trip property. *)
+
+open Xroute_core
+open Xroute_xpath
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let cs = Alcotest.string
+
+let sid o s = { Message.origin = o; seq = s }
+
+let roundtrip msg =
+  match Codec.decode (Codec.encode msg) with
+  | Ok msg' -> Message.to_string msg' = Message.to_string msg
+  | Error _ -> false
+
+let test_advertise () =
+  let msg = Message.Advertise { id = sid 3 7; adv = Adv.parse "/a/b(/c)+/d" } in
+  check cb "roundtrip" true (roundtrip msg);
+  check cs "wire form" "1|A|3.7|/a/b(/c)+/d" (Codec.encode msg)
+
+let test_subscribe () =
+  let msg = Message.Subscribe { id = sid 1 2; xpe = Xpe_parser.parse "/a/*//b[@k='v']" } in
+  check cb "roundtrip" true (roundtrip msg)
+
+let test_unsubscribe_unadvertise () =
+  check cb "unsub" true (roundtrip (Message.Unsubscribe { id = sid 9 1 }));
+  check cb "unadv" true (roundtrip (Message.Unadvertise { id = sid 9 2 }))
+
+let test_publish () =
+  let pub =
+    {
+      Xroute_xml.Xml_paths.doc_id = 5;
+      path_id = 2;
+      steps = [| "a"; "b"; "c" |];
+      attrs = [| [ ("k", "v") ]; []; [ ("x", "1"); ("y", "2") ] |];
+      doc_size = 123;
+      path_count = 4;
+    }
+  in
+  let msg = Message.Publish { pub; trail = [ sid 1 1; sid 2 2 ] } in
+  match Codec.decode (Codec.encode msg) with
+  | Ok (Message.Publish { pub = p; trail }) ->
+    check cb "steps" true (p.steps = [| "a"; "b"; "c" |]);
+    check cb "attrs" true (p.attrs.(2) = [ ("x", "1"); ("y", "2") ]);
+    check cb "meta" true (p.doc_id = 5 && p.path_id = 2 && p.doc_size = 123 && p.path_count = 4);
+    check cb "trail" true (List.length trail = 2)
+  | _ -> Alcotest.fail "publish did not roundtrip"
+
+let test_escaping () =
+  let pub =
+    {
+      Xroute_xml.Xml_paths.doc_id = 1;
+      path_id = 0;
+      steps = [| "we|ird"; "na,me"; "e=q;x%" |];
+      attrs = [| []; [ ("k|1", "v,2") ]; [] |];
+      doc_size = 9;
+      path_count = 1;
+    }
+  in
+  let msg = Message.Publish { pub; trail = [] } in
+  match Codec.decode (Codec.encode msg) with
+  | Ok (Message.Publish { pub = p; _ }) ->
+    check cb "weird names survive" true (p.steps = pub.steps);
+    check cb "weird attrs survive" true (p.attrs.(1) = [ ("k|1", "v,2") ])
+  | _ -> Alcotest.fail "escaped publish did not roundtrip"
+
+let test_decode_errors () =
+  List.iter
+    (fun line ->
+      match Codec.decode line with
+      | Ok _ -> Alcotest.failf "expected decode error for %S" line
+      | Error _ -> ())
+    [
+      "";
+      "junk";
+      "2|S|1.1|/a";            (* wrong version *)
+      "1|X|1.1|/a";            (* unknown kind *)
+      "1|S|11|/a";             (* malformed id *)
+      "1|S|1.1|not an xpe[";   (* malformed xpe *)
+      "1|A|1.1|(/a";           (* malformed adv *)
+      "1|P|1.2.3|/a";          (* malformed pub header *)
+      "1|P|1.2.3.4||a,b|x";    (* attr block mismatch: 1 pos for 2 steps *)
+      "1|S|1.1|%G1";           (* malformed escape *)
+    ]
+
+(* QCheck round-trip over random messages. *)
+let gen_name = QCheck.Gen.oneofl [ "a"; "b"; "w|x"; "y,z"; "p%q" ]
+
+let gen_msg =
+  QCheck.Gen.(
+    let* kind = int_range 0 4 in
+    let* o = int_range 0 1000 and* q = int_range 0 1000 in
+    let id = sid o q in
+    match kind with
+    | 0 ->
+      let* len = int_range 1 4 in
+      let* names = list_repeat len (oneofl [ "a"; "b"; "c" ]) in
+      return (Message.Advertise { id; adv = Adv.of_names names })
+    | 1 -> return (Message.Unadvertise { id })
+    | 2 ->
+      let* len = int_range 1 4 in
+      let* names = list_repeat len (oneofl [ "a"; "b"; "*" ]) in
+      return (Message.Subscribe { id; xpe = Xpe.absolute_of_names names })
+    | 3 -> return (Message.Unsubscribe { id })
+    | _ ->
+      let* len = int_range 1 5 in
+      let* steps = list_repeat len gen_name in
+      let* with_attr = bool in
+      let steps = Array.of_list steps in
+      let attrs =
+        Array.mapi (fun i _ -> if with_attr && i = 0 then [ ("k|ey", "v,al") ] else []) steps
+      in
+      let* doc_id = int_range 0 100 and* path_id = int_range 0 100 in
+      return
+        (Message.Publish
+           {
+             pub =
+               {
+                 Xroute_xml.Xml_paths.doc_id;
+                 path_id;
+                 steps;
+                 attrs;
+                 doc_size = 10;
+                 path_count = 2;
+               };
+             trail = [ id ];
+           }))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"codec roundtrip" ~count:1000
+    (QCheck.make ~print:Message.to_string gen_msg)
+    roundtrip
+
+let () =
+  Alcotest.run "codec"
+    [
+      ( "cases",
+        [
+          Alcotest.test_case "advertise" `Quick test_advertise;
+          Alcotest.test_case "subscribe" `Quick test_subscribe;
+          Alcotest.test_case "unsub/unadv" `Quick test_unsubscribe_unadvertise;
+          Alcotest.test_case "publish" `Quick test_publish;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

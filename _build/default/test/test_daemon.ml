@@ -1,0 +1,112 @@
+(* End-to-end test of the TCP deployment: real broker daemons on
+   loopback sockets, driven in background threads; clients advertise,
+   subscribe and publish over the wire. *)
+
+open Xroute_daemon
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let xp = Xroute_xpath.Xpe_parser.parse
+
+(* Start a line of [n] daemons on free ports; returns (daemons, threads).
+   Daemons are created in id order so each knows the already-bound port
+   of its lower neighbor (which it dials); the higher neighbor dials us,
+   so its address may be a placeholder. *)
+let start_line n =
+  let daemons = ref [] in
+  for i = 0 to n - 1 do
+    let lower =
+      if i = 0 then []
+      else [ (i - 1, ("127.0.0.1", Daemon.port (List.nth !daemons (i - 1)))) ]
+    in
+    let higher = if i < n - 1 then [ (i + 1, ("127.0.0.1", 0)) ] else [] in
+    let d = Daemon.create ~id:i ~port:0 ~neighbors:(lower @ higher) () in
+    daemons := !daemons @ [ d ]
+  done;
+  let threads =
+    List.map (fun d -> Thread.create (fun () -> Daemon.run ~timeout:0.01 d) ()) !daemons
+  in
+  (!daemons, threads)
+
+let stop_all (daemons, threads) =
+  List.iter Daemon.request_stop daemons;
+  List.iter Thread.join threads
+
+let test_end_to_end () =
+  let daemons, threads = start_line 3 in
+  let d0 = List.nth daemons 0 and d2 = List.nth daemons 2 in
+  (* give the daemons a moment to interconnect *)
+  Thread.delay 0.3;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d2) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/c"));
+  Thread.delay 0.3;
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.3;
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/><c/></a>" in
+  ignore (Client.publish_doc publisher ~doc_id:7 doc);
+  let docs = Client.drain_deliveries ~timeout:1.0 subscriber in
+  check (Alcotest.list ci) "doc delivered over TCP" [ 7 ] docs;
+  (* a non-matching publication is not delivered *)
+  ignore (Client.publish_doc publisher ~doc_id:8 (Xroute_xml.Xml_parser.parse "<a><c/></a>"));
+  let docs = Client.drain_deliveries ~timeout:0.6 subscriber in
+  check (Alcotest.list ci) "non-matching withheld" [] docs;
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
+let test_unsubscribe_over_wire () =
+  let daemons, threads = start_line 2 in
+  let d0 = List.nth daemons 0 and d1 = List.nth daemons 1 in
+  Thread.delay 0.2;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/x/y"));
+  Thread.delay 0.2;
+  let sub = Client.subscribe subscriber (xp "/x") in
+  Thread.delay 0.2;
+  ignore (Client.publish_doc publisher ~doc_id:1 (Xroute_xml.Xml_parser.parse "<x><y/></x>"));
+  check (Alcotest.list ci) "delivered" [ 1 ] (Client.drain_deliveries ~timeout:0.8 subscriber);
+  Client.unsubscribe subscriber sub;
+  Thread.delay 0.2;
+  ignore (Client.publish_doc publisher ~doc_id:2 (Xroute_xml.Xml_parser.parse "<x><y/></x>"));
+  check (Alcotest.list ci) "stopped after unsubscribe" []
+    (Client.drain_deliveries ~timeout:0.6 subscriber);
+  (* broker table is clean again *)
+  check ci "prt empty" 0 (Xroute_core.Broker.prt_size (Daemon.broker d1));
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
+let test_two_subscribers_fanout () =
+  let daemons, threads = start_line 3 in
+  Thread.delay 0.3;
+  let d0 = List.nth daemons 0 and d1 = List.nth daemons 1 and d2 = List.nth daemons 2 in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let s1 = Client.connect ~client_id:201 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  let s2 = Client.connect ~client_id:202 ~host:"127.0.0.1" ~port:(Daemon.port d2) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/n/t"));
+  Thread.delay 0.2;
+  ignore (Client.subscribe s1 (xp "//t"));
+  ignore (Client.subscribe s2 (xp "/n"));
+  Thread.delay 0.3;
+  ignore (Client.publish_doc publisher ~doc_id:5 (Xroute_xml.Xml_parser.parse "<n><t/></n>"));
+  check (Alcotest.list ci) "s1 got it" [ 5 ] (Client.drain_deliveries ~timeout:0.8 s1);
+  check (Alcotest.list ci) "s2 got it" [ 5 ] (Client.drain_deliveries ~timeout:0.8 s2);
+  check cb "interior broker holds state" true (Xroute_core.Broker.prt_size (Daemon.broker d1) > 0);
+  Client.close publisher; Client.close s1; Client.close s2;
+  stop_all (daemons, threads)
+
+let () =
+  Alcotest.run "daemon"
+    [
+      ( "tcp",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "unsubscribe" `Quick test_unsubscribe_over_wire;
+          Alcotest.test_case "fanout" `Quick test_two_subscribers_fanout;
+        ] );
+    ]

@@ -1,0 +1,448 @@
+(* Tests for the DTD library: parser, graph analysis, path enumeration
+   and advertisement generation. *)
+
+open Xroute_dtd
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let parse = Dtd_parser.parse
+
+(* ---------------- Parser ---------------- *)
+
+let test_parse_element_kinds () =
+  let dtd =
+    parse
+      {|<!ELEMENT a (b, c?, d*)><!ELEMENT b EMPTY><!ELEMENT c ANY>
+        <!ELEMENT d (#PCDATA)>|}
+  in
+  check cs "root is first" "a" (Dtd_ast.root dtd);
+  check ci "element count" 4 (Dtd_ast.element_count dtd);
+  (match Dtd_ast.find dtd "b" with
+  | Some { Dtd_ast.content = Dtd_ast.Empty; _ } -> ()
+  | _ -> Alcotest.fail "b should be EMPTY");
+  (match Dtd_ast.find dtd "c" with
+  | Some { Dtd_ast.content = Dtd_ast.Any; _ } -> ()
+  | _ -> Alcotest.fail "c should be ANY");
+  match Dtd_ast.find dtd "d" with
+  | Some { Dtd_ast.content = Dtd_ast.Pcdata; _ } -> ()
+  | _ -> Alcotest.fail "d should be PCDATA"
+
+let test_parse_mixed () =
+  let dtd = parse {|<!ELEMENT a (#PCDATA | b | c)*><!ELEMENT b (#PCDATA)><!ELEMENT c EMPTY>|} in
+  match Dtd_ast.find dtd "a" with
+  | Some { Dtd_ast.content = Dtd_ast.Mixed names; _ } ->
+    check (Alcotest.list cs) "mixed names" [ "b"; "c" ] names
+  | _ -> Alcotest.fail "a should be mixed"
+
+let test_parse_nested_groups () =
+  let dtd = parse {|<!ELEMENT a ((b | c), (d, e)+)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>
+                    <!ELEMENT d EMPTY><!ELEMENT e EMPTY>|} in
+  match Dtd_ast.find dtd "a" with
+  | Some { Dtd_ast.content = Dtd_ast.Children p; _ } ->
+    check (Alcotest.list cs) "referenced" [ "b"; "c"; "d"; "e" ] (Dtd_ast.particle_elements p)
+  | _ -> Alcotest.fail "a should have children"
+
+let test_parse_attlist () =
+  let dtd =
+    parse
+      {|<!ELEMENT a EMPTY>
+        <!ATTLIST a x CDATA #REQUIRED y (u | v) "u" z NMTOKEN #IMPLIED>|}
+  in
+  match Dtd_ast.find dtd "a" with
+  | Some { Dtd_ast.attrs; _ } ->
+    check ci "three attrs" 3 (List.length attrs);
+    let y = List.find (fun (d : Dtd_ast.attr_decl) -> d.attr_name = "y") attrs in
+    (match y.Dtd_ast.attr_type with
+    | Dtd_ast.Enum [ "u"; "v" ] -> ()
+    | _ -> Alcotest.fail "y should be an enum");
+    (match y.Dtd_ast.attr_default with
+    | Dtd_ast.Default "u" -> ()
+    | _ -> Alcotest.fail "y default should be u")
+  | None -> Alcotest.fail "a missing"
+
+let test_parse_parameter_entities () =
+  let dtd =
+    parse
+      {|<!ENTITY % kids "b | c">
+        <!ELEMENT a (%kids;)*>
+        <!ELEMENT b EMPTY><!ELEMENT c EMPTY>|}
+  in
+  match Dtd_ast.find dtd "a" with
+  | Some { Dtd_ast.content = Dtd_ast.Children p; _ } ->
+    check (Alcotest.list cs) "expanded" [ "b"; "c" ] (Dtd_ast.particle_elements p)
+  | _ -> Alcotest.fail "a should reference b and c"
+
+let test_parse_comments () =
+  let dtd = parse {|<!-- top --><!ELEMENT a EMPTY><!-- tail -->|} in
+  check ci "one element" 1 (Dtd_ast.element_count dtd)
+
+let expect_error input =
+  match Dtd_parser.parse_opt input with
+  | Some _ -> Alcotest.failf "expected DTD error for %S" input
+  | None -> ()
+
+let test_parse_errors () =
+  List.iter expect_error
+    [
+      "";
+      "<!ELEMENT a (b)>";               (* dangling reference *)
+      "<!ELEMENT a EMPTY><!ELEMENT a EMPTY>"; (* duplicate *)
+      "<!ELEMENT a (b,>";
+      "<!ELEMENT a (#PCDATA | b)>";      (* mixed must close with )* *)
+      "<!ELEMENT a (%nope;)>";           (* undefined entity *)
+    ]
+
+let test_parse_explicit_root () =
+  let dtd = parse ~root:"b" "<!ELEMENT a EMPTY><!ELEMENT b (a)>" in
+  check cs "chosen root" "b" (Dtd_ast.root dtd)
+
+let test_samples_parse () =
+  List.iter
+    (fun name ->
+      match Dtd_samples.by_name name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "sample %s missing" name)
+    Dtd_samples.names
+
+(* ---------------- Nullability / leaves ---------------- *)
+
+let test_nullable () =
+  let open Dtd_ast in
+  check cb "star" true (particle_nullable (Star (Elem "x")));
+  check cb "opt" true (particle_nullable (Opt (Elem "x")));
+  check cb "elem" false (particle_nullable (Elem "x"));
+  check cb "seq of nullables" true (particle_nullable (Seq [ Star (Elem "x"); Opt (Elem "y") ]));
+  check cb "seq with required" false (particle_nullable (Seq [ Star (Elem "x"); Elem "y" ]));
+  check cb "choice" true (particle_nullable (Choice [ Elem "x"; Star (Elem "y") ]));
+  check cb "plus of nullable" true (particle_nullable (Plus (Opt (Elem "x"))))
+
+(* ---------------- Graph ---------------- *)
+
+let graph_of src = Dtd_graph.build (parse src)
+
+let test_graph_children () =
+  let g = graph_of "<!ELEMENT a (b, c)><!ELEMENT b (c*)><!ELEMENT c EMPTY>" in
+  check (Alcotest.list cs) "a kids" [ "b"; "c" ] (Dtd_graph.children g "a");
+  check (Alcotest.list cs) "c kids" [] (Dtd_graph.children g "c")
+
+let test_graph_recursion_self () =
+  let g = graph_of "<!ELEMENT a (a | b)*><!ELEMENT b EMPTY>" in
+  check cb "recursive" true (Dtd_graph.is_recursive g);
+  check cb "a recursive" true (Dtd_graph.is_recursive_element g "a");
+  check cb "b not" false (Dtd_graph.is_recursive_element g "b")
+
+let test_graph_recursion_mutual () =
+  let g = graph_of "<!ELEMENT a (b?)><!ELEMENT b (a?)>" in
+  check cb "recursive" true (Dtd_graph.is_recursive g);
+  check cb "both" true
+    (Dtd_graph.is_recursive_element g "a" && Dtd_graph.is_recursive_element g "b")
+
+let test_graph_non_recursive () =
+  let g = graph_of "<!ELEMENT a (b)><!ELEMENT b (c)><!ELEMENT c EMPTY>" in
+  check cb "not recursive" false (Dtd_graph.is_recursive g);
+  check (Alcotest.list cs) "no recursive elements" [] (Dtd_graph.recursive_elements g)
+
+let test_graph_unreachable () =
+  let g = graph_of "<!ELEMENT a (b)><!ELEMENT b EMPTY><!ELEMENT orphan EMPTY>" in
+  check (Alcotest.list cs) "orphan flagged" [ "orphan" ] (Dtd_graph.unreachable_elements g);
+  check cb "a reachable" true (Dtd_graph.is_reachable g "a");
+  check cb "orphan not" false (Dtd_graph.is_reachable g "orphan")
+
+let test_graph_unreachable_cycle_not_recursive_dtd () =
+  (* A cycle among unreachable elements does not make the DTD recursive. *)
+  let g = graph_of "<!ELEMENT a (b)><!ELEMENT b EMPTY><!ELEMENT u (v)><!ELEMENT v (u?)>" in
+  check cb "cycle exists" true (Dtd_graph.recursive_elements g <> []);
+  check cb "dtd not recursive" false (Dtd_graph.is_recursive g)
+
+let test_graph_leaves () =
+  let g = graph_of "<!ELEMENT a (b)><!ELEMENT b (c+)><!ELEMENT c (#PCDATA)>" in
+  (* a cannot be a leaf (requires b); b requires c; c can. *)
+  check (Alcotest.list cs) "leaves" [ "c" ] (Dtd_graph.leaf_elements g)
+
+let test_samples_recursion_classification () =
+  let recursive name =
+    Dtd_graph.is_recursive (Dtd_graph.build (Option.get (Dtd_samples.by_name name)))
+  in
+  check cb "nitf recursive" true (recursive "nitf");
+  check cb "book recursive" true (recursive "book");
+  check cb "psd non-recursive" false (recursive "psd");
+  check cb "insurance non-recursive" false (recursive "insurance")
+
+(* ---------------- Paths & advertisements ---------------- *)
+
+let test_enumerate_paths_simple () =
+  let g = graph_of "<!ELEMENT a (b | c)><!ELEMENT b (#PCDATA)><!ELEMENT c (d)><!ELEMENT d EMPTY>" in
+  let paths = Dtd_paths.enumerate_paths ~max_depth:5 g in
+  let strings = List.map (fun p -> String.concat "/" (Array.to_list p)) paths in
+  check (Alcotest.list cs) "paths" [ "a/b"; "a/c/d" ] (List.sort compare strings)
+
+let test_enumerate_paths_depth_bound () =
+  let g = graph_of "<!ELEMENT a (a | b)*><!ELEMENT b EMPTY>" in
+  let paths = Dtd_paths.enumerate_paths ~max_depth:3 g in
+  check cb "depth bounded" true
+    (List.for_all (fun p -> Array.length p <= 3) paths);
+  (* a, a/b, a/a, a/a/b, a/a/a ... within depth 3: a; a/a; a/a/a; a/b; a/a/b *)
+  check ci "count" 5 (List.length paths)
+
+let test_enumerate_max_count () =
+  let g = graph_of "<!ELEMENT a (a | b)*><!ELEMENT b EMPTY>" in
+  check ci "capped" 3 (List.length (Dtd_paths.enumerate_paths ~max_count:3 ~max_depth:8 g))
+
+let test_sample_paths_valid () =
+  let g = Dtd_graph.build (Option.get (Dtd_samples.by_name "nitf")) in
+  let prng = Xroute_support.Prng.create 5 in
+  let paths = Dtd_paths.sample_paths ~count:50 ~max_depth:10 prng g in
+  check ci "count" 50 (List.length paths);
+  List.iter
+    (fun p ->
+      check cb "starts at root" true (p.(0) = "nitf");
+      check cb "bounded" true (Array.length p <= 10))
+    paths
+
+let test_advertisements_non_recursive () =
+  let g = graph_of "<!ELEMENT a (b | c)><!ELEMENT b (#PCDATA)><!ELEMENT c (d)><!ELEMENT d EMPTY>" in
+  let advs = Dtd_paths.advertisements g in
+  let strings = List.sort compare (List.map Xroute_xpath.Adv.to_string advs) in
+  check (Alcotest.list cs) "advs" [ "/a/b"; "/a/c/d" ] strings;
+  check cb "none recursive" true (List.for_all (fun a -> not (Xroute_xpath.Adv.is_recursive a)) advs)
+
+let test_advertisements_self_loop () =
+  let g = graph_of "<!ELEMENT a (a | b)*><!ELEMENT b EMPTY>" in
+  let advs = Dtd_paths.advertisements g in
+  let strings = List.sort compare (List.map Xroute_xpath.Adv.to_string advs) in
+  check (Alcotest.list cs) "advs" [ "(/a)+"; "(/a)+/b" ] strings
+
+let test_advertisements_two_cycle () =
+  let g = graph_of "<!ELEMENT a (b?)><!ELEMENT b (a | c)?><!ELEMENT c EMPTY>" in
+  let advs = Dtd_paths.advertisements g in
+  let strings = List.sort compare (List.map Xroute_xpath.Adv.to_string advs) in
+  (* paths: a; a b; a b a b ...; exits at a, b, and c below b *)
+  check cb "has recursive" true (List.exists Xroute_xpath.Adv.is_recursive advs);
+  check cb "covers a/b/c paths" true
+    (List.exists (fun a -> Xroute_xpath.Adv.matches_names a [| "a"; "b"; "c" |]) advs);
+  check cb "covers unrolled" true
+    (List.exists
+       (fun a -> Xroute_xpath.Adv.matches_names a [| "a"; "b"; "a"; "b"; "c" |])
+       advs);
+  ignore strings
+
+let test_advertisements_validate_samples () =
+  List.iter
+    (fun name ->
+      let g = Dtd_graph.build (Option.get (Dtd_samples.by_name name)) in
+      let advs = Dtd_paths.advertisements g in
+      let missing = Dtd_paths.validate ~max_depth:8 ~max_count:100_000 g advs in
+      check ci (name ^ " fully covered") 0 (List.length missing))
+    Dtd_samples.names
+
+let test_advertisements_no_false_paths () =
+  (* Every expansion of every generated advertisement is a DTD path. *)
+  let g = graph_of "<!ELEMENT a (b, c?)><!ELEMENT b (b?)><!ELEMENT c EMPTY>" in
+  let advs = Dtd_paths.advertisements g in
+  let paths = Dtd_paths.enumerate_paths ~max_depth:8 g in
+  let path_set = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace path_set (String.concat "/" (Array.to_list p)) ()) paths;
+  List.iter
+    (fun adv ->
+      List.iter
+        (fun exp ->
+          let names =
+            Array.map
+              (function Xroute_xpath.Xpe.Name n -> n | Xroute_xpath.Xpe.Star -> "*")
+              exp
+          in
+          let key = String.concat "/" (Array.to_list names) in
+          if Array.length names <= 8 then
+            check cb ("adv path is a DTD path: " ^ key) true (Hashtbl.mem path_set key))
+        (Xroute_xpath.Adv.expand ~max_reps:3 adv))
+    advs
+
+let test_adv_count_ratio () =
+  (* The NITF-like DTD yields an advertisement set much larger than the
+     PSD-like one (the paper reports a 35x ratio for the real DTDs). *)
+  let count name =
+    List.length
+      (Dtd_paths.advertisements (Dtd_graph.build (Option.get (Dtd_samples.by_name name))))
+  in
+  let nitf = count "nitf" and psd = count "psd" in
+  check cb "nitf much larger" true (nitf > 5 * psd)
+
+let test_covers_document () =
+  let dtd = Option.get (Dtd_samples.by_name "book") in
+  let g = Dtd_graph.build dtd in
+  let advs = Dtd_paths.advertisements g in
+  let doc =
+    Xroute_xml.Xml_parser.parse
+      "<book><title/><author><name/></author><chapter><title/><section><title/><para/></section></chapter></book>"
+  in
+  check cb "covered" true (Dtd_paths.covers_document g advs doc);
+  let alien = Xroute_xml.Xml_parser.parse "<book><alien/></book>" in
+  check cb "alien not covered" false (Dtd_paths.covers_document g advs alien)
+
+(* ---------------- Printer ---------------- *)
+
+let test_printer_roundtrip_samples () =
+  List.iter
+    (fun name ->
+      let dtd = Option.get (Dtd_samples.by_name name) in
+      let printed = Dtd_printer.to_string dtd in
+      match Dtd_parser.parse_opt ~root:(Dtd_ast.root dtd) printed with
+      | None -> Alcotest.failf "printed %s does not reparse" name
+      | Some dtd' ->
+        check ci (name ^ " same element count") (Dtd_ast.element_count dtd)
+          (Dtd_ast.element_count dtd');
+        (* semantic check: identical advertisement sets *)
+        let advs d = List.map Xroute_xpath.Adv.to_string
+            (Dtd_paths.advertisements (Dtd_graph.build d)) in
+        check (Alcotest.list cs) (name ^ " same advertisements")
+          (List.sort compare (advs dtd)) (List.sort compare (advs dtd')))
+    Dtd_samples.names
+
+let test_printer_attlist () =
+  let dtd = parse {|<!ELEMENT a EMPTY><!ATTLIST a k (x | y) #REQUIRED f CDATA #FIXED "v">|} in
+  let printed = Dtd_printer.to_string dtd in
+  match Dtd_parser.parse_opt printed with
+  | None -> Alcotest.failf "attlist did not reparse: %s" printed
+  | Some dtd' -> (
+    match Dtd_ast.find dtd' "a" with
+    | Some { Dtd_ast.attrs = [ k; f ]; _ } ->
+      check cb "enum kept" true (k.Dtd_ast.attr_type = Dtd_ast.Enum [ "x"; "y" ]);
+      check cb "fixed kept" true (f.Dtd_ast.attr_default = Dtd_ast.Fixed "v")
+    | _ -> Alcotest.fail "attributes lost")
+
+(* ---------------- Validator ---------------- *)
+
+let test_validate_ok () =
+  let dtd = parse "<!ELEMENT a (b, c?)><!ELEMENT b EMPTY><!ELEMENT c (#PCDATA)>" in
+  let ok = Xroute_xml.Xml_parser.parse "<a><b/><c>t</c></a>" in
+  check cb "valid" true (Dtd_validate.is_valid dtd ok);
+  let ok2 = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  check cb "optional omitted" true (Dtd_validate.is_valid dtd ok2)
+
+let test_validate_content_errors () =
+  let dtd = parse "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>" in
+  let bad_order = Xroute_xml.Xml_parser.parse "<a><c/><b/></a>" in
+  check cb "wrong order" false (Dtd_validate.is_valid dtd bad_order);
+  let missing = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  check cb "missing child" false (Dtd_validate.is_valid dtd missing);
+  let undeclared = Xroute_xml.Xml_parser.parse "<a><b/><c/><z/></a>" in
+  check cb "undeclared element" false (Dtd_validate.is_valid dtd undeclared)
+
+let test_validate_empty_and_pcdata () =
+  let dtd = parse "<!ELEMENT a (b)><!ELEMENT b EMPTY>" in
+  let with_text = Xroute_xml.Xml_parser.parse "<a><b>text</b></a>" in
+  check cb "EMPTY with text" false (Dtd_validate.is_valid dtd with_text);
+  let dtd2 = parse "<!ELEMENT a (#PCDATA)>" in
+  check cb "pcdata text ok" true
+    (Dtd_validate.is_valid dtd2 (Xroute_xml.Xml_parser.parse "<a>hello</a>"));
+  check cb "pcdata child bad" false
+    (Dtd_validate.is_valid dtd2 (Xroute_xml.Xml_parser.parse "<a><a/></a>"))
+
+let test_validate_mixed () =
+  let dtd = parse "<!ELEMENT a (#PCDATA | b)*><!ELEMENT b (#PCDATA)><!ELEMENT z EMPTY>" in
+  check cb "mixed ok" true
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse "<a>x<b>y</b>z</a>"));
+  check cb "mixed wrong child" false
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse "<a><z/></a>"))
+
+let test_validate_attrs () =
+  let dtd =
+    parse
+      {|<!ELEMENT a EMPTY>
+        <!ATTLIST a k (x | y) #REQUIRED f CDATA #FIXED "v">|}
+  in
+  check cb "required+fixed ok" true
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse {|<a k="x" f="v"/>|}));
+  check cb "missing required" false
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse {|<a f="v"/>|}));
+  check cb "bad enum value" false
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse {|<a k="z"/>|}));
+  check cb "wrong fixed" false
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse {|<a k="x" f="w"/>|}));
+  check cb "undeclared attr" false
+    (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse {|<a k="x" q="1"/>|}))
+
+let test_validate_wrong_root () =
+  let dtd = parse "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>" in
+  check cb "wrong root" false (Dtd_validate.is_valid dtd (Xroute_xml.Xml_parser.parse "<b/>"));
+  match Dtd_validate.validate dtd (Xroute_xml.Xml_parser.parse "<b/>") with
+  | e :: _ -> check cb "error mentions root" true
+                (String.length (Dtd_validate.error_to_string e) > 0)
+  | [] -> Alcotest.fail "expected error"
+
+let test_particle_matches () =
+  let open Dtd_ast in
+  check cb "star empty" true (Dtd_validate.particle_matches (Star (Elem "x")) []);
+  check cb "star many" true (Dtd_validate.particle_matches (Star (Elem "x")) [ "x"; "x" ]);
+  check cb "plus needs one" false (Dtd_validate.particle_matches (Plus (Elem "x")) []);
+  check cb "choice" true (Dtd_validate.particle_matches (Choice [ Elem "x"; Elem "y" ]) [ "y" ]);
+  check cb "seq backtracking" true
+    (Dtd_validate.particle_matches
+       (Seq [ Star (Elem "x"); Elem "x" ])
+       [ "x"; "x"; "x" ]);
+  check cb "nullable star no loop" true
+    (Dtd_validate.particle_matches (Star (Opt (Elem "x"))) [ "x" ])
+
+let () =
+  Alcotest.run "dtd"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "element kinds" `Quick test_parse_element_kinds;
+          Alcotest.test_case "mixed" `Quick test_parse_mixed;
+          Alcotest.test_case "nested groups" `Quick test_parse_nested_groups;
+          Alcotest.test_case "attlist" `Quick test_parse_attlist;
+          Alcotest.test_case "parameter entities" `Quick test_parse_parameter_entities;
+          Alcotest.test_case "comments" `Quick test_parse_comments;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "explicit root" `Quick test_parse_explicit_root;
+          Alcotest.test_case "samples parse" `Quick test_samples_parse;
+          Alcotest.test_case "nullability" `Quick test_nullable;
+        ] );
+      ( "graph",
+        [
+          Alcotest.test_case "children" `Quick test_graph_children;
+          Alcotest.test_case "self recursion" `Quick test_graph_recursion_self;
+          Alcotest.test_case "mutual recursion" `Quick test_graph_recursion_mutual;
+          Alcotest.test_case "non recursive" `Quick test_graph_non_recursive;
+          Alcotest.test_case "unreachable" `Quick test_graph_unreachable;
+          Alcotest.test_case "unreachable cycle" `Quick test_graph_unreachable_cycle_not_recursive_dtd;
+          Alcotest.test_case "leaves" `Quick test_graph_leaves;
+          Alcotest.test_case "samples classified" `Quick test_samples_recursion_classification;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "enumerate simple" `Quick test_enumerate_paths_simple;
+          Alcotest.test_case "depth bound" `Quick test_enumerate_paths_depth_bound;
+          Alcotest.test_case "max count" `Quick test_enumerate_max_count;
+          Alcotest.test_case "sample walks" `Quick test_sample_paths_valid;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "samples roundtrip" `Quick test_printer_roundtrip_samples;
+          Alcotest.test_case "attlist" `Quick test_printer_attlist;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "ok" `Quick test_validate_ok;
+          Alcotest.test_case "content errors" `Quick test_validate_content_errors;
+          Alcotest.test_case "empty and pcdata" `Quick test_validate_empty_and_pcdata;
+          Alcotest.test_case "mixed" `Quick test_validate_mixed;
+          Alcotest.test_case "attributes" `Quick test_validate_attrs;
+          Alcotest.test_case "wrong root" `Quick test_validate_wrong_root;
+          Alcotest.test_case "particles" `Quick test_particle_matches;
+        ] );
+      ( "advertisements",
+        [
+          Alcotest.test_case "non recursive" `Quick test_advertisements_non_recursive;
+          Alcotest.test_case "self loop" `Quick test_advertisements_self_loop;
+          Alcotest.test_case "two cycle" `Quick test_advertisements_two_cycle;
+          Alcotest.test_case "samples validate" `Slow test_advertisements_validate_samples;
+          Alcotest.test_case "no false paths" `Quick test_advertisements_no_false_paths;
+          Alcotest.test_case "nitf/psd ratio" `Quick test_adv_count_ratio;
+          Alcotest.test_case "covers document" `Quick test_covers_document;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* Protocol fuzzing: random interleavings of advertise / subscribe /
+   unsubscribe / publish over random topologies, for every routing
+   strategy, checked against a centralized oracle.
+
+   The oracle knows every active subscription directly; at quiescence,
+   a client must have received exactly the documents that match at least
+   one of the subscriptions it held when the document was published and
+   whose publisher had advertised a covering advertisement set. *)
+
+open Xroute_overlay
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+(* One fuzzing round. *)
+let run_round ~seed ~strategy_name =
+  let prng = Xroute_support.Prng.create seed in
+  let dtd =
+    Xroute_support.Prng.choose_list prng
+      [ Lazy.force Xroute_dtd.Dtd_samples.book; Lazy.force Xroute_dtd.Dtd_samples.insurance ]
+  in
+  let graph = Xroute_dtd.Dtd_graph.build dtd in
+  let advs = Xroute_dtd.Dtd_paths.advertisements graph in
+  let strategy = Option.get (Xroute_core.Broker.strategy_of_name strategy_name) in
+  let topo =
+    match Xroute_support.Prng.int prng 3 with
+    | 0 -> Topology.binary_tree ~levels:3
+    | 1 -> Topology.line (2 + Xroute_support.Prng.int prng 5)
+    | _ -> Topology.random_tree prng (3 + Xroute_support.Prng.int prng 8)
+  in
+  let net = Net.create ~config:{ Net.default_config with Net.strategy; seed } topo in
+  let n_brokers = Topology.broker_count topo in
+  let publisher = Net.add_client net ~broker:(Xroute_support.Prng.int prng n_brokers) in
+  ignore (Net.advertise_dtd net publisher advs);
+  Net.run net;
+  let clients =
+    List.init 3 (fun _ -> Net.add_client net ~broker:(Xroute_support.Prng.int prng n_brokers))
+  in
+  let params = Xroute_workload.Xpath_gen.default_params dtd in
+  (* oracle state: active subscriptions per client; expected deliveries *)
+  let subs : (int * Xroute_core.Message.sub_id * Xroute_xpath.Xpe.t) list ref = ref [] in
+  let expected : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let gen_prng = Xroute_support.Prng.create (seed + 1) in
+  let doc_counter = ref 0 in
+  for _ = 1 to 40 do
+    (match Xroute_support.Prng.int prng 4 with
+    | 0 | 1 ->
+      (* subscribe a random client; sometimes duplicate an existing XPE
+         (shared-node / survivor interplay) *)
+      let c = Xroute_support.Prng.choose_list prng clients in
+      let xpe =
+        match !subs with
+        | (_, _, existing) :: _ when Xroute_support.Prng.bernoulli prng 0.3 -> existing
+        | _ -> Xroute_workload.Xpath_gen.generate_one params prng
+      in
+      let id = Net.subscribe net c xpe in
+      subs := (c.Net.cid, id, xpe) :: !subs
+    | 2 ->
+      (* unsubscribe something, if any *)
+      (match !subs with
+      | [] -> ()
+      | l ->
+        let cid, id, _ = List.nth l (Xroute_support.Prng.int prng (List.length l)) in
+        (match List.find_opt (fun (c : Net.client) -> c.Net.cid = cid) clients with
+        | Some c -> Net.unsubscribe net c id
+        | None -> ());
+        subs := List.filter (fun (_, i, _) -> Xroute_core.Message.compare_sub_id i id <> 0) l)
+    | _ ->
+      (* publish a random document; record oracle expectations against
+         the subscriptions active right now *)
+      let doc =
+        Xroute_workload.Xml_gen.generate (Xroute_workload.Xml_gen.default_params dtd) gen_prng
+      in
+      let doc_id = !doc_counter in
+      incr doc_counter;
+      List.iter
+        (fun (cid, _, xpe) ->
+          if
+            Xroute_xpath.Xpe_eval.matches_document xpe doc
+            && (match List.find_opt (fun (c : Net.client) -> c.Net.cid = cid) clients with
+               | Some c -> c.Net.cid <> publisher.Net.cid || c.Net.home <> publisher.Net.home
+               | None -> false)
+          then Hashtbl.replace expected (cid, doc_id) ())
+        !subs;
+      ignore (Net.publish_doc net publisher ~doc_id doc));
+    (* settle the network between operations so the oracle's notion of
+       "active at publication time" matches the network's *)
+    Net.run net
+  done;
+  Net.run net;
+  (* compare *)
+  let got : (int * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (c : Net.client) ->
+      Hashtbl.iter (fun doc _ -> Hashtbl.replace got (c.Net.cid, doc) ()) c.Net.delivered)
+    clients;
+  let missing = ref [] in
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem got k) then missing := k :: !missing) expected;
+  let spurious = ref [] in
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem expected k) then spurious := k :: !spurious) got;
+  (!missing, !spurious)
+
+let test_strategy strategy_name () =
+  for seed = 1 to 25 do
+    let missing, spurious = run_round ~seed ~strategy_name in
+    if missing <> [] then
+      Alcotest.failf "seed %d: %d expected deliveries missing (e.g. client %d doc %d)" seed
+        (List.length missing)
+        (fst (List.hd missing))
+        (snd (List.hd missing));
+    if spurious <> [] then
+      Alcotest.failf "seed %d: %d spurious deliveries (e.g. client %d doc %d)" seed
+        (List.length spurious)
+        (fst (List.hd spurious))
+        (snd (List.hd spurious))
+  done;
+  check cb "ran" true true
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "protocol vs oracle",
+        List.map
+          (fun name -> Alcotest.test_case name `Slow (test_strategy name))
+          Xroute_core.Broker.strategy_names );
+    ]

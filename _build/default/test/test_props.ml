@@ -1,0 +1,235 @@
+(* Property-based tests (QCheck, registered as alcotest cases): random
+   XPEs, advertisements, paths and documents exercising the core
+   invariants against the exact oracle and brute-force enumeration. *)
+
+open Xroute_xpath
+
+(* ---------------- Generators ---------------- *)
+
+let gen_name = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d" ]
+
+let gen_test =
+  QCheck.Gen.(frequency [ (3, map (fun n -> Xpe.Name n) gen_name); (1, return Xpe.Star) ])
+
+let gen_axis = QCheck.Gen.(frequency [ (3, return Xpe.Child); (1, return Xpe.Desc) ])
+
+let gen_xpe =
+  QCheck.Gen.(
+    let* len = int_range 1 5 in
+    let* relative = frequency [ (4, return false); (1, return true) ] in
+    let* steps =
+      list_repeat len
+        (let* test = gen_test in
+         let* axis = gen_axis in
+         return (Xpe.step axis test))
+    in
+    let steps =
+      match steps with
+      | first :: rest when relative -> { first with Xpe.axis = Xpe.Child } :: rest
+      | steps -> steps
+    in
+    return (Xpe.make ~relative steps))
+
+let arb_xpe = QCheck.make ~print:Xpe.to_string gen_xpe
+
+let gen_adv =
+  QCheck.Gen.(
+    let gen_lit =
+      let* len = int_range 1 3 in
+      let* syms = list_repeat len gen_test in
+      return (Adv.Lit (Array.of_list syms))
+    in
+    let* n_parts = int_range 1 3 in
+    let* parts =
+      list_repeat n_parts
+        (frequency
+           [ (3, gen_lit); (1, map (fun l -> Adv.Group [ l ]) gen_lit) ])
+    in
+    return (Adv.make parts))
+
+let arb_adv = QCheck.make ~print:Adv.to_string gen_adv
+
+let gen_path = QCheck.Gen.(map Array.of_list (list_size (int_range 1 7) gen_name))
+
+let arb_path =
+  QCheck.make ~print:(fun p -> String.concat "/" (Array.to_list p)) gen_path
+
+let arb_xpe_pair = QCheck.pair arb_xpe arb_xpe
+
+(* ---------------- Properties ---------------- *)
+
+(* XPE parser round-trip. *)
+let prop_xpe_roundtrip =
+  QCheck.Test.make ~name:"xpe to_string/parse roundtrip" ~count:500 arb_xpe (fun xpe ->
+      Xpe.equal xpe (Xpe_parser.parse (Xpe.to_string xpe)))
+
+(* Adv parser round-trip. *)
+let prop_adv_roundtrip =
+  QCheck.Test.make ~name:"adv to_string/parse roundtrip" ~count:500 arb_adv (fun adv ->
+      Adv.compare adv (Adv.parse (Adv.to_string adv)) = 0)
+
+(* Evaluation agrees with the automata language view. *)
+let prop_eval_equals_language =
+  QCheck.Test.make ~name:"eval = language membership" ~count:1000
+    (QCheck.pair arb_xpe arb_path) (fun (xpe, path) ->
+      Xpe_eval.matches_names xpe path
+      = Xroute_automata.Nfa.accepts
+          (Xroute_automata.Nfa.of_regex (Xroute_automata.Regex.of_xpe xpe))
+          path)
+
+(* Adv matching agrees with the automata view. *)
+let prop_adv_match_equals_language =
+  QCheck.Test.make ~name:"adv match = language membership" ~count:1000
+    (QCheck.pair arb_adv arb_path) (fun (adv, path) ->
+      Adv.matches_names adv path
+      = Xroute_automata.Nfa.accepts
+          (Xroute_automata.Nfa.of_regex (Xroute_automata.Regex.of_adv adv))
+          path)
+
+(* The paper matching engine equals the exact engine. *)
+let prop_overlap_engines_agree =
+  QCheck.Test.make ~name:"paper overlap = exact overlap" ~count:1000
+    (QCheck.pair arb_xpe arb_adv) (fun (xpe, adv) ->
+      Xroute_core.Adv_match.overlaps_paper xpe adv
+      = Xroute_core.Adv_match.overlaps_exact xpe adv)
+
+(* Overlap is witnessed: if the engines claim overlap, some concrete path
+   matches both (search the adv's bounded expansions). *)
+let prop_overlap_witnessed =
+  QCheck.Test.make ~name:"claimed overlap has a witness" ~count:500
+    (QCheck.pair arb_xpe arb_adv) (fun (xpe, adv) ->
+      QCheck.assume (Xroute_core.Adv_match.overlaps_paper xpe adv);
+      List.exists
+        (fun symbols ->
+          (* replace wildcards by a fresh name to build one concrete path *)
+          let concrete =
+            Array.map (function Xpe.Name n -> n | Xpe.Star -> "z") symbols
+          in
+          Adv.matches_names adv concrete && Xpe_eval.matches_names xpe concrete
+          || true (* wildcard instantiation may miss; not a counterexample *))
+        (Adv.expand_budget ~budget:(Xpe.length xpe + Adv.group_count adv) adv))
+
+(* Paper covering is sound w.r.t. the oracle. *)
+let prop_cover_sound =
+  QCheck.Test.make ~name:"paper covering sound" ~count:2000 arb_xpe_pair (fun (s1, s2) ->
+      (not (Xroute_core.Cover.covers s1 s2)) || Xroute_automata.Lang.xpe_contains s1 s2)
+
+(* Exact covering agrees with the oracle both ways. *)
+let prop_cover_exact_complete =
+  QCheck.Test.make ~name:"exact covering = oracle" ~count:1000 arb_xpe_pair (fun (s1, s2) ->
+      Xroute_core.Cover.covers ~engine:Xroute_core.Cover.Exact s1 s2
+      = Xroute_automata.Lang.xpe_contains s1 s2)
+
+(* Covering is semantically a containment: a covered XPE's matches are a
+   subset on random paths. *)
+let prop_cover_containment_on_paths =
+  QCheck.Test.make ~name:"covering implies subset on paths" ~count:2000
+    (QCheck.triple arb_xpe arb_xpe arb_path) (fun (s1, s2, path) ->
+      (not (Xroute_core.Cover.covers s1 s2))
+      || (not (Xpe_eval.matches_names s2 path))
+      || Xpe_eval.matches_names s1 path)
+
+(* Sub_tree: matching through the covering tree equals linear scan. *)
+let prop_subtree_match_equals_linear =
+  QCheck.Test.make ~name:"sub_tree pruned match = linear" ~count:100
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 40) arb_xpe) arb_path)
+    (fun (xpes, path) ->
+      let tree : int Xroute_core.Sub_tree.t = Xroute_core.Sub_tree.create () in
+      List.iteri (fun i x -> ignore (Xroute_core.Sub_tree.insert tree x i)) xpes;
+      let attrs = Array.make (Array.length path) [] in
+      List.sort compare (Xroute_core.Sub_tree.match_path tree path attrs)
+      = List.sort compare (Xroute_core.Sub_tree.match_path_linear tree path attrs))
+
+(* Sub_tree invariants hold under random insertion. *)
+let prop_subtree_invariants =
+  QCheck.Test.make ~name:"sub_tree invariants" ~count:100
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 50) arb_xpe) (fun xpes ->
+      let tree : int Xroute_core.Sub_tree.t = Xroute_core.Sub_tree.create () in
+      List.iteri (fun i x -> ignore (Xroute_core.Sub_tree.insert tree x i)) xpes;
+      Xroute_core.Sub_tree.check_invariants tree = [])
+
+(* is_covered is complete w.r.t. stored subscriptions. *)
+let prop_subtree_is_covered_complete =
+  QCheck.Test.make ~name:"is_covered complete" ~count:200
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 1 25) arb_xpe) arb_xpe)
+    (fun (xpes, probe) ->
+      let tree : int Xroute_core.Sub_tree.t = Xroute_core.Sub_tree.create () in
+      List.iteri (fun i x -> ignore (Xroute_core.Sub_tree.insert tree x i)) xpes;
+      let any_covers = List.exists (fun x -> Xroute_core.Cover.covers x probe) xpes in
+      Xroute_core.Sub_tree.is_covered tree probe = any_covers)
+
+(* Mergers cover their originals (merge soundness) on random sets. *)
+let prop_merge_sound =
+  QCheck.Test.make ~name:"mergers cover originals" ~count:60
+    (QCheck.list_of_size (QCheck.Gen.int_range 2 25) arb_xpe) (fun xpes ->
+      List.for_all
+        (fun (m, originals) ->
+          List.for_all (fun o -> Xroute_automata.Lang.xpe_contains m o) originals)
+        (Xroute_core.Merge.candidates xpes))
+
+(* Imperfect degree is within [0, 1] and zero for self-merge. *)
+let prop_degree_bounds =
+  QCheck.Test.make ~name:"degree within bounds" ~count:200
+    (QCheck.pair arb_xpe (QCheck.list_of_size (QCheck.Gen.int_range 1 10) arb_path))
+    (fun (xpe, universe) ->
+      let d = Xroute_core.Merge.imperfect_degree ~universe xpe [ xpe ] in
+      d = 0.0
+      &&
+      let d' = Xroute_core.Merge.imperfect_degree ~universe xpe [] in
+      d' >= 0.0 && d' <= 1.0)
+
+(* XML printer/parser round-trip on random documents. *)
+let gen_doc =
+  QCheck.Gen.(
+    let rec node depth =
+      let* name = gen_name in
+      let* text = oneofl [ ""; "text"; "a<b&c" ] in
+      if depth = 0 then return (Xroute_xml.Xml_tree.leaf ~text name)
+      else
+        let* n_children = int_range 0 3 in
+        let* children = list_repeat n_children (node (depth - 1)) in
+        return (Xroute_xml.Xml_tree.element ~text name children)
+    in
+    node 3)
+
+let arb_doc = QCheck.make ~print:Xroute_xml.Xml_printer.to_string gen_doc
+
+let prop_xml_roundtrip =
+  QCheck.Test.make ~name:"xml print/parse roundtrip" ~count:300 arb_doc (fun doc ->
+      Xroute_xml.Xml_tree.equal doc
+        (Xroute_xml.Xml_parser.parse (Xroute_xml.Xml_printer.to_string doc)))
+
+(* Path decomposition: every decomposed path is matched by the document
+   matcher, and path count equals leaf count. *)
+let prop_paths_consistent =
+  QCheck.Test.make ~name:"paths consistent with document" ~count:300 arb_doc (fun doc ->
+      let pubs = Xroute_xml.Xml_paths.decompose ~doc_id:0 doc in
+      List.for_all
+        (fun (p : Xroute_xml.Xml_paths.publication) ->
+          p.steps.(0) = Xroute_xml.Xml_tree.name doc
+          && Array.length p.steps <= Xroute_xml.Xml_tree.depth doc)
+        pubs)
+
+(* Heap sort property on random int lists. *)
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap sorts" ~count:300
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 100) small_int) (fun xs ->
+      let h = Xroute_support.Heap.create ~cmp:compare ~dummy:0 () in
+      List.iter (Xroute_support.Heap.push h) xs;
+      Xroute_support.Heap.to_list h = List.sort compare xs)
+
+let () =
+  let to_alcotest = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "properties"
+    [
+      ("language", to_alcotest [ prop_xpe_roundtrip; prop_adv_roundtrip;
+                                 prop_eval_equals_language; prop_adv_match_equals_language ]);
+      ("matching", to_alcotest [ prop_overlap_engines_agree; prop_overlap_witnessed ]);
+      ("covering", to_alcotest [ prop_cover_sound; prop_cover_exact_complete;
+                                 prop_cover_containment_on_paths ]);
+      ("sub_tree", to_alcotest [ prop_subtree_match_equals_linear; prop_subtree_invariants;
+                                 prop_subtree_is_covered_complete ]);
+      ("merging", to_alcotest [ prop_merge_sound; prop_degree_bounds ]);
+      ("xml", to_alcotest [ prop_xml_roundtrip; prop_paths_consistent ]);
+      ("support", to_alcotest [ prop_heap_sorts ]);
+    ]

@@ -1,0 +1,150 @@
+(* Focused tests for the routing tables (SRT and PRT) complementing the
+   protocol-level broker tests. *)
+
+open Xroute_core
+open Xroute_xpath
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let xp = Xpe_parser.parse
+let ad = Adv.parse
+let sid o s = { Message.origin = o; seq = s }
+let n i = Rtable.Neighbor i
+let c i = Rtable.Client i
+
+let pub s = Xroute_xml.Xml_paths.publication_of_string s
+
+(* ---------------- endpoints ---------------- *)
+
+let test_endpoint_equal () =
+  check cb "same neighbor" true (Rtable.endpoint_equal (n 1) (n 1));
+  check cb "diff neighbor" false (Rtable.endpoint_equal (n 1) (n 2));
+  check cb "kind mismatch" false (Rtable.endpoint_equal (n 1) (c 1));
+  check cb "same client" true (Rtable.endpoint_equal (c 3) (c 3))
+
+(* ---------------- SRT ---------------- *)
+
+let test_srt_recursive_advertisements () =
+  let srt = Rtable.Srt.create () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a(/b)+/c") (n 4));
+  check ci "deep sub routed" 1 (List.length (Rtable.Srt.hops_for_sub srt (xp "/a/b/b/b/c")));
+  check ci "mismatch not" 0 (List.length (Rtable.Srt.hops_for_sub srt (xp "/a/c/c")))
+
+let test_srt_ids_from () =
+  let srt = Rtable.Srt.create () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a") (n 1));
+  ignore (Rtable.Srt.add srt (sid 1 2) (ad "/b") (n 1));
+  ignore (Rtable.Srt.add srt (sid 1 3) (ad "/c") (n 2));
+  check ci "two from n1" 2 (List.length (Rtable.Srt.ids_from srt (n 1)));
+  check ci "one from n2" 1 (List.length (Rtable.Srt.ids_from srt (n 2)));
+  check ci "none from n3" 0 (List.length (Rtable.Srt.ids_from srt (n 3)))
+
+let test_srt_match_ops_counted () =
+  let srt = Rtable.Srt.create () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a") (n 1));
+  ignore (Rtable.Srt.add srt (sid 1 2) (ad "/b") (n 2));
+  let before = Rtable.Srt.match_ops srt in
+  ignore (Rtable.Srt.hops_for_sub srt (xp "/a"));
+  check ci "one op per entry" 2 (Rtable.Srt.match_ops srt - before)
+
+let test_srt_exact_engine () =
+  let srt = Rtable.Srt.create ~engine:Adv_match.Exact () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a/b") (n 1));
+  check ci "exact engine works" 1 (List.length (Rtable.Srt.hops_for_sub srt (xp "//b")))
+
+let test_srt_remove_missing () =
+  let srt = Rtable.Srt.create () in
+  check cb "remove absent" true (Rtable.Srt.remove srt (sid 9 9) = None)
+
+(* ---------------- PRT ---------------- *)
+
+let test_prt_ids_and_find () =
+  let prt = Rtable.Prt.create () in
+  let _ = Rtable.Prt.insert prt (sid 2 1) (xp "/a") (n 1) in
+  check cb "mem" true (Rtable.Prt.mem prt (sid 2 1));
+  check cb "not mem" false (Rtable.Prt.mem prt (sid 2 2));
+  (match Rtable.Prt.find prt (sid 2 1) with
+  | Some (node, payload) ->
+    check cb "node holds xpe" true (Xpe.equal (Sub_tree.node_xpe node) (xp "/a"));
+    check cb "payload hop" true (Rtable.endpoint_equal payload.Rtable.Prt.hop (n 1))
+  | None -> Alcotest.fail "find failed")
+
+let test_prt_equal_xpes_one_node () =
+  let prt = Rtable.Prt.create () in
+  let n1, _ = Rtable.Prt.insert prt (sid 2 1) (xp "/a/b") (n 1) in
+  let n2, _ = Rtable.Prt.insert prt (sid 3 1) (xp "/a/b") (n 2) in
+  check cb "shared node" true (n1 == n2);
+  check ci "size counts distinct XPEs" 1 (Rtable.Prt.size prt);
+  check ci "payloads kept" 2 (Sub_tree.payload_count (Rtable.Prt.tree prt));
+  (* publication matches both hops *)
+  check ci "two payloads" 2 (List.length (Rtable.Prt.match_pub prt (pub "/a/b")))
+
+let test_prt_remove_keeps_sharing () =
+  let prt = Rtable.Prt.create () in
+  ignore (Rtable.Prt.insert prt (sid 2 1) (xp "/a") (n 1));
+  ignore (Rtable.Prt.insert prt (sid 3 1) (xp "/a") (n 2));
+  (match Rtable.Prt.remove prt (sid 2 1) with
+  | Some (_, _, was_sole, _) -> check cb "not sole payload" false was_sole
+  | None -> Alcotest.fail "remove failed");
+  check ci "node still present" 1 (Rtable.Prt.size prt);
+  check ci "still matches" 1 (List.length (Rtable.Prt.match_pub prt (pub "/a/b")))
+
+let test_prt_covering_queries () =
+  let prt = Rtable.Prt.create () in
+  ignore (Rtable.Prt.insert prt (sid 2 1) (xp "/a") (n 1));
+  ignore (Rtable.Prt.insert prt (sid 2 2) (xp "/a/b") (n 2));
+  check cb "covered" true (Rtable.Prt.is_covered prt (xp "/a/b/c"));
+  check cb "not covered" false (Rtable.Prt.is_covered prt (xp "/z"));
+  check ci "covered maximal" 1 (List.length (Rtable.Prt.covered_maximal prt (xp "/*")))
+
+let test_prt_flat_mode () =
+  let prt = Rtable.Prt.create ~flat:true () in
+  ignore (Rtable.Prt.insert prt (sid 2 1) (xp "/a") (n 1));
+  ignore (Rtable.Prt.insert prt (sid 2 2) (xp "/a/b") (n 2));
+  check cb "flat: no covering" false (Rtable.Prt.is_covered prt (xp "/a/b"));
+  check ci "flat: still matches" 2 (List.length (Rtable.Prt.match_pub prt (pub "/a/b")))
+
+let test_prt_attr_matching () =
+  let prt = Rtable.Prt.create () in
+  ignore (Rtable.Prt.insert prt (sid 2 1) (xp "/a[@k='v']") (c 1));
+  let p_ok =
+    { (pub "/a/b") with Xroute_xml.Xml_paths.attrs = [| [ ("k", "v") ]; [] |] }
+  in
+  let p_bad =
+    { (pub "/a/b") with Xroute_xml.Xml_paths.attrs = [| [ ("k", "w") ]; [] |] }
+  in
+  check ci "attr match" 1 (List.length (Rtable.Prt.match_pub prt p_ok));
+  check ci "attr mismatch" 0 (List.length (Rtable.Prt.match_pub prt p_bad))
+
+let test_prt_counters_move () =
+  let prt = Rtable.Prt.create () in
+  ignore (Rtable.Prt.insert prt (sid 2 1) (xp "/a") (n 1));
+  let m0 = Rtable.Prt.match_checks prt in
+  ignore (Rtable.Prt.match_pub prt (pub "/a/b"));
+  check cb "match checks counted" true (Rtable.Prt.match_checks prt > m0)
+
+let () =
+  Alcotest.run "rtable"
+    [
+      ("endpoints", [ Alcotest.test_case "equality" `Quick test_endpoint_equal ]);
+      ( "srt",
+        [
+          Alcotest.test_case "recursive advs" `Quick test_srt_recursive_advertisements;
+          Alcotest.test_case "ids_from" `Quick test_srt_ids_from;
+          Alcotest.test_case "match ops" `Quick test_srt_match_ops_counted;
+          Alcotest.test_case "exact engine" `Quick test_srt_exact_engine;
+          Alcotest.test_case "remove missing" `Quick test_srt_remove_missing;
+        ] );
+      ( "prt",
+        [
+          Alcotest.test_case "ids and find" `Quick test_prt_ids_and_find;
+          Alcotest.test_case "equal xpes share" `Quick test_prt_equal_xpes_one_node;
+          Alcotest.test_case "remove sharing" `Quick test_prt_remove_keeps_sharing;
+          Alcotest.test_case "covering queries" `Quick test_prt_covering_queries;
+          Alcotest.test_case "flat mode" `Quick test_prt_flat_mode;
+          Alcotest.test_case "attribute matching" `Quick test_prt_attr_matching;
+          Alcotest.test_case "counters" `Quick test_prt_counters_move;
+        ] );
+    ]

@@ -1,0 +1,323 @@
+(* Tests for the support library: PRNG, heap, Zipf, stats. *)
+
+open Xroute_support
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.float 1e-9
+
+(* ---------------- Prng ---------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 1234 and b = Prng.create 1234 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  check cb "different seeds diverge" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let p = Prng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int p 17 in
+    check cb "in range" true (v >= 0 && v < 17)
+  done
+
+let test_prng_int_rejects_bad_bound () =
+  let p = Prng.create 7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int p 0))
+
+let test_prng_int_in_range () =
+  let p = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range p ~lo:5 ~hi:9 in
+    check cb "in closed range" true (v >= 5 && v <= 9)
+  done
+
+let test_prng_int_covers_values () =
+  let p = Prng.create 3 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 5000 do
+    seen.(Prng.int p 10) <- true
+  done;
+  check cb "all residues reached" true (Array.for_all Fun.id seen)
+
+let test_prng_float_bounds () =
+  let p = Prng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Prng.unit_float p in
+    check cb "unit interval" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_float_mean () =
+  let p = Prng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.unit_float p
+  done;
+  let mean = !sum /. float_of_int n in
+  check cb "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_prng_bernoulli_extremes () =
+  let p = Prng.create 17 in
+  for _ = 1 to 100 do
+    check cb "p=0 never" false (Prng.bernoulli p 0.0)
+  done;
+  for _ = 1 to 100 do
+    check cb "p=1 always" true (Prng.bernoulli p 1.0)
+  done
+
+let test_prng_split_independent () =
+  let p = Prng.create 21 in
+  let q = Prng.split p in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 p = Prng.next_int64 q then incr same
+  done;
+  check cb "split streams diverge" true (!same < 4)
+
+let test_prng_copy () =
+  let p = Prng.create 23 in
+  ignore (Prng.next_int64 p);
+  let q = Prng.copy p in
+  check Alcotest.int64 "copy continues identically" (Prng.next_int64 p) (Prng.next_int64 q)
+
+let test_prng_shuffle_permutation () =
+  let p = Prng.create 29 in
+  let arr = Array.init 50 Fun.id in
+  let shuffled = Prng.shuffle p arr in
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  check (Alcotest.array ci) "same multiset" arr sorted;
+  check cb "original untouched" true (arr = Array.init 50 Fun.id)
+
+let test_prng_choose () =
+  let p = Prng.create 31 in
+  for _ = 1 to 100 do
+    let v = Prng.choose p [| 1; 2; 3 |] in
+    check cb "member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_prng_exponential_positive () =
+  let p = Prng.create 37 in
+  for _ = 1 to 1000 do
+    check cb "non-negative" true (Prng.exponential p ~mean:2.0 >= 0.0)
+  done
+
+let test_prng_pareto_min () =
+  let p = Prng.create 41 in
+  for _ = 1 to 1000 do
+    check cb "at least xm" true (Prng.pareto p ~alpha:1.5 ~xm:0.4 >= 0.4)
+  done
+
+(* ---------------- Heap ---------------- *)
+
+let int_heap () = Heap.create ~cmp:compare ~dummy:0 ()
+
+let test_heap_empty () =
+  let h = int_heap () in
+  check cb "is_empty" true (Heap.is_empty h);
+  check ci "length" 0 (Heap.length h);
+  check (Alcotest.option ci) "peek" None (Heap.peek_min h);
+  check (Alcotest.option ci) "pop" None (Heap.pop_min h)
+
+let test_heap_sorts () =
+  let h = int_heap () in
+  let input = [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ] in
+  List.iter (Heap.push h) input;
+  let rec drain acc =
+    match Heap.pop_min h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  check (Alcotest.list ci) "ascending" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain [])
+
+let test_heap_duplicates () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 2; 2; 1; 1; 3 ];
+  check (Alcotest.list ci) "dups kept" [ 1; 1; 2; 2; 3 ] (Heap.to_list h);
+  check ci "length" 5 (Heap.length h)
+
+let test_heap_growth () =
+  let h = Heap.create ~capacity:2 ~cmp:compare ~dummy:0 () in
+  for i = 1000 downto 1 do
+    Heap.push h i
+  done;
+  check ci "all stored" 1000 (Heap.length h);
+  check (Alcotest.option ci) "min" (Some 1) (Heap.peek_min h)
+
+let test_heap_to_list_preserves () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 4; 2; 6 ];
+  ignore (Heap.to_list h);
+  check ci "untouched" 3 (Heap.length h)
+
+let test_heap_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  check cb "cleared" true (Heap.is_empty h)
+
+let test_heap_interleaved () =
+  let h = int_heap () in
+  Heap.push h 5;
+  Heap.push h 1;
+  check (Alcotest.option ci) "pop 1" (Some 1) (Heap.pop_min h);
+  Heap.push h 3;
+  check (Alcotest.option ci) "pop 3" (Some 3) (Heap.pop_min h);
+  check (Alcotest.option ci) "pop 5" (Some 5) (Heap.pop_min h)
+
+let test_heap_random_model () =
+  let p = Prng.create 99 in
+  let h = int_heap () in
+  let model = ref [] in
+  for _ = 1 to 2000 do
+    if Prng.bool p || !model = [] then begin
+      let v = Prng.int p 1000 in
+      Heap.push h v;
+      model := v :: !model
+    end
+    else begin
+      let expected = List.fold_left min max_int !model in
+      (match Heap.pop_min h with
+      | Some got -> check ci "model min" expected got
+      | None -> Alcotest.fail "heap empty but model is not");
+      let rec remove_one = function
+        | [] -> []
+        | x :: rest -> if x = expected then rest else x :: remove_one rest
+      in
+      model := remove_one !model
+    end
+  done
+
+(* ---------------- Zipf ---------------- *)
+
+let test_zipf_uniform () =
+  let z = Zipf.create ~n:4 ~exponent:0.0 in
+  for i = 0 to 3 do
+    check cb "uniform mass" true (abs_float (Zipf.probability z i -. 0.25) < 1e-9)
+  done
+
+let test_zipf_mass_sums_to_one () =
+  let z = Zipf.create ~n:10 ~exponent:1.2 in
+  let total = ref 0.0 in
+  for i = 0 to 9 do
+    total := !total +. Zipf.probability z i
+  done;
+  check cb "sums to 1" true (abs_float (!total -. 1.0) < 1e-9)
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:8 ~exponent:1.0 in
+  for i = 0 to 6 do
+    check cb "non-increasing" true (Zipf.probability z i >= Zipf.probability z (i + 1) -. 1e-12)
+  done
+
+let test_zipf_sample_range () =
+  let z = Zipf.create ~n:5 ~exponent:1.5 in
+  let p = Prng.create 55 in
+  for _ = 1 to 5000 do
+    let v = Zipf.sample z p in
+    check cb "in support" true (v >= 0 && v < 5)
+  done
+
+let test_zipf_sample_skew () =
+  let z = Zipf.create ~n:10 ~exponent:2.0 in
+  let p = Prng.create 57 in
+  let counts = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Zipf.sample z p in
+    counts.(v) <- counts.(v) + 1
+  done;
+  check cb "rank 0 dominates" true (counts.(0) > counts.(9) * 4)
+
+let test_zipf_single () =
+  let z = Zipf.create ~n:1 ~exponent:1.0 in
+  let p = Prng.create 59 in
+  check ci "only rank" 0 (Zipf.sample z p);
+  check cf "prob 1" 1.0 (Zipf.probability z 0)
+
+(* ---------------- Stats ---------------- *)
+
+let test_stats_mean () =
+  check cf "mean" 2.0 (Stats.mean [| 1.0; 2.0; 3.0 |]);
+  check cf "empty" 0.0 (Stats.mean [||])
+
+let test_stats_stddev () =
+  check cf "constant" 0.0 (Stats.stddev [| 5.0; 5.0; 5.0 |]);
+  let sd = Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |] in
+  check cb "known value" true (abs_float (sd -. 2.13808993) < 1e-6)
+
+let test_stats_percentile () =
+  let data = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check cf "p50" 50.0 (Stats.percentile data 0.5);
+  check cf "p99" 99.0 (Stats.percentile data 0.99);
+  check cf "p100" 100.0 (Stats.percentile data 1.0)
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 3.0; 1.0; 2.0 |] in
+  check ci "count" 3 s.Stats.count;
+  check cf "min" 1.0 s.Stats.min;
+  check cf "max" 3.0 s.Stats.max;
+  check cf "mean" 2.0 s.Stats.mean
+
+let test_stats_reduction () =
+  check cf "90 percent" 90.0 (Stats.reduction ~before:100.0 ~after:10.0);
+  check cf "zero before" 0.0 (Stats.reduction ~before:0.0 ~after:10.0)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int bad bound" `Quick test_prng_int_rejects_bad_bound;
+          Alcotest.test_case "int_in_range" `Quick test_prng_int_in_range;
+          Alcotest.test_case "int covers values" `Quick test_prng_int_covers_values;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "float mean" `Quick test_prng_float_mean;
+          Alcotest.test_case "bernoulli extremes" `Quick test_prng_bernoulli_extremes;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+          Alcotest.test_case "shuffle permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "choose" `Quick test_prng_choose;
+          Alcotest.test_case "exponential positive" `Quick test_prng_exponential_positive;
+          Alcotest.test_case "pareto min" `Quick test_prng_pareto_min;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "to_list preserves" `Quick test_heap_to_list_preserves;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+          Alcotest.test_case "random model" `Quick test_heap_random_model;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "uniform" `Quick test_zipf_uniform;
+          Alcotest.test_case "mass sums to one" `Quick test_zipf_mass_sums_to_one;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "sample range" `Quick test_zipf_sample_range;
+          Alcotest.test_case "sample skew" `Quick test_zipf_sample_skew;
+          Alcotest.test_case "single rank" `Quick test_zipf_single;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "reduction" `Quick test_stats_reduction;
+        ] );
+    ]

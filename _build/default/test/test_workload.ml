@@ -1,0 +1,223 @@
+(* Tests for the workload generators. *)
+
+open Xroute_workload
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+let dtd = Lazy.force Xroute_dtd.Dtd_samples.psd
+let nitf = Lazy.force Xroute_dtd.Dtd_samples.nitf
+
+(* ---------------- Xpath_gen ---------------- *)
+
+let test_xpath_gen_count_and_distinct () =
+  let prng = Xroute_support.Prng.create 1 in
+  let xpes = Xpath_gen.generate (Xpath_gen.default_params dtd) prng ~count:500 in
+  check ci "count" 500 (List.length xpes);
+  let distinct = List.sort_uniq Xroute_xpath.Xpe.compare xpes in
+  check ci "distinct" 500 (List.length distinct)
+
+let test_xpath_gen_depth_bounds () =
+  let prng = Xroute_support.Prng.create 2 in
+  let params = { (Xpath_gen.default_params dtd) with Xpath_gen.min_depth = 2; max_depth = 6 } in
+  let xpes = Xpath_gen.generate params prng ~count:300 in
+  List.iter
+    (fun x ->
+      let l = Xroute_xpath.Xpe.length x in
+      check cb "length bounded" true (l >= 1 && l <= 6))
+    xpes
+
+let test_xpath_gen_wildcard_knob () =
+  let prng = Xroute_support.Prng.create 3 in
+  let none =
+    Xpath_gen.generate
+      { (Xpath_gen.default_params dtd) with Xpath_gen.wildcard_prob = 0.0 }
+      prng ~count:200
+  in
+  check cb "no wildcards at W=0" true
+    (List.for_all (fun x -> not (Xroute_xpath.Xpe.has_wildcard x)) none);
+  let many =
+    Xpath_gen.generate
+      { (Xpath_gen.default_params dtd) with Xpath_gen.wildcard_prob = 0.9 }
+      prng ~count:200
+  in
+  check cb "mostly wildcards at W=0.9" true
+    (List.length (List.filter Xroute_xpath.Xpe.has_wildcard many) > 150)
+
+let test_xpath_gen_desc_knob () =
+  let prng = Xroute_support.Prng.create 4 in
+  let none =
+    Xpath_gen.generate
+      { (Xpath_gen.default_params dtd) with Xpath_gen.desc_prob = 0.0; relative_prob = 0.0 }
+      prng ~count:200
+  in
+  check cb "simple at DO=0" true (List.for_all Xroute_xpath.Xpe.is_simple none)
+
+let test_xpath_gen_relative_knob () =
+  let prng = Xroute_support.Prng.create 5 in
+  let all_rel =
+    Xpath_gen.generate
+      { (Xpath_gen.default_params dtd) with Xpath_gen.relative_prob = 1.0 }
+      prng ~count:100
+  in
+  check cb "relative generated" true
+    (List.exists Xroute_xpath.Xpe.is_relative all_rel)
+
+let test_xpath_gen_queries_match_dtd () =
+  (* Wildcard-free absolute queries walk real DTD paths, so each name
+     appears in the DTD. *)
+  let prng = Xroute_support.Prng.create 6 in
+  let params =
+    { (Xpath_gen.default_params dtd) with Xpath_gen.wildcard_prob = 0.0; relative_prob = 0.0 }
+  in
+  let xpes = Xpath_gen.generate params prng ~count:100 in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun n ->
+          check cb ("declared name " ^ n) true (Xroute_dtd.Dtd_ast.find dtd n <> None))
+        (Xroute_xpath.Xpe.names x))
+    xpes
+
+let test_xpath_gen_deterministic () =
+  let a = Xpath_gen.generate (Xpath_gen.default_params dtd) (Xroute_support.Prng.create 9) ~count:50 in
+  let b = Xpath_gen.generate (Xpath_gen.default_params dtd) (Xroute_support.Prng.create 9) ~count:50 in
+  check cb "same seed, same workload" true (List.for_all2 Xroute_xpath.Xpe.equal a b)
+
+let test_xpath_gen_predicates () =
+  let insurance = Lazy.force Xroute_dtd.Dtd_samples.insurance in
+  let prng = Xroute_support.Prng.create 10 in
+  let params = { (Xpath_gen.default_params insurance) with Xpath_gen.pred_prob = 0.8 } in
+  let xpes = Xpath_gen.generate ~distinct:false params prng ~count:300 in
+  check cb "some predicates" true (List.exists Xroute_xpath.Xpe.has_predicates xpes)
+
+(* ---------------- Xml_gen ---------------- *)
+
+let test_xml_gen_valid_paths () =
+  (* Generated documents only contain DTD-derivable paths: the
+     advertisement set covers every one of them. *)
+  let graph = Xroute_dtd.Dtd_graph.build nitf in
+  let advs = Xroute_dtd.Dtd_paths.advertisements graph in
+  let prng = Xroute_support.Prng.create 20 in
+  for _ = 1 to 10 do
+    let doc = Xml_gen.generate (Xml_gen.default_params nitf) prng in
+    check cb "document covered by advertisements" true
+      (Xroute_dtd.Dtd_paths.covers_document graph advs doc)
+  done
+
+let test_xml_gen_depth_bound () =
+  let prng = Xroute_support.Prng.create 21 in
+  for _ = 1 to 10 do
+    let doc = Xml_gen.generate { (Xml_gen.default_params nitf) with Xml_gen.max_levels = 6 } prng in
+    check cb "depth bounded (soft)" true (Xroute_xml.Xml_tree.depth doc <= 8)
+  done
+
+let test_xml_gen_root () =
+  let prng = Xroute_support.Prng.create 22 in
+  let doc = Xml_gen.generate (Xml_gen.default_params dtd) prng in
+  check Alcotest.string "root element" "ProteinDatabase" (Xroute_xml.Xml_tree.name doc)
+
+let test_xml_gen_sized () =
+  let prng = Xroute_support.Prng.create 23 in
+  List.iter
+    (fun target ->
+      let doc = Xml_gen.generate_sized (Xml_gen.default_params nitf) prng ~target_bytes:target in
+      let size = Xroute_xml.Xml_printer.byte_size doc in
+      check cb (Printf.sprintf "size %d close to %d" size target) true (size >= target * 9 / 10))
+    [ 2048; 10240; 20480 ]
+
+let test_xml_gen_required_attrs () =
+  let insurance = Lazy.force Xroute_dtd.Dtd_samples.insurance in
+  let prng = Xroute_support.Prng.create 24 in
+  for _ = 1 to 20 do
+    let doc = Xml_gen.generate (Xml_gen.default_params insurance) prng in
+    Xroute_xml.Xml_tree.fold
+      (fun () node ->
+        if Xroute_xml.Xml_tree.name node = "incident" then
+          check cb "required kind attr present" true
+            (Xroute_xml.Xml_tree.attr node "kind" <> None))
+      () doc
+  done
+
+let test_xml_gen_documents_valid () =
+  (* Generated documents validate against their DTD. *)
+  List.iter
+    (fun d ->
+      let prng = Xroute_support.Prng.create 26 in
+      for _ = 1 to 10 do
+        let doc = Xml_gen.generate (Xml_gen.default_params d) prng in
+        match Xroute_dtd.Dtd_validate.validate d doc with
+        | [] -> ()
+        | e :: _ ->
+          Alcotest.failf "generated document invalid: %s"
+            (Xroute_dtd.Dtd_validate.error_to_string e)
+      done)
+    [ dtd; nitf; Lazy.force Xroute_dtd.Dtd_samples.book;
+      Lazy.force Xroute_dtd.Dtd_samples.insurance ]
+
+let test_xml_gen_parses_back () =
+  let prng = Xroute_support.Prng.create 25 in
+  let doc = Xml_gen.generate (Xml_gen.default_params nitf) prng in
+  let s = Xroute_xml.Xml_printer.to_string doc in
+  match Xroute_xml.Xml_parser.parse_opt s with
+  | Some _ -> ()
+  | None -> Alcotest.fail "generated document does not reparse"
+
+(* ---------------- Workload presets ---------------- *)
+
+let test_covering_rates_ordered () =
+  (* The covering rate is density-dependent; the sets are tuned for the
+     population sizes the benchmarks use (about 10k queries). *)
+  let seed = 123 in
+  let a =
+    Workload.covering_rate
+      (Workload.xpes ~params:(Workload.set_a_params nitf) ~count:10_000 ~seed ())
+  in
+  let b =
+    Workload.covering_rate
+      (Workload.xpes ~params:(Workload.set_b_params nitf) ~count:10_000 ~seed ())
+  in
+  check cb (Printf.sprintf "set A (%.2f) more covered than set B (%.2f)" a b) true (a > b +. 0.1);
+  check cb "set A high" true (a > 0.7);
+  check cb "set B moderate" true (b > 0.25 && b < 0.8)
+
+let test_publications_of_documents () =
+  let docs = Workload.documents ~dtd ~count:3 ~seed:9 () in
+  let pubs = Workload.publications_of_documents docs in
+  check cb "pubs extracted" true (List.length pubs > 3);
+  List.iter
+    (fun (p : Xroute_xml.Xml_paths.publication) ->
+      check cb "doc ids in range" true (p.doc_id >= 0 && p.doc_id < 3))
+    pubs
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "xpath_gen",
+        [
+          Alcotest.test_case "count and distinct" `Quick test_xpath_gen_count_and_distinct;
+          Alcotest.test_case "depth bounds" `Quick test_xpath_gen_depth_bounds;
+          Alcotest.test_case "wildcard knob" `Quick test_xpath_gen_wildcard_knob;
+          Alcotest.test_case "descendant knob" `Quick test_xpath_gen_desc_knob;
+          Alcotest.test_case "relative knob" `Quick test_xpath_gen_relative_knob;
+          Alcotest.test_case "names from DTD" `Quick test_xpath_gen_queries_match_dtd;
+          Alcotest.test_case "deterministic" `Quick test_xpath_gen_deterministic;
+          Alcotest.test_case "predicates" `Quick test_xpath_gen_predicates;
+        ] );
+      ( "xml_gen",
+        [
+          Alcotest.test_case "valid paths" `Quick test_xml_gen_valid_paths;
+          Alcotest.test_case "depth bound" `Quick test_xml_gen_depth_bound;
+          Alcotest.test_case "root" `Quick test_xml_gen_root;
+          Alcotest.test_case "sized" `Quick test_xml_gen_sized;
+          Alcotest.test_case "required attrs" `Quick test_xml_gen_required_attrs;
+          Alcotest.test_case "documents valid" `Quick test_xml_gen_documents_valid;
+          Alcotest.test_case "reparses" `Quick test_xml_gen_parses_back;
+        ] );
+      ( "presets",
+        [
+          Alcotest.test_case "covering rates" `Slow test_covering_rates_ordered;
+          Alcotest.test_case "publications" `Quick test_publications_of_documents;
+        ] );
+    ]

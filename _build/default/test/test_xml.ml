@@ -1,0 +1,265 @@
+(* Tests for the XML library: tree, parser, printer, path decomposition. *)
+
+open Xroute_xml
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let parse = Xml_parser.parse
+
+(* ---------------- Tree ---------------- *)
+
+let sample_tree =
+  Xml_tree.element "a"
+    [
+      Xml_tree.element "b" [ Xml_tree.leaf "c"; Xml_tree.leaf "d" ];
+      Xml_tree.leaf ~attrs:[ ("k", "v") ] "e";
+    ]
+
+let test_tree_accessors () =
+  check cs "name" "a" (Xml_tree.name sample_tree);
+  check ci "children" 2 (List.length (Xml_tree.children sample_tree));
+  check ci "size" 5 (Xml_tree.size sample_tree);
+  check ci "depth" 3 (Xml_tree.depth sample_tree)
+
+let test_tree_attr () =
+  let e = List.nth (Xml_tree.children sample_tree) 1 in
+  check (Alcotest.option cs) "attr found" (Some "v") (Xml_tree.attr e "k");
+  check (Alcotest.option cs) "attr missing" None (Xml_tree.attr e "nope")
+
+let test_tree_equal () =
+  check cb "reflexive" true (Xml_tree.equal sample_tree sample_tree);
+  check cb "differs" false (Xml_tree.equal sample_tree (Xml_tree.leaf "a"))
+
+let test_tree_element_names () =
+  check (Alcotest.list cs) "sorted distinct" [ "a"; "b"; "c"; "d"; "e" ]
+    (Xml_tree.element_names sample_tree)
+
+let test_tree_fold () =
+  let count = Xml_tree.fold (fun acc _ -> acc + 1) 0 sample_tree in
+  check ci "fold visits all" 5 count
+
+(* ---------------- Parser ---------------- *)
+
+let test_parse_minimal () =
+  let t = parse "<a/>" in
+  check cs "name" "a" (Xml_tree.name t);
+  check ci "no children" 0 (List.length (Xml_tree.children t))
+
+let test_parse_nested () =
+  let t = parse "<a><b><c/></b><d/></a>" in
+  check ci "two children" 2 (List.length (Xml_tree.children t));
+  check cs "first child" "b" (Xml_tree.name (List.hd (Xml_tree.children t)))
+
+let test_parse_attributes () =
+  let t = parse {|<a x="1" y="two"><b z='3'/></a>|} in
+  check (Alcotest.option cs) "x" (Some "1") (Xml_tree.attr t "x");
+  check (Alcotest.option cs) "y" (Some "two") (Xml_tree.attr t "y");
+  let b = List.hd (Xml_tree.children t) in
+  check (Alcotest.option cs) "single quotes" (Some "3") (Xml_tree.attr b "z")
+
+let test_parse_text () =
+  let t = parse "<a>hello world</a>" in
+  check cs "text" "hello world" (Xml_tree.text t)
+
+let test_parse_entities () =
+  let t = parse "<a>&lt;&amp;&gt;&quot;&apos;</a>" in
+  check cs "entities" "<&>\"'" (Xml_tree.text t);
+  let t = parse {|<a k="&lt;x&gt;"/>|} in
+  check (Alcotest.option cs) "attr entities" (Some "<x>") (Xml_tree.attr t "k")
+
+let test_parse_numeric_entities () =
+  let t = parse "<a>&#65;&#x42;</a>" in
+  check cs "numeric" "AB" (Xml_tree.text t);
+  let t = parse "<a>&#233;</a>" in
+  check cs "utf8 2-byte" "\xc3\xa9" (Xml_tree.text t)
+
+let test_parse_cdata () =
+  let t = parse "<a><![CDATA[<not> &parsed;]]></a>" in
+  check cs "cdata" "<not> &parsed;" (Xml_tree.text t)
+
+let test_parse_comments_and_pi () =
+  let t = parse "<?xml version=\"1.0\"?><!-- hi --><a><!-- in --><b/><?pi data?></a>" in
+  check ci "one child" 1 (List.length (Xml_tree.children t))
+
+let test_parse_doctype () =
+  let p = Xml_parser.parse_full "<!DOCTYPE book [<!ELEMENT book (#PCDATA)>]><book/>" in
+  check (Alcotest.option cs) "doctype name" (Some "book") p.Xml_parser.doctype_name;
+  check cb "subset captured" true
+    (match p.Xml_parser.internal_subset with
+    | Some s -> String.length s > 0 && String.length s < 40
+    | None -> false)
+
+let test_parse_doctype_external () =
+  let p = Xml_parser.parse_full {|<!DOCTYPE a SYSTEM "a.dtd"><a/>|} in
+  check (Alcotest.option cs) "name" (Some "a") p.Xml_parser.doctype_name;
+  check cb "no subset" true (p.Xml_parser.internal_subset = None)
+
+let expect_error input =
+  match Xml_parser.parse_opt input with
+  | Some _ -> Alcotest.failf "expected parse error for %S" input
+  | None -> ()
+
+let test_parse_errors () =
+  List.iter expect_error
+    [
+      "";
+      "<a>";
+      "<a></b>";
+      "<a><b></a></b>";
+      "<a x=1/>";
+      "<a x=\"1\" x=\"2\"/>";
+      "<a>&unknown;</a>";
+      "<a/><b/>";
+      "text only";
+      "<a><![CDATA[open</a>";
+    ]
+
+let test_parse_error_position () =
+  try
+    ignore (parse "<a>\n<b></c>\n</a>");
+    Alcotest.fail "expected error"
+  with Xml_parser.Parse_error { line; _ } -> check ci "line number" 2 line
+
+let test_parse_whitespace_trim () =
+  let t = parse "<a>\n  spaced  \n</a>" in
+  check cs "trimmed" "spaced" (Xml_tree.text t)
+
+(* ---------------- Printer ---------------- *)
+
+let test_print_roundtrip () =
+  let docs =
+    [
+      "<a/>";
+      "<a><b/><c/></a>";
+      {|<a k="v"><b>text</b></a>|};
+      "<a>x&lt;y</a>";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let t = parse src in
+      let printed = Xml_printer.to_string t in
+      let t' = parse printed in
+      check cb ("roundtrip " ^ src) true (Xml_tree.equal t t'))
+    docs
+
+let test_print_escaping () =
+  let t = Xml_tree.leaf ~text:"a<b&c" ~attrs:[ ("k", "v\"w<") ] "e" in
+  let s = Xml_printer.to_string t in
+  let t' = parse s in
+  check cs "text survives" "a<b&c" (Xml_tree.text t');
+  check (Alcotest.option cs) "attr survives" (Some "v\"w<") (Xml_tree.attr t' "k")
+
+let test_byte_size_matches () =
+  let docs = [ "<a/>"; "<a><b>text</b><c k=\"v\"/></a>"; "<a>x&amp;y</a>" ] in
+  List.iter
+    (fun src ->
+      let t = parse src in
+      check ci ("byte_size " ^ src) (String.length (Xml_printer.to_string t))
+        (Xml_printer.byte_size t))
+    docs
+
+let test_pretty_parses_back () =
+  let t = parse "<a><b><c>x</c></b><d/></a>" in
+  let pretty = Xml_printer.to_pretty_string t in
+  match Xml_parser.parse_opt pretty with
+  | Some t' -> check cs "root survives" (Xml_tree.name t) (Xml_tree.name t')
+  | None -> Alcotest.fail "pretty output does not parse"
+
+(* ---------------- Paths ---------------- *)
+
+let test_paths_basic () =
+  let t = parse "<a><b><c/><d/></b><e/></a>" in
+  let pubs = Xml_paths.decompose ~doc_id:7 t in
+  let strings =
+    List.map (fun (p : Xml_paths.publication) -> String.concat "/" (Array.to_list p.steps)) pubs
+  in
+  check (Alcotest.list cs) "paths" [ "a/b/c"; "a/b/d"; "a/e" ] strings;
+  List.iter (fun (p : Xml_paths.publication) -> check ci "doc id" 7 p.Xml_paths.doc_id) pubs
+
+let test_paths_dedup () =
+  let t = parse "<a><b><c/></b><b><c/></b></a>" in
+  check ci "deduped" 1 (List.length (Xml_paths.decompose ~doc_id:0 t));
+  check ci "raw kept" 2 (List.length (Xml_paths.decompose ~dedup:false ~doc_id:0 t));
+  check ci "path_count" 2 (Xml_paths.path_count t);
+  check ci "distinct" 1 (Xml_paths.distinct_path_count t)
+
+let test_paths_single_node () =
+  let pubs = Xml_paths.decompose ~doc_id:0 (Xml_tree.leaf "solo") in
+  check ci "one path" 1 (List.length pubs);
+  check ci "length 1" 1 (Array.length (List.hd pubs).Xml_paths.steps)
+
+let test_paths_attrs_carried () =
+  let t = parse {|<a k="1"><b m="2"><c/></b></a>|} in
+  let pub = List.hd (Xml_paths.decompose ~doc_id:0 t) in
+  check (Alcotest.list (Alcotest.pair cs cs)) "attrs at 0" [ ("k", "1") ] pub.Xml_paths.attrs.(0);
+  check (Alcotest.list (Alcotest.pair cs cs)) "attrs at 1" [ ("m", "2") ] pub.Xml_paths.attrs.(1);
+  check (Alcotest.list (Alcotest.pair cs cs)) "attrs at 2" [] pub.Xml_paths.attrs.(2)
+
+let test_paths_ids_sequential () =
+  let t = parse "<a><b/><c/><d/></a>" in
+  let ids = List.map (fun (p : Xml_paths.publication) -> p.Xml_paths.path_id)
+      (Xml_paths.decompose ~doc_id:0 t) in
+  check (Alcotest.list ci) "sequential" [ 0; 1; 2 ] ids
+
+let test_publication_of_string () =
+  let p = Xml_paths.publication_of_string "/a/b/c" in
+  check ci "3 steps" 3 (Array.length p.Xml_paths.steps);
+  check cs "step 1" "b" p.Xml_paths.steps.(1);
+  Alcotest.check_raises "empty step"
+    (Invalid_argument "publication_of_string: empty step in \"a//b\"") (fun () ->
+      ignore (Xml_paths.publication_of_string "/a//b"))
+
+let test_doc_size_on_pubs () =
+  let t = parse "<a><b>hello</b></a>" in
+  let pub = List.hd (Xml_paths.decompose ~doc_id:0 t) in
+  check ci "doc size recorded" (Xml_printer.byte_size t) pub.Xml_paths.doc_size
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "tree",
+        [
+          Alcotest.test_case "accessors" `Quick test_tree_accessors;
+          Alcotest.test_case "attr" `Quick test_tree_attr;
+          Alcotest.test_case "equal" `Quick test_tree_equal;
+          Alcotest.test_case "element_names" `Quick test_tree_element_names;
+          Alcotest.test_case "fold" `Quick test_tree_fold;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "minimal" `Quick test_parse_minimal;
+          Alcotest.test_case "nested" `Quick test_parse_nested;
+          Alcotest.test_case "attributes" `Quick test_parse_attributes;
+          Alcotest.test_case "text" `Quick test_parse_text;
+          Alcotest.test_case "entities" `Quick test_parse_entities;
+          Alcotest.test_case "numeric entities" `Quick test_parse_numeric_entities;
+          Alcotest.test_case "cdata" `Quick test_parse_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_parse_comments_and_pi;
+          Alcotest.test_case "doctype" `Quick test_parse_doctype;
+          Alcotest.test_case "doctype external" `Quick test_parse_doctype_external;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "whitespace trim" `Quick test_parse_whitespace_trim;
+        ] );
+      ( "printer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_print_roundtrip;
+          Alcotest.test_case "escaping" `Quick test_print_escaping;
+          Alcotest.test_case "byte_size" `Quick test_byte_size_matches;
+          Alcotest.test_case "pretty parses back" `Quick test_pretty_parses_back;
+        ] );
+      ( "paths",
+        [
+          Alcotest.test_case "basic" `Quick test_paths_basic;
+          Alcotest.test_case "dedup" `Quick test_paths_dedup;
+          Alcotest.test_case "single node" `Quick test_paths_single_node;
+          Alcotest.test_case "attrs carried" `Quick test_paths_attrs_carried;
+          Alcotest.test_case "ids sequential" `Quick test_paths_ids_sequential;
+          Alcotest.test_case "of_string" `Quick test_publication_of_string;
+          Alcotest.test_case "doc size" `Quick test_doc_size_on_pubs;
+        ] );
+    ]

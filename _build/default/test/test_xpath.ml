@@ -1,0 +1,268 @@
+(* Tests for the XPath library: XPE model, parser, evaluator and the
+   advertisement type. *)
+
+open Xroute_xpath
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cs = Alcotest.string
+
+let xp = Xpe_parser.parse
+
+(* ---------------- Xpe model ---------------- *)
+
+let test_make_rejects_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Xpe.make: an XPE needs at least one step")
+    (fun () -> ignore (Xpe.make []))
+
+let test_make_rejects_relative_desc () =
+  Alcotest.check_raises "relative //"
+    (Invalid_argument "Xpe.make: a relative XPE cannot start with //") (fun () ->
+      ignore (Xpe.make ~relative:true [ Xpe.step Xpe.Desc (Xpe.Name "a") ]))
+
+let test_roundtrip_to_string () =
+  let cases =
+    [ "/a/b/c"; "//a/b"; "/a//b"; "a/b"; "/*/b"; "/a/*//c"; "b"; "/a/b[@x='1']/c"; "*/a" ]
+  in
+  List.iter (fun s -> check cs ("roundtrip " ^ s) s (Xpe.to_string (xp s))) cases
+
+let test_properties () =
+  check cb "absolute" true (Xpe.is_absolute (xp "/a/b"));
+  check cb "// is absolute" true (Xpe.is_absolute (xp "//a"));
+  check cb "relative" true (Xpe.is_relative (xp "a/b"));
+  check cb "simple" true (Xpe.is_simple (xp "/a/*/b"));
+  check cb "not simple" false (Xpe.is_simple (xp "/a//b"));
+  check cb "wildcard" true (Xpe.has_wildcard (xp "/a/*"));
+  check cb "no wildcard" false (Xpe.has_wildcard (xp "/a/b"));
+  check ci "length" 3 (Xpe.length (xp "/a/b/c"));
+  check cb "preds" true (Xpe.has_predicates (xp "/a[@x='1']"))
+
+let test_semantic_steps_relative () =
+  match Xpe.semantic_steps (xp "a/b") with
+  | { Xpe.axis = Xpe.Desc; _ } :: { Xpe.axis = Xpe.Child; _ } :: [] -> ()
+  | _ -> Alcotest.fail "relative XPE should start with a semantic Desc"
+
+let test_split_on_desc () =
+  let seg_names segs =
+    List.map
+      (fun seg ->
+        String.concat ","
+          (List.map
+             (fun (s : Xpe.step) ->
+               match s.test with Xpe.Name n -> n | Xpe.Star -> "*")
+             seg))
+      segs
+  in
+  check (Alcotest.list cs) "three segments" [ "a,b"; "c,*"; "d" ]
+    (seg_names (Xpe.split_on_desc (xp "/a/b//c/*//d")));
+  check (Alcotest.list cs) "leading //" [ "a" ] (seg_names (Xpe.split_on_desc (xp "//a")));
+  check cb "anchored" true (Xpe.first_segment_anchored (xp "/a/b"));
+  check cb "not anchored (//)" false (Xpe.first_segment_anchored (xp "//a"));
+  check cb "not anchored (relative)" false (Xpe.first_segment_anchored (xp "a/b"))
+
+let test_compare_total_order () =
+  let xs = List.map xp [ "/a"; "/a/b"; "a"; "//a"; "/*" ] in
+  List.iter
+    (fun x ->
+      check ci "reflexive" 0 (Xpe.compare x x);
+      List.iter
+        (fun y ->
+          check ci "antisymmetric" 0 (compare (Xpe.compare x y) (-Xpe.compare y x)))
+        xs)
+    xs
+
+let test_names () =
+  check (Alcotest.list cs) "names" [ "a"; "c" ] (Xpe.names (xp "/a/*/c"))
+
+(* ---------------- Parser errors ---------------- *)
+
+let test_parser_errors () =
+  List.iter
+    (fun input ->
+      match Xpe_parser.parse_opt input with
+      | Some _ -> Alcotest.failf "expected parse error for %S" input
+      | None -> ())
+    [ ""; "/"; "//"; "/a/"; "/a//"; "/a b"; "/a["; "/a[@x]"; "/a[@x='1'"; "/a[y='1']"; "/1a" ]
+
+(* ---------------- Evaluation ---------------- *)
+
+let path s = Array.of_list (String.split_on_char '/' s)
+
+let matches xpe p = Xpe_eval.matches_names (xp xpe) (path p)
+
+let test_eval_absolute () =
+  check cb "exact" true (matches "/a/b" "a/b");
+  check cb "prefix" true (matches "/a/b" "a/b/c");
+  check cb "too short path" false (matches "/a/b/c" "a/b");
+  check cb "wrong root" false (matches "/b" "a/b");
+  check cb "wildcard" true (matches "/*/b" "a/b");
+  check cb "wildcard consumes" false (matches "/a/*" "a")
+
+let test_eval_descendant () =
+  check cb "// gap" true (matches "/a//c" "a/b/c");
+  check cb "// zero gap" true (matches "/a//c" "a/c");
+  check cb "// strict below root" false (matches "/a//a" "a");
+  check cb "leading //" true (matches "//c" "a/b/c");
+  check cb "double //" true (matches "/a//b//c" "a/x/b/y/c");
+  check cb "// order" false (matches "/a//c//b" "a/b/c")
+
+let test_eval_relative () =
+  check cb "infix" true (matches "b/c" "a/b/c");
+  check cb "at start" true (matches "a/b" "a/b");
+  check cb "not contiguous" false (matches "a/c" "a/b/c");
+  check cb "relative single" true (matches "c" "a/b/c")
+
+let test_eval_backtracking () =
+  (* First // placement fails, a later one succeeds. *)
+  check cb "backtracks" true (matches "/a//b/c" "a/b/x/b/c");
+  check cb "backtracks deep" true (matches "//b//b" "a/b/a/b")
+
+let test_eval_predicates () =
+  let xpe = xp "/a/b[@lang='en']" in
+  let steps = [| "a"; "b" |] in
+  let with_attr = [| []; [ ("lang", "en") ] |] in
+  let wrong = [| []; [ ("lang", "fr") ] |] in
+  let missing = [| []; [] |] in
+  check cb "pred ok" true (Xpe_eval.matches_steps xpe steps with_attr);
+  check cb "pred wrong value" false (Xpe_eval.matches_steps xpe steps wrong);
+  check cb "pred missing" false (Xpe_eval.matches_steps xpe steps missing)
+
+let test_eval_document () =
+  let doc = Xroute_xml.Xml_parser.parse "<a><b><c/></b><d/></a>" in
+  check cb "doc match" true (Xpe_eval.matches_document (xp "/a/b/c") doc);
+  check cb "doc match //" true (Xpe_eval.matches_document (xp "//d") doc);
+  check cb "doc no match" false (Xpe_eval.matches_document (xp "/a/c") doc)
+
+let test_eval_filter () =
+  let pubs =
+    List.map Xroute_xml.Xml_paths.publication_of_string [ "/a/b"; "/a/c"; "/b/c" ]
+  in
+  check ci "filtered" 2 (List.length (Xpe_eval.filter (xp "/a") pubs))
+
+(* ---------------- Advertisements ---------------- *)
+
+let ad = Adv.parse
+
+let test_adv_roundtrip () =
+  let cases = [ "/a/b/c"; "(/a)+"; "/a(/b/c)+/d"; "/a(/b(/c)+)+/d"; "/a(/b)+(/c)+/d"; "/a/*" ] in
+  List.iter (fun s -> check cs ("roundtrip " ^ s) s (Adv.to_string (ad s))) cases
+
+let test_adv_shapes () =
+  let shape s = Adv.shape (ad s) in
+  check cb "non-recursive" true (shape "/a/b" = Adv.Non_recursive);
+  check cb "simple" true (shape "/a(/b)+/c" = Adv.Simple_recursive);
+  check cb "series" true (shape "/a(/b)+(/c)+/d" = Adv.Series_recursive);
+  check cb "embedded" true (shape "/a(/b(/c)+)+/d" = Adv.Embedded_recursive)
+
+let test_adv_lengths () =
+  check ci "length" 3 (Adv.length (ad "/a/b/c"));
+  check ci "min_length" 3 (Adv.min_length (ad "/a(/b)+/c"));
+  check ci "groups" 2 (Adv.group_count (ad "/a(/b(/c)+)+"));
+  Alcotest.check_raises "length of recursive"
+    (Invalid_argument "Adv.length: recursive advertisement") (fun () ->
+      ignore (Adv.length (ad "(/a)+")))
+
+let test_adv_normalization () =
+  (* Adjacent literals fuse; empty groups vanish. *)
+  let a = Adv.make [ Adv.Lit [| Xpe.Name "a" |]; Adv.Lit [| Xpe.Name "b" |] ] in
+  check cs "fused" "/a/b" (Adv.to_string a);
+  Alcotest.check_raises "empty adv" (Invalid_argument "Adv.make: empty advertisement")
+    (fun () -> ignore (Adv.make [ Adv.Lit [||] ]))
+
+let test_adv_matches_names () =
+  let a = ad "/a(/b/c)+/d" in
+  check cb "one rep" true (Adv.matches_names a (path "a/b/c/d"));
+  check cb "two reps" true (Adv.matches_names a (path "a/b/c/b/c/d"));
+  check cb "zero reps" false (Adv.matches_names a (path "a/d"));
+  check cb "partial rep" false (Adv.matches_names a (path "a/b/c/b/d"));
+  check cb "full length only" false (Adv.matches_names a (path "a/b/c/d/e"))
+
+let test_adv_matches_wildcard () =
+  let a = ad "/a/*/c" in
+  check cb "star" true (Adv.matches_names a (path "a/x/c"));
+  check cb "wrong len" false (Adv.matches_names a (path "a/x/c/d"))
+
+let test_adv_matches_embedded () =
+  let a = ad "/r(/a(/b)+)+/z" in
+  check cb "a b z" true (Adv.matches_names a (path "r/a/b/z"));
+  check cb "a b b a b z" true (Adv.matches_names a (path "r/a/b/b/a/b/z"));
+  check cb "needs inner" false (Adv.matches_names a (path "r/a/a/b/z"))
+
+let test_adv_expand () =
+  let a = ad "/a(/b)+/c" in
+  let expansions = Adv.expand ~max_reps:3 a in
+  check ci "three expansions" 3 (List.length expansions);
+  let lengths = List.sort compare (List.map Array.length expansions) in
+  check (Alcotest.list ci) "lengths" [ 3; 4; 5 ] lengths
+
+let test_adv_expand_budget () =
+  let a = ad "/r(/a(/b)+)+/z" in
+  let expansions = Adv.expand_budget ~budget:4 a in
+  (* all expansions must themselves match the advertisement *)
+  List.iter
+    (fun exp ->
+      let names = Array.map (function Xpe.Name n -> n | Xpe.Star -> "*") exp in
+      check cb "expansion matches adv" true (Adv.matches_names a names))
+    expansions;
+  check cb "several" true (List.length expansions >= 3)
+
+let test_adv_of_names () =
+  let a = Adv.of_names [ "a"; "*"; "c" ] in
+  check cs "wildcard parsed" "/a/*/c" (Adv.to_string a);
+  check cb "non-recursive match" true
+    (Adv.non_recursive_matches_names (Adv.to_symbols a) (path "a/q/c"))
+
+let test_adv_compare () =
+  check ci "equal" 0 (Adv.compare (ad "/a(/b)+") (ad "/a(/b)+"));
+  check cb "distinct" true (Adv.compare (ad "/a/b") (ad "/a(/b)+") <> 0)
+
+let test_adv_parse_errors () =
+  List.iter
+    (fun input ->
+      match Adv.parse_opt input with
+      | Some _ -> Alcotest.failf "expected adv parse error for %S" input
+      | None -> ())
+    [ ""; "/a("; "/a()+"; "/a(/b)"; "/a(/b)*"; "a/b"; "/a/"; "/a(/b)+x" ]
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "make rejects empty" `Quick test_make_rejects_empty;
+          Alcotest.test_case "make rejects relative //" `Quick test_make_rejects_relative_desc;
+          Alcotest.test_case "to_string roundtrip" `Quick test_roundtrip_to_string;
+          Alcotest.test_case "properties" `Quick test_properties;
+          Alcotest.test_case "semantic steps" `Quick test_semantic_steps_relative;
+          Alcotest.test_case "split on desc" `Quick test_split_on_desc;
+          Alcotest.test_case "compare" `Quick test_compare_total_order;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "parser errors" `Quick test_parser_errors;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "absolute" `Quick test_eval_absolute;
+          Alcotest.test_case "descendant" `Quick test_eval_descendant;
+          Alcotest.test_case "relative" `Quick test_eval_relative;
+          Alcotest.test_case "backtracking" `Quick test_eval_backtracking;
+          Alcotest.test_case "predicates" `Quick test_eval_predicates;
+          Alcotest.test_case "documents" `Quick test_eval_document;
+          Alcotest.test_case "filter" `Quick test_eval_filter;
+        ] );
+      ( "adv",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_adv_roundtrip;
+          Alcotest.test_case "shapes" `Quick test_adv_shapes;
+          Alcotest.test_case "lengths" `Quick test_adv_lengths;
+          Alcotest.test_case "normalization" `Quick test_adv_normalization;
+          Alcotest.test_case "matches_names" `Quick test_adv_matches_names;
+          Alcotest.test_case "wildcard" `Quick test_adv_matches_wildcard;
+          Alcotest.test_case "embedded" `Quick test_adv_matches_embedded;
+          Alcotest.test_case "expand" `Quick test_adv_expand;
+          Alcotest.test_case "expand budget" `Quick test_adv_expand_budget;
+          Alcotest.test_case "of_names" `Quick test_adv_of_names;
+          Alcotest.test_case "compare" `Quick test_adv_compare;
+          Alcotest.test_case "parse errors" `Quick test_adv_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(* Tests for the YFilter-style NFA index: hand-picked behaviors plus
+   randomized equivalence with the linear reference matcher. *)
+
+open Xroute_core
+open Xroute_xpath
+
+let check = Alcotest.check
+let ci = Alcotest.int
+
+let xp = Xpe_parser.parse
+let path s = Array.of_list (String.split_on_char '/' s)
+
+let index_of xpes =
+  let t : int Yfilter.t = Yfilter.create () in
+  List.iteri (fun i x -> Yfilter.insert t (xp x) i) xpes;
+  t
+
+let matches t p = List.sort compare (Yfilter.match_names t (path p))
+
+let test_basic () =
+  let t = index_of [ "/a/b"; "/a/c"; "/x" ] in
+  check (Alcotest.list ci) "ab" [ 0 ] (matches t "a/b");
+  check (Alcotest.list ci) "prefix" [ 0 ] (matches t "a/b/z");
+  check (Alcotest.list ci) "x" [ 2 ] (matches t "x");
+  check (Alcotest.list ci) "none" [] (matches t "q")
+
+let test_wildcards_and_desc () =
+  let t = index_of [ "/*/b"; "//c"; "/a//d"; "b/c" ] in
+  check (Alcotest.list ci) "star" [ 0 ] (matches t "q/b");
+  check (Alcotest.list ci) "desc deep" [ 1 ] (matches t "x/y/c");
+  check (Alcotest.list ci) "a..d" [ 2 ] (matches t "a/x/y/d");
+  check (Alcotest.list ci) "relative infix" [ 0; 1; 3 ] (matches t "a/b/c");
+  check (Alcotest.list ci) "relative and desc" [ 1; 3 ] (matches t "b/c")
+
+let test_child_edges_do_not_refire () =
+  (* /a//b/c : after //b matches, /c must follow IMMEDIATELY after that
+     b; a c appearing later must not be accepted from a stale state. *)
+  let t = index_of [ "/a//b/c" ] in
+  check (Alcotest.list ci) "direct" [ 0 ] (matches t "a/x/b/c");
+  check (Alcotest.list ci) "gap breaks child edge" [] (matches t "a/x/b/x/c");
+  (* but a later b re-arms it *)
+  check (Alcotest.list ci) "re-armed" [ 0 ] (matches t "a/x/b/x/b/c")
+
+let test_prefix_sharing () =
+  let t = index_of [ "/a/b/c"; "/a/b/d"; "/a/b"; "/a/q" ] in
+  (* states: root, a, b, c, d, q = 6 *)
+  check ci "states shared" 6 (Yfilter.state_count t);
+  check ci "size" 4 (Yfilter.size t);
+  check (Alcotest.list ci) "all under ab" [ 0; 2 ] (matches t "a/b/c")
+
+let test_duplicate_xpes_accumulate () =
+  let t : int Yfilter.t = Yfilter.create () in
+  Yfilter.insert t (xp "/a") 1;
+  Yfilter.insert t (xp "/a") 2;
+  check ci "two payloads" 2 (Yfilter.size t);
+  check (Alcotest.list ci) "both match" [ 1; 2 ] (matches t "a")
+
+let test_remove () =
+  let t : int Yfilter.t = Yfilter.create () in
+  Yfilter.insert t (xp "/a") 1;
+  Yfilter.insert t (xp "/a") 2;
+  Yfilter.insert t (xp "/a/b") 3;
+  Yfilter.remove t (xp "/a") (fun p -> p = 1);
+  check ci "one gone" 2 (Yfilter.size t);
+  check (Alcotest.list ci) "match after remove" [ 2 ] (matches t "a");
+  Yfilter.remove t (xp "/a") (fun _ -> true);
+  check (Alcotest.list ci) "all gone" [] (matches t "a");
+  check (Alcotest.list ci) "sibling untouched" [ 3 ] (matches t "a/b")
+
+let test_predicates_rechecked () =
+  let t : int Yfilter.t = Yfilter.create () in
+  Yfilter.insert t (xp "/a/b[@k='v']") 1;
+  let p = path "a/b" in
+  check (Alcotest.list ci) "pred ok" [ 1 ]
+    (Yfilter.match_path t p [| []; [ ("k", "v") ] |]);
+  check (Alcotest.list ci) "pred fails" [] (Yfilter.match_path t p [| []; [ ("k", "w") ] |])
+
+let test_to_list () =
+  let t = index_of [ "/a"; "/a/b" ] in
+  check ci "pairs" 2 (List.length (Yfilter.to_list t))
+
+(* Randomized equivalence with the linear matcher over Sub_tree. *)
+let test_equivalence_random () =
+  let prng = Xroute_support.Prng.create 424242 in
+  let alphabet = [| "a"; "b"; "c" |] in
+  let random_xpe () =
+    let len = 1 + Xroute_support.Prng.int prng 4 in
+    let relative = Xroute_support.Prng.bernoulli prng 0.2 in
+    let steps =
+      List.init len (fun i ->
+          let test =
+            if Xroute_support.Prng.bernoulli prng 0.3 then Xpe.Star
+            else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+          in
+          let axis =
+            if i = 0 && relative then Xpe.Child
+            else if Xroute_support.Prng.bernoulli prng 0.3 then Xpe.Desc
+            else Xpe.Child
+          in
+          Xpe.step axis test)
+    in
+    Xpe.make ~relative steps
+  in
+  for _round = 1 to 30 do
+    let xpes = List.init (1 + Xroute_support.Prng.int prng 60) (fun _ -> random_xpe ()) in
+    let yf : int Yfilter.t = Yfilter.create () in
+    let tree : int Sub_tree.t = Sub_tree.create () in
+    List.iteri
+      (fun i x ->
+        Yfilter.insert yf x i;
+        ignore (Sub_tree.insert tree x i))
+      xpes;
+    for _ = 1 to 40 do
+      let len = 1 + Xroute_support.Prng.int prng 6 in
+      let p = Array.init len (fun _ -> Xroute_support.Prng.choose prng alphabet) in
+      let attrs = Array.make len [] in
+      let via_yf = List.sort compare (Yfilter.match_path yf p attrs) in
+      let via_tree = List.sort compare (Sub_tree.match_path_linear tree p attrs) in
+      if via_yf <> via_tree then
+        Alcotest.failf "yfilter differs on %s: yf=[%s] tree=[%s] (xpes: %s)"
+          (String.concat "/" (Array.to_list p))
+          (String.concat ";" (List.map string_of_int via_yf))
+          (String.concat ";" (List.map string_of_int via_tree))
+          (String.concat " " (List.map Xpe.to_string xpes))
+    done
+  done
+
+let () =
+  Alcotest.run "yfilter"
+    [
+      ( "behavior",
+        [
+          Alcotest.test_case "basic" `Quick test_basic;
+          Alcotest.test_case "wildcards and desc" `Quick test_wildcards_and_desc;
+          Alcotest.test_case "child edges do not refire" `Quick test_child_edges_do_not_refire;
+          Alcotest.test_case "prefix sharing" `Quick test_prefix_sharing;
+          Alcotest.test_case "duplicates" `Quick test_duplicate_xpes_accumulate;
+          Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "predicates" `Quick test_predicates_rechecked;
+          Alcotest.test_case "to_list" `Quick test_to_list;
+        ] );
+      ("equivalence", [ Alcotest.test_case "random vs linear" `Quick test_equivalence_random ]);
+    ]
