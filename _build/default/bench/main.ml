@@ -10,6 +10,7 @@
 
 open Xroute_core
 open Xroute_overlay
+module Metrics = Xroute_obs.Metrics
 
 let scale =
   match Sys.getenv_opt "XROUTE_BENCH_SCALE" with
@@ -254,7 +255,18 @@ let run_network ~levels ~subs_per_client ~doc_count strategy_name =
   List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
   Net.run net;
   ignore t_pub_start;
-  (Net.total_traffic net, Net.mean_delivery_delay net, Net.total_deliveries net)
+  (* Report from the metrics registry — the same surface a daemon
+     exposes over STATS|. *)
+  let reg = Net.aggregate_metrics net in
+  let scalar name = Option.value ~default:0.0 (Metrics.scalar reg name) in
+  let delay =
+    match Metrics.find reg "xroute_net_delivery_delay_ms" with
+    | Some (Metrics.Histogram h) -> (Metrics.summary h).Xroute_support.Stats.mean
+    | _ -> 0.0
+  in
+  ( int_of_float (scalar "xroute_net_msgs_total"),
+    delay,
+    int_of_float (scalar "xroute_net_deliveries_total") )
 
 let network_table ~levels ~subs_per_client ~doc_count title paper_hint =
   section (title ^ "\n" ^ paper_hint);
@@ -614,10 +626,88 @@ let micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Instrumentation smoke check (wired into dune runtest)               *)
+(* ------------------------------------------------------------------ *)
+
+(* Drive a tiny workload through the simulator and fail if any
+   registered hot-path metric stays at zero — the canary for silently
+   dead instrumentation. *)
+let smoke () =
+  let trace = Xroute_obs.Trace.create ~capacity:1024 () in
+  let topo = Topology.line 3 in
+  let net = Net.create ~trace topo in
+  let publisher = Net.add_client net ~broker:0 in
+  let subscriber = Net.add_client net ~broker:2 in
+  ignore (Net.advertise_dtd net publisher psd_advs);
+  Net.run net;
+  let xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params psd)
+      ~count:40 ~seed:5 ()
+  in
+  List.iter (fun x -> ignore (Net.subscribe net subscriber x)) xpes;
+  (* catch-all so every document is delivered *)
+  ignore
+    (Net.subscribe net subscriber
+       (Xroute_xpath.Xpe_parser.parse ("/" ^ Xroute_dtd.Dtd_ast.root psd)));
+  Net.run net;
+  let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:5 ~seed:6 () in
+  List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+  Net.run net;
+  let reg = Net.aggregate_metrics net in
+  let hot_paths =
+    [
+      "xroute_broker_msgs_in_total";
+      "xroute_broker_advs_in_total";
+      "xroute_broker_subs_in_total";
+      "xroute_broker_pubs_in_total";
+      "xroute_broker_deliveries_total";
+      "xroute_broker_forwarded_subs";
+      "xroute_srt_size";
+      "xroute_srt_match_ops_total";
+      "xroute_srt_sub_match_ops";
+      "xroute_prt_size";
+      "xroute_prt_payloads";
+      "xroute_prt_match_checks_total";
+      "xroute_prt_cover_checks_total";
+      "xroute_prt_pub_match_ops";
+      "xroute_net_msgs_total";
+      "xroute_net_msgs_adv_total";
+      "xroute_net_msgs_sub_total";
+      "xroute_net_msgs_pub_total";
+      "xroute_net_deliveries_total";
+      "xroute_net_hop_latency_ms";
+      "xroute_net_delivery_delay_ms";
+    ]
+  in
+  let dead =
+    List.filter
+      (fun name ->
+        match Metrics.scalar reg name with Some v -> v = 0.0 | None -> true)
+      hot_paths
+  in
+  Printf.printf "smoke: %d hot-path metrics checked, %d hops traced\n" (List.length hot_paths)
+    (Xroute_obs.Trace.length trace);
+  if Xroute_obs.Trace.length trace = 0 then begin
+    Printf.printf "smoke FAILED: no hops traced\n";
+    exit 1
+  end;
+  if dead <> [] then begin
+    Printf.printf "smoke FAILED: metrics stuck at zero (or unregistered):\n";
+    List.iter (fun n -> Printf.printf "  %s\n" n) dead;
+    print_string (Metrics.to_prometheus reg);
+    exit 1
+  end;
+  Printf.printf "smoke ok\n%!"
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let () =
+  if Array.exists (String.equal "--smoke") Sys.argv then begin
+    smoke ();
+    exit 0
+  end;
   let only =
     match Array.to_list Sys.argv with _ :: rest when rest <> [] -> Some rest | _ -> None
   in

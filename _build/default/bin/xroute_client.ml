@@ -4,7 +4,8 @@
      xroute_client --port 7002 --id 42 subscribe '//section/para'
      xroute_client --port 7002 --id 42 listen '//section/para'
      xroute_client --port 7000 --id 7 advertise-dtd book
-     xroute_client --port 7000 --id 7 publish doc.xml *)
+     xroute_client --port 7000 --id 7 publish doc.xml
+     xroute_client --port 7000 stats --format json *)
 
 open Cmdliner
 
@@ -93,6 +94,25 @@ let publish_cmd =
   Cmd.v (Cmd.info "publish" ~doc:"Publish an XML document.")
     Term.(const run $ connect_args $ file_arg $ doc_id_arg)
 
+let stats_cmd =
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("prom", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format" ] ~docv:"FMT" ~doc:"Exposition format: $(b,prom) or $(b,json).")
+  in
+  let run conn format =
+    with_client conn (fun c ->
+        match Xroute_daemon.Client.stats ~format c with
+        | Some body -> print_string body
+        | None ->
+          prerr_endline "xroute_client: no STATS reply from the daemon";
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Dump the daemon's metrics registry (Prometheus text or JSON).")
+    Term.(const run $ connect_args $ format_arg)
+
 let () =
   let info = Cmd.info "xroute_client" ~version:"1.0.0" ~doc:"Client for the XML router daemon" in
-  exit (Cmd.eval (Cmd.group info [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd; stats_cmd ]))

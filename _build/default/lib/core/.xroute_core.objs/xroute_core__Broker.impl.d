@@ -1,1 +1,1 @@
-lib/core/broker.ml: Adv_match Cover List Logs Merge Message Option Rtable Sub_tree Xpe Xroute_xpath
+lib/core/broker.ml: Adv_match Cover Fun List Logs Merge Message Option Rtable Sub_tree Sys Xpe Xroute_obs Xroute_xpath

@@ -1,1 +1,1 @@
-lib/core/broker.mli: Message Rtable
+lib/core/broker.mli: Message Rtable Xroute_obs

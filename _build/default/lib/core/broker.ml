@@ -76,6 +76,68 @@ type counters = {
   mutable deliveries : int; (* publications handed to local clients *)
 }
 
+module M = Xroute_obs.Metrics
+
+(* Handles into the broker's metrics registry, resolved once at creation
+   so the hot paths never do a name lookup. *)
+type meters = {
+  m_msgs_in : M.counter;
+  m_advs_in : M.counter;
+  m_subs_in : M.counter;
+  m_pubs_in : M.counter;
+  m_unsubs_in : M.counter;
+  m_pubs_dropped : M.counter;
+  m_deliveries : M.counter;
+  m_mergers_applied : M.counter;
+  m_srt_match_ops : M.counter; (* mirrors Srt.match_ops *)
+  m_prt_match_checks : M.counter; (* mirrors Prt.match_checks *)
+  m_prt_cover_checks : M.counter; (* mirrors Prt.cover_checks *)
+  m_srt_size : M.gauge;
+  m_prt_size : M.gauge;
+  m_prt_payloads : M.gauge;
+  m_forwarded : M.gauge;
+  m_mergers_active : M.gauge;
+  m_suppressed : M.gauge;
+  m_sub_match_ops : M.histogram; (* SRT match ops per subscription *)
+  m_pub_match_ops : M.histogram; (* PRT match/cover ops per publication *)
+  m_merge_pass_ms : M.histogram;
+}
+
+let make_meters reg =
+  {
+    m_msgs_in = M.counter reg ~help:"Messages handled" "xroute_broker_msgs_in_total";
+    m_advs_in = M.counter reg ~help:"Advertisements handled" "xroute_broker_advs_in_total";
+    m_subs_in = M.counter reg ~help:"Subscriptions handled" "xroute_broker_subs_in_total";
+    m_pubs_in = M.counter reg ~help:"Publications handled" "xroute_broker_pubs_in_total";
+    m_unsubs_in = M.counter reg ~help:"Unsubscriptions handled" "xroute_broker_unsubs_in_total";
+    m_pubs_dropped =
+      M.counter reg ~help:"Publications matching no subscription" "xroute_broker_pubs_dropped_total";
+    m_deliveries =
+      M.counter reg ~help:"Publications handed to local clients" "xroute_broker_deliveries_total";
+    m_mergers_applied =
+      M.counter reg ~help:"Mergers created by merge passes" "xroute_broker_mergers_applied_total";
+    m_srt_match_ops =
+      M.counter reg ~help:"SRT advertisement match operations" "xroute_srt_match_ops_total";
+    m_prt_match_checks =
+      M.counter reg ~help:"PRT publication match checks" "xroute_prt_match_checks_total";
+    m_prt_cover_checks =
+      M.counter reg ~help:"PRT covering checks" "xroute_prt_cover_checks_total";
+    m_srt_size = M.gauge reg ~help:"SRT entries" "xroute_srt_size";
+    m_prt_size = M.gauge reg ~help:"PRT distinct XPEs" "xroute_prt_size";
+    m_prt_payloads = M.gauge reg ~help:"PRT stored payloads" "xroute_prt_payloads";
+    m_forwarded =
+      M.gauge reg ~help:"Subscriptions forwarded upstream" "xroute_broker_forwarded_subs";
+    m_mergers_active = M.gauge reg ~help:"Active mergers" "xroute_broker_mergers_active";
+    m_suppressed =
+      M.gauge reg ~help:"Subscriptions suppressed by a merger" "xroute_broker_suppressed_subs";
+    m_sub_match_ops =
+      M.histogram reg ~help:"SRT match ops per subscription" "xroute_srt_sub_match_ops";
+    m_pub_match_ops =
+      M.histogram reg ~help:"PRT match/cover ops per publication" "xroute_prt_pub_match_ops";
+    m_merge_pass_ms =
+      M.histogram reg ~help:"Merge pass CPU time (ms)" "xroute_broker_merge_pass_ms";
+  }
+
 type merger_record = {
   merger_id : Message.sub_id;
   merger_xpe : Xpe.t;
@@ -98,6 +160,8 @@ type t = {
   (* path universe for the imperfect degree (publisher DTD knowledge) *)
   mutable universe : string array list;
   counters : counters;
+  metrics : M.t;
+  meters : meters;
 }
 
 let create ?(strategy = default_strategy) ~id ~neighbors () =
@@ -108,6 +172,7 @@ let create ?(strategy = default_strategy) ~id ~neighbors () =
   in
   let flat = not strategy.use_cover in
   let engine = if strategy.exact_engines then Adv_match.Exact else Adv_match.Paper in
+  let metrics = M.create () in
   {
     id;
     strategy;
@@ -130,11 +195,14 @@ let create ?(strategy = default_strategy) ~id ~neighbors () =
         pubs_dropped = 0;
         deliveries = 0;
       };
+    metrics;
+    meters = make_meters metrics;
   }
 
 let id t = t.id
 let strategy t = t.strategy
 let counters t = t.counters
+let metrics t = t.metrics
 let srt_size t = Rtable.Srt.size t.srt
 let prt_size t = Rtable.Prt.size t.prt
 let set_universe t universe = t.universe <- universe
@@ -143,6 +211,21 @@ let set_universe t universe = t.universe <- universe
    charges for (covering shrinks it). *)
 let work t =
   Rtable.Srt.match_ops t.srt + Rtable.Prt.match_checks t.prt + Rtable.Prt.cover_checks t.prt
+
+(* Push the derived quantities — index sizes as gauges, the tables'
+   cumulative match counters — into the registry. Call before export;
+   the event counters and histograms are maintained inline. *)
+let refresh_metrics t =
+  let m = t.meters in
+  M.counter_set m.m_srt_match_ops (Rtable.Srt.match_ops t.srt);
+  M.counter_set m.m_prt_match_checks (Rtable.Prt.match_checks t.prt);
+  M.counter_set m.m_prt_cover_checks (Rtable.Prt.cover_checks t.prt);
+  M.set_int m.m_srt_size (Rtable.Srt.size t.srt);
+  M.set_int m.m_prt_size (Rtable.Prt.size t.prt);
+  M.set_int m.m_prt_payloads (Rtable.Prt.payload_count t.prt);
+  M.set_int m.m_forwarded (Rtable.Prt.Id_map.cardinal t.forwarded);
+  M.set_int m.m_mergers_active (List.length t.mergers);
+  M.set_int m.m_suppressed (List.length t.suppressed)
 
 let neighbor_endpoints ?(except = []) t =
   List.filter_map
@@ -230,6 +313,7 @@ let unserved_targets t ~self_id xpe targets =
 
 let handle_advertise t ~from id adv =
   t.counters.advs_in <- t.counters.advs_in + 1;
+  M.incr t.meters.m_advs_in;
   match Rtable.Srt.add t.srt id adv from with
   | `Duplicate -> []
   | `Covered _ -> [] (* advertisement covering suppressed storage and forwarding *)
@@ -298,6 +382,7 @@ let handle_unadvertise t ~from id =
 
 let handle_subscribe t ~from id xpe =
   t.counters.subs_in <- t.counters.subs_in + 1;
+  M.incr t.meters.m_subs_in;
   if Rtable.Prt.mem t.prt id then [] (* duplicate *)
   else begin
     (* Subscriptions this one strictly covers (equal XPEs are kept:
@@ -337,6 +422,7 @@ let handle_subscribe t ~from id xpe =
 
 let handle_unsubscribe t ~from id =
   t.counters.unsubs_in <- t.counters.unsubs_in + 1;
+  M.incr t.meters.m_unsubs_in;
   ignore from;
   match Rtable.Prt.remove t.prt id with
   | None -> []
@@ -378,6 +464,7 @@ let handle_unsubscribe t ~from id =
 
 let handle_publish t ~from pub trail =
   t.counters.pubs_in <- t.counters.pubs_in + 1;
+  M.incr t.meters.m_pubs_in;
   let payloads =
     if t.strategy.trail_routing && trail <> [] then Rtable.Prt.match_pub_from t.prt trail pub
     else Rtable.Prt.match_pub t.prt pub
@@ -392,11 +479,16 @@ let handle_publish t ~from pub trail =
         | None -> by_hop := (p.hop, ref [ p.id ]) :: !by_hop
       end)
     payloads;
-  if !by_hop = [] then t.counters.pubs_dropped <- t.counters.pubs_dropped + 1;
+  if !by_hop = [] then begin
+    t.counters.pubs_dropped <- t.counters.pubs_dropped + 1;
+    M.incr t.meters.m_pubs_dropped
+  end;
   List.map
     (fun (ep, ids) ->
       (match ep with
-      | Rtable.Client _ -> t.counters.deliveries <- t.counters.deliveries + 1
+      | Rtable.Client _ ->
+        t.counters.deliveries <- t.counters.deliveries + 1;
+        M.incr t.meters.m_deliveries
       | Rtable.Neighbor _ -> ());
       let trail = if t.strategy.trail_routing && is_neighbor_ep ep then !ids else [] in
       (ep, Message.Publish { pub; trail }))
@@ -408,14 +500,27 @@ let handle_publish t ~from pub trail =
 
 let handle t ~from (msg : Message.t) =
   t.counters.msgs_in <- t.counters.msgs_in + 1;
+  M.incr t.meters.m_msgs_in;
   Log.debug (fun m ->
       m "broker %d <- %a: %a" t.id Rtable.pp_endpoint from Message.pp msg);
-  match msg with
-  | Message.Advertise { id; adv } -> handle_advertise t ~from id adv
-  | Message.Unadvertise { id } -> handle_unadvertise t ~from id
-  | Message.Subscribe { id; xpe } -> handle_subscribe t ~from id xpe
-  | Message.Unsubscribe { id } -> handle_unsubscribe t ~from id
-  | Message.Publish { pub; trail } -> handle_publish t ~from pub trail
+  let srt0 = Rtable.Srt.match_ops t.srt in
+  let prt0 = Rtable.Prt.match_checks t.prt + Rtable.Prt.cover_checks t.prt in
+  let outs =
+    match msg with
+    | Message.Advertise { id; adv } -> handle_advertise t ~from id adv
+    | Message.Unadvertise { id } -> handle_unadvertise t ~from id
+    | Message.Subscribe { id; xpe } -> handle_subscribe t ~from id xpe
+    | Message.Unsubscribe { id } -> handle_unsubscribe t ~from id
+    | Message.Publish { pub; trail } -> handle_publish t ~from pub trail
+  in
+  (match msg with
+  | Message.Subscribe _ ->
+    M.observe t.meters.m_sub_match_ops (float_of_int (Rtable.Srt.match_ops t.srt - srt0))
+  | Message.Publish _ ->
+    let prt1 = Rtable.Prt.match_checks t.prt + Rtable.Prt.cover_checks t.prt in
+    M.observe t.meters.m_pub_match_ops (float_of_int (prt1 - prt0))
+  | Message.Advertise _ | Message.Unadvertise _ | Message.Unsubscribe _ -> ());
+  outs
 
 (* ------------------------------------------------------------------ *)
 (* Merging pass                                                        *)
@@ -429,6 +534,11 @@ let merge_pass t =
   match t.strategy.merging with
   | No_merging -> []
   | mode ->
+    let t_start = Sys.time () in
+    Fun.protect
+      ~finally:(fun () ->
+        M.observe t.meters.m_merge_pass_ms ((Sys.time () -. t_start) *. 1000.0))
+    @@ fun () ->
     let max_degree = match mode with Perfect -> 0.0 | Imperfect d -> d | No_merging -> 0.0 in
     (* Mergeable population: maximal, not suppressed, forwarded somewhere. *)
     let population =
@@ -457,6 +567,7 @@ let merge_pass t =
           let merger_id = { Message.origin = (t.id * 1_000_000) + 999_000; seq = t.merge_seq } in
           let record = { merger_id; merger_xpe = m.xpe; member_ids } in
           t.mergers <- record :: t.mergers;
+          M.incr t.meters.m_mergers_applied;
           t.suppressed <- member_ids @ t.suppressed;
           (* Subscribe the merger along its own (unserved) targets. *)
           let targets = sub_targets t ~from:(Rtable.Neighbor t.id) m.xpe in

@@ -42,6 +42,17 @@ val create : ?strategy:strategy -> id:int -> neighbors:int list -> unit -> t
 val id : t -> int
 val strategy : t -> strategy
 val counters : t -> counters
+
+(** The broker's metrics registry (see [Xroute_obs.Metrics]): message
+    counters, match-op histograms and — after {!refresh_metrics} —
+    index-size gauges. Registered eagerly at {!create}, so every metric
+    name is present even before traffic arrives. *)
+val metrics : t -> Xroute_obs.Metrics.t
+
+(** Push the derived quantities (SRT/PRT sizes, cumulative match
+    counters) into the registry; call before exporting it. *)
+val refresh_metrics : t -> unit
+
 val srt_size : t -> int
 val prt_size : t -> int
 

@@ -167,4 +167,7 @@ module Prt = struct
 
   let match_checks t = Sub_tree.match_checks t.tree
   let cover_checks t = Sub_tree.cover_checks t.tree
+
+  (* Total stored payloads ([size] counts distinct XPEs). *)
+  let payload_count t = Sub_tree.payload_count t.tree
 end

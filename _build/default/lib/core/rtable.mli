@@ -81,4 +81,7 @@ module Prt : sig
 
   val match_checks : t -> int
   val cover_checks : t -> int
+
+  (** Total stored payloads ({!size} counts distinct XPEs). *)
+  val payload_count : t -> int
 end

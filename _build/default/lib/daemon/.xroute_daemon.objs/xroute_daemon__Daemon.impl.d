@@ -1,1 +1,1 @@
-lib/daemon/daemon.ml: Array Broker Buffer Bytes Codec List Logs Message Printf Rtable String Unix Xroute_core
+lib/daemon/daemon.ml: Array Broker Buffer Bytes Codec List Logs Message Printf Rtable String Unix Xroute_core Xroute_obs

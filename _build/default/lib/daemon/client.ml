@@ -59,10 +59,9 @@ let publish_doc t ~doc_id root =
   List.iter (fun pub -> send t (Message.Publish { pub; trail = [] })) pubs;
   List.length pubs
 
-(* Receive the next message, waiting up to [timeout] seconds; [None] on
-   timeout. *)
-let recv ?(timeout = 1.0) t =
-  let deadline = Unix.gettimeofday () +. timeout in
+(* Next raw protocol line, waiting until [deadline]; [None] on timeout
+   or connection close. *)
+let next_line t ~deadline =
   let line_from_buffer () =
     let data = Buffer.contents t.inbuf in
     match String.index_opt data '\n' with
@@ -75,13 +74,7 @@ let recv ?(timeout = 1.0) t =
   in
   let rec go () =
     match line_from_buffer () with
-    | Some line -> (
-      match String.split_on_char '|' line with
-      | "M" :: _ -> (
-        match Codec.decode (String.sub line 2 (String.length line - 2)) with
-        | Ok msg -> Some msg
-        | Error _ -> go ())
-      | _ -> go () (* control line; skip *))
+    | Some line -> Some line
     | None ->
       let remaining = deadline -. Unix.gettimeofday () in
       if remaining <= 0.0 then None
@@ -96,6 +89,44 @@ let recv ?(timeout = 1.0) t =
             Buffer.add_subbytes t.inbuf buf 0 n;
             go ())
       end
+  in
+  go ()
+
+(* Receive the next message, waiting up to [timeout] seconds; [None] on
+   timeout. *)
+let recv ?(timeout = 1.0) t =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    match next_line t ~deadline with
+    | None -> None
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "M" :: _ -> (
+        match Codec.decode (String.sub line 2 (String.length line - 2)) with
+        | Ok msg -> Some msg
+        | Error _ -> go ())
+      | _ -> go () (* control line; skip *))
+  in
+  go ()
+
+(* Request the broker's metrics exposition (STATS|); the framed reply
+   (STATS|BEGIN, S| lines, STATS|END) is reassembled into one string.
+   Routed messages arriving while the reply streams are discarded. *)
+let stats ?(timeout = 2.0) ?(format = `Prom) t =
+  send_line t ("STATS|" ^ match format with `Json -> "json" | `Prom -> "prom");
+  let deadline = Unix.gettimeofday () +. timeout in
+  let buf = Buffer.create 1024 in
+  let rec go () =
+    match next_line t ~deadline with
+    | None -> None
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "STATS" :: "END" :: _ -> Some (Buffer.contents buf)
+      | "S" :: _ ->
+        Buffer.add_string buf (String.sub line 2 (String.length line - 2));
+        Buffer.add_char buf '\n';
+        go ()
+      | _ -> go () (* BEGIN frame or unrelated traffic *))
   in
   go ()
 

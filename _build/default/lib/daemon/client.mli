@@ -23,5 +23,10 @@ val publish_doc : t -> doc_id:int -> Xroute_xml.Xml_tree.t -> int
 (** Next message, waiting up to [timeout] seconds. *)
 val recv : ?timeout:float -> t -> Message.t option
 
+(** Request the daemon's metrics exposition over the wire ([STATS|]);
+    [None] on timeout. Routed messages arriving while the reply streams
+    are discarded. *)
+val stats : ?timeout:float -> ?format:[ `Prom | `Json ] -> t -> string option
+
 (** Distinct delivered doc ids until [timeout] seconds pass quietly. *)
 val drain_deliveries : ?timeout:float -> t -> int list

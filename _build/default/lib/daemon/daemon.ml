@@ -103,6 +103,23 @@ let send_message t ep (msg : Message.t) =
 
 let dispatch t outputs = List.iter (fun (ep, msg) -> send_message t ep msg) outputs
 
+(* STATS|: dump the broker's metrics registry. The exposition is
+   multi-line, so it is framed for the line protocol: STATS|BEGIN|<fmt>,
+   one S|<line> per exposition line, then STATS|END. *)
+let send_stats t conn fmt =
+  Broker.refresh_metrics t.broker;
+  let reg = Broker.metrics t.broker in
+  let fmt_name, body =
+    match fmt with
+    | `Json -> ("json", Xroute_obs.Metrics.to_json reg)
+    | `Prom -> ("prom", Xroute_obs.Metrics.to_prometheus reg)
+  in
+  enqueue conn ("STATS|BEGIN|" ^ fmt_name);
+  List.iter
+    (fun l -> if l <> "" then enqueue conn ("S|" ^ l))
+    (String.split_on_char '\n' body);
+  enqueue conn "STATS|END"
+
 let handle_line t conn line =
   match String.split_on_char '|' line with
   | "HELLO" :: kind :: id :: _ -> (
@@ -120,6 +137,9 @@ let handle_line t conn line =
       | Error e ->
         Log.warn (fun m -> m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))
   | "PING" :: _ -> enqueue conn "PONG"
+  | "STATS" :: rest ->
+    let fmt = match rest with "json" :: _ -> `Json | _ -> `Prom in
+    send_stats t conn fmt
   | _ -> Log.warn (fun m -> m "unknown line %S" line)
 
 (* Extract complete lines from the connection buffer. *)

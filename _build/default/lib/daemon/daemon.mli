@@ -2,9 +2,12 @@
     {!Xroute_core.Broker} behind a listening socket with a single-
     threaded select loop. The wire protocol is line-oriented:
     [HELLO|broker|<id>] / [HELLO|client|<id>] identify a peer, then
-    [M|<codec line>] carries routed messages. Lower-id brokers dial
-    their higher-id neighbors, giving one TCP connection per overlay
-    edge; dialing is retried, so start order does not matter. *)
+    [M|<codec line>] carries routed messages. [STATS|prom] /
+    [STATS|json] dump the broker's metrics registry, framed as
+    [STATS|BEGIN|<fmt>], one [S|<line>] per exposition line, then
+    [STATS|END]. Lower-id brokers dial their higher-id neighbors,
+    giving one TCP connection per overlay edge; dialing is retried, so
+    start order does not matter. *)
 
 type t
 

@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Buffer Char Float List Printf String Xroute_support

@@ -1,0 +1,230 @@
+(* Metrics registry: named counters, gauges and histograms with
+   Prometheus-style text and JSON exposition.
+
+   The registry is the uniform surface behind every statistics feed in
+   the system: each broker owns one, the overlay simulator owns one for
+   network-level quantities, the daemon dumps one over the wire
+   (STATS|), and the experiment harness aggregates them for reporting.
+
+   Naming convention: [xroute_<subsystem>_<metric>], with [_total] for
+   monotonic counters and [_ms] for millisecond-valued histograms.
+
+   Histograms keep raw samples (capped; see [histogram ~cap]) and
+   summarize with {!Xroute_support.Stats.summarize}, exported as a
+   Prometheus summary (p50/p95/p99 quantiles plus [_sum]/[_count]). *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_cap : int; (* retained-sample bound *)
+  mutable h_samples : float array;
+  mutable h_len : int;
+  mutable h_sum : float;
+  mutable h_total : int; (* observations ever, including beyond the cap *)
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { mutable items : (string * string * metric) list (* name, help, metric *) }
+
+let create () = { items = [] }
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+let find t name =
+  List.find_map
+    (fun (n, _, m) -> if String.equal n name then Some m else None)
+    t.items
+
+let metrics t =
+  List.sort (fun (a, _, _) (b, _, _) -> compare a b) t.items
+
+let register t name help metric =
+  t.items <- t.items @ [ (name, help, metric) ];
+  metric
+
+let counter t ?(help = "") name =
+  match find t name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another type")
+  | None -> (
+    match register t name help (Counter { c_name = name; c_value = 0 }) with
+    | Counter c -> c
+    | _ -> assert false)
+
+let gauge t ?(help = "") name =
+  match find t name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another type")
+  | None -> (
+    match register t name help (Gauge { g_name = name; g_value = 0.0 }) with
+    | Gauge g -> g
+    | _ -> assert false)
+
+let histogram t ?(help = "") ?(cap = 65536) name =
+  match find t name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another type")
+  | None -> (
+    match
+      register t name help
+        (Histogram
+           {
+             h_name = name;
+             h_cap = cap;
+             h_samples = Array.make 64 0.0;
+             h_len = 0;
+             h_sum = 0.0;
+             h_total = 0;
+           })
+    with
+    | Histogram h -> h
+    | _ -> assert false)
+
+(* ---------------- counters ---------------- *)
+
+let incr c = c.c_value <- c.c_value + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters are monotonic";
+  c.c_value <- c.c_value + n
+
+(* Mirror a pre-existing cumulative source (e.g. [Srt.match_ops]) into a
+   counter; never moves backwards, preserving monotonicity. *)
+let counter_set c v = if v > c.c_value then c.c_value <- v
+let value c = c.c_value
+
+(* ---------------- gauges ---------------- *)
+
+let set g v = g.g_value <- v
+let set_int g v = g.g_value <- float_of_int v
+let gauge_value g = g.g_value
+
+(* ---------------- histograms ---------------- *)
+
+let observe h v =
+  h.h_sum <- h.h_sum +. v;
+  h.h_total <- h.h_total + 1;
+  if h.h_len < h.h_cap then begin
+    if h.h_len = Array.length h.h_samples then begin
+      let bigger =
+        Array.make (min h.h_cap (2 * Array.length h.h_samples)) 0.0
+      in
+      Array.blit h.h_samples 0 bigger 0 h.h_len;
+      h.h_samples <- bigger
+    end;
+    h.h_samples.(h.h_len) <- v;
+    h.h_len <- h.h_len + 1
+  end
+
+let samples h = Array.sub h.h_samples 0 h.h_len
+let summary h = Xroute_support.Stats.summarize (samples h)
+let observations h = h.h_total
+let sum h = h.h_sum
+
+(* ---------------- lookup helpers ---------------- *)
+
+(* One scalar per metric: counter value, gauge value, or histogram
+   observation count — the "did this hot path fire at all" view. *)
+let scalar t name =
+  match find t name with
+  | Some (Counter c) -> Some (float_of_int c.c_value)
+  | Some (Gauge g) -> Some g.g_value
+  | Some (Histogram h) -> Some (float_of_int h.h_total)
+  | None -> None
+
+(* ---------------- aggregation ---------------- *)
+
+(* Merge registries: counters and gauges sum, histograms pool their
+   retained samples. Used to total per-broker registries network-wide. *)
+let aggregate ts =
+  let out = create () in
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (name, help, m) ->
+          match m with
+          | Counter c ->
+            let c' = counter out ~help name in
+            c'.c_value <- c'.c_value + c.c_value
+          | Gauge g ->
+            let g' = gauge out ~help name in
+            g'.g_value <- g'.g_value +. g.g_value
+          | Histogram h ->
+            let h' = histogram out ~help ~cap:h.h_cap name in
+            for i = 0 to h.h_len - 1 do
+              observe h' h.h_samples.(i)
+            done;
+            (* account for observations beyond the retained cap *)
+            h'.h_total <- h'.h_total + (h.h_total - h.h_len);
+            h'.h_sum <- h'.h_sum +. (h.h_sum -. Array.fold_left ( +. ) 0.0 (samples h)))
+        t.items)
+    ts;
+  out
+
+(* ---------------- exposition ---------------- *)
+
+(* Stable float rendering: integers without a fraction, everything else
+   with up to 6 significant digits (valid in both formats). *)
+let fmt_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, help, m) ->
+      if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+      match m with
+      | Counter c ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.c_value)
+      | Gauge g ->
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+        Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float g.g_value))
+      | Histogram h ->
+        let s = summary h in
+        Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" name);
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"0.5\"} %s\n" name (fmt_float s.p50));
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"0.95\"} %s\n" name (fmt_float s.p95));
+        Buffer.add_string buf
+          (Printf.sprintf "%s{quantile=\"0.99\"} %s\n" name (fmt_float s.p99));
+        Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (fmt_float h.h_sum));
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_total))
+    (metrics t);
+  Buffer.contents buf
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  let item (name, help, m) =
+    let base = Printf.sprintf "\"name\":\"%s\",\"help\":\"%s\"" (json_escape name) (json_escape help) in
+    match m with
+    | Counter c -> Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" base c.c_value
+    | Gauge g -> Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%s}" base (fmt_float g.g_value)
+    | Histogram h ->
+      let s = summary h in
+      Printf.sprintf
+        "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%s,\"mean\":%s,\"min\":%s,\"max\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+        base h.h_total (fmt_float h.h_sum) (fmt_float s.mean) (fmt_float s.min)
+        (fmt_float s.max) (fmt_float s.p50) (fmt_float s.p95) (fmt_float s.p99)
+  in
+  "{\"metrics\":[" ^ String.concat "," (List.map item (metrics t)) ^ "]}"

@@ -1,0 +1,62 @@
+(* Hop tracing: a bounded record of each message's path through the
+   overlay. Every broker visit appends one hop — broker id, time
+   (virtual ms in the simulator, wall ms in the daemon), the event-queue
+   depth at that moment and the match operations the visit charged — so
+   a delivery can be replayed hop by hop when a delay number looks
+   wrong.
+
+   The buffer is a ring: with capacity [n], only the newest [n] hops are
+   retained ([length] keeps counting). Messages are correlated by an
+   integer [key]: publications use their [doc_id]; control messages fold
+   their subscription id into one integer ({!key_of_id}). *)
+
+type hop = {
+  seq : int; (* global record order, 0-based *)
+  kind : string; (* "adv" | "unadv" | "sub" | "unsub" | "pub" *)
+  key : int; (* correlates the hops of one message *)
+  broker : int;
+  time : float; (* ms, virtual or wall *)
+  queue_depth : int; (* pending events / connections backlog *)
+  match_ops : int; (* match/cover operations this visit charged *)
+}
+
+type t = {
+  capacity : int;
+  ring : hop option array;
+  mutable total : int; (* hops ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; total = 0 }
+
+let length t = t.total
+let capacity t = t.capacity
+
+let record t ~kind ~key ~broker ~time ~queue_depth ~match_ops =
+  let hop = { seq = t.total; kind; key; broker; time; queue_depth; match_ops } in
+  t.ring.(t.total mod t.capacity) <- Some hop;
+  t.total <- t.total + 1
+
+(* Retained hops, oldest first. *)
+let to_list t =
+  let n = min t.total t.capacity in
+  let start = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some hop -> hop
+      | None -> assert false)
+
+(* The retained path of one message, oldest first. *)
+let hops_for t ~key = List.filter (fun h -> h.key = key) (to_list t)
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.total <- 0
+
+(* Fold a subscription id (origin, seq) into a correlation key. *)
+let key_of_id ~origin ~seq = (origin * 1_000_003) + seq
+
+let pp_hop ppf h =
+  Format.fprintf ppf "#%d %s key=%d broker=%d t=%.3fms q=%d ops=%d" h.seq h.kind
+    h.key h.broker h.time h.queue_depth h.match_ops

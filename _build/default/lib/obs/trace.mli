@@ -1,0 +1,41 @@
+(** Hop tracing: a bounded (ring-buffered) record of each message's path
+    through the overlay — broker id, time, queue depth and the match
+    work charged at every visit. *)
+
+type hop = {
+  seq : int;  (** global record order, 0-based *)
+  kind : string;  (** "adv" | "unadv" | "sub" | "unsub" | "pub" *)
+  key : int;  (** correlates the hops of one message *)
+  broker : int;
+  time : float;  (** ms, virtual (simulator) or wall (daemon) *)
+  queue_depth : int;
+  match_ops : int;
+}
+
+type t
+
+(** Ring buffer of the newest [capacity] hops (default 4096).
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : ?capacity:int -> unit -> t
+
+(** Hops ever recorded (may exceed the retained count). *)
+val length : t -> int
+
+val capacity : t -> int
+
+val record :
+  t -> kind:string -> key:int -> broker:int -> time:float -> queue_depth:int ->
+  match_ops:int -> unit
+
+(** Retained hops, oldest first. *)
+val to_list : t -> hop list
+
+(** Retained path of one message, oldest first. *)
+val hops_for : t -> key:int -> hop list
+
+val clear : t -> unit
+
+(** Fold a subscription id [(origin, seq)] into a correlation key. *)
+val key_of_id : origin:int -> seq:int -> int
+
+val pp_hop : Format.formatter -> hop -> unit

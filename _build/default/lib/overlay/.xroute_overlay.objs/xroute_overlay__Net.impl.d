@@ -1,1 +1,1 @@
-lib/overlay/net.ml: Array Broker Hashtbl Latency List Logs Message Rtable Sim Topology Xroute_core Xroute_support Xroute_xml
+lib/overlay/net.ml: Array Broker Hashtbl Latency List Logs Message Rtable Sim Topology Xroute_core Xroute_obs Xroute_support Xroute_xml

@@ -1,1 +1,1 @@
-lib/overlay/net.mli: Broker Hashtbl Latency Message Sim Topology Xroute_core Xroute_xml Xroute_xpath
+lib/overlay/net.mli: Broker Hashtbl Latency Message Sim Topology Xroute_core Xroute_obs Xroute_xml Xroute_xpath

@@ -52,6 +52,41 @@ type traffic = {
   mutable pub : int;
 }
 
+module M = Xroute_obs.Metrics
+module Trace = Xroute_obs.Trace
+
+(* Network-level metric handles (the per-broker ones live in Broker). *)
+type net_meters = {
+  nm_adv : M.counter;
+  nm_unadv : M.counter;
+  nm_sub : M.counter;
+  nm_unsub : M.counter;
+  nm_pub : M.counter;
+  nm_total : M.counter;
+  nm_deliveries : M.counter;
+  nm_hop_latency : M.histogram; (* full per-hop cost, ms *)
+  nm_delivery_delay : M.histogram; (* emit-to-first-delivery, ms *)
+}
+
+let make_net_meters reg =
+  {
+    nm_adv = M.counter reg ~help:"Advertise messages received by brokers" "xroute_net_msgs_adv_total";
+    nm_unadv =
+      M.counter reg ~help:"Unadvertise messages received by brokers" "xroute_net_msgs_unadv_total";
+    nm_sub = M.counter reg ~help:"Subscribe messages received by brokers" "xroute_net_msgs_sub_total";
+    nm_unsub =
+      M.counter reg ~help:"Unsubscribe messages received by brokers" "xroute_net_msgs_unsub_total";
+    nm_pub = M.counter reg ~help:"Publish messages received by brokers" "xroute_net_msgs_pub_total";
+    nm_total = M.counter reg ~help:"Messages received by brokers" "xroute_net_msgs_total";
+    nm_deliveries =
+      M.counter reg ~help:"First-time (client, doc) deliveries" "xroute_net_deliveries_total";
+    nm_hop_latency =
+      M.histogram reg ~help:"Per-hop cost: processing + transmission + link (ms)"
+        "xroute_net_hop_latency_ms";
+    nm_delivery_delay =
+      M.histogram reg ~help:"Emit-to-first-delivery delay (ms)" "xroute_net_delivery_delay_ms";
+  }
+
 type t = {
   topo : Topology.t;
   config : config;
@@ -65,15 +100,19 @@ type t = {
   traffic : traffic; (* messages received by brokers, by kind *)
   pub_emit : (int, float) Hashtbl.t; (* doc_id -> emit time *)
   mutable delivery_delays : (int * int * float) list; (* client, doc, delay *)
+  metrics : M.t; (* network-level registry; brokers own theirs *)
+  nm : net_meters;
+  trace : Trace.t option; (* per-hop delivery traces when enabled *)
 }
 
-let create ?(config = default_config) topo =
+let create ?(config = default_config) ?trace topo =
   let prng = Xroute_support.Prng.create config.seed in
   let latency_table = Latency.assign config.latency prng topo in
   let brokers =
     Array.init (Topology.broker_count topo) (fun b ->
         Broker.create ~strategy:config.strategy ~id:b ~neighbors:(Topology.neighbors topo b) ())
   in
+  let metrics = M.create () in
   {
     topo;
     config;
@@ -87,6 +126,9 @@ let create ?(config = default_config) topo =
     traffic = { adv = 0; unadv = 0; sub = 0; unsub = 0; pub = 0 };
     pub_emit = Hashtbl.create 64;
     delivery_delays = [];
+    metrics;
+    nm = make_net_meters metrics;
+    trace;
   }
 
 let topology t = t.topo
@@ -109,12 +151,41 @@ let add_client t ~broker =
 let find_client t cid = List.find_opt (fun c -> c.cid = cid) t.clients
 
 let count_traffic t (msg : Message.t) =
+  M.incr t.nm.nm_total;
   match msg with
-  | Message.Advertise _ -> t.traffic.adv <- t.traffic.adv + 1
-  | Message.Unadvertise _ -> t.traffic.unadv <- t.traffic.unadv + 1
-  | Message.Subscribe _ -> t.traffic.sub <- t.traffic.sub + 1
-  | Message.Unsubscribe _ -> t.traffic.unsub <- t.traffic.unsub + 1
-  | Message.Publish _ -> t.traffic.pub <- t.traffic.pub + 1
+  | Message.Advertise _ ->
+    t.traffic.adv <- t.traffic.adv + 1;
+    M.incr t.nm.nm_adv
+  | Message.Unadvertise _ ->
+    t.traffic.unadv <- t.traffic.unadv + 1;
+    M.incr t.nm.nm_unadv
+  | Message.Subscribe _ ->
+    t.traffic.sub <- t.traffic.sub + 1;
+    M.incr t.nm.nm_sub
+  | Message.Unsubscribe _ ->
+    t.traffic.unsub <- t.traffic.unsub + 1;
+    M.incr t.nm.nm_unsub
+  | Message.Publish _ ->
+    t.traffic.pub <- t.traffic.pub + 1;
+    M.incr t.nm.nm_pub
+
+(* Trace correlation key and kind of a message. *)
+let msg_kind (msg : Message.t) =
+  match msg with
+  | Message.Advertise _ -> "adv"
+  | Message.Unadvertise _ -> "unadv"
+  | Message.Subscribe _ -> "sub"
+  | Message.Unsubscribe _ -> "unsub"
+  | Message.Publish _ -> "pub"
+
+let msg_key (msg : Message.t) =
+  match msg with
+  | Message.Publish { pub; _ } -> pub.doc_id
+  | Message.Advertise { id; _ }
+  | Message.Unadvertise { id }
+  | Message.Subscribe { id; _ }
+  | Message.Unsubscribe { id } ->
+    Trace.key_of_id ~origin:id.origin ~seq:id.seq
 
 let total_traffic t =
   t.traffic.adv + t.traffic.unadv + t.traffic.sub + t.traffic.unsub + t.traffic.pub
@@ -129,9 +200,12 @@ let client_receive t c (msg : Message.t) =
     if not (Hashtbl.mem c.delivered pub.doc_id) then begin
       let now = Sim.now t.sim in
       Hashtbl.replace c.delivered pub.doc_id now;
+      M.incr t.nm.nm_deliveries;
       Log.debug (fun m -> m "client %d received doc %d at t=%.3fms" c.cid pub.doc_id now);
       match Hashtbl.find_opt t.pub_emit pub.doc_id with
-      | Some emitted -> t.delivery_delays <- (c.cid, pub.doc_id, now -. emitted) :: t.delivery_delays
+      | Some emitted ->
+        t.delivery_delays <- (c.cid, pub.doc_id, now -. emitted) :: t.delivery_delays;
+        M.observe t.nm.nm_delivery_delay (now -. emitted)
       | None -> ()
     end
   | Message.Advertise _ | Message.Unadvertise _ | Message.Subscribe _ | Message.Unsubscribe _ ->
@@ -144,6 +218,11 @@ let rec broker_receive t ~from b (msg : Message.t) =
   let w0 = Broker.work broker in
   let outs = Broker.handle broker ~from msg in
   let work = Broker.work broker - w0 in
+  (match t.trace with
+  | Some trace ->
+    Trace.record trace ~kind:(msg_kind msg) ~key:(msg_key msg) ~broker:b
+      ~time:(Sim.now t.sim) ~queue_depth:(Sim.pending t.sim) ~match_ops:work
+  | None -> ());
   let processing =
     t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
   in
@@ -154,10 +233,12 @@ and send t ~src ~processing ep (msg : Message.t) =
   match ep with
   | Rtable.Neighbor n ->
     let link = Latency.link_delay t.config.latency t.latency_table t.prng src n in
+    M.observe t.nm.nm_hop_latency (processing +. size_cost +. link);
     Sim.schedule t.sim
       ~delay:(processing +. size_cost +. link)
       (fun () -> broker_receive t ~from:(Rtable.Neighbor src) n msg)
   | Rtable.Client cid ->
+    M.observe t.nm.nm_hop_latency (processing +. size_cost +. t.config.client_link);
     Sim.schedule t.sim
       ~delay:(processing +. size_cost +. t.config.client_link)
       (fun () ->
@@ -244,3 +325,19 @@ let total_deliveries t =
    with merging these are the in-network false positives. *)
 let dropped_publications t =
   Array.fold_left (fun acc b -> acc + (Broker.counters b).pubs_dropped) 0 t.brokers
+
+(* ------------------------------------------------------------------ *)
+(* Registry and traces                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+(* Refresh every broker's gauges (the network registry is always live). *)
+let refresh_metrics t = Array.iter Broker.refresh_metrics t.brokers
+
+(* One registry totalling the network registry and all broker
+   registries; refreshes broker gauges first. *)
+let aggregate_metrics t =
+  refresh_metrics t;
+  M.aggregate (t.metrics :: Array.to_list (Array.map Broker.metrics t.brokers))

@@ -38,7 +38,9 @@ type traffic = {
 
 type t
 
-val create : ?config:config -> Topology.t -> t
+(** [create ?trace topo] — pass a [Xroute_obs.Trace.t] to record every
+    broker visit (id, virtual time, queue depth, match ops charged). *)
+val create : ?config:config -> ?trace:Xroute_obs.Trace.t -> Topology.t -> t
 
 val topology : t -> Topology.t
 val sim : t -> Sim.t
@@ -93,3 +95,17 @@ val total_deliveries : t -> int
 (** Publications that reached a broker and produced no output — the
     in-network false positives under imperfect merging. *)
 val dropped_publications : t -> int
+
+(** Network-level metrics registry (traffic counters, per-hop latency
+    and delivery-delay histograms); always live. *)
+val metrics : t -> Xroute_obs.Metrics.t
+
+(** The hop trace passed to {!create}, if any. *)
+val trace : t -> Xroute_obs.Trace.t option
+
+(** Refresh every broker's derived gauges. *)
+val refresh_metrics : t -> unit
+
+(** One registry totalling the network registry and all (refreshed)
+    broker registries. *)
+val aggregate_metrics : t -> Xroute_obs.Metrics.t

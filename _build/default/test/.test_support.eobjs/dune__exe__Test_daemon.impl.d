@@ -1,1 +1,1 @@
-test/test_daemon.ml: Alcotest Client Daemon List Thread Xroute_core Xroute_daemon Xroute_xml Xroute_xpath
+test/test_daemon.ml: Alcotest Client Daemon List String Thread Xroute_core Xroute_daemon Xroute_xml Xroute_xpath

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Array Lazy List Message Printf Rtable String Xpe Xpe_eval Xroute_core Xroute_dtd Xroute_workload Xroute_xml Xroute_xpath Yfilter

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array List Metrics String Trace Xroute_obs Xroute_overlay Xroute_support

@@ -1,1 +1,1 @@
-test/test_props.ml: Adv Alcotest Array List QCheck QCheck_alcotest String Xpe Xpe_eval Xpe_parser Xroute_automata Xroute_core Xroute_support Xroute_xml Xroute_xpath
+test/test_props.ml: Adv Alcotest Array List Option QCheck QCheck_alcotest String Xpe Xpe_eval Xpe_parser Xroute_automata Xroute_core Xroute_obs Xroute_overlay Xroute_support Xroute_xml Xroute_xpath

@@ -100,6 +100,82 @@ let test_two_subscribers_fanout () =
   Client.close publisher; Client.close s1; Client.close s2;
   stop_all (daemons, threads)
 
+(* Parse a Prometheus text exposition into (base-metric-name, value)
+   pairs; comment lines skipped, quantile labels stripped. *)
+let parse_prom body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         if line = "" || String.length line >= 1 && line.[0] = '#' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i ->
+             let key = String.sub line 0 i in
+             let name =
+               match String.index_opt key '{' with
+               | Some j -> String.sub key 0 j
+               | None -> key
+             in
+             let v = float_of_string (String.sub line (i + 1) (String.length line - i - 1)) in
+             Some (name, v))
+
+let metric_value metrics name =
+  List.fold_left (fun acc (n, v) -> if n = name then acc +. v else acc) 0.0
+    (List.filter (fun (n, _) -> n = name) metrics)
+
+let test_stats_over_wire () =
+  let daemons, threads = start_line 2 in
+  let d0 = List.nth daemons 0 and d1 = List.nth daemons 1 in
+  Thread.delay 0.2;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Thread.delay 0.2;
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.2;
+  ignore (Client.publish_doc publisher ~doc_id:3 (Xroute_xml.Xml_parser.parse "<a><b/></a>"));
+  check (Alcotest.list ci) "delivered" [ 3 ] (Client.drain_deliveries ~timeout:0.8 subscriber);
+  let body_of c =
+    match Client.stats c with
+    | Some body -> body
+    | None -> Alcotest.fail "no STATS reply"
+  in
+  let pub_side = parse_prom (body_of publisher) in
+  let sub_side = parse_prom (body_of subscriber) in
+  (* both brokers processed traffic *)
+  check cb "publisher broker msgs_in > 0" true
+    (metric_value pub_side "xroute_broker_msgs_in_total" > 0.0);
+  check cb "subscriber broker msgs_in > 0" true
+    (metric_value sub_side "xroute_broker_msgs_in_total" > 0.0);
+  check cb "delivery counted at the subscriber's broker" true
+    (metric_value sub_side "xroute_broker_deliveries_total" > 0.0);
+  check cb "publication counted at the publisher's broker" true
+    (metric_value pub_side "xroute_broker_pubs_in_total" > 0.0);
+  (* the exposition is broad: >= 10 distinct names spanning SRT, PRT,
+     matching and delivery *)
+  let names = List.sort_uniq compare (List.map fst sub_side) in
+  check cb ">= 10 distinct metric names" true (List.length names >= 10);
+  List.iter
+    (fun family ->
+      check cb (family ^ " family present") true
+        (List.exists
+           (fun n ->
+             String.length n >= String.length family
+             && String.sub n 0 (String.length family) = family)
+           names))
+    [ "xroute_srt_"; "xroute_prt_"; "xroute_broker_deliveries"; "xroute_broker_msgs_in" ];
+  check cb "match work was recorded" true
+    (metric_value sub_side "xroute_prt_match_checks_total" > 0.0);
+  (* the JSON exposition answers too *)
+  (match Client.stats ~format:`Json publisher with
+  | Some body ->
+    check cb "json body shape" true
+      (String.length body >= 12 && String.sub body 0 12 = {|{"metrics":[|})
+  | None -> Alcotest.fail "no JSON STATS reply");
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
 let () =
   Alcotest.run "daemon"
     [
@@ -108,5 +184,6 @@ let () =
           Alcotest.test_case "end to end" `Quick test_end_to_end;
           Alcotest.test_case "unsubscribe" `Quick test_unsubscribe_over_wire;
           Alcotest.test_case "fanout" `Quick test_two_subscribers_fanout;
+          Alcotest.test_case "stats over the wire" `Quick test_stats_over_wire;
         ] );
     ]

@@ -1,0 +1,262 @@
+(* Tests for the observability library: metrics registry semantics,
+   hop tracing, and golden tests for both exposition formats. *)
+
+open Xroute_obs
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+let cf = Alcotest.float 1e-9
+let cs = Alcotest.string
+
+(* ---------------- counters ---------------- *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "xroute_test_events_total" in
+  check ci "starts at zero" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 5;
+  check ci "incr and add accumulate" 7 (Metrics.value c)
+
+let test_counter_monotonic () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "xroute_test_events_total" in
+  Metrics.add c 3;
+  check cb "negative add raises" true
+    (try
+       Metrics.add c (-1);
+       false
+     with Invalid_argument _ -> true);
+  check ci "value unchanged after rejected add" 3 (Metrics.value c);
+  (* mirror semantics: external cumulative sources only move forward *)
+  Metrics.counter_set c 10;
+  check ci "counter_set advances" 10 (Metrics.value c);
+  Metrics.counter_set c 4;
+  check ci "counter_set never regresses" 10 (Metrics.value c)
+
+let test_registration_idempotent () =
+  let reg = Metrics.create () in
+  let a = Metrics.counter reg "xroute_test_events_total" in
+  Metrics.incr a;
+  let b = Metrics.counter reg "xroute_test_events_total" in
+  Metrics.incr b;
+  check ci "same handle" 2 (Metrics.value a);
+  check ci "one registration" 1 (List.length (Metrics.metrics reg));
+  check cb "type conflict raises" true
+    (try
+       ignore (Metrics.gauge reg "xroute_test_events_total");
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------------- gauges ---------------- *)
+
+let test_gauge () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "xroute_test_depth" in
+  check cf "starts at zero" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 2.5;
+  check cf "set" 2.5 (Metrics.gauge_value g);
+  Metrics.set_int g 7;
+  check cf "set_int" 7.0 (Metrics.gauge_value g);
+  Metrics.set_int g 3;
+  check cf "gauges may go down" 3.0 (Metrics.gauge_value g)
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_summary_matches_stats () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "xroute_test_latency_ms" in
+  let prng = Xroute_support.Prng.create 99 in
+  let values = Array.init 500 (fun _ -> Xroute_support.Prng.float prng 100.0) in
+  Array.iter (Metrics.observe h) values;
+  let expect = Xroute_support.Stats.summarize values in
+  let got = Metrics.summary h in
+  check ci "count" expect.count got.count;
+  check cf "mean" expect.mean got.mean;
+  check cf "p50" expect.p50 got.p50;
+  check cf "p95" expect.p95 got.p95;
+  check cf "p99" expect.p99 got.p99;
+  check cf "sum matches" (Array.fold_left ( +. ) 0.0 values) (Metrics.sum h)
+
+let test_histogram_cap () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~cap:10 "xroute_test_latency_ms" in
+  for i = 1 to 25 do
+    Metrics.observe h (float_of_int i)
+  done;
+  check ci "retains at most cap samples" 10 (Array.length (Metrics.samples h));
+  check ci "total counts past the cap" 25 (Metrics.observations h);
+  check cf "sum counts past the cap" 325.0 (Metrics.sum h)
+
+(* Interleaved updates from simulator callbacks: events scheduled out of
+   order must still produce a consistent registry. *)
+let test_interleaved_sim_updates () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "xroute_test_events_total" in
+  let h = Metrics.histogram reg "xroute_test_latency_ms" in
+  let sim = Xroute_overlay.Sim.create () in
+  (* schedule in shuffled order; the sim executes by virtual time *)
+  List.iter
+    (fun delay ->
+      Xroute_overlay.Sim.schedule sim ~delay (fun () ->
+          Metrics.incr c;
+          Metrics.observe h (Xroute_overlay.Sim.now sim)))
+    [ 5.0; 1.0; 9.0; 3.0; 7.0; 2.0; 8.0; 4.0; 10.0; 6.0 ];
+  Xroute_overlay.Sim.run sim;
+  check ci "every callback counted" 10 (Metrics.value c);
+  check ci "every callback observed" 10 (Metrics.observations h);
+  check cf "sum of virtual times" 55.0 (Metrics.sum h);
+  let s = Metrics.summary h in
+  check cf "min is earliest event" 1.0 s.min;
+  check cf "max is latest event" 10.0 s.max
+
+(* ---------------- lookup and aggregation ---------------- *)
+
+let test_scalar_and_find () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "xroute_test_events_total" in
+  let g = Metrics.gauge reg "xroute_test_depth" in
+  let h = Metrics.histogram reg "xroute_test_latency_ms" in
+  Metrics.add c 4;
+  Metrics.set g 1.5;
+  Metrics.observe h 3.0;
+  Metrics.observe h 9.0;
+  check cb "counter scalar" true (Metrics.scalar reg "xroute_test_events_total" = Some 4.0);
+  check cb "gauge scalar" true (Metrics.scalar reg "xroute_test_depth" = Some 1.5);
+  check cb "histogram scalar is count" true
+    (Metrics.scalar reg "xroute_test_latency_ms" = Some 2.0);
+  check cb "missing scalar" true (Metrics.scalar reg "nope" = None);
+  check cb "find missing" true (Metrics.find reg "nope" = None)
+
+let test_aggregate () =
+  let mk cv gv hs =
+    let reg = Metrics.create () in
+    Metrics.add (Metrics.counter reg "xroute_test_events_total") cv;
+    Metrics.set (Metrics.gauge reg "xroute_test_depth") gv;
+    let h = Metrics.histogram reg "xroute_test_latency_ms" in
+    List.iter (Metrics.observe h) hs;
+    reg
+  in
+  let a = mk 3 1.0 [ 1.0; 2.0 ] in
+  let b = mk 4 2.5 [ 10.0 ] in
+  let agg = Metrics.aggregate [ a; b ] in
+  check cb "counters sum" true (Metrics.scalar agg "xroute_test_events_total" = Some 7.0);
+  check cb "gauges sum" true (Metrics.scalar agg "xroute_test_depth" = Some 3.5);
+  (match Metrics.find agg "xroute_test_latency_ms" with
+  | Some (Metrics.Histogram h) ->
+    check ci "samples pooled" 3 (Metrics.observations h);
+    check cf "sums pooled" 13.0 (Metrics.sum h)
+  | _ -> Alcotest.fail "aggregated histogram missing")
+
+(* ---------------- golden expositions ---------------- *)
+
+(* These pin the exact exposition byte-for-byte: the daemon streams it
+   over the wire and external scrapers parse it, so format drift is an
+   interface break, not a cosmetic change. *)
+let golden_registry () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg ~help:"Messages handled." "xroute_test_msgs_total" in
+  Metrics.add c 42;
+  let g = Metrics.gauge reg ~help:"Table size." "xroute_test_size" in
+  Metrics.set g 17.5;
+  let h = Metrics.histogram reg "xroute_test_latency_ms" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  reg
+
+let test_golden_prometheus () =
+  let expect =
+    String.concat "\n"
+      [
+        "# TYPE xroute_test_latency_ms summary";
+        "xroute_test_latency_ms{quantile=\"0.5\"} 2";
+        "xroute_test_latency_ms{quantile=\"0.95\"} 4";
+        "xroute_test_latency_ms{quantile=\"0.99\"} 4";
+        "xroute_test_latency_ms_sum 10";
+        "xroute_test_latency_ms_count 4";
+        "# HELP xroute_test_msgs_total Messages handled.";
+        "# TYPE xroute_test_msgs_total counter";
+        "xroute_test_msgs_total 42";
+        "# HELP xroute_test_size Table size.";
+        "# TYPE xroute_test_size gauge";
+        "xroute_test_size 17.5";
+        "";
+      ]
+  in
+  check cs "prometheus text" expect (Metrics.to_prometheus (golden_registry ()))
+
+let test_golden_json () =
+  let expect =
+    "{\"metrics\":["
+    ^ "{\"name\":\"xroute_test_latency_ms\",\"help\":\"\",\"type\":\"histogram\",\
+       \"count\":4,\"sum\":10,\"mean\":2.5,\"min\":1,\"max\":4,\"p50\":2,\"p95\":4,\"p99\":4},"
+    ^ "{\"name\":\"xroute_test_msgs_total\",\"help\":\"Messages handled.\",\
+       \"type\":\"counter\",\"value\":42},"
+    ^ "{\"name\":\"xroute_test_size\",\"help\":\"Table size.\",\"type\":\"gauge\",\
+       \"value\":17.5}]}"
+  in
+  check cs "json" expect (Metrics.to_json (golden_registry ()))
+
+(* ---------------- hop trace ---------------- *)
+
+let test_trace_ring () =
+  let tr = Trace.create ~capacity:4 () in
+  check cb "zero capacity raises" true
+    (try
+       ignore (Trace.create ~capacity:0 ());
+       false
+     with Invalid_argument _ -> true);
+  for i = 0 to 9 do
+    Trace.record tr ~kind:"pub" ~key:i ~broker:(i mod 3) ~time:(float_of_int i)
+      ~queue_depth:i ~match_ops:0
+  done;
+  check ci "length counts all records" 10 (Trace.length tr);
+  check ci "capacity" 4 (Trace.capacity tr);
+  let retained = Trace.to_list tr in
+  check ci "retains only the newest" 4 (List.length retained);
+  check cb "oldest first" true
+    (List.map (fun h -> h.Trace.key) retained = [ 6; 7; 8; 9 ]);
+  Trace.clear tr;
+  check ci "clear resets" 0 (Trace.length tr)
+
+let test_trace_hops_for () =
+  let tr = Trace.create () in
+  let key = Trace.key_of_id ~origin:3 ~seq:7 in
+  Trace.record tr ~kind:"sub" ~key ~broker:0 ~time:0.0 ~queue_depth:1 ~match_ops:2;
+  Trace.record tr ~kind:"pub" ~key:99 ~broker:0 ~time:1.0 ~queue_depth:0 ~match_ops:0;
+  Trace.record tr ~kind:"sub" ~key ~broker:1 ~time:2.0 ~queue_depth:0 ~match_ops:5;
+  let hops = Trace.hops_for tr ~key in
+  check ci "both hops of the message" 2 (List.length hops);
+  check cb "ordered by record time" true
+    (List.map (fun h -> h.Trace.broker) hops = [ 0; 1 ]);
+  check cb "distinct ids get distinct keys" true
+    (Trace.key_of_id ~origin:3 ~seq:7 <> Trace.key_of_id ~origin:7 ~seq:3)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "counter monotonic" `Quick test_counter_monotonic;
+          Alcotest.test_case "registration idempotent" `Quick test_registration_idempotent;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram summary = Stats.summarize" `Quick
+            test_histogram_summary_matches_stats;
+          Alcotest.test_case "histogram cap" `Quick test_histogram_cap;
+          Alcotest.test_case "interleaved sim updates" `Quick test_interleaved_sim_updates;
+          Alcotest.test_case "scalar and find" `Quick test_scalar_and_find;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+        ] );
+      ( "exposition",
+        [
+          Alcotest.test_case "golden prometheus" `Quick test_golden_prometheus;
+          Alcotest.test_case "golden json" `Quick test_golden_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+          Alcotest.test_case "hops_for" `Quick test_trace_hops_for;
+        ] );
+    ]

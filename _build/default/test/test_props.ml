@@ -210,6 +210,82 @@ let prop_paths_consistent =
           && Array.length p.steps <= Xroute_xml.Xml_tree.depth doc)
         pubs)
 
+(* ---------------- Observability invariants under merging ---------------- *)
+
+(* Build a 2-broker line without advertisements (so subscriptions
+   flood), subscribe random XPEs plus catch-alls at broker 1, and hand
+   the brokers a path universe for merging. The topology is a line on
+   purpose: on branching topologies a broader merger (and the entries it
+   un-suppresses) must be forwarded onward to other neighbors, so the
+   paper's table-size claim holds only for the upstream broker of the
+   merging one. *)
+let merged_net ~merging xpes docs =
+  let module Net = Xroute_overlay.Net in
+  let topo = Xroute_overlay.Topology.line 2 in
+  let config =
+    {
+      Net.default_config with
+      strategy = { Xroute_core.Broker.default_strategy with use_adv = false; merging };
+    }
+  in
+  let net = Net.create ~config topo in
+  let subscriber = Net.add_client net ~broker:1 in
+  (* catch-alls guarantee every publication has a subscriber somewhere *)
+  List.iter
+    (fun root -> ignore (Net.subscribe net subscriber (Xroute_xpath.Xpe_parser.parse root)))
+    [ "/a"; "/b"; "/c"; "/d" ];
+  List.iter (fun x -> ignore (Net.subscribe net subscriber x)) xpes;
+  Net.run net;
+  let universe =
+    List.concat_map
+      (fun d ->
+        List.map
+          (fun (p : Xroute_xml.Xml_paths.publication) -> p.steps)
+          (Xroute_xml.Xml_paths.decompose ~doc_id:0 d))
+      docs
+  in
+  Net.set_universe net universe;
+  net
+
+let prt_size_gauge net =
+  Option.value ~default:0.0
+    (Xroute_obs.Metrics.scalar (Xroute_overlay.Net.aggregate_metrics net) "xroute_prt_size")
+
+(* A merge pass replaces forwarded subscriptions with (fewer) mergers:
+   the network-wide PRT size gauge must never increase. *)
+let prop_merge_prt_gauge_monotone =
+  QCheck.Test.make ~name:"merge pass never grows the PRT gauge" ~count:20
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 4 20) arb_xpe)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 3) arb_doc))
+    (fun (xpes, docs) ->
+      let net = merged_net ~merging:Xroute_core.Broker.Perfect xpes docs in
+      let before = prt_size_gauge net in
+      Xroute_overlay.Net.merge_all net;
+      let after = prt_size_gauge net in
+      after <= before)
+
+(* Perfect merging admits no in-network false positives: the aggregated
+   pubs_dropped counter stays 0 after publishing random documents. *)
+let prop_perfect_merge_no_drops =
+  QCheck.Test.make ~name:"pubs_dropped stays 0 under perfect merging" ~count:20
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 4 20) arb_xpe)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 4) arb_doc))
+    (fun (xpes, docs) ->
+      let module Net = Xroute_overlay.Net in
+      let net = merged_net ~merging:Xroute_core.Broker.Perfect xpes docs in
+      Net.merge_all net;
+      let publisher = Net.add_client net ~broker:0 in
+      List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+      Net.run net;
+      let dropped =
+        Option.value ~default:0.0
+          (Xroute_obs.Metrics.scalar (Net.aggregate_metrics net)
+             "xroute_broker_pubs_dropped_total")
+      in
+      Net.dropped_publications net = 0 && dropped = 0.0)
+
 (* Heap sort property on random int lists. *)
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap sorts" ~count:300
@@ -230,6 +306,8 @@ let () =
       ("sub_tree", to_alcotest [ prop_subtree_match_equals_linear; prop_subtree_invariants;
                                  prop_subtree_is_covered_complete ]);
       ("merging", to_alcotest [ prop_merge_sound; prop_degree_bounds ]);
+      ("observability", to_alcotest [ prop_merge_prt_gauge_monotone;
+                                      prop_perfect_merge_no_drops ]);
       ("xml", to_alcotest [ prop_xml_roundtrip; prop_paths_consistent ]);
       ("support", to_alcotest [ prop_heap_sorts ]);
     ]
