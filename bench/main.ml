@@ -19,6 +19,50 @@ let scale =
 
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable report: BENCH_2.json                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Every experiment records (name, fields); the runner adds wall time.
+   Written next to the printed tables so runs can be diffed/gated by
+   tooling (schema documented in EXPERIMENTS.md). *)
+module Report = struct
+  type value = F of float | I of int | B of bool
+
+  let records : (string * (string * value) list) list ref = ref []
+
+  (* Append fields to the experiment's record (merging by name; a
+     re-recorded field replaces the old value rather than duplicating
+     the JSON key). *)
+  let record name fields =
+    match List.assoc_opt name !records with
+    | Some existing ->
+      let kept =
+        List.filter (fun (k, _) -> not (List.mem_assoc k fields)) existing
+      in
+      records := (name, kept @ fields) :: List.remove_assoc name !records
+    | None -> records := (name, fields) :: !records
+
+  let render_value = function
+    | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
+    | I i -> string_of_int i
+    | B b -> if b then "true" else "false"
+
+  let render_record (name, fields) =
+    let body =
+      List.map (fun (k, v) -> Printf.sprintf "%S:%s" k (render_value v)) fields
+    in
+    Printf.sprintf "{\"name\":%S,%s}" name (String.concat "," body)
+
+  let write path =
+    let oc = open_out path in
+    Printf.fprintf oc "{\"schema\":\"xroute-bench/2\",\"scale\":%.3f,\"experiments\":[%s]}\n"
+      scale
+      (String.concat "," (List.rev_map render_record !records));
+    close_out oc;
+    Printf.printf "\nwrote %s (%d experiment records)\n%!" path (List.length !records)
+end
+
 let section title =
   Printf.printf "\n==============================================================\n";
   Printf.printf "%s\n" title;
@@ -40,6 +84,183 @@ let tree_of_xpes ?covers xpes =
   let tree : int Sub_tree.t = Sub_tree.create ?covers () in
   List.iteri (fun i x -> ignore (Sub_tree.insert tree x i)) xpes;
   tree
+
+(* ------------------------------------------------------------------ *)
+(* SRT root-element index vs flat list scan                            *)
+(* ------------------------------------------------------------------ *)
+
+(* A dissemination broker hosts the advertisement sets of every feed it
+   serves; a subscription anchored at one feed's root element should not
+   pay a match operation for every other feed's advertisements. The SRT
+   differential builds the same table twice — indexed and flat — loads
+   all four bundled feeds, pushes a subscription workload through
+   [hops_for_sub] on both, and checks the routing decisions are
+   byte-identical while counting the scans the index avoided. *)
+
+let all_feed_advs =
+  lazy
+    (let book = Lazy.force Xroute_dtd.Dtd_samples.book in
+     let insurance = Lazy.force Xroute_dtd.Dtd_samples.insurance in
+     nitf_advs
+     @ psd_advs
+     @ Xroute_dtd.Dtd_paths.advertisements (Xroute_dtd.Dtd_graph.build book)
+     @ Xroute_dtd.Dtd_paths.advertisements (Xroute_dtd.Dtd_graph.build insurance))
+
+let srt_fill ~indexed advs =
+  let srt = Rtable.Srt.create ~indexed () in
+  List.iteri
+    (fun i adv ->
+      ignore
+        (Rtable.Srt.add srt
+           { Message.origin = 1; seq = i }
+           adv
+           (Rtable.Neighbor (i mod 4))))
+    advs;
+  srt
+
+let decision_string hops =
+  String.concat ";" (List.map (fun ep -> Format.asprintf "%a" Rtable.pp_endpoint ep) hops)
+
+(* Run [xpes] through both SRT modes; returns
+   (identical, ops_list, ops_indexed, wall_list_s, wall_indexed_s, indexed_srt). *)
+let srt_differential ~advs xpes =
+  let list_srt = srt_fill ~indexed:false advs in
+  let idx_srt = srt_fill ~indexed:true advs in
+  let run srt = time_it (fun () -> List.map (fun x -> decision_string (Rtable.Srt.hops_for_sub srt x)) xpes) in
+  let list_decisions, t_list = run list_srt in
+  let idx_decisions, t_idx = run idx_srt in
+  let identical = List.for_all2 String.equal list_decisions idx_decisions in
+  (identical, Rtable.Srt.match_ops list_srt, Rtable.Srt.match_ops idx_srt, t_list, t_idx, idx_srt)
+
+let srt_index_bench () =
+  section
+    "SRT index - root-element buckets vs flat list scan\n\
+     (Figure-6 workload: Set A at 10k XPEs, NITF; SRT holds the\n\
+     advertisement sets of all four bundled feeds. Decisions must be\n\
+     byte-identical; the index only avoids provably non-overlapping scans)";
+  let advs = Lazy.force all_feed_advs in
+  let count = scaled 10_000 in
+  let xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params nitf)
+      ~count ~seed:11 ()
+  in
+  let identical, ops_list, ops_idx, t_list, t_idx, idx_srt = srt_differential ~advs xpes in
+  let saved_pct =
+    100.0 *. float_of_int (ops_list - ops_idx) /. float_of_int (max 1 ops_list)
+  in
+  Printf.printf "%d advertisements (%d buckets, max occupancy %d, catch-all %d), %d XPEs\n"
+    (Rtable.Srt.size idx_srt) (Rtable.Srt.bucket_count idx_srt)
+    (Rtable.Srt.max_bucket_size idx_srt) (Rtable.Srt.catch_all_size idx_srt)
+    (List.length xpes);
+  Printf.printf "%-12s match_ops %10d  wall %8.1f ms\n" "flat list" ops_list (t_list *. 1000.0);
+  Printf.printf "%-12s match_ops %10d  wall %8.1f ms  (%.1f%% scans avoided)\n" "indexed"
+    ops_idx (t_idx *. 1000.0) saved_pct;
+  Printf.printf "routing decisions identical: %b\n%!" identical;
+  Report.record "srt-index"
+    [
+      ("advertisements", Report.I (Rtable.Srt.size idx_srt));
+      ("xpes", Report.I (List.length xpes));
+      ("srt_buckets", Report.I (Rtable.Srt.bucket_count idx_srt));
+      ("srt_bucket_max", Report.I (Rtable.Srt.max_bucket_size idx_srt));
+      ("srt_catch_all", Report.I (Rtable.Srt.catch_all_size idx_srt));
+      ("match_ops_list", Report.I ops_list);
+      ("match_ops_indexed", Report.I ops_idx);
+      ("scans_avoided_pct", Report.F saved_pct);
+      ("wall_ms_list", Report.F (t_list *. 1000.0));
+      ("wall_ms_indexed", Report.F (t_idx *. 1000.0));
+      ("decisions_identical", Report.B identical);
+    ];
+  if not identical then begin
+    Printf.printf "ERROR: indexed SRT diverged from the flat list SRT\n";
+    exit 1
+  end;
+  (* The same table seen from the small feed: PSD subscriptions skip the
+     dominant NITF bucket, the situation the index is built for. *)
+  let psd_xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params psd)
+      ~count ~seed:13 ()
+  in
+  let identical_p, ops_list_p, ops_idx_p, t_list_p, t_idx_p, _ =
+    srt_differential ~advs psd_xpes
+  in
+  let saved_pct_p =
+    100.0 *. float_of_int (ops_list_p - ops_idx_p) /. float_of_int (max 1 ops_list_p)
+  in
+  Printf.printf "PSD subscriptions against the same table:\n";
+  Printf.printf "%-12s match_ops %10d  wall %8.1f ms\n" "flat list" ops_list_p
+    (t_list_p *. 1000.0);
+  Printf.printf "%-12s match_ops %10d  wall %8.1f ms  (%.1f%% scans avoided)\n" "indexed"
+    ops_idx_p (t_idx_p *. 1000.0) saved_pct_p;
+  Printf.printf "routing decisions identical: %b\n%!" identical_p;
+  Report.record "srt-index-psd"
+    [
+      ("xpes", Report.I (List.length psd_xpes));
+      ("match_ops_list", Report.I ops_list_p);
+      ("match_ops_indexed", Report.I ops_idx_p);
+      ("scans_avoided_pct", Report.F saved_pct_p);
+      ("wall_ms_list", Report.F (t_list_p *. 1000.0));
+      ("wall_ms_indexed", Report.F (t_idx_p *. 1000.0));
+      ("decisions_identical", Report.B identical_p);
+    ];
+  if not identical_p then begin
+    Printf.printf "ERROR: indexed SRT diverged from the flat list SRT (PSD workload)\n";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Daemon throughput: loopback pub/sub burst over real sockets         *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_throughput () =
+  section
+    "Daemon throughput - loopback pub/sub burst (2 brokers over TCP)\n\
+     (exercises the daemon's buffered write path under publication\n\
+     fan-out; throughput is end-to-end: publish, route, deliver)";
+  let open Xroute_daemon in
+  let d0 = Daemon.create ~id:0 ~port:0 ~neighbors:[ (1, ("127.0.0.1", 0)) ] () in
+  let d1 =
+    Daemon.create ~id:1 ~port:0 ~neighbors:[ (0, ("127.0.0.1", Daemon.port d0)) ] ()
+  in
+  let threads =
+    List.map (fun d -> Thread.create (fun () -> Daemon.run ~timeout:0.005 d) ()) [ d0; d1 ]
+  in
+  Thread.delay 0.3;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/burst/item"));
+  Thread.delay 0.2;
+  ignore (Client.subscribe subscriber (Xroute_xpath.Xpe_parser.parse "/burst"));
+  Thread.delay 0.2;
+  let n = scaled 1000 in
+  let doc = Xroute_xml.Xml_parser.parse "<burst><item/></burst>" in
+  let t0 = Unix.gettimeofday () in
+  for doc_id = 0 to n - 1 do
+    ignore (Client.publish_doc publisher ~doc_id doc)
+  done;
+  let deadline = t0 +. 60.0 in
+  let received = ref 0 in
+  while !received < n && Unix.gettimeofday () < deadline do
+    received := !received + List.length (Client.drain_deliveries ~timeout:0.2 subscriber)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let per_sec = float_of_int !received /. wall in
+  Printf.printf "%d publications published, %d delivered in %.2f s  (%.0f msgs/s end-to-end)\n%!"
+    n !received wall per_sec;
+  Client.close publisher;
+  Client.close subscriber;
+  List.iter Daemon.request_stop [ d0; d1 ];
+  List.iter Thread.join threads;
+  Report.record "daemon-throughput"
+    [
+      ("published", Report.I n);
+      ("delivered", Report.I !received);
+      ("burst_wall_ms", Report.F (wall *. 1000.0));
+      ("msgs_per_sec", Report.F per_sec);
+    ];
+  if !received < n then begin
+    Printf.printf "ERROR: daemon burst lost %d publications\n" (n - !received);
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Figure 6: routing table size vs number of XPEs (Sets A and B)       *)
@@ -65,6 +286,14 @@ let fig6 () =
       in
       let rts_a = List.length (Sub_tree.maximal (tree_of_xpes set_a)) in
       let rts_b = List.length (Sub_tree.maximal (tree_of_xpes set_b)) in
+      if count = max_count then
+        Report.record "fig6"
+          [
+            ("xpes", Report.I count);
+            ("prt_size_no_cover", Report.I count);
+            ("prt_size_set_a_cover", Report.I rts_a);
+            ("prt_size_set_b_cover", Report.I rts_b);
+          ];
       (* without covering the routing table holds every distinct XPE *)
       Printf.printf "%10d %14d %11d (-%2.0f%%) %11d (-%2.0f%%)\n%!" count count rts_a
         (100.0 *. float_of_int (count - rts_a) /. float_of_int (max 1 count))
@@ -663,6 +892,8 @@ let smoke () =
       "xroute_broker_deliveries_total";
       "xroute_broker_forwarded_subs";
       "xroute_srt_size";
+      "xroute_srt_buckets";
+      "xroute_srt_bucket_max";
       "xroute_srt_match_ops_total";
       "xroute_srt_sub_match_ops";
       "xroute_prt_size";
@@ -697,11 +928,48 @@ let smoke () =
     print_string (Metrics.to_prometheus reg);
     exit 1
   end;
+  (* Indexed vs flat SRT: identical routing decisions, strictly fewer
+     scans, on a seeded multi-feed workload. *)
+  let advs = Lazy.force all_feed_advs in
+  let xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params nitf)
+      ~count:2000 ~seed:11 ()
+  in
+  let identical, ops_list, ops_idx, _, _, _ = srt_differential ~advs xpes in
+  Printf.printf "smoke: SRT differential on %d XPEs x %d advs: list %d ops, indexed %d ops\n"
+    (List.length xpes) (List.length advs) ops_list ops_idx;
+  if not identical then begin
+    Printf.printf "smoke FAILED: indexed SRT diverged from the flat list SRT\n";
+    exit 1
+  end;
+  if ops_idx >= ops_list then begin
+    Printf.printf "smoke FAILED: SRT index avoided no scans (%d >= %d)\n" ops_idx ops_list;
+    exit 1
+  end;
   Printf.printf "smoke ok\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("fig11", fig11);
+    ("srt-index", srt_index_bench);
+    ("daemon-throughput", daemon_throughput);
+    ("ablation-exact-cover", ablation_exact_cover);
+    ("ablation-yfilter", ablation_yfilter);
+    ("ablation-trail", ablation_trail_routing);
+    ("micro", micro_benchmarks);
+  ]
 
 let () =
   if Array.exists (String.equal "--smoke") Sys.argv then begin
@@ -715,17 +983,13 @@ let () =
   Printf.printf "xroute experiment harness (scale %.2f; set XROUTE_BENCH_SCALE to change)\n" scale;
   Printf.printf "NITF advertisements: %d, PSD advertisements: %d (paper ratio: ~35x)\n%!"
     (List.length nitf_advs) (List.length psd_advs);
-  if want "fig6" then fig6 ();
-  if want "fig7" then fig7 ();
-  if want "fig8" then fig8 ();
-  if want "table1" then table1 ();
-  if want "table2" then table2 ();
-  if want "table3" then table3 ();
-  if want "fig9" then fig9 ();
-  if want "fig10" then fig10 ();
-  if want "fig11" then fig11 ();
-  if want "ablation-exact-cover" then ablation_exact_cover ();
-  if want "ablation-yfilter" then ablation_yfilter ();
-  if want "ablation-trail" then ablation_trail_routing ();
-  if want "micro" then micro_benchmarks ();
+  List.iter
+    (fun (name, f) ->
+      if want name then begin
+        let (), wall = time_it f in
+        Report.record name [ ("wall_ms", Report.F (wall *. 1000.0)) ]
+      end)
+    experiments;
+  Report.write
+    (Option.value ~default:"BENCH_2.json" (Sys.getenv_opt "XROUTE_BENCH_JSON"));
   Printf.printf "\nDone.\n"

@@ -22,13 +22,13 @@ let parse_neighbor s =
 
 let neighbor_conv = Arg.conv (parse_neighbor, fun ppf (id, (h, p)) -> Format.fprintf ppf "%d:%s:%d" id h p)
 
-let run id port neighbors strategy_name verbose =
+let run id port neighbors strategy_name no_srt_index verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
   let strategy =
     match Xroute_core.Broker.strategy_of_name strategy_name with
-    | Some s -> s
+    | Some s -> { s with Xroute_core.Broker.srt_index = not no_srt_index }
     | None ->
       prerr_endline ("xroute_brokerd: unknown strategy " ^ strategy_name);
       exit 1
@@ -53,9 +53,14 @@ let cmd =
            ~doc:(Printf.sprintf "Routing strategy: %s."
                    (String.concat ", " Xroute_core.Broker.strategy_names)))
   in
+  let no_srt_index_arg =
+    Arg.(value & flag & info [ "no-srt-index" ]
+           ~doc:"Disable the SRT root-element index (flat list scan; same routing \
+                 decisions, more match operations — for benchmarking).")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   Cmd.v
     (Cmd.info "xroute_brokerd" ~version:"1.0.0" ~doc:"Content-based XML router daemon")
-    Term.(const run $ id_arg $ port_arg $ neighbors_arg $ strategy_arg $ verbose_arg)
+    Term.(const run $ id_arg $ port_arg $ neighbors_arg $ strategy_arg $ no_srt_index_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

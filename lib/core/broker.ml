@@ -34,6 +34,7 @@ type strategy = {
   adv_cover : bool;  (* advertisement covering in the SRT (extension) *)
   trail_routing : bool;  (* XTreeNet-style restricted re-matching *)
   exact_engines : bool;  (* automata engines instead of the paper's *)
+  srt_index : bool;  (* root-element bucket index in the SRT *)
 }
 
 let default_strategy =
@@ -44,6 +45,7 @@ let default_strategy =
     adv_cover = false;
     trail_routing = false;
     exact_engines = false;
+    srt_index = true;
   }
 
 (* The six rows of Tables 2 and 3. *)
@@ -93,6 +95,9 @@ type meters = {
   m_prt_match_checks : M.counter; (* mirrors Prt.match_checks *)
   m_prt_cover_checks : M.counter; (* mirrors Prt.cover_checks *)
   m_srt_size : M.gauge;
+  m_srt_buckets : M.gauge; (* non-empty SRT root-element buckets *)
+  m_srt_bucket_max : M.gauge; (* fullest bucket's occupancy *)
+  m_srt_catch_all : M.gauge; (* wildcard/recursive catch-all size *)
   m_prt_size : M.gauge;
   m_prt_payloads : M.gauge;
   m_forwarded : M.gauge;
@@ -123,6 +128,12 @@ let make_meters reg =
     m_prt_cover_checks =
       M.counter reg ~help:"PRT covering checks" "xroute_prt_cover_checks_total";
     m_srt_size = M.gauge reg ~help:"SRT entries" "xroute_srt_size";
+    m_srt_buckets =
+      M.gauge reg ~help:"Non-empty SRT root-element buckets" "xroute_srt_buckets";
+    m_srt_bucket_max =
+      M.gauge reg ~help:"Occupancy of the fullest SRT bucket" "xroute_srt_bucket_max";
+    m_srt_catch_all =
+      M.gauge reg ~help:"SRT wildcard/recursive catch-all entries" "xroute_srt_catch_all";
     m_prt_size = M.gauge reg ~help:"PRT distinct XPEs" "xroute_prt_size";
     m_prt_payloads = M.gauge reg ~help:"PRT stored payloads" "xroute_prt_payloads";
     m_forwarded =
@@ -178,7 +189,7 @@ let create ?(strategy = default_strategy) ~id ~neighbors () =
     strategy;
     covers;
     neighbors;
-    srt = Rtable.Srt.create ~use_cover:strategy.adv_cover ~engine ();
+    srt = Rtable.Srt.create ~use_cover:strategy.adv_cover ~engine ~indexed:strategy.srt_index ();
     prt = Rtable.Prt.create ~flat ~covers ();
     forwarded = Rtable.Prt.Id_map.empty;
     mergers = [];
@@ -221,6 +232,9 @@ let refresh_metrics t =
   M.counter_set m.m_prt_match_checks (Rtable.Prt.match_checks t.prt);
   M.counter_set m.m_prt_cover_checks (Rtable.Prt.cover_checks t.prt);
   M.set_int m.m_srt_size (Rtable.Srt.size t.srt);
+  M.set_int m.m_srt_buckets (Rtable.Srt.bucket_count t.srt);
+  M.set_int m.m_srt_bucket_max (Rtable.Srt.max_bucket_size t.srt);
+  M.set_int m.m_srt_catch_all (Rtable.Srt.catch_all_size t.srt);
   M.set_int m.m_prt_size (Rtable.Prt.size t.prt);
   M.set_int m.m_prt_payloads (Rtable.Prt.payload_count t.prt);
   M.set_int m.m_forwarded (Rtable.Prt.Id_map.cardinal t.forwarded);

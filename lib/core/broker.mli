@@ -13,6 +13,9 @@ type strategy = {
   adv_cover : bool;  (** advertisement covering in the SRT (extension) *)
   trail_routing : bool;  (** XTreeNet-style restricted re-matching *)
   exact_engines : bool;  (** automata engines instead of the paper's *)
+  srt_index : bool;
+      (** root-element bucket index in the SRT (identical decisions,
+          fewer match operations); off = flat list scan *)
 }
 
 (** Advertisements + covering, no merging. *)

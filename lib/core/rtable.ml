@@ -27,51 +27,154 @@ let pp_endpoint ppf = function
 (* ------------------------------------------------------------------ *)
 
 module Srt = struct
-  type entry = { id : Message.sub_id; adv : Adv.t; hop : endpoint }
+  type entry = { id : Message.sub_id; adv : Adv.t; hop : endpoint; seq : int }
 
+  (* Advertisements are absolute patterns, so the first symbol of an
+     advertisement is a sound discriminator: a subscription anchored at
+     root element [n] can only overlap advertisements rooted at [n] —
+     plus the ones whose root is a wildcard or a recursive group, which
+     live in a catch-all bucket scanned on every lookup. Buckets keep
+     entries newest-first; [seq] restores the global newest-first scan
+     order when a lookup spans several buckets, so the indexed table is
+     observationally identical to the flat list it replaces (the
+     [indexed = false] mode keeps the flat scan alive for differential
+     tests and benchmarks). *)
   type t = {
-    mutable entries : entry list;
+    buckets : (string, entry list) Hashtbl.t; (* root element -> entries *)
+    mutable catch_all : entry list; (* Star / recursive-rooted advertisements *)
+    by_id : (Message.sub_id, entry) Hashtbl.t;
+    mutable count : int;
+    mutable next_seq : int;
+    indexed : bool;
     use_cover : bool; (* advertisement covering (extension) *)
     engine : Adv_match.engine;
     mutable match_ops : int;
   }
 
-  let create ?(use_cover = false) ?(engine = Adv_match.Paper) () =
-    { entries = []; use_cover; engine; match_ops = 0 }
+  let create ?(use_cover = false) ?(engine = Adv_match.Paper) ?(indexed = true) () =
+    {
+      buckets = Hashtbl.create 64;
+      catch_all = [];
+      by_id = Hashtbl.create 64;
+      count = 0;
+      next_seq = 0;
+      indexed;
+      use_cover;
+      engine;
+      match_ops = 0;
+    }
 
-  let size t = List.length t.entries
+  let size t = t.count
   let match_ops t = t.match_ops
-  let entries t = t.entries
+  let indexed t = t.indexed
 
-  let mem t id = List.exists (fun e -> Message.compare_sub_id e.id id = 0) t.entries
+  (* Root element of an advertisement, or [None] for the catch-all
+     bucket (wildcard or recursive group at the root). *)
+  let bucket_key t adv =
+    if not t.indexed then None
+    else
+      match Adv.parts adv with
+      | Adv.Lit arr :: _ when Array.length arr > 0 -> (
+        match arr.(0) with Xpe.Name n -> Some n | Xpe.Star -> None)
+      | _ -> None
+
+  let bucket t n = Option.value ~default:[] (Hashtbl.find_opt t.buckets n)
+
+  (* Merge two newest-first (seq-descending) entry lists. *)
+  let rec merge_desc a b =
+    match (a, b) with
+    | [], l | l, [] -> l
+    | x :: xs, y :: ys ->
+      if x.seq > y.seq then x :: merge_desc xs b else y :: merge_desc a ys
+
+  (* Every entry, newest first — the flat list's scan order. *)
+  let all_entries t =
+    if Hashtbl.length t.buckets = 0 then t.catch_all
+    else
+      Hashtbl.fold (fun _ es acc -> List.rev_append es acc) t.buckets t.catch_all
+      |> List.sort (fun a b -> compare b.seq a.seq)
+
+  let entries t = all_entries t
+
+  (* Entries whose advertisement can possibly concern root element [n]:
+     its bucket plus the catch-all, in global newest-first order. *)
+  let candidates_for_root t n = merge_desc (bucket t n) t.catch_all
+
+  let mem t id = Hashtbl.mem t.by_id id
 
   (* Store an advertisement. With advertisement covering enabled, an
      entry covered by an existing same-hop advertisement is redundant:
      subscriptions overlapping it also overlap the coverer and are routed
-     to the same hop. Returns [`Stored]/[`Covered of coverer_id]. *)
+     to the same hop. A coverer admits every path of the covered
+     advertisement, so it shares the covered one's root bucket or sits in
+     the catch-all. Returns [`Stored]/[`Covered of coverer_id]. *)
   let add t id adv hop =
     if mem t id then `Duplicate
     else begin
+      let key = bucket_key t adv in
       let coverer =
         if not t.use_cover then None
         else
+          let among =
+            match key with
+            | Some n -> candidates_for_root t n
+            | None -> all_entries t
+          in
           List.find_opt
             (fun e -> endpoint_equal e.hop hop && Cover.adv_covers e.adv adv)
-            t.entries
+            among
       in
       match coverer with
       | Some e -> `Covered e.id
       | None ->
-        t.entries <- { id; adv; hop } :: t.entries;
+        let entry = { id; adv; hop; seq = t.next_seq } in
+        t.next_seq <- t.next_seq + 1;
+        (match key with
+        | Some n -> Hashtbl.replace t.buckets n (entry :: bucket t n)
+        | None -> t.catch_all <- entry :: t.catch_all);
+        Hashtbl.replace t.by_id id entry;
+        t.count <- t.count + 1;
         `Stored
     end
 
   let remove t id =
-    let removed, kept =
-      List.partition (fun e -> Message.compare_sub_id e.id id = 0) t.entries
-    in
-    t.entries <- kept;
-    match removed with e :: _ -> Some e.hop | [] -> None
+    match Hashtbl.find_opt t.by_id id with
+    | None -> None
+    | Some entry ->
+      Hashtbl.remove t.by_id id;
+      t.count <- t.count - 1;
+      let drop es = List.filter (fun e -> e.seq <> entry.seq) es in
+      (match bucket_key t entry.adv with
+      | Some n -> (
+        match drop (bucket t n) with
+        | [] -> Hashtbl.remove t.buckets n
+        | es -> Hashtbl.replace t.buckets n es)
+      | None -> t.catch_all <- drop t.catch_all);
+      Some entry.hop
+
+  (* Root element a subscription's matches are anchored at, if any: an
+     absolute XPE whose first step is [/name]. Anything else (relative,
+     leading [//], leading wildcard) can match under any root. *)
+  let sub_root xpe =
+    match Xpe.semantic_steps xpe with
+    | { Xpe.axis = Xpe.Child; test = Xpe.Name n; _ } :: _ -> Some n
+    | _ -> None
+
+  (* Entries the subscription has to be checked against; only these are
+     charged to [match_ops], which is how the bench shows scans avoided. *)
+  let scan_candidates t xpe =
+    if not t.indexed then t.catch_all
+    else
+      match sub_root xpe with
+      | Some n -> candidates_for_root t n
+      | None -> all_entries t
+
+  (* First-occurrence order-preserving dedup under the scan order. *)
+  let dedup_hops hops =
+    List.rev
+      (List.fold_left
+         (fun acc h -> if List.exists (endpoint_equal h) acc then acc else h :: acc)
+         [] hops)
 
   (* Last hops of the advertisements overlapping the subscription. *)
   let hops_for_sub t xpe =
@@ -80,15 +183,22 @@ module Srt = struct
         (fun e ->
           t.match_ops <- t.match_ops + 1;
           if Adv_match.overlaps ~engine:t.engine xpe e.adv then Some e.hop else None)
-        t.entries
+        (scan_candidates t xpe)
     in
-    List.fold_left (fun acc h -> if List.exists (endpoint_equal h) acc then acc else h :: acc) [] hops
+    dedup_hops hops
 
   (* Advertisements (ids) from a given hop. *)
   let ids_from t hop =
     List.filter_map
       (fun e -> if endpoint_equal e.hop hop then Some e.id else None)
-      t.entries
+      (all_entries t)
+
+  (* Index shape, for the observability gauges. *)
+  let bucket_count t = Hashtbl.length t.buckets
+  let catch_all_size t = List.length t.catch_all
+
+  let max_bucket_size t =
+    Hashtbl.fold (fun _ es acc -> max acc (List.length es)) t.buckets 0
 end
 
 (* ------------------------------------------------------------------ *)

@@ -12,20 +12,47 @@ val endpoint_equal : endpoint -> endpoint -> bool
 val pp_endpoint : Format.formatter -> endpoint -> unit
 
 module Srt : sig
-  type entry = { id : Message.sub_id; adv : Adv.t; hop : endpoint }
+  type entry = {
+    id : Message.sub_id;
+    adv : Adv.t;
+    hop : endpoint;
+    seq : int;  (** insertion sequence; scans run newest (highest) first *)
+  }
+
   type t
 
-  (** [create ~use_cover ~engine ()] — [use_cover] enables advertisement
-      covering (same-hop covered advertisements are suppressed). *)
-  val create : ?use_cover:bool -> ?engine:Adv_match.engine -> unit -> t
+  (** [create ~use_cover ~engine ~indexed ()] — [use_cover] enables
+      advertisement covering (same-hop covered advertisements are
+      suppressed). [indexed] (default) buckets entries by the
+      advertisement's root element so a rooted subscription only scans
+      its own bucket plus the wildcard/recursive catch-all;
+      [~indexed:false] keeps the flat list scan, for differential tests
+      and benchmarks. Both modes produce identical routing decisions. *)
+  val create : ?use_cover:bool -> ?engine:Adv_match.engine -> ?indexed:bool -> unit -> t
 
   val size : t -> int
 
-  (** Matching operations performed so far (metrics). *)
+  (** Matching operations performed so far (metrics). Only entries
+      actually scanned are charged, so the root-element index makes this
+      grow sub-linearly in the table size for rooted subscriptions. *)
   val match_ops : t -> int
 
+  val indexed : t -> bool
+
+  (** All entries, newest first (the scan order of the flat mode). *)
   val entries : t -> entry list
+
   val mem : t -> Message.sub_id -> bool
+
+  (** Number of non-empty root-element buckets (0 in flat mode). *)
+  val bucket_count : t -> int
+
+  (** Entries in the always-scanned wildcard/recursive catch-all bucket
+      (in flat mode: every entry). *)
+  val catch_all_size : t -> int
+
+  (** Occupancy of the fullest root-element bucket. *)
+  val max_bucket_size : t -> int
 
   (** Store an advertisement; [`Covered id] means a same-hop coverer
       makes it redundant, [`Duplicate] that the id is already stored. *)
@@ -35,8 +62,9 @@ module Srt : sig
   (** Remove by id, returning the stored hop. *)
   val remove : t -> Message.sub_id -> endpoint option
 
-  (** Last hops of the advertisements overlapping a subscription
-      (deduplicated) — where the subscription must be forwarded. *)
+  (** Last hops of the advertisements overlapping a subscription —
+      where the subscription must be forwarded. Deduplicated preserving
+      first occurrence in scan (newest-first) order. *)
   val hops_for_sub : t -> Xpe.t -> endpoint list
 
   (** Advertisement ids stored from a given hop. *)

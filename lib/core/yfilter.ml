@@ -43,7 +43,21 @@ let create () =
   { root = { id = 0; edges = []; accepts = [] }; next_id = 1; size = 0; states = 1 }
 
 let size t = t.size
-let state_count t = t.states
+let allocated_states t = t.states
+
+(* Live states: reachable nodes that still lead to (or hold) a payload.
+   [remove] prunes lazily, so this walks the trie instead of trusting
+   the allocation counter — the two drift apart after removals. *)
+let state_count t =
+  let rec walk node =
+    let live_below =
+      List.fold_left
+        (fun acc (_, child) -> match walk child with Some n -> acc + n | None -> acc)
+        0 node.edges
+    in
+    if live_below > 0 || node.accepts <> [] then Some (live_below + 1) else None
+  in
+  match walk t.root with Some n -> n | None -> 1 (* the root is always live *)
 
 (* Steps of an XPE normalized for the index: predicates do not take part
    in the automaton (they are re-checked at accept time). *)

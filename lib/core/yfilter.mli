@@ -13,9 +13,15 @@ val create : unit -> 'a t
 (** Stored payloads. *)
 val size : 'a t -> int
 
-(** Automaton states (shared prefixes keep this well below the total
-    number of steps). *)
+(** Live automaton states: reachable states that still hold or lead to a
+    payload (shared prefixes keep this well below the total number of
+    steps). Shrinks after {!remove}, unlike {!allocated_states}. *)
 val state_count : 'a t -> int
+
+(** States ever allocated and not yet pruned. {!remove} prunes lazily
+    (as YFilter does), so this counts dead prefixes too; it never
+    decreases. *)
+val allocated_states : 'a t -> int
 
 val insert : 'a t -> Xpe.t -> 'a -> unit
 

@@ -23,7 +23,14 @@ type conn = {
   fd : Unix.file_descr;
   mutable endpoint : Rtable.endpoint option; (* set after HELLO *)
   inbuf : Buffer.t;
-  mutable outbuf : string; (* bytes not yet written *)
+  (* Output path: lines of a burst coalesce into [outbuf]; at write time
+     the accumulated bytes move (one copy) onto [outq] and are written
+     chunk by chunk, [out_off] marking the sent prefix of the head chunk
+     — so a partial write never re-copies the unsent tail, and enqueue
+     cost is O(line), not O(total buffered). *)
+  outbuf : Buffer.t; (* freshly enqueued bytes *)
+  outq : string Queue.t; (* chunks awaiting write *)
+  mutable out_off : int; (* sent prefix of the head chunk *)
   mutable closed : bool;
 }
 
@@ -44,10 +51,24 @@ let port t = t.port
 
 let conn_of fd =
   Unix.set_nonblock fd;
-  { fd; endpoint = None; inbuf = Buffer.create 256; outbuf = ""; closed = false }
+  {
+    fd;
+    endpoint = None;
+    inbuf = Buffer.create 256;
+    outbuf = Buffer.create 256;
+    outq = Queue.create ();
+    out_off = 0;
+    closed = false;
+  }
 
 let enqueue conn line =
-  if not conn.closed then conn.outbuf <- conn.outbuf ^ line ^ "\n"
+  if not conn.closed then begin
+    Buffer.add_string conn.outbuf line;
+    Buffer.add_char conn.outbuf '\n'
+  end
+
+let pending_out conn =
+  Buffer.length conn.outbuf > 0 || not (Queue.is_empty conn.outq)
 
 let close_conn t conn =
   if not conn.closed then begin
@@ -188,10 +209,33 @@ let dial_missing t =
 
 (* One iteration: accept, read, process, write. [timeout] bounds the
    select wait in seconds. *)
+(* Write as much buffered output as the socket accepts. *)
+let flush_out t conn =
+  if Buffer.length conn.outbuf > 0 then begin
+    Queue.add (Buffer.contents conn.outbuf) conn.outq;
+    Buffer.clear conn.outbuf
+  end;
+  let continue = ref true in
+  while !continue && not (Queue.is_empty conn.outq) do
+    let chunk = Queue.peek conn.outq in
+    let remaining = String.length chunk - conn.out_off in
+    match Unix.write_substring conn.fd chunk conn.out_off remaining with
+    | n ->
+      if n = remaining then begin
+        ignore (Queue.pop conn.outq);
+        conn.out_off <- 0
+      end
+      else conn.out_off <- conn.out_off + n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error _ ->
+      close_conn t conn;
+      continue := false
+  done
+
 let step ?(timeout = 0.05) t =
   dial_missing t;
   let readable = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-  let writable = List.filter_map (fun c -> if c.outbuf <> "" then Some c.fd else None) t.conns in
+  let writable = List.filter_map (fun c -> if pending_out c then Some c.fd else None) t.conns in
   match Unix.select readable writable [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | rs, ws, _ ->
@@ -217,13 +261,7 @@ let step ?(timeout = 0.05) t =
       (List.filter (fun c -> not c.closed) t.conns);
     (* write *)
     List.iter
-      (fun conn ->
-        if List.memq conn.fd ws && conn.outbuf <> "" then begin
-          match Unix.write_substring conn.fd conn.outbuf 0 (String.length conn.outbuf) with
-          | n -> conn.outbuf <- String.sub conn.outbuf n (String.length conn.outbuf - n)
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-          | exception Unix.Unix_error _ -> close_conn t conn
-        end)
+      (fun conn -> if List.memq conn.fd ws && pending_out conn then flush_out t conn)
       (List.filter (fun c -> not c.closed) t.conns)
 
 (* Run until [request_stop] (or forever). *)

@@ -100,6 +100,41 @@ let test_two_subscribers_fanout () =
   Client.close publisher; Client.close s1; Client.close s2;
   stop_all (daemons, threads)
 
+(* A burst of publications exercises the daemon's queued write path:
+   many deliveries pile onto one client connection faster than the
+   socket drains, so the daemon must carry the backlog across partial
+   writes without losing or duplicating anything. *)
+let test_burst_write_path () =
+  let daemons, threads = start_line 2 in
+  let d0 = List.nth daemons 0 and d1 = List.nth daemons 1 in
+  Thread.delay 0.2;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Thread.delay 0.2;
+  ignore (Client.subscribe subscriber (xp "/a"));
+  Thread.delay 0.3;
+  let n = 200 in
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  for i = 0 to n - 1 do
+    ignore (Client.publish_doc publisher ~doc_id:i doc)
+  done;
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  let got = Hashtbl.create n in
+  let rec drain () =
+    List.iter
+      (fun d -> Hashtbl.replace got d ())
+      (Client.drain_deliveries ~timeout:0.5 subscriber);
+    if Hashtbl.length got < n && Unix.gettimeofday () < deadline then drain ()
+  in
+  drain ();
+  let delivered = List.sort compare (Hashtbl.fold (fun d () acc -> d :: acc) got []) in
+  check (Alcotest.list ci) "every burst doc delivered exactly once"
+    (List.init n Fun.id) delivered;
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
 (* Parse a Prometheus text exposition into (base-metric-name, value)
    pairs; comment lines skipped, quantile labels stripped. *)
 let parse_prom body =
@@ -184,6 +219,7 @@ let () =
           Alcotest.test_case "end to end" `Quick test_end_to_end;
           Alcotest.test_case "unsubscribe" `Quick test_unsubscribe_over_wire;
           Alcotest.test_case "fanout" `Quick test_two_subscribers_fanout;
+          Alcotest.test_case "burst write path" `Quick test_burst_write_path;
           Alcotest.test_case "stats over the wire" `Quick test_stats_over_wire;
         ] );
     ]

@@ -42,12 +42,21 @@ let test_srt_ids_from () =
   check ci "none from n3" 0 (List.length (Rtable.Srt.ids_from srt (n 3)))
 
 let test_srt_match_ops_counted () =
+  (* match_ops charges one op per entry actually scanned: the root
+     index narrows a rooted subscription to its own bucket, while the
+     flat table pays for every entry. *)
   let srt = Rtable.Srt.create () in
   ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a") (n 1));
   ignore (Rtable.Srt.add srt (sid 1 2) (ad "/b") (n 2));
   let before = Rtable.Srt.match_ops srt in
   ignore (Rtable.Srt.hops_for_sub srt (xp "/a"));
-  check ci "one op per entry" 2 (Rtable.Srt.match_ops srt - before)
+  check ci "indexed: only the /a bucket scanned" 1 (Rtable.Srt.match_ops srt - before);
+  let flat = Rtable.Srt.create ~indexed:false () in
+  ignore (Rtable.Srt.add flat (sid 1 1) (ad "/a") (n 1));
+  ignore (Rtable.Srt.add flat (sid 1 2) (ad "/b") (n 2));
+  let before = Rtable.Srt.match_ops flat in
+  ignore (Rtable.Srt.hops_for_sub flat (xp "/a"));
+  check ci "flat: one op per entry" 2 (Rtable.Srt.match_ops flat - before)
 
 let test_srt_exact_engine () =
   let srt = Rtable.Srt.create ~engine:Adv_match.Exact () in
@@ -57,6 +66,123 @@ let test_srt_exact_engine () =
 let test_srt_remove_missing () =
   let srt = Rtable.Srt.create () in
   check cb "remove absent" true (Rtable.Srt.remove srt (sid 9 9) = None)
+
+let ep = Alcotest.testable Rtable.pp_endpoint Rtable.endpoint_equal
+
+(* hops_for_sub deduplicates preserving first-occurrence order: entries
+   are scanned newest-first, so the hop of the newest matching
+   advertisement comes first and later duplicates are dropped (they must
+   not reorder the list, as the old reversing fold did). *)
+let test_srt_hops_first_occurrence_order () =
+  let srt = Rtable.Srt.create () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a/b") (n 1));
+  ignore (Rtable.Srt.add srt (sid 1 2) (ad "/a/c") (n 2));
+  ignore (Rtable.Srt.add srt (sid 1 3) (ad "/a/d") (n 1));
+  check (Alcotest.list ep) "newest-first, dedup keeps first" [ n 1; n 2 ]
+    (Rtable.Srt.hops_for_sub srt (xp "/a"));
+  (* same table built without the index scans in the same order *)
+  let flat = Rtable.Srt.create ~indexed:false () in
+  ignore (Rtable.Srt.add flat (sid 1 1) (ad "/a/b") (n 1));
+  ignore (Rtable.Srt.add flat (sid 1 2) (ad "/a/c") (n 2));
+  ignore (Rtable.Srt.add flat (sid 1 3) (ad "/a/d") (n 1));
+  check (Alcotest.list ep) "flat mode identical" [ n 1; n 2 ]
+    (Rtable.Srt.hops_for_sub flat (xp "/a"))
+
+(* The root-element index partitions advertisements by first symbol;
+   a rooted subscription only pays for its own bucket plus the
+   catch-all (star / recursive-rooted advertisements). *)
+let test_srt_index_skips_foreign_buckets () =
+  let srt = Rtable.Srt.create () in
+  ignore (Rtable.Srt.add srt (sid 1 1) (ad "/a/b") (n 1));
+  ignore (Rtable.Srt.add srt (sid 1 2) (ad "/b/c") (n 2));
+  ignore (Rtable.Srt.add srt (sid 1 3) (ad "/*/c") (n 3));
+  check cb "indexed" true (Rtable.Srt.indexed srt);
+  check ci "buckets" 2 (Rtable.Srt.bucket_count srt);
+  check ci "catch-all holds star root" 1 (Rtable.Srt.catch_all_size srt);
+  check ci "max bucket" 1 (Rtable.Srt.max_bucket_size srt);
+  let before = Rtable.Srt.match_ops srt in
+  ignore (Rtable.Srt.hops_for_sub srt (xp "/a/b"));
+  check ci "rooted sub skips /b bucket" 2 (Rtable.Srt.match_ops srt - before);
+  let before = Rtable.Srt.match_ops srt in
+  ignore (Rtable.Srt.hops_for_sub srt (xp "//c"));
+  check ci "desc-first sub scans everything" 3 (Rtable.Srt.match_ops srt - before);
+  (* flat mode charges every entry every time *)
+  let flat = Rtable.Srt.create ~indexed:false () in
+  ignore (Rtable.Srt.add flat (sid 1 1) (ad "/a/b") (n 1));
+  ignore (Rtable.Srt.add flat (sid 1 2) (ad "/b/c") (n 2));
+  ignore (Rtable.Srt.add flat (sid 1 3) (ad "/*/c") (n 3));
+  check ci "flat: no buckets" 0 (Rtable.Srt.bucket_count flat);
+  let before = Rtable.Srt.match_ops flat in
+  ignore (Rtable.Srt.hops_for_sub flat (xp "/a/b"));
+  check ci "flat scans all" 3 (Rtable.Srt.match_ops flat - before)
+
+(* Seeded differential: indexed and flat SRTs over the same random
+   advertisement mix (rooted, star-rooted, recursive) must return
+   identical hop lists for every subscription shape — including after
+   removals — while the indexed table performs strictly fewer match
+   operations. *)
+let test_srt_indexed_vs_list_differential () =
+  let prng = Xroute_support.Prng.create 77 in
+  let names = [| "a"; "b"; "c"; "d"; "e" |] in
+  let random_adv i =
+    let root =
+      if Xroute_support.Prng.bernoulli prng 0.15 then "*"
+      else Xroute_support.Prng.choose prng names
+    in
+    let depth = 1 + Xroute_support.Prng.int prng 3 in
+    let rest = List.init depth (fun _ -> "/" ^ Xroute_support.Prng.choose prng names) in
+    let s = "/" ^ root ^ String.concat "" rest in
+    let s =
+      if Xroute_support.Prng.bernoulli prng 0.2 then
+        s ^ "(/" ^ Xroute_support.Prng.choose prng names ^ ")+"
+      else s
+    in
+    (sid 1 i, ad s, n (Xroute_support.Prng.int prng 4))
+  in
+  let advs = List.init 120 random_adv in
+  let subs =
+    List.init 80 (fun _ ->
+        match Xroute_support.Prng.int prng 4 with
+        | 0 -> xp ("//" ^ Xroute_support.Prng.choose prng names)
+        | 1 -> xp ("/*/" ^ Xroute_support.Prng.choose prng names)
+        | 2 ->
+          xp
+            (Xroute_support.Prng.choose prng names
+            ^ "/" ^ Xroute_support.Prng.choose prng names)
+        | _ ->
+          xp
+            ("/" ^ Xroute_support.Prng.choose prng names
+            ^ "/" ^ Xroute_support.Prng.choose prng names))
+  in
+  let build indexed =
+    let srt = Rtable.Srt.create ~indexed () in
+    List.iter (fun (id, a, hop) -> ignore (Rtable.Srt.add srt id a hop)) advs;
+    srt
+  in
+  let idx = build true and flat = build false in
+  let compare_all label =
+    List.iteri
+      (fun i x ->
+        check (Alcotest.list ep)
+          (Printf.sprintf "%s: sub %d identical hops" label i)
+          (Rtable.Srt.hops_for_sub flat x)
+          (Rtable.Srt.hops_for_sub idx x))
+      subs
+  in
+  let ops0_idx = Rtable.Srt.match_ops idx and ops0_flat = Rtable.Srt.match_ops flat in
+  compare_all "full table";
+  check cb "indexed does fewer ops" true
+    (Rtable.Srt.match_ops idx - ops0_idx < Rtable.Srt.match_ops flat - ops0_flat);
+  (* remove a third of the entries from both and re-compare *)
+  List.iteri
+    (fun i (id, _, _) ->
+      if i mod 3 = 0 then begin
+        ignore (Rtable.Srt.remove idx id);
+        ignore (Rtable.Srt.remove flat id)
+      end)
+    advs;
+  check ci "sizes agree after removal" (Rtable.Srt.size flat) (Rtable.Srt.size idx);
+  compare_all "after removals"
 
 (* ---------------- PRT ---------------- *)
 
@@ -136,6 +262,12 @@ let () =
           Alcotest.test_case "match ops" `Quick test_srt_match_ops_counted;
           Alcotest.test_case "exact engine" `Quick test_srt_exact_engine;
           Alcotest.test_case "remove missing" `Quick test_srt_remove_missing;
+          Alcotest.test_case "hop first-occurrence order" `Quick
+            test_srt_hops_first_occurrence_order;
+          Alcotest.test_case "index skips foreign buckets" `Quick
+            test_srt_index_skips_foreign_buckets;
+          Alcotest.test_case "indexed vs list differential" `Quick
+            test_srt_indexed_vs_list_differential;
         ] );
       ( "prt",
         [

@@ -67,6 +67,21 @@ let test_remove () =
   check (Alcotest.list ci) "all gone" [] (matches t "a");
   check (Alcotest.list ci) "sibling untouched" [ 3 ] (matches t "a/b")
 
+let test_state_count_after_remove () =
+  let t : int Yfilter.t = Yfilter.create () in
+  Yfilter.insert t (xp "/a/b/c") 1;
+  Yfilter.insert t (xp "/a/q") 2;
+  (* root, a, b, c, q *)
+  check ci "live states" 5 (Yfilter.state_count t);
+  check ci "allocated states" 5 (Yfilter.allocated_states t);
+  Yfilter.remove t (xp "/a/b/c") (fun _ -> true);
+  (* the b and c states no longer lead to a payload: live count drops,
+     allocation (lazy pruning) does not *)
+  check ci "live shrinks after remove" 3 (Yfilter.state_count t);
+  check ci "allocated never decreases" 5 (Yfilter.allocated_states t);
+  Yfilter.remove t (xp "/a/q") (fun _ -> true);
+  check ci "only the root is live" 1 (Yfilter.state_count t)
+
 let test_predicates_rechecked () =
   let t : int Yfilter.t = Yfilter.create () in
   Yfilter.insert t (xp "/a/b[@k='v']") 1;
@@ -136,6 +151,7 @@ let () =
           Alcotest.test_case "prefix sharing" `Quick test_prefix_sharing;
           Alcotest.test_case "duplicates" `Quick test_duplicate_xpes_accumulate;
           Alcotest.test_case "remove" `Quick test_remove;
+          Alcotest.test_case "state count after remove" `Quick test_state_count_after_remove;
           Alcotest.test_case "predicates" `Quick test_predicates_rechecked;
           Alcotest.test_case "to_list" `Quick test_to_list;
         ] );
