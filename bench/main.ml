@@ -20,7 +20,7 @@ let scale =
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable report: BENCH_2.json                               *)
+(* Machine-readable report: BENCH_3.json                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Every experiment records (name, fields); the runner adds wall time.
@@ -56,7 +56,7 @@ module Report = struct
 
   let write path =
     let oc = open_out path in
-    Printf.fprintf oc "{\"schema\":\"xroute-bench/2\",\"scale\":%.3f,\"experiments\":[%s]}\n"
+    Printf.fprintf oc "{\"schema\":\"xroute-bench/3\",\"scale\":%.3f,\"experiments\":[%s]}\n"
       scale
       (String.concat "," (List.rev_map render_record !records));
     close_out oc;
@@ -259,6 +259,147 @@ let daemon_throughput () =
     ];
   if !received < n then begin
     Printf.printf "ERROR: daemon burst lost %d publications\n" (n - !received);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Fault recovery: seeded outage plan, convergence after healing       *)
+(* ------------------------------------------------------------------ *)
+
+(* Set by --seed / --fault-plan (parsed in the entry point); the
+   defaults match the convergence suite in test/test_fault.ml. *)
+let fault_seed = ref 3
+let fault_spec = ref Xroute_fault.Plan.default_spec
+
+(* Crash brokers, break links, and drop clients on a seeded schedule
+   while publications stream through the tree; once the plan heals, a
+   post-heal publication batch must reach exactly the subscribers it
+   reaches on an identical network that never saw a fault. *)
+let fault_recovery () =
+  let module Plan = Xroute_fault.Plan in
+  let spec = !fault_spec and seed = !fault_seed in
+  section
+    (Printf.sprintf
+       "Fault recovery - seeded fault plan on the 7-broker tree (seed %d)\n\
+        (brokers crash and restart empty, links fail with requeue+backoff,\n\
+        clients reconnect and replay their ledgers; post-heal deliveries\n\
+        must match a fault-free control run)"
+       seed);
+  let levels = 3 in
+  let topo = Topology.binary_tree ~levels in
+  let subs_per_client = scaled 40 in
+  let strategy = Option.get (Broker.strategy_of_name "with-Adv-with-Cov") in
+  (* Deterministic in [seed]: the faulted run and the control run build
+     byte-identical advertisement/subscription state. *)
+  let build () =
+    let config =
+      { Net.default_config with Net.strategy; seed; latency = Latency.constant 2.0 }
+    in
+    let net = Net.create ~config topo in
+    let publisher = Net.add_client net ~broker:0 in
+    let leaves = Topology.binary_tree_leaves ~levels in
+    let subs = List.map (fun b -> Net.add_client net ~broker:b) leaves in
+    ignore (Net.advertise_dtd net publisher psd_advs);
+    Net.run net;
+    let prng = Xroute_support.Prng.create (seed + 99) in
+    let params = Xroute_workload.Xpath_gen.default_params psd in
+    List.iter
+      (fun c ->
+        let xpes =
+          Xroute_workload.Xpath_gen.generate ~distinct:false params
+            (Xroute_support.Prng.split prng) ~count:subs_per_client
+        in
+        List.iter (fun x -> ignore (Net.subscribe net c x)) xpes)
+      subs;
+    Net.run net;
+    (net, publisher, subs)
+  in
+  let docs_during = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 30) ~seed:61 () in
+  let docs_after = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 20) ~seed:62 () in
+  (* Faulted run: publications spread across the fault horizon, then a
+     post-heal batch once every fault window has closed. *)
+  let net, publisher, subs = build () in
+  let cids = List.map (fun c -> c.Net.cid) (publisher :: subs) in
+  let plan =
+    Plan.generate ~seed ~brokers:(Topology.broker_count topo)
+      ~edges:(Topology.edges topo) ~clients:cids ~spec ()
+  in
+  let n_during = List.length docs_during in
+  List.iteri
+    (fun i d ->
+      let at = plan.Plan.horizon *. float_of_int (i + 1) /. float_of_int (n_during + 1) in
+      Sim.schedule (Net.sim net) ~delay:at (fun () ->
+          ignore (Net.publish_doc net publisher ~doc_id:i d)))
+    docs_during;
+  Net.install_plan net plan;
+  let (), wall_faulted = time_it (fun () -> Net.run net) in
+  List.iteri
+    (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:(10_000 + i) d))
+    docs_after;
+  Net.run net;
+  let post_heal c =
+    Hashtbl.fold
+      (fun doc_id _ acc -> if doc_id >= 10_000 then doc_id :: acc else acc)
+      c.Net.delivered []
+    |> List.sort compare
+  in
+  let faulted_deliveries = List.map post_heal subs in
+  (* Control: same seed, same subscriptions, no faults, only the
+     post-heal batch. *)
+  let control_net, control_pub, control_subs = build () in
+  List.iteri
+    (fun i d -> ignore (Net.publish_doc control_net control_pub ~doc_id:(10_000 + i) d))
+    docs_after;
+  Net.run control_net;
+  let convergent = faulted_deliveries = List.map post_heal control_subs in
+  let st = Net.fault_stats net in
+  let mean l =
+    if l = [] then 0.0 else List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  let fmax l = List.fold_left Float.max 0.0 l in
+  let recovery = st.Net.recovery_times in
+  let post_heal_total =
+    List.fold_left (fun acc l -> acc + List.length l) 0 faulted_deliveries
+  in
+  Printf.printf
+    "plan: %d events over %.0f ms virtual (%d crashes, %d link-downs, %d delays, %d dups, %d client-drops requested)\n"
+    (List.length plan.Plan.events) plan.Plan.horizon spec.Plan.crashes
+    spec.Plan.link_downs spec.Plan.link_delays spec.Plan.link_dups spec.Plan.client_drops;
+  Printf.printf
+    "faults:   %d crashes, %d restarts, %d requeued sends, %d duplicated deliveries\n"
+    st.Net.crashes st.Net.restarts st.Net.requeues st.Net.dup_deliveries;
+  Printf.printf
+    "losses:   %d messages destroyed at dead brokers (%d publications dropped end-to-end)\n"
+    st.Net.destroyed (Net.dropped_publications net);
+  Printf.printf
+    "recovery: %d episodes, mean %.1f ms, max %.1f ms virtual; %d ledger entries replayed\n"
+    (List.length recovery) (mean recovery) (fmax recovery) st.Net.replayed;
+  Printf.printf "post-heal: %d deliveries, %s the fault-free control\n%!" post_heal_total
+    (if convergent then "identical to" else "DIVERGED from");
+  Report.record "fault-recovery"
+    [
+      ("seed", Report.I seed);
+      ("plan_events", Report.I (List.length plan.Plan.events));
+      ("horizon_ms", Report.F plan.Plan.horizon);
+      ("crashes", Report.I st.Net.crashes);
+      ("restarts", Report.I st.Net.restarts);
+      ("requeues", Report.I st.Net.requeues);
+      ("dup_deliveries", Report.I st.Net.dup_deliveries);
+      ("destroyed", Report.I st.Net.destroyed);
+      ("destroyed_pubs", Report.I st.Net.destroyed_pubs);
+      ("dropped_publications", Report.I (Net.dropped_publications net));
+      ("client_disconnects", Report.I st.Net.client_disconnects);
+      ("client_reconnects", Report.I st.Net.client_reconnects);
+      ("replayed", Report.I st.Net.replayed);
+      ("recovery_episodes", Report.I (List.length recovery));
+      ("recovery_ms_mean", Report.F (mean recovery));
+      ("recovery_ms_max", Report.F (fmax recovery));
+      ("post_heal_deliveries", Report.I post_heal_total);
+      ("convergent", Report.B convergent);
+      ("faulted_wall_ms", Report.F (wall_faulted *. 1000.0));
+    ];
+  if not convergent then begin
+    Printf.printf "ERROR: post-heal deliveries diverged from the fault-free control\n";
     exit 1
   end
 
@@ -946,6 +1087,50 @@ let smoke () =
     Printf.printf "smoke FAILED: SRT index avoided no scans (%d >= %d)\n" ops_idx ops_list;
     exit 1
   end;
+  (* Fault gate: crash the relay broker of a line, publish into the
+     outage (must be destroyed and accounted), restart it, and require
+     the routing state to recover so the next publication is delivered
+     and exactly one recovery episode is measured. *)
+  let fnet =
+    Net.create
+      ~config:{ Net.default_config with Net.latency = Latency.constant 1.0 }
+      (Topology.line 3)
+  in
+  let fpub = Net.add_client fnet ~broker:0 in
+  let fsub = Net.add_client fnet ~broker:2 in
+  ignore (Net.advertise fnet fpub (Xroute_xpath.Adv.parse "/x/y"));
+  Net.run fnet;
+  ignore (Net.subscribe fnet fsub (Xroute_xpath.Xpe_parser.parse "/x"));
+  Net.run fnet;
+  Net.crash_broker fnet 1;
+  ignore (Net.publish_doc fnet fpub ~doc_id:1 (Xroute_xml.Xml_parser.parse "<x><y/></x>"));
+  Net.run fnet;
+  Net.restart_broker fnet 1;
+  Net.run fnet;
+  ignore (Net.publish_doc fnet fpub ~doc_id:2 (Xroute_xml.Xml_parser.parse "<x><y/></x>"));
+  Net.run fnet;
+  let fstats = Net.fault_stats fnet in
+  if Hashtbl.mem fsub.Net.delivered 1 then begin
+    Printf.printf "smoke FAILED: publication sent into the crash window was delivered\n";
+    exit 1
+  end;
+  if not (Hashtbl.mem fsub.Net.delivered 2) then begin
+    Printf.printf "smoke FAILED: no delivery after broker restart\n";
+    exit 1
+  end;
+  if Net.dropped_publications fnet = 0 then begin
+    Printf.printf "smoke FAILED: crash-destroyed publication not accounted as dropped\n";
+    exit 1
+  end;
+  if List.length fstats.Net.recovery_times <> 1 then begin
+    Printf.printf "smoke FAILED: expected 1 recovery episode, measured %d\n"
+      (List.length fstats.Net.recovery_times);
+    exit 1
+  end;
+  Printf.printf
+    "smoke: fault gate ok (crash/restart recovered; %d msgs destroyed, %.1f ms recovery)\n"
+    fstats.Net.destroyed
+    (List.hd fstats.Net.recovery_times);
   Printf.printf "smoke ok\n%!"
 
 (* ------------------------------------------------------------------ *)
@@ -965,6 +1150,7 @@ let experiments =
     ("fig11", fig11);
     ("srt-index", srt_index_bench);
     ("daemon-throughput", daemon_throughput);
+    ("fault-recovery", fault_recovery);
     ("ablation-exact-cover", ablation_exact_cover);
     ("ablation-yfilter", ablation_yfilter);
     ("ablation-trail", ablation_trail_routing);
@@ -976,9 +1162,32 @@ let () =
     smoke ();
     exit 0
   end;
-  let only =
-    match Array.to_list Sys.argv with _ :: rest when rest <> [] -> Some rest | _ -> None
+  (* Consume --seed N and --fault-plan SPEC (they parameterise the
+     fault-recovery experiment); everything left over is an
+     experiment-name filter. *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | [ ("--seed" | "--fault-plan") as flag ] ->
+      Printf.eprintf "%s needs a value\n" flag;
+      exit 2
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with
+      | Some n -> fault_seed := n
+      | None ->
+        Printf.eprintf "bad --seed %S (want an integer)\n" v;
+        exit 2);
+      parse_args acc rest
+    | "--fault-plan" :: v :: rest ->
+      (match Xroute_fault.Plan.spec_of_string v with
+      | Ok spec -> fault_spec := spec
+      | Error msg ->
+        Printf.eprintf "bad --fault-plan %S: %s\n" v msg;
+        exit 2);
+      parse_args acc rest
+    | name :: rest -> parse_args (name :: acc) rest
   in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  let only = if names = [] then None else Some names in
   let want name = match only with None -> true | Some l -> List.mem name l in
   Printf.printf "xroute experiment harness (scale %.2f; set XROUTE_BENCH_SCALE to change)\n" scale;
   Printf.printf "NITF advertisements: %d, PSD advertisements: %d (paper ratio: ~35x)\n%!"
@@ -991,5 +1200,5 @@ let () =
       end)
     experiments;
   Report.write
-    (Option.value ~default:"BENCH_2.json" (Sys.getenv_opt "XROUTE_BENCH_JSON"));
+    (Option.value ~default:"BENCH_3.json" (Sys.getenv_opt "XROUTE_BENCH_JSON"));
   Printf.printf "\nDone.\n"

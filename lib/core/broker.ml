@@ -607,3 +607,97 @@ let merge_pass t =
    store because of it — the paper's compaction metric counts the local
    table instead, which [prt_size] reports. *)
 let forwarded_count t = Rtable.Prt.Id_map.cardinal t.forwarded
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery (fault injection)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let srt_ids_from t ep = Rtable.Srt.ids_from t.srt ep
+let srt_ids t = List.map (fun (e : Rtable.Srt.entry) -> e.id) (Rtable.Srt.entries t.srt)
+
+let prt_fold t f =
+  let acc = ref [] in
+  Sub_tree.iter
+    (fun node ->
+      List.iter
+        (fun (p : Rtable.Prt.payload) -> match f p with Some x -> acc := x :: !acc | None -> ())
+        (Sub_tree.node_payloads node))
+    (Rtable.Prt.tree t.prt);
+  List.rev !acc
+
+let prt_ids t = prt_fold t (fun p -> Some p.id)
+
+let prt_ids_from t ep =
+  prt_fold t (fun p -> if Rtable.endpoint_equal p.hop ep then Some p.id else None)
+
+(* The peer behind [ep] crashed and restarted empty-handed: forget
+   everything learned from it, and everything sent to it. Routing state
+   is rebuilt from the survivors (see [resync_for]), never resurrected
+   from the dead process. Forwarded-target records pointing at [ep] are
+   dropped first so the purge's upstream unsubscriptions skip [ep] and
+   the resync pass re-sends what the fresh peer needs; then SRT entries
+   learned from [ep] leave through the normal unadvertise flood and PRT
+   entries through the unsubscribe path, which re-forwards the covered
+   survivors they were shadowing. *)
+let neighbor_reset t ~ep =
+  t.forwarded <-
+    Rtable.Prt.Id_map.filter_map
+      (fun _ targets ->
+        match List.filter (fun e -> not (Rtable.endpoint_equal e ep)) targets with
+        | [] -> None
+        | kept -> Some kept)
+      t.forwarded;
+  let stale_advs = srt_ids_from t ep in
+  let stale_subs = prt_ids_from t ep in
+  Log.info (fun m ->
+      m "broker %d: resetting %a (%d advs, %d subs purged)" t.id Rtable.pp_endpoint ep
+        (List.length stale_advs) (List.length stale_subs));
+  List.concat_map (fun id -> handle_unadvertise t ~from:ep id) stale_advs
+  @ List.concat_map (fun id -> handle_unsubscribe t ~from:ep id) stale_subs
+
+(* Re-send the state a freshly restarted [ep] needs from this side of
+   the network: every surviving advertisement (under advertisement
+   routing the re-advertisements make the far side re-forward its
+   overlapping subscriptions, so subscriptions need no special casing),
+   plus — under flooding, where no advertisement will trigger it —
+   direct re-forwarding of stored subscriptions toward [ep]. Call after
+   [neighbor_reset] so decisions use the purged tables. *)
+let resync_for t ~ep =
+  let adv_msgs =
+    List.filter_map
+      (fun (e : Rtable.Srt.entry) ->
+        if Rtable.endpoint_equal e.hop ep then None
+        else Some (ep, Message.Advertise { id = e.id; adv = e.adv }))
+      (List.rev (Rtable.Srt.entries t.srt))
+  in
+  let sub_msgs =
+    if t.strategy.use_adv then []
+    else begin
+      let msgs = ref [] in
+      (* Parents before children, as in [handle_advertise]: coverers are
+         forwarded first and then suppress their subtrees per target. *)
+      let candidate sub_id xpe hop =
+        if
+          (not (is_suppressed t sub_id))
+          && (not (Rtable.endpoint_equal hop ep))
+          && (not (List.exists (Rtable.endpoint_equal ep) (forwarded_targets t sub_id)))
+          && List.exists (Rtable.endpoint_equal ep) (sub_targets t ~from:hop xpe)
+          && not (served_at t ~self_id:sub_id xpe ep)
+        then begin
+          ignore (record_forwarded t sub_id [ ep ]);
+          msgs := (ep, Message.Subscribe { id = sub_id; xpe }) :: !msgs
+        end
+      in
+      Sub_tree.iter
+        (fun node ->
+          List.iter
+            (fun (p : Rtable.Prt.payload) -> candidate p.id (Sub_tree.node_xpe node) p.hop)
+            (Sub_tree.node_payloads node))
+        (Rtable.Prt.tree t.prt);
+      List.iter
+        (fun m -> candidate m.merger_id m.merger_xpe (Rtable.Neighbor t.id))
+        t.mergers;
+      List.rev !msgs
+    end
+  in
+  adv_msgs @ sub_msgs

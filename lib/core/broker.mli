@@ -79,3 +79,35 @@ val merge_pass : t -> (Rtable.endpoint * Message.t) list
 
 (** Number of subscriptions this broker has forwarded upstream. *)
 val forwarded_count : t -> int
+
+(** {2 Crash recovery}
+
+    Hooks for the fault-injection layer (lib/fault, executed by
+    [Xroute_overlay.Net]): when a neighbor restarts after a crash, each
+    surviving peer first calls {!neighbor_reset} to purge everything it
+    learned from (or sent to) the dead process, then {!resync_for} to
+    re-send the state the fresh peer needs — so routing state is
+    rebuilt, never resurrected. *)
+
+(** Advertisement ids stored in the SRT / from the given hop. *)
+val srt_ids : t -> Message.sub_id list
+
+val srt_ids_from : t -> Rtable.endpoint -> Message.sub_id list
+
+(** Subscription ids stored in the PRT / from the given hop. *)
+val prt_ids : t -> Message.sub_id list
+
+val prt_ids_from : t -> Rtable.endpoint -> Message.sub_id list
+
+(** Forget everything learned from or forwarded to [ep]: SRT entries
+    from [ep] leave via the normal unadvertise flood, PRT entries via
+    the unsubscribe path (which re-forwards the covered survivors they
+    shadowed), and forwarded-target records pointing at [ep] are
+    dropped so the purge never messages [ep] itself. Returns the
+    messages to send. *)
+val neighbor_reset : t -> ep:Rtable.endpoint -> (Rtable.endpoint * Message.t) list
+
+(** Re-send the state a freshly restarted [ep] needs: every surviving
+    advertisement, plus (under flooding) stored subscriptions that must
+    reach [ep] directly. Call after {!neighbor_reset}. *)
+val resync_for : t -> ep:Rtable.endpoint -> (Rtable.endpoint * Message.t) list

@@ -1,35 +1,113 @@
 (* Blocking TCP client for the broker daemon: connects to a broker,
    identifies itself, and exchanges codec-framed messages. Used by the
-   command-line tools, the examples and the end-to-end network test. *)
+   command-line tools, the examples and the end-to-end network test.
+
+   The client keeps a session ledger (advertisements and subscriptions
+   with their ids) and survives a brokerd restart: when a send fails or
+   the connection closes, it redials with capped exponential backoff,
+   re-identifies, and replays the ledger with the original ids — the
+   broker deduplicates, so replay against a surviving broker is a
+   no-op and against a fresh one rebuilds the session. Publications
+   are not journaled: one in flight during the failure can be lost, so
+   delivery during a restart window is at-most-once unless the caller
+   retries. *)
 
 open Xroute_core
 
 type t = {
-  fd : Unix.file_descr;
+  mutable fd : Unix.file_descr;
   client_id : int;
+  host : string;
+  port : int;
+  mutable reconnect_wait : float; (* total redial budget per failure, seconds *)
   mutable next_seq : int;
   inbuf : Buffer.t;
+  mutable advs : (Message.sub_id * Xroute_xpath.Adv.t) list; (* newest first *)
+  mutable subs : (Message.sub_id * Xroute_xpath.Xpe.t) list; (* newest first *)
+  mutable reconnects : int;
 }
 
-let send_line t line =
-  let data = line ^ "\n" in
-  let rec write off =
+let reconnects t = t.reconnects
+let set_reconnect_wait t s = t.reconnect_wait <- s
+
+let write_all fd data =
+  let rec go off =
     if off < String.length data then begin
-      let n = Unix.write_substring t.fd data off (String.length data - off) in
-      write (off + n)
+      let n = Unix.write_substring fd data off (String.length data - off) in
+      go (off + n)
     end
   in
-  write 0
+  go 0
 
-let connect ~client_id ~host ~port =
+let dial ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let addr =
     try Unix.inet_addr_of_string host
     with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
   in
-  Unix.connect fd (Unix.ADDR_INET (addr, port));
-  let t = { fd; client_id; next_seq = 0; inbuf = Buffer.create 256 } in
-  send_line t (Printf.sprintf "HELLO|client|%d" client_id);
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let hello t fd = write_all fd (Printf.sprintf "HELLO|client|%d\n" t.client_id)
+
+(* Redial with capped exponential backoff until [reconnect_wait] is
+   spent, then replay the session: HELLO, advertisements, then
+   subscriptions, in registration order and with their original ids. *)
+let reconnect t =
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Buffer.clear t.inbuf;
+  let deadline = Unix.gettimeofday () +. t.reconnect_wait in
+  let rec attempt backoff =
+    match dial ~host:t.host ~port:t.port with
+    | fd -> fd
+    | exception Unix.Unix_error _ when Unix.gettimeofday () +. backoff < deadline ->
+      Unix.sleepf backoff;
+      attempt (Float.min 1.0 (backoff *. 2.0))
+  in
+  let fd = attempt 0.05 in
+  t.fd <- fd;
+  t.reconnects <- t.reconnects + 1;
+  hello t fd;
+  List.iter
+    (fun (id, adv) -> write_all fd ("M|" ^ Codec.encode (Message.Advertise { id; adv }) ^ "\n"))
+    (List.rev t.advs);
+  List.iter
+    (fun (id, xpe) -> write_all fd ("M|" ^ Codec.encode (Message.Subscribe { id; xpe }) ^ "\n"))
+    (List.rev t.subs)
+
+let send_failure = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNREFUSED | Unix.ENOTCONN | Unix.EBADF -> true
+  | _ -> false
+
+let send_line t line =
+  let data = line ^ "\n" in
+  try write_all t.fd data
+  with Unix.Unix_error (e, _, _) when send_failure e ->
+    reconnect t;
+    write_all t.fd data
+
+let connect ~client_id ~host ~port =
+  (* Failed writes must raise EPIPE, not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let fd = dial ~host ~port in
+  let t =
+    {
+      fd;
+      client_id;
+      host;
+      port;
+      reconnect_wait = 8.0;
+      next_seq = 0;
+      inbuf = Buffer.create 256;
+      advs = [];
+      subs = [];
+      reconnects = 0;
+    }
+  in
+  hello t fd;
   t
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
@@ -42,16 +120,23 @@ let send t msg = send_line t ("M|" ^ Codec.encode msg)
 
 let advertise t adv =
   let id = fresh_id t in
+  t.advs <- (id, adv) :: t.advs;
   send t (Message.Advertise { id; adv });
   id
 
 let subscribe t xpe =
   let id = fresh_id t in
+  t.subs <- (id, xpe) :: t.subs;
   send t (Message.Subscribe { id; xpe });
   id
 
-let unsubscribe t id = send t (Message.Unsubscribe { id })
-let unadvertise t id = send t (Message.Unadvertise { id })
+let unsubscribe t id =
+  t.subs <- List.filter (fun (i, _) -> Message.compare_sub_id i id <> 0) t.subs;
+  send t (Message.Unsubscribe { id })
+
+let unadvertise t id =
+  t.advs <- List.filter (fun (i, _) -> Message.compare_sub_id i id <> 0) t.advs;
+  send t (Message.Unadvertise { id })
 
 (* Publish a document: decomposed at the client edge, as in the paper. *)
 let publish_doc t ~doc_id root =
@@ -59,8 +144,10 @@ let publish_doc t ~doc_id root =
   List.iter (fun pub -> send t (Message.Publish { pub; trail = [] })) pubs;
   List.length pubs
 
-(* Next raw protocol line, waiting until [deadline]; [None] on timeout
-   or connection close. *)
+(* Next raw protocol line, waiting until [deadline]; [None] on timeout.
+   A closed or reset connection triggers the backoff reconnect (which
+   replays the session) and the wait continues; [None] if redialing
+   exhausts its budget too. *)
 let next_line t ~deadline =
   let line_from_buffer () =
     let data = Buffer.contents t.inbuf in
@@ -84,12 +171,13 @@ let next_line t ~deadline =
         | _ -> (
           let buf = Bytes.create 4096 in
           match Unix.read t.fd buf 0 4096 with
-          | 0 -> None
+          | 0 -> recover ()
           | n ->
             Buffer.add_subbytes t.inbuf buf 0 n;
-            go ())
+            go ()
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> recover ())
       end
-  in
+  and recover () = match reconnect t with () -> go () | exception Unix.Unix_error _ -> None in
   go ()
 
 (* Receive the next message, waiting up to [timeout] seconds; [None] on

@@ -1,4 +1,11 @@
-(** Blocking TCP client for the broker daemon. *)
+(** Blocking TCP client for the broker daemon.
+
+    The client keeps a session ledger and survives a [brokerd] restart:
+    on a failed send or a closed connection it redials with capped
+    exponential backoff, re-identifies, and replays its advertisements
+    and subscriptions with their original ids (idempotent — the broker
+    deduplicates). Publications are not journaled, so one in flight
+    during the failure can be lost unless the caller retries. *)
 
 open Xroute_core
 
@@ -6,6 +13,12 @@ type t
 
 (** Connect and identify as [client_id]. *)
 val connect : client_id:int -> host:string -> port:int -> t
+
+(** Times the session was re-established after a connection failure. *)
+val reconnects : t -> int
+
+(** Total redial budget per connection failure (default 8 s). *)
+val set_reconnect_wait : t -> float -> unit
 
 val close : t -> unit
 

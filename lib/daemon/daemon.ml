@@ -39,6 +39,7 @@ type t = {
   listen_fd : Unix.file_descr;
   port : int;
   neighbors : (int * (string * int)) list; (* id -> address *)
+  max_write_chunk : int; (* per-write byte cap (tests the offset path) *)
   mutable conns : conn list;
   mutable last_dial : float;
   mutable stop_requested : bool;
@@ -89,7 +90,12 @@ let conn_for t ep =
 
 (* ---------------- creation ---------------- *)
 
-let create ?(strategy = Broker.default_strategy) ~id ~port ~neighbors () =
+let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int) ~id ~port
+    ~neighbors () =
+  if max_write_chunk <= 0 then invalid_arg "Daemon.create: max_write_chunk <= 0";
+  (* Writes to a peer that vanished must surface as EPIPE, not kill the
+     process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
   Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -105,6 +111,7 @@ let create ?(strategy = Broker.default_strategy) ~id ~port ~neighbors () =
     listen_fd;
     port = actual_port;
     neighbors;
+    max_write_chunk;
     conns = [];
     last_dial = 0.0;
     stop_requested = false;
@@ -218,14 +225,14 @@ let flush_out t conn =
   let continue = ref true in
   while !continue && not (Queue.is_empty conn.outq) do
     let chunk = Queue.peek conn.outq in
-    let remaining = String.length chunk - conn.out_off in
+    let remaining = min t.max_write_chunk (String.length chunk - conn.out_off) in
     match Unix.write_substring conn.fd chunk conn.out_off remaining with
     | n ->
-      if n = remaining then begin
+      conn.out_off <- conn.out_off + n;
+      if conn.out_off = String.length chunk then begin
         ignore (Queue.pop conn.outq);
         conn.out_off <- 0
       end
-      else conn.out_off <- conn.out_off + n
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
     | exception Unix.Unix_error _ ->
       close_conn t conn;

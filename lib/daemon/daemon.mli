@@ -13,9 +13,13 @@ type t
 
 (** [create ~id ~port ~neighbors ()] binds the listening socket
     immediately ([port = 0] picks a free port; see {!port}). [neighbors]
-    maps neighbor broker ids to their (host, port) addresses. *)
+    maps neighbor broker ids to their (host, port) addresses.
+    [max_write_chunk] caps the bytes per [write] syscall on the queued
+    output path (default unlimited) — set it to 1 to exercise the
+    partial-write offset logic deterministically. *)
 val create :
   ?strategy:Xroute_core.Broker.strategy ->
+  ?max_write_chunk:int ->
   id:int ->
   port:int ->
   neighbors:(int * (string * int)) list ->

@@ -1,0 +1,127 @@
+(* Seeded fault plans: a pre-computed schedule of broker, link and
+   client failures for the overlay simulator to execute. All randomness
+   comes from the repo's splitmix64 generator, so a plan is a pure
+   function of its inputs and every run replays bit-for-bit. *)
+
+module Prng = Xroute_support.Prng
+
+type event =
+  | Broker_crash of { broker : int; at : float; down_for : float }
+  | Link_down of { a : int; b : int; at : float; down_for : float }
+  | Link_delay of { a : int; b : int; at : float; down_for : float; extra_ms : float }
+  | Link_dup of { a : int; b : int; at : float; down_for : float }
+  | Client_drop of { cid : int; at : float; down_for : float }
+
+type t = { seed : int; horizon : float; events : event list }
+
+type spec = {
+  crashes : int;
+  link_downs : int;
+  link_delays : int;
+  link_dups : int;
+  client_drops : int;
+  mean_down_ms : float;
+  gap_ms : float;
+}
+
+let default_spec =
+  {
+    crashes = 2;
+    link_downs = 2;
+    link_delays = 1;
+    link_dups = 1;
+    client_drops = 1;
+    mean_down_ms = 80.0;
+    gap_ms = 60.0;
+  }
+
+let spec_of_string s =
+  let parse_field spec kv =
+    match String.index_opt kv '=' with
+    | None -> Error (Printf.sprintf "bad fault-plan field %S (want key=value)" kv)
+    | Some i -> (
+      let key = String.sub kv 0 i in
+      let value = String.sub kv (i + 1) (String.length kv - i - 1) in
+      let int_of () =
+        match int_of_string_opt value with
+        | Some n when n >= 0 -> Ok n
+        | _ -> Error (Printf.sprintf "bad count %S for %s" value key)
+      in
+      let float_of () =
+        match float_of_string_opt value with
+        | Some f when f > 0.0 -> Ok f
+        | _ -> Error (Printf.sprintf "bad duration %S for %s" value key)
+      in
+      match key with
+      | "crashes" -> Result.map (fun n -> { spec with crashes = n }) (int_of ())
+      | "link-downs" -> Result.map (fun n -> { spec with link_downs = n }) (int_of ())
+      | "link-delays" -> Result.map (fun n -> { spec with link_delays = n }) (int_of ())
+      | "link-dups" -> Result.map (fun n -> { spec with link_dups = n }) (int_of ())
+      | "client-drops" -> Result.map (fun n -> { spec with client_drops = n }) (int_of ())
+      | "mean-down" -> Result.map (fun f -> { spec with mean_down_ms = f }) (float_of ())
+      | "gap" -> Result.map (fun f -> { spec with gap_ms = f }) (float_of ())
+      | _ -> Error (Printf.sprintf "unknown fault-plan key %S" key))
+  in
+  List.fold_left
+    (fun acc kv -> Result.bind acc (fun spec -> parse_field spec kv))
+    (Ok default_spec)
+    (List.filter (fun f -> f <> "") (String.split_on_char ',' s))
+
+(* A fault kind awaiting a time slot. *)
+type proto = P_crash | P_down | P_delay | P_dup | P_drop
+
+let generate ~seed ~brokers ~edges ~clients ?(spec = default_spec) () =
+  if brokers <= 0 then invalid_arg "Plan.generate: brokers <= 0";
+  let prng = Prng.create seed in
+  let repeat n k = List.init (max 0 n) (fun _ -> k) in
+  let protos =
+    repeat (if brokers > 0 then spec.crashes else 0) P_crash
+    @ repeat (if edges <> [] then spec.link_downs else 0) P_down
+    @ repeat (if edges <> [] then spec.link_delays else 0) P_delay
+    @ repeat (if edges <> [] then spec.link_dups else 0) P_dup
+    @ repeat (if clients <> [] then spec.client_drops else 0) P_drop
+  in
+  let protos = Array.to_list (Prng.shuffle prng (Array.of_list protos)) in
+  (* Sequential, disjoint windows separated by settle gaps: each fault's
+     recovery finishes before the next one starts, so convergence holds
+     not just at the end but at every gap. *)
+  let cursor = ref spec.gap_ms in
+  let events =
+    List.map
+      (fun proto ->
+        let at = !cursor in
+        let down_for = spec.mean_down_ms *. (0.5 +. Prng.unit_float prng) in
+        cursor := at +. down_for +. spec.gap_ms;
+        match proto with
+        | P_crash -> Broker_crash { broker = Prng.int prng brokers; at; down_for }
+        | P_down ->
+          let a, b = Prng.choose_list prng edges in
+          Link_down { a; b; at; down_for }
+        | P_delay ->
+          let a, b = Prng.choose_list prng edges in
+          let extra_ms = 2.0 +. Prng.float prng 8.0 in
+          Link_delay { a; b; at; down_for; extra_ms }
+        | P_dup ->
+          let a, b = Prng.choose_list prng edges in
+          Link_dup { a; b; at; down_for }
+        | P_drop ->
+          Client_drop { cid = Prng.choose_list prng clients; at; down_for })
+      protos
+  in
+  { seed; horizon = !cursor; events }
+
+let pp_event ppf = function
+  | Broker_crash { broker; at; down_for } ->
+    Format.fprintf ppf "broker %d crashes at %.1fms for %.1fms" broker at down_for
+  | Link_down { a; b; at; down_for } ->
+    Format.fprintf ppf "link %d-%d down at %.1fms for %.1fms" a b at down_for
+  | Link_delay { a; b; at; down_for; extra_ms } ->
+    Format.fprintf ppf "link %d-%d +%.1fms at %.1fms for %.1fms" a b extra_ms at down_for
+  | Link_dup { a; b; at; down_for } ->
+    Format.fprintf ppf "link %d-%d duplicates at %.1fms for %.1fms" a b at down_for
+  | Client_drop { cid; at; down_for } ->
+    Format.fprintf ppf "client %d dropped at %.1fms for %.1fms" cid at down_for
+
+let pp ppf t =
+  Format.fprintf ppf "fault plan (seed %d, horizon %.1fms):" t.seed t.horizon;
+  List.iter (fun e -> Format.fprintf ppf "@\n  %a" pp_event e) t.events

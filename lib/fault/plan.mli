@@ -1,0 +1,72 @@
+(** Deterministic fault plans for the dissemination network.
+
+    A plan is a seeded, pre-computed schedule of failure events —
+    broker crash/restart, link outage/extra-delay/duplication, client
+    disconnect/reconnect — that {!Xroute_overlay.Net.install_plan}
+    executes inside the discrete-event simulation. Because the schedule
+    is fixed up front and all randomness comes from the splitmix64
+    generator, a (seed, topology, workload) triple replays bit-for-bit:
+    the convergence suite (test/test_fault.ml) relies on this.
+
+    Times are virtual milliseconds, relative to the moment the plan is
+    installed. *)
+
+type event =
+  | Broker_crash of { broker : int; at : float; down_for : float }
+      (** the broker dies at [at] losing all routing state, and restarts
+          empty at [at +. down_for]; recovery is the network's job *)
+  | Link_down of { a : int; b : int; at : float; down_for : float }
+      (** sends over the edge fail during the window; the sender
+          requeues with capped exponential backoff *)
+  | Link_delay of { a : int; b : int; at : float; down_for : float; extra_ms : float }
+      (** deliveries over the edge take [extra_ms] longer during the
+          window *)
+  | Link_dup of { a : int; b : int; at : float; down_for : float }
+      (** every delivery over the edge during the window arrives twice *)
+  | Client_drop of { cid : int; at : float; down_for : float }
+      (** the client is unreachable during the window; on reconnect it
+          reconciles and replays its subscription ledger *)
+
+type t = {
+  seed : int;
+  horizon : float;  (** no event is active at or after this time *)
+  events : event list;  (** in schedule order *)
+}
+
+(** How many faults of each kind to generate, and their shape. *)
+type spec = {
+  crashes : int;
+  link_downs : int;
+  link_delays : int;
+  link_dups : int;
+  client_drops : int;
+  mean_down_ms : float;  (** mean outage duration *)
+  gap_ms : float;  (** settle gap between consecutive fault windows *)
+}
+
+(** 2 crashes, 2 link outages, 1 delay window, 1 duplication window,
+    1 client drop; 80 ms mean outage, 60 ms gaps. *)
+val default_spec : spec
+
+(** Parse a [k=v,k=v] spec string (keys [crashes], [link-downs],
+    [link-delays], [link-dups], [client-drops], [mean-down], [gap];
+    unmentioned keys keep {!default_spec} values), e.g.
+    ["crashes=3,link-downs=0,mean-down=120"]. *)
+val spec_of_string : string -> (spec, string) result
+
+(** [generate ~seed ~brokers ~edges ~clients ()] draws a plan whose
+    fault windows are disjoint in time (sequenced with settle gaps, in
+    shuffled kind order), so each fault's recovery is observable in
+    isolation. Kinds whose prerequisites are missing (no edges, no
+    clients) are skipped. *)
+val generate :
+  seed:int ->
+  brokers:int ->
+  edges:(int * int) list ->
+  clients:int list ->
+  ?spec:spec ->
+  unit ->
+  t
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

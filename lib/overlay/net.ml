@@ -42,6 +42,14 @@ type client = {
   home : int; (* broker id *)
   delivered : (int, float) Hashtbl.t; (* doc_id -> first delivery time *)
   mutable path_messages : int; (* path publications received *)
+  mutable connected : bool; (* false while a Client_drop fault is active *)
+  (* The client-side session ledger: what the client believes it has
+     advertised/subscribed (newest first). Replayed with the original
+     ids after its home broker restarts or after a reconnect — the
+     broker deduplicates — and the ground truth the convergence tests
+     compare a recovered network against. *)
+  mutable adv_ledger : (Message.sub_id * Xroute_xpath.Adv.t) list;
+  mutable sub_ledger : (Message.sub_id * Xroute_xpath.Xpe.t) list;
 }
 
 type traffic = {
@@ -87,6 +95,42 @@ let make_net_meters reg =
       M.histogram reg ~help:"Emit-to-first-delivery delay (ms)" "xroute_net_delivery_delay_ms";
   }
 
+(* Active fault windows on one overlay edge (keyed (min, max)). *)
+type link_fault = {
+  mutable down_until : float; (* sends fail, requeued with backoff *)
+  mutable slow_until : float; (* deliveries take [extra_ms] longer *)
+  mutable extra_ms : float;
+  mutable dup_until : float; (* every delivery arrives twice *)
+}
+
+(* One direction of an overlay edge. Like the TCP connection it models,
+   the link is FIFO: deliveries commit in send order, even though
+   per-message cost varies with size (a small revocation must never
+   overtake the subscription it revokes). [tail] is the latest
+   committed arrival; [blocked] queues messages sent while the edge is
+   down, drained in order once a backoff probe finds it up again. *)
+type dlink = {
+  mutable tail : float;
+  blocked : (float * Message.t) Queue.t; (* (cost, message), send order *)
+  mutable probing : bool;
+}
+
+(* Plain-int fault accounting (the registry mirrors it via fault
+   meters); [recovery_times] collects one entry per completed
+   broker-restart recovery episode. *)
+type fault_stats = {
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable requeues : int;
+  mutable dup_deliveries : int;
+  mutable destroyed : int; (* messages lost to a dead broker / dropped client *)
+  mutable destroyed_pubs : int; (* publications among [destroyed] *)
+  mutable client_disconnects : int;
+  mutable client_reconnects : int;
+  mutable replayed : int; (* ledger entries re-injected by recovery *)
+  mutable recovery_times : float list; (* virtual ms, newest first *)
+}
+
 type t = {
   topo : Topology.t;
   config : config;
@@ -94,6 +138,7 @@ type t = {
   prng : Xroute_support.Prng.t;
   latency_table : (int * int, float) Hashtbl.t;
   brokers : Broker.t array;
+  alive : bool array; (* false between an injected crash and its restart *)
   mutable clients : client list;
   mutable next_cid : int;
   mutable next_seq : int;
@@ -102,6 +147,16 @@ type t = {
   mutable delivery_delays : (int * int * float) list; (* client, doc, delay *)
   metrics : M.t; (* network-level registry; brokers own theirs *)
   nm : net_meters;
+  fm : Xroute_obs.Fault_meters.t;
+  link_faults : (int * int, link_fault) Hashtbl.t;
+  dlinks : (int * int, dlink) Hashtbl.t; (* keyed (src, dst), directed *)
+  fstats : fault_stats;
+  mutable universe : string array list; (* re-handed to restarted brokers *)
+  (* Recovery episode being measured: opened at a broker restart, its
+     end stamped by the last message processed, closed at the next fault
+     or when the sim quiesces. *)
+  mutable recovery_open : float option;
+  mutable recovery_last : float;
   trace : Trace.t option; (* per-hop delivery traces when enabled *)
 }
 
@@ -120,6 +175,7 @@ let create ?(config = default_config) ?trace topo =
     prng;
     latency_table;
     brokers;
+    alive = Array.make (Topology.broker_count topo) true;
     clients = [];
     next_cid = 0;
     next_seq = 0;
@@ -128,6 +184,25 @@ let create ?(config = default_config) ?trace topo =
     delivery_delays = [];
     metrics;
     nm = make_net_meters metrics;
+    fm = Xroute_obs.Fault_meters.create metrics;
+    link_faults = Hashtbl.create 8;
+    dlinks = Hashtbl.create 16;
+    fstats =
+      {
+        crashes = 0;
+        restarts = 0;
+        requeues = 0;
+        dup_deliveries = 0;
+        destroyed = 0;
+        destroyed_pubs = 0;
+        client_disconnects = 0;
+        client_reconnects = 0;
+        replayed = 0;
+        recovery_times = [];
+      };
+    universe = [];
+    recovery_open = None;
+    recovery_last = 0.0;
     trace;
   }
 
@@ -143,7 +218,17 @@ let fresh_sub_id t ~origin =
 
 let add_client t ~broker =
   if broker < 0 || broker >= Array.length t.brokers then invalid_arg "Net.add_client";
-  let c = { cid = t.next_cid; home = broker; delivered = Hashtbl.create 16; path_messages = 0 } in
+  let c =
+    {
+      cid = t.next_cid;
+      home = broker;
+      delivered = Hashtbl.create 16;
+      path_messages = 0;
+      connected = true;
+      adv_ledger = [];
+      sub_ledger = [];
+    }
+  in
   t.next_cid <- t.next_cid + 1;
   t.clients <- c :: t.clients;
   c
@@ -192,8 +277,70 @@ let total_traffic t =
 
 let traffic t = t.traffic
 
+(* ------------------------------------------------------------------ *)
+(* Fault bookkeeping                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let link_fault t a b =
+  let key = link_key a b in
+  match Hashtbl.find_opt t.link_faults key with
+  | Some lf -> lf
+  | None ->
+    let lf =
+      { down_until = neg_infinity; slow_until = neg_infinity; extra_ms = 0.0; dup_until = neg_infinity }
+    in
+    Hashtbl.add t.link_faults key lf;
+    lf
+
+let link_fault_opt t a b = Hashtbl.find_opt t.link_faults (link_key a b)
+
+let dlink t src dst =
+  match Hashtbl.find_opt t.dlinks (src, dst) with
+  | Some d -> d
+  | None ->
+    let d = { tail = neg_infinity; blocked = Queue.create (); probing = false } in
+    Hashtbl.add t.dlinks (src, dst) d;
+    d
+
+(* Requeue backoff for sends over a down link: capped exponential, in
+   virtual ms. Retrying always advances virtual time, so the loop
+   terminates as soon as the (scheduled, finite) outage window ends. *)
+let backoff_base_ms = 0.5
+let backoff_cap_ms = 16.0
+
+(* A message arrived at a dead broker or a disconnected client: it is
+   gone. Publications among them feed [dropped_publications] so crash
+   losses are reported, not silent. *)
+let destroy t (msg : Message.t) =
+  t.fstats.destroyed <- t.fstats.destroyed + 1;
+  M.incr t.fm.destroyed;
+  match msg with
+  | Message.Publish _ -> t.fstats.destroyed_pubs <- t.fstats.destroyed_pubs + 1
+  | Message.Advertise _ | Message.Unadvertise _ | Message.Subscribe _ | Message.Unsubscribe _ ->
+    ()
+
+(* Recovery-episode measurement: while an episode is open, every
+   processed message pushes its end forward; the episode closes at the
+   next fault event or when the sim quiesces, and its duration is the
+   last activity seen — i.e. how long the network churned after the
+   restart. *)
+let touch_recovery t =
+  match t.recovery_open with Some _ -> t.recovery_last <- Sim.now t.sim | None -> ()
+
+let close_recovery t =
+  match t.recovery_open with
+  | None -> ()
+  | Some started ->
+    t.recovery_open <- None;
+    let dur = Float.max 0.0 (t.recovery_last -. started) in
+    t.fstats.recovery_times <- dur :: t.fstats.recovery_times;
+    M.observe t.fm.recovery_ms dur
+
 (* Client-side reception. *)
 let client_receive t c (msg : Message.t) =
+  touch_recovery t;
   match msg with
   | Message.Publish { pub; _ } ->
     c.path_messages <- c.path_messages + 1;
@@ -211,52 +358,139 @@ let client_receive t c (msg : Message.t) =
   | Message.Advertise _ | Message.Unadvertise _ | Message.Subscribe _ | Message.Unsubscribe _ ->
     () (* control messages are broker-internal *)
 
-(* Deliver [msg] to broker [b]; schedule whatever it emits. *)
+(* Deliver [msg] to broker [b]; schedule whatever it emits. A dead
+   broker destroys the message (the sender learns nothing — recovery is
+   the restart protocol's job, not a delivery guarantee). *)
 let rec broker_receive t ~from b (msg : Message.t) =
-  count_traffic t msg;
-  let broker = t.brokers.(b) in
-  let w0 = Broker.work broker in
-  let outs = Broker.handle broker ~from msg in
-  let work = Broker.work broker - w0 in
-  (match t.trace with
-  | Some trace ->
-    Trace.record trace ~kind:(msg_kind msg) ~key:(msg_key msg) ~broker:b
-      ~time:(Sim.now t.sim) ~queue_depth:(Sim.pending t.sim) ~match_ops:work
-  | None -> ());
-  let processing =
-    t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
-  in
-  List.iter (fun (ep, m) -> send t ~src:b ~processing ep m) outs
+  if not t.alive.(b) then destroy t msg
+  else begin
+    touch_recovery t;
+    count_traffic t msg;
+    let broker = t.brokers.(b) in
+    let w0 = Broker.work broker in
+    let outs = Broker.handle broker ~from msg in
+    let work = Broker.work broker - w0 in
+    (match t.trace with
+    | Some trace ->
+      Trace.record trace ~kind:(msg_kind msg) ~key:(msg_key msg) ~broker:b
+        ~time:(Sim.now t.sim) ~queue_depth:(Sim.pending t.sim) ~match_ops:work
+    | None -> ());
+    let processing =
+      t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
+    in
+    List.iter (fun (ep, m) -> send t ~src:b ~processing ep m) outs
+  end
 
 and send t ~src ~processing ep (msg : Message.t) =
   let size_cost = float_of_int (Message.wire_size msg) *. t.config.per_byte_cost in
   match ep with
-  | Rtable.Neighbor n ->
-    let link = Latency.link_delay t.config.latency t.latency_table t.prng src n in
-    M.observe t.nm.nm_hop_latency (processing +. size_cost +. link);
-    Sim.schedule t.sim
-      ~delay:(processing +. size_cost +. link)
-      (fun () -> broker_receive t ~from:(Rtable.Neighbor src) n msg)
+  | Rtable.Neighbor n -> transmit t ~src ~dst:n ~cost:(processing +. size_cost) msg
   | Rtable.Client cid ->
     M.observe t.nm.nm_hop_latency (processing +. size_cost +. t.config.client_link);
     Sim.schedule t.sim
       ~delay:(processing +. size_cost +. t.config.client_link)
       (fun () ->
         match find_client t cid with
-        | Some c -> client_receive t c msg
+        | Some c when c.connected -> client_receive t c msg
+        | Some _ -> destroy t msg
         | None -> ())
 
-(* Client-originated injection. *)
+(* One transmission over the directed [src]->[dst] edge, honoring the
+   edge's active fault windows: a down link queues the message (in send
+   order) behind a capped-exponential-backoff probe; a slow link adds
+   its extra delay; a duplicating link delivers a second copy just
+   after the first (the protocol is idempotent: duplicate ids are
+   deduplicated broker-side, repeat deliveries client-side). *)
+and transmit t ~src ~dst ~cost msg =
+  match link_fault_opt t src dst with
+  | Some f when Sim.now t.sim < f.down_until ->
+    let d = dlink t src dst in
+    Queue.push (cost, msg) d.blocked;
+    t.fstats.requeues <- t.fstats.requeues + 1;
+    M.incr t.fm.requeues;
+    if not d.probing then begin
+      d.probing <- true;
+      probe_link t src dst 0
+    end
+  | _ -> deliver_on_link t ~src ~dst ~cost msg
+
+(* Retry loop for a down edge: probe with capped exponential backoff
+   until the outage window ends, then drain the blocked queue in send
+   order. Each probe that still finds the link down requeues every
+   blocked message once more. Virtual time advances on every probe, so
+   the loop ends as soon as the (finite, scheduled) window does. *)
+and probe_link t src dst attempt =
+  let delay = Float.min backoff_cap_ms (backoff_base_ms *. (2.0 ** float_of_int attempt)) in
+  Sim.schedule t.sim ~delay (fun () ->
+      let d = dlink t src dst in
+      let down =
+        match link_fault_opt t src dst with
+        | Some f -> Sim.now t.sim < f.down_until
+        | None -> false
+      in
+      if down then begin
+        let n = Queue.length d.blocked in
+        t.fstats.requeues <- t.fstats.requeues + n;
+        for _ = 1 to n do
+          M.incr t.fm.requeues
+        done;
+        probe_link t src dst (attempt + 1)
+      end
+      else begin
+        d.probing <- false;
+        while not (Queue.is_empty d.blocked) do
+          let cost, msg = Queue.pop d.blocked in
+          deliver_on_link t ~src ~dst ~cost msg
+        done
+      end)
+
+(* Commit one delivery on a live edge. The edge is FIFO, like the TCP
+   connection it stands for: the arrival is clamped to the previously
+   committed one, so a cheap-to-transmit message never overtakes an
+   expensive one sent before it (the event queue breaks equal-time ties
+   by insertion order). Without the clamp, a covering-induced
+   [Unsubscribe] could arrive before the [Subscribe] it revokes and
+   invert into a permanently dangling routing entry. *)
+and deliver_on_link t ~src ~dst ~cost msg =
+  let lf = link_fault_opt t src dst in
+  let now = Sim.now t.sim in
+  let link = Latency.link_delay t.config.latency t.latency_table t.prng src dst in
+  let extra = match lf with Some f when now < f.slow_until -> f.extra_ms | _ -> 0.0 in
+  let d = dlink t src dst in
+  let arrival = Float.max (now +. cost +. link +. extra) d.tail in
+  d.tail <- arrival;
+  M.observe t.nm.nm_hop_latency (arrival -. now);
+  Sim.schedule t.sim ~delay:(arrival -. now) (fun () ->
+      broker_receive t ~from:(Rtable.Neighbor src) dst msg);
+  match lf with
+  | Some f when now < f.dup_until ->
+    t.fstats.dup_deliveries <- t.fstats.dup_deliveries + 1;
+    M.incr t.fm.dups;
+    let arrival2 = Float.max (arrival +. 0.001) d.tail in
+    d.tail <- arrival2;
+    Sim.schedule t.sim ~delay:(arrival2 -. now) (fun () ->
+        broker_receive t ~from:(Rtable.Neighbor src) dst msg)
+  | _ -> ()
+
+(* Client-originated injection. A disconnected client cannot send at
+   all (its ledger is replayed on reconnect); a connected client's
+   message still travels and dies at a dead home broker, where
+   [destroy] accounts for it. *)
 let inject t (c : client) msg =
-  Sim.schedule t.sim ~delay:t.config.client_link (fun () ->
-      broker_receive t ~from:(Rtable.Client c.cid) c.home msg)
+  if c.connected then
+    Sim.schedule t.sim ~delay:t.config.client_link (fun () ->
+        broker_receive t ~from:(Rtable.Client c.cid) c.home msg)
 
 (* ------------------------------------------------------------------ *)
 (* Client operations                                                   *)
 (* ------------------------------------------------------------------ *)
 
+let remove_ledger_id ledger id =
+  List.filter (fun (i, _) -> Message.compare_sub_id i id <> 0) ledger
+
 let advertise t c adv =
   let id = fresh_sub_id t ~origin:c.cid in
+  c.adv_ledger <- (id, adv) :: c.adv_ledger;
   inject t c (Message.Advertise { id; adv });
   id
 
@@ -264,12 +498,17 @@ let advertise_dtd t c advs = List.map (fun adv -> advertise t c adv) advs
 
 let subscribe t c xpe =
   let id = fresh_sub_id t ~origin:c.cid in
+  c.sub_ledger <- (id, xpe) :: c.sub_ledger;
   inject t c (Message.Subscribe { id; xpe });
   id
 
-let unsubscribe t c id = inject t c (Message.Unsubscribe { id })
+let unsubscribe t c id =
+  c.sub_ledger <- remove_ledger_id c.sub_ledger id;
+  inject t c (Message.Unsubscribe { id })
 
-let unadvertise t c id = inject t c (Message.Unadvertise { id })
+let unadvertise t c id =
+  c.adv_ledger <- remove_ledger_id c.adv_ledger id;
+  inject t c (Message.Unadvertise { id })
 
 (* Publish a document: decompose into path publications at the edge. *)
 let publish_doc t c ~doc_id root =
@@ -288,7 +527,143 @@ let publish_paths t c pubs =
     pubs
 
 (* Run the simulation to quiescence. *)
-let run t = Sim.run t.sim
+let run t =
+  Sim.run t.sim;
+  close_recovery t
+
+(* ------------------------------------------------------------------ *)
+(* Faults and recovery                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let broker_alive t b = t.alive.(b)
+
+(* Replay the client's ledger with the original ids (in registration
+   order): the receiving broker deduplicates, so replay is idempotent. *)
+let replay_ledger t c =
+  let count () =
+    t.fstats.replayed <- t.fstats.replayed + 1;
+    M.incr t.fm.replayed
+  in
+  List.iter
+    (fun (id, adv) ->
+      count ();
+      inject t c (Message.Advertise { id; adv }))
+    (List.rev c.adv_ledger);
+  List.iter
+    (fun (id, xpe) ->
+      count ();
+      inject t c (Message.Subscribe { id; xpe }))
+    (List.rev c.sub_ledger)
+
+let crash_broker t b =
+  if t.alive.(b) then begin
+    close_recovery t;
+    t.alive.(b) <- false;
+    t.fstats.crashes <- t.fstats.crashes + 1;
+    M.incr t.fm.crashes;
+    Log.info (fun m -> m "broker %d crashed at t=%.3fms" b (Sim.now t.sim))
+  end
+
+(* A crashed broker restarts as a fresh process: empty routing tables,
+   zero counters. Recovery is anti-entropy from the survivors — each
+   live neighbor purges what it learned through the dead process
+   ([Broker.neighbor_reset]) and re-sends what the fresh one needs
+   ([Broker.resync_for]); local clients replay their ledgers. Nothing
+   is resurrected from the dead broker's own state. *)
+let restart_broker t b =
+  if not t.alive.(b) then begin
+    close_recovery t;
+    t.alive.(b) <- true;
+    t.brokers.(b) <-
+      Broker.create ~strategy:t.config.strategy ~id:b ~neighbors:(Topology.neighbors t.topo b) ();
+    if t.universe <> [] then Broker.set_universe t.brokers.(b) t.universe;
+    t.fstats.restarts <- t.fstats.restarts + 1;
+    M.incr t.fm.restarts;
+    t.recovery_open <- Some (Sim.now t.sim);
+    t.recovery_last <- Sim.now t.sim;
+    Log.info (fun m -> m "broker %d restarted at t=%.3fms" b (Sim.now t.sim));
+    let live_neighbors = List.filter (fun n -> t.alive.(n)) (Topology.neighbors t.topo b) in
+    (* Purges run for every neighbor before any resync message is
+       computed, at the restart instant — link delays then keep every
+       purge flood ahead of the re-advertisements on shared paths. *)
+    List.iter
+      (fun n ->
+        let outs = Broker.neighbor_reset t.brokers.(n) ~ep:(Rtable.Neighbor b) in
+        List.iter (fun (ep, m) -> send t ~src:n ~processing:0.0 ep m) outs)
+      live_neighbors;
+    List.iter
+      (fun n ->
+        let outs = Broker.resync_for t.brokers.(n) ~ep:(Rtable.Neighbor b) in
+        List.iter (fun (ep, m) -> send t ~src:n ~processing:0.0 ep m) outs)
+      live_neighbors;
+    List.iter (fun c -> if c.home = b && c.connected then replay_ledger t c) t.clients
+  end
+
+let disconnect_client t c =
+  if c.connected then begin
+    c.connected <- false;
+    t.fstats.client_disconnects <- t.fstats.client_disconnects + 1;
+    M.incr t.fm.disconnects;
+    Log.info (fun m -> m "client %d disconnected at t=%.3fms" c.cid (Sim.now t.sim))
+  end
+
+(* Reconnect = reconcile + replay: operations revoked while away
+   (unsubscribes that never reached the broker) are re-issued against
+   the broker's current per-client state, then the ledger is replayed.
+   With a dead home broker both steps wait for its restart, which
+   replays connected clients itself. *)
+let reconnect_client t c =
+  if not c.connected then begin
+    c.connected <- true;
+    t.fstats.client_reconnects <- t.fstats.client_reconnects + 1;
+    M.incr t.fm.reconnects;
+    Log.info (fun m -> m "client %d reconnected at t=%.3fms" c.cid (Sim.now t.sim));
+    if t.alive.(c.home) then begin
+      let b = t.brokers.(c.home) in
+      let ep = Rtable.Client c.cid in
+      let stale stored live =
+        List.filter
+          (fun id -> not (List.exists (fun (i, _) -> Message.compare_sub_id i id = 0) live))
+          stored
+      in
+      List.iter
+        (fun id -> inject t c (Message.Unadvertise { id }))
+        (stale (Broker.srt_ids_from b ep) c.adv_ledger);
+      List.iter
+        (fun id -> inject t c (Message.Unsubscribe { id }))
+        (stale (Broker.prt_ids_from b ep) c.sub_ledger);
+      replay_ledger t c
+    end
+  end
+
+let install_plan t (plan : Xroute_fault.Plan.t) =
+  let module P = Xroute_fault.Plan in
+  let on_client cid f =
+    match find_client t cid with Some c -> f c | None -> ()
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | P.Broker_crash { broker = b; at; down_for } ->
+        Sim.schedule t.sim ~delay:at (fun () -> crash_broker t b);
+        Sim.schedule t.sim ~delay:(at +. down_for) (fun () -> restart_broker t b)
+      | P.Link_down { a; b; at; down_for } ->
+        Sim.schedule t.sim ~delay:at (fun () ->
+            (link_fault t a b).down_until <- Sim.now t.sim +. down_for)
+      | P.Link_delay { a; b; at; down_for; extra_ms } ->
+        Sim.schedule t.sim ~delay:at (fun () ->
+            let lf = link_fault t a b in
+            lf.slow_until <- Sim.now t.sim +. down_for;
+            lf.extra_ms <- extra_ms)
+      | P.Link_dup { a; b; at; down_for } ->
+        Sim.schedule t.sim ~delay:at (fun () ->
+            (link_fault t a b).dup_until <- Sim.now t.sim +. down_for)
+      | P.Client_drop { cid; at; down_for } ->
+        Sim.schedule t.sim ~delay:at (fun () -> on_client cid (disconnect_client t));
+        Sim.schedule t.sim ~delay:(at +. down_for) (fun () -> on_client cid (reconnect_client t)))
+    plan.P.events
+
+let fault_stats t = t.fstats
 
 (* Run a merging pass on every broker and deliver what it emits. *)
 let merge_all t =
@@ -299,7 +674,9 @@ let merge_all t =
     t.brokers;
   run t
 
-let set_universe t universe = Array.iter (fun b -> Broker.set_universe b universe) t.brokers
+let set_universe t universe =
+  t.universe <- universe;
+  Array.iter (fun b -> Broker.set_universe b universe) t.brokers
 
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
@@ -321,10 +698,14 @@ let total_srt_size t = Array.fold_left (fun acc b -> acc + Broker.srt_size b) 0 
 let total_deliveries t =
   List.fold_left (fun acc c -> acc + Hashtbl.length c.delivered) 0 t.clients
 
-(* Publications that reached a broker with no matching subscription:
-   with merging these are the in-network false positives. *)
+(* Publications that reached a broker with no matching subscription
+   (with merging: the in-network false positives), plus publications
+   destroyed by an injected fault — a crash takes its in-flight and
+   queued publications with it, and those losses are reported here, not
+   silently swallowed. *)
 let dropped_publications t =
   Array.fold_left (fun acc b -> acc + (Broker.counters b).pubs_dropped) 0 t.brokers
+  + t.fstats.destroyed_pubs
 
 (* ------------------------------------------------------------------ *)
 (* Registry and traces                                                 *)

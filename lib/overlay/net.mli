@@ -26,6 +26,11 @@ type client = {
   home : int;  (** broker id *)
   delivered : (int, float) Hashtbl.t;  (** doc_id -> first delivery time *)
   mutable path_messages : int;  (** path publications received *)
+  mutable connected : bool;  (** false while a [Client_drop] fault is active *)
+  mutable adv_ledger : (Message.sub_id * Xroute_xpath.Adv.t) list;
+      (** client-side session ledger, newest first: replayed (original
+          ids, idempotent) after a reconnect or home-broker restart *)
+  mutable sub_ledger : (Message.sub_id * Xroute_xpath.Xpe.t) list;
 }
 
 type traffic = {
@@ -72,8 +77,55 @@ val run : t -> unit
 (** Run a merging pass on every broker and deliver what it emits. *)
 val merge_all : t -> unit
 
-(** Hand the DTD-derived path universe to every broker (for merging). *)
+(** Hand the DTD-derived path universe to every broker (for merging);
+    re-handed to brokers recreated by {!restart_broker}. *)
 val set_universe : t -> string array list -> unit
+
+(** {2 Fault injection}
+
+    Deterministic failures executed inside the simulation (see
+    [Xroute_fault.Plan]). A dead broker destroys arriving messages; on
+    restart it comes back {e empty} and the survivors rebuild its state:
+    each live neighbor purges everything learned through it
+    ([Broker.neighbor_reset]) then re-sends what it needs
+    ([Broker.resync_for]), and local clients replay their ledgers. Sends
+    over a down link are requeued with capped exponential backoff
+    (0.5 ms doubling to 16 ms); duplicated deliveries are harmless
+    because the protocol deduplicates by id. *)
+
+(** Cumulative fault accounting; [recovery_times] holds one entry
+    (virtual ms of post-restart churn) per completed recovery episode,
+    newest first. *)
+type fault_stats = {
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable requeues : int;
+  mutable dup_deliveries : int;
+  mutable destroyed : int;
+  mutable destroyed_pubs : int;
+  mutable client_disconnects : int;
+  mutable client_reconnects : int;
+  mutable replayed : int;
+  mutable recovery_times : float list;
+}
+
+val fault_stats : t -> fault_stats
+
+(** Schedule every event of a fault plan (times relative to now). *)
+val install_plan : t -> Xroute_fault.Plan.t -> unit
+
+(** Immediate fault operations (the plan events call these). *)
+
+val crash_broker : t -> int -> unit
+
+val restart_broker : t -> int -> unit
+val broker_alive : t -> int -> bool
+val disconnect_client : t -> client -> unit
+
+(** Reconcile (re-issue unsubscribes that were lost while away) and
+    replay the ledger; with a dead home broker, recovery waits for the
+    broker's restart instead. *)
+val reconnect_client : t -> client -> unit
 
 (** {2 Metrics} *)
 
@@ -92,8 +144,9 @@ val total_srt_size : t -> int
 (** Distinct (client, document) deliveries. *)
 val total_deliveries : t -> int
 
-(** Publications that reached a broker and produced no output — the
-    in-network false positives under imperfect merging. *)
+(** Publications that reached a broker and produced no output (the
+    in-network false positives under imperfect merging), plus
+    publications destroyed by an injected fault. *)
 val dropped_publications : t -> int
 
 (** Network-level metrics registry (traffic counters, per-hop latency

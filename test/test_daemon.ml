@@ -135,6 +135,95 @@ let test_burst_write_path () =
   Client.close subscriber;
   stop_all (daemons, threads)
 
+(* Kill the broker daemon mid-session and bring a fresh one up on the
+   same port: both clients must survive via reconnect-with-backoff (the
+   subscriber rides out a window of ECONNREFUSED dials while the new
+   process comes up), the subscription must be replayed from the client
+   ledger without any manual re-subscribe, and a publication issued
+   after the restart must reach the subscriber. Publications are
+   at-most-once across the failure, so the publisher retries. *)
+let test_broker_restart () =
+  let d = Daemon.create ~id:0 ~port:0 ~neighbors:[] () in
+  let port = Daemon.port d in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/x/y"));
+  ignore (Client.subscribe subscriber (xp "/x"));
+  Thread.delay 0.2;
+  let doc = Xroute_xml.Xml_parser.parse "<x><y/></x>" in
+  ignore (Client.publish_doc publisher ~doc_id:1 doc);
+  check (Alcotest.list ci) "delivered before the restart" [ 1 ]
+    (Client.drain_deliveries ~timeout:0.8 subscriber);
+  (* kill the daemon *)
+  Daemon.request_stop d;
+  Thread.join th;
+  (* restart it on the same port after a delay, while the subscriber is
+     already draining — its redial loop must back off through the
+     refused connections until the new process listens *)
+  let d2 = ref None in
+  let th2 =
+    Thread.create
+      (fun () ->
+        Thread.delay 0.4;
+        let d = Daemon.create ~id:0 ~port ~neighbors:[] () in
+        d2 := Some d;
+        Daemon.run ~timeout:0.01 d)
+      ()
+  in
+  ignore (Client.drain_deliveries ~timeout:2.0 subscriber);
+  check cb "subscriber reconnected" true (Client.reconnects subscriber >= 1);
+  let restarted =
+    match !d2 with Some d -> d | None -> Alcotest.fail "restarted daemon missing"
+  in
+  check cb "subscription replayed from the ledger" true
+    (Xroute_core.Broker.prt_size (Daemon.broker restarted) > 0);
+  (* the publisher's first write after the death can vanish into the
+     half-closed socket, so retry until the subscriber sees the doc *)
+  let rec publish_until k =
+    if k > 20 then Alcotest.fail "doc 2 never delivered after restart";
+    ignore (Client.publish_doc publisher ~doc_id:2 doc);
+    if not (List.mem 2 (Client.drain_deliveries ~timeout:0.5 subscriber)) then
+      publish_until (k + 1)
+  in
+  publish_until 0;
+  check cb "publisher reconnected" true (Client.reconnects publisher >= 1);
+  Client.close publisher;
+  Client.close subscriber;
+  Daemon.request_stop restarted;
+  Thread.join th2
+
+(* Force every queued write down to one byte per syscall: the daemon's
+   partial-write bookkeeping (chunk queue + offset) must still deliver
+   every framed message intact. *)
+let test_one_byte_write_chunks () =
+  let d = Daemon.create ~max_write_chunk:1 ~id:0 ~port:0 ~neighbors:[] () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let port = Daemon.port d in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  ignore (Client.subscribe subscriber (xp "/a"));
+  Thread.delay 0.2;
+  let n = 8 in
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  for i = 0 to n - 1 do
+    ignore (Client.publish_doc publisher ~doc_id:i doc)
+  done;
+  let deadline = Unix.gettimeofday () +. 15.0 in
+  let got = Hashtbl.create n in
+  let rec drain () =
+    List.iter (fun i -> Hashtbl.replace got i ()) (Client.drain_deliveries ~timeout:0.5 subscriber);
+    if Hashtbl.length got < n && Unix.gettimeofday () < deadline then drain ()
+  in
+  drain ();
+  check (Alcotest.list ci) "every doc intact through 1-byte writes" (List.init n Fun.id)
+    (List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) got []));
+  Client.close publisher;
+  Client.close subscriber;
+  Daemon.request_stop d;
+  Thread.join th
+
 (* Parse a Prometheus text exposition into (base-metric-name, value)
    pairs; comment lines skipped, quantile labels stripped. *)
 let parse_prom body =
@@ -221,5 +310,7 @@ let () =
           Alcotest.test_case "fanout" `Quick test_two_subscribers_fanout;
           Alcotest.test_case "burst write path" `Quick test_burst_write_path;
           Alcotest.test_case "stats over the wire" `Quick test_stats_over_wire;
+          Alcotest.test_case "broker restart mid-session" `Quick test_broker_restart;
+          Alcotest.test_case "1-byte write chunks" `Quick test_one_byte_write_chunks;
         ] );
     ]

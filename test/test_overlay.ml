@@ -281,6 +281,80 @@ let test_dropped_pubs_with_merging () =
   check ci "no client delivery of false positive" 0 (Net.total_deliveries net);
   check cb "dropped counted in network" true (Net.dropped_publications net >= 1)
 
+(* ---------------- Net: link faults ---------------- *)
+
+(* Duplicating and delaying links may deliver broker-to-broker copies
+   twice and late, but the client-side accounting must not double-count:
+   one [delivered] entry, one [total_deliveries] tick and one
+   [delivery_delays] record per (client, document). *)
+let test_dup_and_delay_no_double_count () =
+  let module Plan = Xroute_fault.Plan in
+  let config = { Net.default_config with Net.latency = Latency.constant 1.0 } in
+  let net = Net.create ~config (Topology.line 3) in
+  let publisher = Net.add_client net ~broker:0 in
+  let subscriber = Net.add_client net ~broker:2 in
+  ignore (Net.advertise net publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Net.run net;
+  ignore (Net.subscribe net subscriber (xp "/a"));
+  Net.run net;
+  (* both windows open from t=0 and outlast the whole run *)
+  Net.install_plan net
+    {
+      Plan.seed = 0;
+      horizon = 1e6;
+      events =
+        [
+          Plan.Link_dup { a = 0; b = 1; at = 0.0; down_for = 1e6 };
+          Plan.Link_delay { a = 1; b = 2; at = 0.0; down_for = 1e6; extra_ms = 5.0 };
+        ];
+    };
+  Net.run net;
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  for i = 1 to 3 do
+    ignore (Net.publish_doc net publisher ~doc_id:i doc)
+  done;
+  Net.run net;
+  let st = Net.fault_stats net in
+  check cb "duplicates actually produced" true (st.Net.dup_deliveries > 0);
+  check ci "one delivery per document" 3 (Net.total_deliveries net);
+  check ci "client delivered set not inflated" 3 (Hashtbl.length subscriber.Net.delivered);
+  check ci "one delay record per (client, doc)" 3 (List.length (Net.delivery_delays net));
+  List.iter
+    (fun (_, _, d) -> check cb "slow link delay applied" true (d >= 5.0))
+    (Net.delivery_delays net)
+
+(* Publications that die at a crashed broker are reported as dropped,
+   not silently lost: exact counts pinned. *)
+let test_crash_drop_accounting () =
+  let config = { Net.default_config with Net.latency = Latency.constant 1.0 } in
+  let net = Net.create ~config (Topology.line 3) in
+  let publisher = Net.add_client net ~broker:0 in
+  let subscriber = Net.add_client net ~broker:2 in
+  ignore (Net.advertise net publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Net.run net;
+  ignore (Net.subscribe net subscriber (xp "/a"));
+  Net.run net;
+  check ci "nothing dropped before the crash" 0 (Net.dropped_publications net);
+  Net.crash_broker net 1;
+  let paths =
+    Net.publish_doc net publisher ~doc_id:1 (Xroute_xml.Xml_parser.parse "<a><b/></a>")
+  in
+  Net.run net;
+  (* every path publication is forwarded by broker 0 and dies at dead
+     broker 1; nothing reaches the subscriber *)
+  check ci "no delivery through the dead broker" 0 (Net.total_deliveries net);
+  let st = Net.fault_stats net in
+  check ci "each path pub destroyed exactly once" paths st.Net.destroyed_pubs;
+  check ci "destroyed counts only the path pubs" paths st.Net.destroyed;
+  check ci "dropped_publications reports the crash losses" paths (Net.dropped_publications net);
+  (* after recovery the same document goes through *)
+  Net.restart_broker net 1;
+  Net.run net;
+  ignore (Net.publish_doc net publisher ~doc_id:2 (Xroute_xml.Xml_parser.parse "<a><b/></a>"));
+  Net.run net;
+  check ci "delivery resumes after restart" 1 (Net.total_deliveries net);
+  check ci "dropped count unchanged by the healthy publish" paths (Net.dropped_publications net)
+
 let () =
   Alcotest.run "overlay"
     [
@@ -311,5 +385,8 @@ let () =
           Alcotest.test_case "strategies deliver identically" `Slow test_strategies_equivalent_deliveries;
           Alcotest.test_case "traffic ordering" `Slow test_traffic_ordering;
           Alcotest.test_case "merging false positives" `Quick test_dropped_pubs_with_merging;
+          Alcotest.test_case "dup/delay links don't double-count" `Quick
+            test_dup_and_delay_no_double_count;
+          Alcotest.test_case "crash drop accounting" `Quick test_crash_drop_accounting;
         ] );
     ]
