@@ -1,0 +1,48 @@
+(** Workload analysis and routing-state audit (the reusable form of the
+    invariant checks that used to live inline in [test_fault.ml]).
+
+    Workload findings are warnings: the network behaves correctly, the
+    workload pays for subscriptions that cannot matter. Audit findings
+    are errors: a violated routing invariant silently loses
+    publications. *)
+
+open Xroute_xpath
+open Xroute_core
+
+(** [analyze_workload ~advs ~subs ()] inspects subscriptions (client id,
+    XPE, in registration order) against the advertised languages:
+
+    - [dead-subscription] — name language disjoint from every
+      advertisement ([Nfa.intersect_nonempty] on the product);
+    - [contradictory-predicates] — one step requires the same attribute
+      equal to two different values, so the XPE matches nothing;
+    - [shadowed-subscription] — strictly covered (exact engine) by an
+      earlier subscription of the same client.
+
+    Each finding carries the witness (the offending pair / predicate).
+    With no advertisements, the dead-subscription check is skipped. *)
+val analyze_workload :
+  ?advs:Adv.t list -> subs:(int * Xpe.t) list -> unit -> Finding.t list
+
+(** Audit one broker's routing state via {!Broker.audit_view}: SRT index
+    and PRT covering-forest structural invariants, last-hop validity,
+    forwarded-target sanity, and covered-set consistency (every
+    non-suppressed stored subscription reaches each required next hop
+    directly or through a forwarded coverer/merger — a "covering hole"
+    means lost publications). When the live ledgers are supplied, SRT /
+    PRT entries outside them are reported as dangling; [live_subs]
+    should include merger ids when auditing a network (see
+    {!audit_net}). *)
+val audit_broker :
+  ?live_advs:Message.sub_id list ->
+  ?live_subs:Message.sub_id list ->
+  Broker.t ->
+  Finding.t list
+
+(** Audit every live broker of a converged network against the client
+    ledgers (merger ids collected from live brokers are considered
+    live). Call after {!Xroute_overlay.Net.run} has quiesced. *)
+val audit_net : Xroute_overlay.Net.t -> Finding.t list
+
+(** {!audit_net} packaged as a report with audit statistics. *)
+val audit_net_report : Xroute_overlay.Net.t -> Finding.report

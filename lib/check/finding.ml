@@ -1,0 +1,128 @@
+(* Findings of the static analyzer: one record per detected problem,
+   grouped into a report with the pass statistics (corpus sizes,
+   incompleteness rates). Severities follow the traffic-loss rule: an
+   [Error] means the system would silently drop publications (unsound
+   covering/merging, a routing-state invariant violation); a [Warning]
+   flags workload smells and rule incompleteness (extra traffic, never
+   lost traffic); [Info] is commentary. *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  family : string; (* "workload" | "soundness" | "routing" *)
+  code : string; (* stable machine-readable finding kind *)
+  subject : string; (* what the finding is about *)
+  witness : string; (* the evidence: the offending pair / entry *)
+}
+
+type report = {
+  findings : t list;
+  stats : (string * float) list; (* corpus sizes, rates; report order *)
+}
+
+let make ~severity ~family ~code ~subject ~witness =
+  { severity; family; code; subject; witness }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let empty = { findings = []; stats = [] }
+
+let report ?(stats = []) findings = { findings; stats }
+
+let concat reports =
+  {
+    findings = List.concat_map (fun r -> r.findings) reports;
+    stats = List.concat_map (fun r -> r.stats) reports;
+  }
+
+let count severity r =
+  List.length (List.filter (fun f -> f.severity = severity) r.findings)
+
+let errors r = count Error r
+let warnings r = count Warning r
+let infos r = count Info r
+let has_errors r = List.exists (fun f -> f.severity = Error) r.findings
+
+(* Severity-ordered copy: errors first, stable within a severity. *)
+let by_severity r =
+  let rank = function Error -> 0 | Warning -> 1 | Info -> 2 in
+  List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) r.findings
+
+(* ---------------- text rendering ---------------- *)
+
+let to_text r =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s[%s/%s] %s\n" (severity_to_string f.severity) f.family f.code
+           f.subject);
+      if f.witness <> "" then
+        Buffer.add_string buf (Printf.sprintf "    witness: %s\n" f.witness))
+    (by_severity r);
+  if r.stats <> [] then begin
+    Buffer.add_string buf "stats:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "    %s = %g\n" k v))
+      r.stats
+  end;
+  Buffer.add_string buf
+    (Printf.sprintf "%d errors, %d warnings, %d infos\n" (errors r) (warnings r) (infos r));
+  Buffer.contents buf
+
+(* ---------------- JSON rendering ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.6g" v
+
+(* Schema (DESIGN.md Sec. 10): counts at the top, then the pass stats as
+   one flat object, then the findings, severity-ordered. *)
+let to_json r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"errors\": %d, \"warnings\": %d, \"infos\": %d" (errors r)
+       (warnings r) (infos r));
+  Buffer.add_string buf ", \"stats\": {";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf (Printf.sprintf "\"%s\": %s" (json_escape k) (json_float v)))
+    r.stats;
+  Buffer.add_string buf "}, \"findings\": [";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"severity\": \"%s\", \"family\": \"%s\", \"code\": \"%s\", \"subject\": \
+            \"%s\", \"witness\": \"%s\"}"
+           (severity_to_string f.severity) (json_escape f.family) (json_escape f.code)
+           (json_escape f.subject) (json_escape f.witness)))
+    (by_severity r);
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* Feed a finished report into the observability counters. *)
+let record_meters meters r =
+  Xroute_obs.Check_meters.record meters ~errors:(errors r) ~warnings:(warnings r)
+    ~infos:(infos r)

@@ -152,14 +152,14 @@ let make_meters reg =
 type merger_record = {
   merger_id : Message.sub_id;
   merger_xpe : Xpe.t;
-  mutable member_ids : Message.sub_id list;
+  member_ids : Message.sub_id list;
 }
 
 type t = {
   id : int;
   strategy : strategy;
   covers : Xpe.t -> Xpe.t -> bool; (* the covering predicate in force *)
-  mutable neighbors : int list;
+  neighbors : int list;
   srt : Rtable.Srt.t;
   prt : Rtable.Prt.t;
   (* where each subscription id was forwarded (undone on unsubscribe) *)
@@ -629,6 +629,74 @@ let prt_ids t = prt_fold t (fun p -> Some p.id)
 
 let prt_ids_from t ep =
   prt_fold t (fun p -> if Rtable.endpoint_equal p.hop ep then Some p.id else None)
+
+(* ------------------------------------------------------------------ *)
+(* Audit view (static analysis)                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Read-only snapshot of the routing state for the invariant checks in
+   [Xroute_check.Check]. Everything the analyzer needs crosses here, so
+   the broker internals stay private; the closures close over the live
+   tables, so take the view and use it in one go. *)
+type audit_view = {
+  av_id : int;
+  av_strategy : strategy;
+  av_neighbors : int list;
+  av_srt_entries : Rtable.Srt.entry list;
+  av_srt_invariants : string list; (* Rtable.Srt.check_invariants *)
+  av_prt_invariants : string list; (* Sub_tree.check_invariants *)
+  av_subs : (Message.sub_id * Xpe.t * Rtable.endpoint) list; (* stored payloads *)
+  av_forwarded : (Message.sub_id * Rtable.endpoint list) list;
+  av_mergers : (Message.sub_id * Xpe.t * Message.sub_id list) list;
+      (* merger id, merger XPE, suppressed member ids *)
+  av_suppressed : Message.sub_id list;
+  av_covers : Xpe.t -> Xpe.t -> bool; (* the covering predicate in force *)
+  av_required_targets : Xpe.t -> Rtable.endpoint list;
+      (* neighbor hops a subscription must reach under the current SRT
+         (all neighbors under flooding); does not charge match_ops *)
+}
+
+let audit_view t =
+  let engine = if t.strategy.exact_engines then Adv_match.Exact else Adv_match.Paper in
+  let required_targets xpe =
+    let raw =
+      if t.strategy.use_adv then
+        List.filter_map
+          (fun (e : Rtable.Srt.entry) ->
+            if Adv_match.overlaps ~engine xpe e.adv then Some e.hop else None)
+          (Rtable.Srt.entries t.srt)
+      else neighbor_endpoints t
+    in
+    List.fold_left
+      (fun acc ep ->
+        if is_neighbor_ep ep && not (List.exists (Rtable.endpoint_equal ep) acc) then
+          ep :: acc
+        else acc)
+      [] raw
+    |> List.rev
+  in
+  let subs = ref [] in
+  Sub_tree.iter
+    (fun node ->
+      List.iter
+        (fun (p : Rtable.Prt.payload) ->
+          subs := (p.id, Sub_tree.node_xpe node, p.hop) :: !subs)
+        (Sub_tree.node_payloads node))
+    (Rtable.Prt.tree t.prt);
+  {
+    av_id = t.id;
+    av_strategy = t.strategy;
+    av_neighbors = t.neighbors;
+    av_srt_entries = Rtable.Srt.entries t.srt;
+    av_srt_invariants = Rtable.Srt.check_invariants t.srt;
+    av_prt_invariants = Sub_tree.check_invariants (Rtable.Prt.tree t.prt);
+    av_subs = List.rev !subs;
+    av_forwarded = Rtable.Prt.Id_map.bindings t.forwarded;
+    av_mergers = List.map (fun m -> (m.merger_id, m.merger_xpe, m.member_ids)) t.mergers;
+    av_suppressed = t.suppressed;
+    av_covers = t.covers;
+    av_required_targets = required_targets;
+  }
 
 (* The peer behind [ep] crashed and restarted empty-handed: forget
    everything learned from it, and everything sent to it. Routing state

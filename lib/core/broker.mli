@@ -80,6 +80,39 @@ val merge_pass : t -> (Rtable.endpoint * Message.t) list
 (** Number of subscriptions this broker has forwarded upstream. *)
 val forwarded_count : t -> int
 
+(** {2 Audit view}
+
+    Read-only snapshot of the routing state for the invariant checks in
+    [Xroute_check.Check] (and the [AUDIT|] wire command). The closures
+    close over the live tables: take a view and consume it before
+    handling further messages. [av_required_targets] recomputes the
+    neighbor hops a subscription must currently reach without charging
+    the SRT's match-op counters, so auditing never skews the metrics the
+    delay model bills. *)
+
+type audit_view = {
+  av_id : int;
+  av_strategy : strategy;
+  av_neighbors : int list;
+  av_srt_entries : Rtable.Srt.entry list;
+  av_srt_invariants : string list;  (** [Rtable.Srt.check_invariants] *)
+  av_prt_invariants : string list;  (** [Sub_tree.check_invariants] *)
+  av_subs : (Message.sub_id * Xroute_xpath.Xpe.t * Rtable.endpoint) list;
+      (** every stored PRT payload: id, XPE, last hop *)
+  av_forwarded : (Message.sub_id * Rtable.endpoint list) list;
+      (** where each subscription / merger was forwarded *)
+  av_mergers : (Message.sub_id * Xroute_xpath.Xpe.t * Message.sub_id list) list;
+      (** merger id, merger XPE, the member ids it suppressed *)
+  av_suppressed : Message.sub_id list;  (** replaced by a merger *)
+  av_covers : Xroute_xpath.Xpe.t -> Xroute_xpath.Xpe.t -> bool;
+      (** the covering predicate the broker routes with *)
+  av_required_targets : Xroute_xpath.Xpe.t -> Rtable.endpoint list;
+      (** neighbor hops the subscription must reach under the current
+          SRT (all neighbors under flooding) *)
+}
+
+val audit_view : t -> audit_view
+
 (** {2 Crash recovery}
 
     Hooks for the fault-injection layer (lib/fault, executed by

@@ -199,6 +199,69 @@ module Srt = struct
 
   let max_bucket_size t =
     Hashtbl.fold (fun _ es acc -> max acc (List.length es)) t.buckets 0
+
+  (* Structural invariants of the index (see Check.audit_broker): the
+     bucket partition, the by-id map and the counters must agree, every
+     bucket must be keyed by its entries' root element and kept strictly
+     newest-first, and no stored seq may reach [next_seq]. *)
+  let check_invariants t =
+    let problems = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+    let listed = all_entries t in
+    if List.length listed <> t.count then
+      add "SRT size %d disagrees with stored entries %d" t.count (List.length listed);
+    if Hashtbl.length t.by_id <> t.count then
+      add "SRT by-id map holds %d entries, size says %d" (Hashtbl.length t.by_id) t.count;
+    List.iter
+      (fun e ->
+        (match Hashtbl.find_opt t.by_id e.id with
+        | None -> add "SRT entry (%d,%d) missing from the by-id map" e.id.origin e.id.seq
+        | Some e' ->
+          if e'.seq <> e.seq then
+            add "SRT entry (%d,%d) stored twice with seq %d and %d" e.id.origin e.id.seq
+              e.seq e'.seq);
+        if e.seq < 0 || e.seq >= t.next_seq then
+          add "SRT entry (%d,%d) has seq %d outside [0,%d)" e.id.origin e.id.seq e.seq
+            t.next_seq)
+      listed;
+    let check_order where es =
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if a.seq <= b.seq then
+            add "SRT %s not strictly newest-first: seq %d before %d" where a.seq b.seq;
+          go rest
+        | _ -> ()
+      in
+      go es
+    in
+    Hashtbl.iter
+      (fun name es ->
+        if es = [] then add "SRT keeps an empty bucket %S" name;
+        check_order (Printf.sprintf "bucket %S" name) es;
+        List.iter
+          (fun e ->
+            match bucket_key t e.adv with
+            | Some k when String.equal k name -> ()
+            | Some k ->
+              add "SRT entry (%d,%d) filed under %S, belongs in %S" e.id.origin e.id.seq
+                name k
+            | None ->
+              add "SRT entry (%d,%d) filed under %S, belongs in the catch-all" e.id.origin
+                e.id.seq name)
+          es)
+      t.buckets;
+    check_order "catch-all" t.catch_all;
+    List.iter
+      (fun e ->
+        match bucket_key t e.adv with
+        | None -> ()
+        | Some k ->
+          add "SRT entry (%d,%d) in the catch-all, belongs in bucket %S" e.id.origin
+            e.id.seq k)
+      t.catch_all;
+    if (not t.indexed) && Hashtbl.length t.buckets > 0 then
+      add "flat SRT has %d root-element buckets" (Hashtbl.length t.buckets);
+    List.rev !problems
 end
 
 (* ------------------------------------------------------------------ *)

@@ -69,6 +69,11 @@ module Srt : sig
 
   (** Advertisement ids stored from a given hop. *)
   val ids_from : t -> endpoint -> Message.sub_id list
+
+  (** Structural invariant violations of the bucket index — partition /
+      by-id / counter agreement, per-bucket newest-first (strictly
+      seq-descending) order, seq bounds. Empty when healthy. *)
+  val check_invariants : t -> string list
 end
 
 module Prt : sig

@@ -218,6 +218,31 @@ let stats ?(timeout = 2.0) ?(format = `Prom) t =
   in
   go ()
 
+(* Request the broker's routing-state audit (AUDIT|); the framed reply
+   (AUDIT|BEGIN, A| lines, AUDIT|END|e|w) is reassembled into finding
+   tuples plus the severity totals. *)
+let audit ?(timeout = 2.0) t =
+  send_line t "AUDIT";
+  let deadline = Unix.gettimeofday () +. timeout in
+  let findings = ref [] in
+  let rec go () =
+    match next_line t ~deadline with
+    | None -> None
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "AUDIT" :: "END" :: rest ->
+        let n s = Option.value (int_of_string_opt s) ~default:0 in
+        let errors, warnings =
+          match rest with e :: w :: _ -> (n e, n w) | _ -> (0, 0)
+        in
+        Some (errors, warnings, List.rev !findings)
+      | "A" :: sev :: code :: subject :: rest ->
+        findings := (sev, code, subject, String.concat "|" rest) :: !findings;
+        go ()
+      | _ -> go () (* BEGIN frame or unrelated traffic *))
+  in
+  go ()
+
 (* Collect distinct delivered doc ids until [timeout] seconds pass
    without a new message. *)
 let drain_deliveries ?(timeout = 0.5) t =

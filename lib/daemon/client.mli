@@ -25,6 +25,11 @@ val close : t -> unit
 (** Send a raw protocol message. *)
 val send : t -> Message.t -> unit
 
+(** Send a raw protocol line (no trailing newline) — an escape hatch for
+    protocol experiments and fault-injection tests, e.g. re-identifying
+    the connection with a hand-written [HELLO|...]. *)
+val send_line : t -> string -> unit
+
 val advertise : t -> Xroute_xpath.Adv.t -> Message.sub_id
 val subscribe : t -> Xroute_xpath.Xpe.t -> Message.sub_id
 val unsubscribe : t -> Message.sub_id -> unit
@@ -40,6 +45,12 @@ val recv : ?timeout:float -> t -> Message.t option
     [None] on timeout. Routed messages arriving while the reply streams
     are discarded. *)
 val stats : ?timeout:float -> ?format:[ `Prom | `Json ] -> t -> string option
+
+(** Request the daemon's routing-state audit over the wire ([AUDIT|]):
+    [(errors, warnings, findings)] with each finding as
+    [(severity, code, subject, witness)]; [None] on timeout. Routed
+    messages arriving while the reply streams are discarded. *)
+val audit : ?timeout:float -> t -> (int * int * (string * string * string * string) list) option
 
 (** Distinct delivered doc ids until [timeout] seconds pass quietly. *)
 val drain_deliveries : ?timeout:float -> t -> int list

@@ -7,6 +7,7 @@
      HELLO|broker|<id>          identify as neighbor broker <id>
      HELLO|client|<id>          identify as client <id>
      M|<codec line>             a routed message (see Xroute_core.Codec)
+     AUDIT                      routing-state audit of the hosted broker
 
    Outgoing neighbor links follow the lower-id-dials convention: the
    daemon with the smaller id connects, the other accepts; this yields
@@ -148,6 +149,32 @@ let send_stats t conn fmt =
     (String.split_on_char '\n' body);
   enqueue conn "STATS|END"
 
+(* AUDIT: run the routing-state audit (Xroute_check) on the hosted
+   broker and stream the findings, framed like STATS|: AUDIT|BEGIN, one
+   A|<severity>|<code>|<subject>|<witness> per finding, then
+   AUDIT|END|<errors>|<warnings>. Field text is sanitized so '|' and
+   newlines cannot break the line protocol. *)
+let audit_field s =
+  String.map (function '|' -> '/' | '\n' | '\r' -> ' ' | c -> c) s
+
+let send_audit t conn =
+  let findings = Xroute_check.Check.audit_broker t.broker in
+  let count sev =
+    List.length (List.filter (fun f -> f.Xroute_check.Finding.severity = sev) findings)
+  in
+  enqueue conn "AUDIT|BEGIN";
+  List.iter
+    (fun (f : Xroute_check.Finding.t) ->
+      enqueue conn
+        (Printf.sprintf "A|%s|%s|%s|%s"
+           (Xroute_check.Finding.severity_to_string f.severity)
+           (audit_field f.code) (audit_field f.subject) (audit_field f.witness)))
+    findings;
+  enqueue conn
+    (Printf.sprintf "AUDIT|END|%d|%d"
+       (count Xroute_check.Finding.Error)
+       (count Xroute_check.Finding.Warning))
+
 let handle_line t conn line =
   match String.split_on_char '|' line with
   | "HELLO" :: kind :: id :: _ -> (
@@ -168,6 +195,7 @@ let handle_line t conn line =
   | "STATS" :: rest ->
     let fmt = match rest with "json" :: _ -> `Json | _ -> `Prom in
     send_stats t conn fmt
+  | "AUDIT" :: _ -> send_audit t conn
   | _ -> Log.warn (fun m -> m "unknown line %S" line)
 
 (* Extract complete lines from the connection buffer. *)

@@ -5,7 +5,11 @@
     [M|<codec line>] carries routed messages. [STATS|prom] /
     [STATS|json] dump the broker's metrics registry, framed as
     [STATS|BEGIN|<fmt>], one [S|<line>] per exposition line, then
-    [STATS|END]. Lower-id brokers dial their higher-id neighbors,
+    [STATS|END]. [AUDIT] runs the routing-state audit
+    ({!Xroute_check.Check.audit_broker}) on the hosted broker, framed as
+    [AUDIT|BEGIN], one [A|<severity>|<code>|<subject>|<witness>] per
+    finding, then [AUDIT|END|<errors>|<warnings>]. Lower-id brokers
+    dial their higher-id neighbors,
     giving one TCP connection per overlay edge; dialing is retried, so
     start order does not matter. *)
 

@@ -24,8 +24,6 @@
    sample DTDs avoid them. Elements with ANY content contribute a
    wildcard tail advertisement "prefix(/ star )+". *)
 
-module String_set = Set.Make (String)
-
 (* ------------------------------------------------------------------ *)
 (* Bounded path enumeration                                            *)
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,39 @@
+(* Metric handles for the static analyzer (lib/check): registered
+   eagerly so the xroute_check_* family appears in expositions even
+   before a pass runs, and resolved once, following the fault_meters
+   pattern. The analyzer itself cannot live here (obs sits below core),
+   so the counters are keyed by severity and fed by the caller. *)
+
+type t = {
+  runs : Metrics.counter;
+  errors : Metrics.counter;
+  warnings : Metrics.counter;
+  infos : Metrics.counter;
+  last_errors : Metrics.gauge;
+  last_warnings : Metrics.gauge;
+}
+
+let create reg =
+  {
+    runs = Metrics.counter reg ~help:"Analysis passes completed" "xroute_check_runs_total";
+    errors =
+      Metrics.counter reg ~help:"Error findings reported" "xroute_check_errors_total";
+    warnings =
+      Metrics.counter reg ~help:"Warning findings reported" "xroute_check_warnings_total";
+    infos = Metrics.counter reg ~help:"Info findings reported" "xroute_check_infos_total";
+    last_errors =
+      Metrics.gauge reg ~help:"Error findings of the most recent pass"
+        "xroute_check_last_errors";
+    last_warnings =
+      Metrics.gauge reg ~help:"Warning findings of the most recent pass"
+        "xroute_check_last_warnings";
+  }
+
+(* Record one completed pass. *)
+let record t ~errors ~warnings ~infos =
+  Metrics.incr t.runs;
+  Metrics.add t.errors errors;
+  Metrics.add t.warnings warnings;
+  Metrics.add t.infos infos;
+  Metrics.set_int t.last_errors errors;
+  Metrics.set_int t.last_warnings warnings

@@ -1,0 +1,18 @@
+(** Metric handles for the static analyzer ([lib/check]): severity
+    counters plus last-pass gauges, registered eagerly like
+    {!Fault_meters}. The analyzer lives above this layer, so callers
+    count their findings and feed the totals in. *)
+
+type t = {
+  runs : Metrics.counter;
+  errors : Metrics.counter;
+  warnings : Metrics.counter;
+  infos : Metrics.counter;
+  last_errors : Metrics.gauge;
+  last_warnings : Metrics.gauge;
+}
+
+val create : Metrics.t -> t
+
+(** Record one completed analysis pass. *)
+val record : t -> errors:int -> warnings:int -> infos:int -> unit

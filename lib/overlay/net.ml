@@ -208,6 +208,7 @@ let create ?(config = default_config) ?trace topo =
 
 let topology t = t.topo
 let sim t = t.sim
+let config t = t.config
 let broker t b = t.brokers.(b)
 let brokers t = t.brokers
 let clients t = t.clients

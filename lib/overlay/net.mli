@@ -49,6 +49,9 @@ val create : ?config:config -> ?trace:Xroute_obs.Trace.t -> Topology.t -> t
 
 val topology : t -> Topology.t
 val sim : t -> Sim.t
+
+(** The configuration the network was created with. *)
+val config : t -> config
 val broker : t -> int -> Broker.t
 val brokers : t -> Broker.t array
 val clients : t -> client list

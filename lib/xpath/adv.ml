@@ -123,12 +123,47 @@ let to_symbols t =
   | [ Lit a ] -> a
   | _ -> invalid_arg "Adv.to_symbols: recursive advertisement"
 
+exception Expansion_limit of { cap : int; count : int }
+
+(* Number of unrollings [expand ~max_reps] would produce, computed from
+   the structure alone with saturating arithmetic — so a cap can be
+   enforced before any exponential list is materialized. A literal
+   contributes one choice; a group contributes
+   sum over k in 1..max_reps of (choices of its body)^k. *)
+let count_expansions ~max_reps t =
+  let sat_add a b = if a > max_int - b then max_int else a + b in
+  let sat_mul a b =
+    if a = 0 || b = 0 then 0 else if a > max_int / b then max_int else a * b
+  in
+  let rec count_parts parts =
+    List.fold_left (fun acc p -> sat_mul acc (count_part p)) 1 parts
+  and count_part = function
+    | Lit _ -> 1
+    | Group inner ->
+      let body = count_parts inner in
+      let total = ref 0 in
+      let power = ref 1 in
+      for _ = 1 to max_reps do
+        power := sat_mul !power body;
+        total := sat_add !total !power
+      done;
+      !total
+  in
+  count_parts t.parts
+
 (* Unroll each group between 1 and [max_reps] times, yielding the matched
    fixed paths as symbol arrays. Used by the brute-force oracle and the
    imperfect-degree computation; exponential, so callers keep
-   [max_reps] small. *)
-let expand ~max_reps t =
+   [max_reps] small and guard with [?max_paths].
+   @raise Expansion_limit before materializing anything when the
+   predicted unrolling count exceeds [max_paths]. *)
+let expand ?max_paths ~max_reps t =
   if max_reps < 1 then invalid_arg "Adv.expand: max_reps must be >= 1";
+  (match max_paths with
+  | Some cap ->
+    let count = count_expansions ~max_reps t in
+    if count > cap then raise (Expansion_limit { cap; count })
+  | None -> ());
   let rec expand_parts parts =
     match parts with
     | [] -> [ [] ]
@@ -156,6 +191,45 @@ let expand ~max_reps t =
   in
   expand_parts t.parts
   |> List.map (fun segments -> Array.of_list (List.concat segments))
+
+(* Depth-first enumeration of the unrollings, one callback per complete
+   path; never materializes more than the current path, so it can stop
+   early. [acc] carries the symbol arrays emitted so far, reversed. *)
+let iter_expansions ~max_reps t f =
+  let rec go parts acc k =
+    match parts with
+    | [] -> k acc
+    | Lit a :: rest -> go rest (a :: acc) k
+    | Group inner :: rest ->
+      let rec rep r acc =
+        if r <= max_reps then
+          go inner acc (fun acc' ->
+              go rest acc' k;
+              rep (r + 1) acc')
+      in
+      rep 1 acc
+  in
+  go t.parts [] (fun acc -> f (Array.concat (List.rev acc)))
+
+(* Truncating variant of the cap: at most [max_paths] unrollings plus a
+   flag saying whether anything was cut. Within the cap the result (and
+   its order) is exactly [expand]'s; a truncated prefix comes from the
+   depth-first enumeration instead. *)
+let expand_capped ~max_paths ~max_reps t =
+  if max_reps < 1 then invalid_arg "Adv.expand_capped: max_reps must be >= 1";
+  if max_paths < 0 then invalid_arg "Adv.expand_capped: max_paths must be >= 0";
+  if count_expansions ~max_reps t <= max_paths then (expand ~max_reps t, false)
+  else begin
+    let acc = ref [] in
+    let n = ref 0 in
+    (try
+       iter_expansions ~max_reps t (fun path ->
+           if !n >= max_paths then raise Exit;
+           acc := path :: !acc;
+           incr n)
+     with Exit -> ());
+    (List.rev !acc, true)
+  end
 
 (* Symbol-level overlap: do the two node tests admit a common element? *)
 let symbols_overlap a b =

@@ -43,10 +43,26 @@ val hash : t -> int
     @raise Invalid_argument on recursive advertisements. *)
 val to_symbols : t -> symbol array
 
+(** Raised by {!expand} when the predicted unrolling count exceeds the
+    [max_paths] cap — before any exponential list is materialized. *)
+exception Expansion_limit of { cap : int; count : int }
+
+(** Number of unrollings {!expand} would produce for the same
+    [max_reps], computed from the structure alone (saturating at
+    [max_int]). *)
+val count_expansions : max_reps:int -> t -> int
+
 (** Unroll every group 1..[max_reps] times; the resulting fixed paths (as
     symbol arrays) enumerate a finite under-approximation of [P(adv)].
-    Exponential in the number of groups — keep [max_reps] small. *)
-val expand : max_reps:int -> t -> symbol array list
+    Exponential in the number of groups — keep [max_reps] small, or pass
+    [?max_paths] to bound the blow-up up front.
+    @raise Expansion_limit when the predicted count exceeds [max_paths]. *)
+val expand : ?max_paths:int -> max_reps:int -> t -> symbol array list
+
+(** Like [expand ~max_paths] but truncating instead of raising: at most
+    [max_paths] unrollings, with [true] when anything was cut. Within
+    the cap the result equals {!expand}'s. *)
+val expand_capped : max_paths:int -> max_reps:int -> t -> symbol array list * bool
 
 (** Do two node tests admit a common element name? *)
 val symbols_overlap : symbol -> symbol -> bool

@@ -162,6 +162,45 @@ let test_covering_transitive_random () =
         (Xpe.to_string c)
   done
 
+(* Pinned Paper-vs-Exact disagreement corpus, harvested with
+   `xroute_check --soundness --witness-incomplete`. Each pair is a true
+   containment (the exact engine and the automata oracle agree) that the
+   paper's syntactic rules miss — incompleteness the paper accepts, and
+   exactly the gap the soundness audit quantifies. Pinning them guards
+   two regressions at once: the paper rules must never start *claiming*
+   unsoundly, and the exact engine must keep deciding these pairs. *)
+let disagreement_corpus =
+  [
+    ("/*", "a/c");
+    ("/*", "c/c/c/*");
+    ("/*", "//d//*");
+    ("/*", "b/b/d//a");
+    ("/*", "a/d/*//*");
+    ("/*//c", "a/c/d");
+    ("/*//*", "*/c/c");
+    ("/*/*", "//c/*/c/*/d");
+    ("/*//*/*", "//a/d/c");
+    ("/*/*//d", "//c/a/d/b/d");
+    ("//*/b/b", "*/*//b/b//b");
+    ("/*/*/*//*", "//d//a//d//c");
+  ]
+
+let test_paper_exact_disagreements () =
+  List.iter
+    (fun (s1, s2) ->
+      let a = xp s1 and b = xp s2 in
+      check cb
+        (Printf.sprintf "exact: %s covers %s" s1 s2)
+        true (Cover.covers_exact a b);
+      check cb
+        (Printf.sprintf "oracle: L(%s) contains L(%s)" s1 s2)
+        true
+        (Xroute_automata.Lang.xpe_contains a b);
+      check cb
+        (Printf.sprintf "paper stays incomplete on %s vs %s" s1 s2)
+        false (Cover.covers_paper a b))
+    disagreement_corpus
+
 let () =
   Alcotest.run "cover"
     [
@@ -180,6 +219,8 @@ let () =
         ] );
       ("predicates", [ Alcotest.test_case "covering" `Quick test_predicate_covering ]);
       ("exact engine", [ Alcotest.test_case "extra relations" `Quick test_exact_engine ]);
+      ( "disagreements",
+        [ Alcotest.test_case "pinned paper-vs-exact corpus" `Quick test_paper_exact_disagreements ] );
       ("advertisements", [ Alcotest.test_case "covering" `Quick test_adv_covering ]);
       ( "random",
         [

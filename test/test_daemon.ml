@@ -300,6 +300,43 @@ let test_stats_over_wire () =
   Client.close subscriber;
   stop_all (daemons, threads)
 
+(* AUDIT| over the wire: a healthy daemon reports no findings; after a
+   fake non-neighbor broker plants a PRT entry, the audit reports the
+   invalid last hop as an error. *)
+let test_audit_over_wire () =
+  let daemons, threads = start_line 2 in
+  let d0 = List.nth daemons 0 and d1 = List.nth daemons 1 in
+  Thread.delay 0.2;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Thread.delay 0.2;
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.2;
+  (match Client.audit subscriber with
+  | Some (errors, warnings, findings) ->
+    check ci "clean broker: no errors" 0 errors;
+    check ci "clean broker: no warnings" 0 warnings;
+    check ci "clean broker: no findings" 0 (List.length findings)
+  | None -> Alcotest.fail "no AUDIT reply");
+  (* corrupt broker 1's PRT: identify as non-neighbor broker 99 and
+     subscribe, leaving an entry whose last hop is not a neighbor *)
+  let intruder = Client.connect ~client_id:0 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  Client.send_line intruder "HELLO|broker|99";
+  Client.send intruder
+    (Xroute_core.Message.Subscribe { id = { origin = 990; seq = 1 }; xpe = xp "/z" });
+  Thread.delay 0.2;
+  (match Client.audit subscriber with
+  | Some (errors, _warnings, findings) ->
+    check cb "corruption: errors reported" true (errors > 0);
+    check cb "invalid-last-hop finding" true
+      (List.exists (fun (sev, code, _, _) -> sev = "error" && code = "invalid-last-hop") findings)
+  | None -> Alcotest.fail "no AUDIT reply after corruption");
+  Client.close intruder;
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
 let () =
   Alcotest.run "daemon"
     [
@@ -310,6 +347,7 @@ let () =
           Alcotest.test_case "fanout" `Quick test_two_subscribers_fanout;
           Alcotest.test_case "burst write path" `Quick test_burst_write_path;
           Alcotest.test_case "stats over the wire" `Quick test_stats_over_wire;
+          Alcotest.test_case "audit over the wire" `Quick test_audit_over_wire;
           Alcotest.test_case "broker restart mid-session" `Quick test_broker_restart;
           Alcotest.test_case "1-byte write chunks" `Quick test_one_byte_write_chunks;
         ] );

@@ -140,28 +140,16 @@ let run_fresh ~seed ~strategy_name ~advs ~ledgers docs =
   Net.run net;
   snapshot net publisher subscribers docs
 
-(* No SRT/PRT entry anywhere may reference an id outside the live
-   client ledgers: crash recovery must rebuild state, not leak it. *)
-let check_no_dangling net (publisher : Net.client) subscribers =
-  let live_subs =
-    List.concat_map (fun (c : Net.client) -> List.map fst c.Net.sub_ledger)
-      (Array.to_list subscribers)
-  in
-  let live_advs = List.map fst publisher.Net.adv_ledger in
-  let mem id l = List.exists (fun i -> Message.compare_sub_id i id = 0) l in
-  Array.iter
-    (fun b ->
-      List.iter
-        (fun (id : Message.sub_id) ->
-          if not (mem id live_advs) then
-            Alcotest.failf "broker %d: dangling SRT entry (%d,%d)" (Broker.id b) id.origin id.seq)
-        (Broker.srt_ids b);
-      List.iter
-        (fun (id : Message.sub_id) ->
-          if not (mem id live_subs) then
-            Alcotest.failf "broker %d: dangling PRT entry (%d,%d)" (Broker.id b) id.origin id.seq)
-        (Broker.prt_ids b))
-    (Net.brokers net)
+(* Crash recovery must rebuild state, not leak it. The inline
+   dangling-entry scan that used to live here became the reusable
+   routing-state audit (Xroute_check.Check), which also checks table
+   integrity, last-hop validity, and covered-set consistency. *)
+let check_clean_audit ~seed ~strategy_name net =
+  match Xroute_check.Check.audit_net net with
+  | [] -> ()
+  | f :: _ ->
+    Alcotest.failf "seed %d %s: %s (%s)" seed strategy_name
+      f.Xroute_check.Finding.subject f.Xroute_check.Finding.witness
 
 let strategies = [ "with-Adv-with-Cov"; "no-Adv-with-Cov"; "with-Adv-no-Cov" ]
 
@@ -172,7 +160,7 @@ let run_round ~seed ~strategy_name =
   let ops = gen_script ~seed ~nclients:4 ~nops:18 params in
   let docs = Xroute_workload.Workload.documents ~dtd ~count:10 ~seed:(seed + 1000) () in
   let spec = Plan.default_spec in
-  let net, publisher, subscribers, faulted =
+  let net, _publisher, subscribers, faulted =
     run_faulted ~seed ~strategy_name ~advs ~spec ops docs
   in
   (* the plan must actually have fired in full *)
@@ -198,7 +186,7 @@ let run_round ~seed ~strategy_name =
   if f_dec <> g_dec then
     Alcotest.failf "seed %d %s: post-recovery routing decisions differ from fresh network"
       seed strategy_name;
-  check_no_dangling net publisher subscribers
+  check_clean_audit ~seed ~strategy_name net
 
 let test_convergence_sweep () =
   List.iter

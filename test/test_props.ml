@@ -286,6 +286,62 @@ let prop_perfect_merge_no_drops =
       in
       Net.dropped_publications net = 0 && dropped = 0.0)
 
+(* ---------------- routing-state audit ---------------- *)
+
+(* After any random churn (random subscribes and unsubscribes from
+   clients on a binary tree, fully converged), the reusable
+   routing-state audit must find nothing: no dangling entries, no
+   invalid hops, no covering holes. The churn script is the generated
+   value, so failures shrink to a minimal offending script. *)
+let prop_audit_clean_after_churn =
+  let gen_script =
+    QCheck.Gen.(list_size (int_range 1 25) (pair (int_range 0 3) (pair bool gen_xpe)))
+  in
+  let arb_script =
+    QCheck.make
+      ~print:(fun ops ->
+        String.concat "; "
+          (List.map
+             (fun (c, (unsub, x)) ->
+               Printf.sprintf "%s c%d %s" (if unsub then "unsub" else "sub") c
+                 (Xpe.to_string x))
+             ops))
+      gen_script
+  in
+  QCheck.Test.make ~name:"routing audit clean after churn" ~count:10
+    (QCheck.pair arb_script QCheck.small_int) (fun (script, seed) ->
+      let module Net = Xroute_overlay.Net in
+      let module Topology = Xroute_overlay.Topology in
+      let levels = 3 in
+      let net =
+        Net.create
+          ~config:{ Net.default_config with seed }
+          (Topology.binary_tree ~levels)
+      in
+      let publisher = Net.add_client net ~broker:0 in
+      let clients =
+        List.map (fun b -> Net.add_client net ~broker:b) (Topology.binary_tree_leaves ~levels)
+        |> Array.of_list
+      in
+      ignore
+        (Net.advertise_dtd net publisher
+           [ Xroute_xpath.Adv.parse "/a"; Xroute_xpath.Adv.parse "/b(/c)+/d" ]);
+      Net.run net;
+      let live = ref [] in
+      List.iter
+        (fun (c, (unsub, xpe)) ->
+          let client = clients.(c mod Array.length clients) in
+          (if unsub && !live <> [] then begin
+             let client, id = List.hd !live in
+             Net.unsubscribe net client id;
+             live := List.tl !live
+           end
+           else live := (client, Net.subscribe net client xpe) :: !live);
+          Net.run net)
+        script;
+      Net.run net;
+      Xroute_check.Check.audit_net net = [])
+
 (* Heap sort property on random int lists. *)
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap sorts" ~count:300
@@ -308,6 +364,7 @@ let () =
       ("merging", to_alcotest [ prop_merge_sound; prop_degree_bounds ]);
       ("observability", to_alcotest [ prop_merge_prt_gauge_monotone;
                                       prop_perfect_merge_no_drops ]);
+      ("audit", to_alcotest [ prop_audit_clean_after_churn ]);
       ("xml", to_alcotest [ prop_xml_roundtrip; prop_paths_consistent ]);
       ("support", to_alcotest [ prop_heap_sorts ]);
     ]

@@ -207,6 +207,40 @@ let test_adv_expand_budget () =
     expansions;
   check cb "several" true (List.length expansions >= 3)
 
+(* The ?max_paths guard: an embedded-recursive advertisement blows up
+   exponentially in max_reps, and the cap must trip *before* the list is
+   materialized (the predicted count comes from the structure alone). *)
+let test_adv_expand_cap () =
+  let a = ad "/x(/a(/b)+/c)+/y" in
+  let predicted = Adv.count_expansions ~max_reps:4 a in
+  let all = Adv.expand ~max_reps:4 a in
+  check ci "count matches materialization" (List.length all) predicted;
+  (* raising form *)
+  (match Adv.expand ~max_paths:(predicted - 1) ~max_reps:4 a with
+  | _ -> Alcotest.fail "expected Expansion_limit"
+  | exception Adv.Expansion_limit { cap; count } ->
+    check ci "cap echoed" (predicted - 1) cap;
+    check ci "count echoed" predicted count);
+  (* a generous cap changes nothing *)
+  check ci "under cap intact" predicted
+    (List.length (Adv.expand ~max_paths:(predicted + 1) ~max_reps:4 a));
+  (* truncating form: flagged prefix of the full expansion *)
+  let cut, truncated = Adv.expand_capped ~max_paths:5 ~max_reps:4 a in
+  check cb "truncation flagged" true truncated;
+  check ci "exactly max_paths kept" 5 (List.length cut);
+  List.iter
+    (fun e -> check cb "kept expansion is one of the full set" true (List.mem e all))
+    cut;
+  let whole, flag = Adv.expand_capped ~max_paths:predicted ~max_reps:4 a in
+  check cb "no truncation at the exact cap" false flag;
+  check ci "full set at the exact cap" predicted (List.length whole);
+  (* every truncated expansion still matches the advertisement *)
+  List.iter
+    (fun e ->
+      let names = Array.map (function Xpe.Name n -> n | Xpe.Star -> "*") e in
+      check cb "truncated expansion matches adv" true (Adv.matches_names a names))
+    cut
+
 let test_adv_of_names () =
   let a = Adv.of_names [ "a"; "*"; "c" ] in
   check cs "wildcard parsed" "/a/*/c" (Adv.to_string a);
@@ -261,6 +295,7 @@ let () =
           Alcotest.test_case "embedded" `Quick test_adv_matches_embedded;
           Alcotest.test_case "expand" `Quick test_adv_expand;
           Alcotest.test_case "expand budget" `Quick test_adv_expand_budget;
+          Alcotest.test_case "expand cap" `Quick test_adv_expand_cap;
           Alcotest.test_case "of_names" `Quick test_adv_of_names;
           Alcotest.test_case "compare" `Quick test_adv_compare;
           Alcotest.test_case "parse errors" `Quick test_adv_parse_errors;
