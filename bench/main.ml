@@ -20,7 +20,7 @@ let scale =
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable report: BENCH_3.json                               *)
+(* Machine-readable report: BENCH_5.json                               *)
 (* ------------------------------------------------------------------ *)
 
 (* Every experiment records (name, fields); the runner adds wall time.
@@ -56,7 +56,7 @@ module Report = struct
 
   let write path =
     let oc = open_out path in
-    Printf.fprintf oc "{\"schema\":\"xroute-bench/3\",\"scale\":%.3f,\"experiments\":[%s]}\n"
+    Printf.fprintf oc "{\"schema\":\"xroute-bench/5\",\"scale\":%.3f,\"experiments\":[%s]}\n"
       scale
       (String.concat "," (List.rev_map render_record !records));
     close_out oc;
@@ -825,6 +825,93 @@ let fig11 () =
     "(paper: same shape as Fig. 10 with larger documents and tables)"
 
 (* ------------------------------------------------------------------ *)
+(* Latency breakdown: per-stage percentiles from the causal spans      *)
+(* ------------------------------------------------------------------ *)
+
+(* The causal-span layer (lib/obs/span) decomposes every delivery into
+   stage leaves — queue wait, SRT/PRT match, cover check, per-message
+   processing, transmit, link, FIFO queueing, delivery. This experiment
+   publishes a seeded workload down a 7-broker line under three
+   strategies and reports p50/p95/p99 per stage: the view *behind* the
+   aggregate delay numbers of Figures 10-11, showing covering cutting
+   the match stages while the wire stages stay strategy-invariant.
+   Virtual time, so every reported value is deterministic in the
+   seeds. *)
+let latency_breakdown () =
+  section
+    "Latency breakdown - per-stage p50/p95/p99 from causal spans\n\
+     (7-broker line, PSD; stage leaves of the span trees the TRACE|\n\
+     command exposes; no-optimization vs covering vs perfect merging)";
+  let stages =
+    [ "queue"; "srt_match"; "prt_match"; "cover"; "proc"; "transmit"; "link"; "deliver" ]
+  in
+  let run strategy_name =
+    let strategy = Option.get (Broker.strategy_of_name strategy_name) in
+    let spans = Xroute_obs.Span.create ~capacity:262_144 () in
+    let config =
+      { Net.default_config with Net.strategy; latency = Latency.planetlab; seed = 7 }
+    in
+    let net = Net.create ~config ~spans (Topology.line 7) in
+    let publisher = Net.add_client net ~broker:0 in
+    let subscriber = Net.add_client net ~broker:6 in
+    ignore (Net.advertise_dtd net publisher psd_advs);
+    Net.run net;
+    let prng = Xroute_support.Prng.create 777 in
+    let params = Xroute_workload.Workload.set_a_params psd in
+    List.iter
+      (fun x -> ignore (Net.subscribe net subscriber x))
+      (Xroute_workload.Xpath_gen.generate ~distinct:false params
+         (Xroute_support.Prng.split prng) ~count:(scaled 200));
+    (* catch-all so every document is delivered end-to-end *)
+    ignore
+      (Net.subscribe net subscriber
+         (Xroute_xpath.Xpe_parser.parse ("/" ^ Xroute_dtd.Dtd_ast.root psd)));
+    Net.run net;
+    (match strategy.Broker.merging with
+    | Broker.No_merging -> ()
+    | _ ->
+      Net.set_universe net
+        (Xroute_dtd.Dtd_paths.enumerate_paths ~max_depth:10 ~max_count:3000 psd_graph);
+      Net.merge_all net);
+    let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 20) ~seed:51 () in
+    List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+    Net.run net;
+    let all = Xroute_obs.Span.to_list spans in
+    let durations name =
+      List.filter_map
+        (fun (s : Xroute_obs.Span.span) ->
+          if s.Xroute_obs.Span.name = name then Some (Xroute_obs.Span.duration s) else None)
+        all
+      |> Array.of_list
+    in
+    ( List.map (fun st -> (st, Xroute_support.Stats.summarize (durations st))) stages,
+      Xroute_support.Stats.summarize (durations "pub") )
+  in
+  List.iter
+    (fun strategy_name ->
+      let per_stage, e2e = run strategy_name in
+      Printf.printf "\n%s  (end-to-end: n=%d  p50 %.3f  p95 %.3f  p99 %.3f ms)\n" strategy_name
+        e2e.Xroute_support.Stats.count e2e.Xroute_support.Stats.p50
+        e2e.Xroute_support.Stats.p95 e2e.Xroute_support.Stats.p99;
+      Printf.printf "%-12s %8s %10s %10s %10s\n" "stage" "n" "p50 (ms)" "p95 (ms)" "p99 (ms)";
+      List.iter
+        (fun (st, (s : Xroute_support.Stats.summary)) ->
+          Printf.printf "%-12s %8d %10.4f %10.4f %10.4f\n%!" st s.count s.p50 s.p95 s.p99)
+        per_stage;
+      Report.record
+        ("latency-breakdown-" ^ strategy_name)
+        (List.concat_map
+           (fun (st, (s : Xroute_support.Stats.summary)) ->
+             [
+               (st ^ "_n", Report.I s.count);
+               (st ^ "_p50_ms", Report.F s.p50);
+               (st ^ "_p95_ms", Report.F s.p95);
+               (st ^ "_p99_ms", Report.F s.p99);
+             ])
+           (("e2e", e2e) :: per_stage)))
+    [ "no-Adv-no-Cov"; "with-Adv-with-Cov"; "with-Adv-with-CovPM" ]
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -1131,6 +1218,53 @@ let smoke () =
     "smoke: fault gate ok (crash/restart recovered; %d msgs destroyed, %.1f ms recovery)\n"
     fstats.Net.destroyed
     (List.hd fstats.Net.recovery_times);
+  (* Span gate: a traced publication must yield a complete, well-nested
+     span tree whose stage leaves sum exactly to the measured
+     end-to-end latency — the invariant the latency-breakdown
+     experiment and the TRACE| command stand on. Single-path document
+     on a line so the leaf-sum telescopes without fanout. *)
+  let span_spans = Xroute_obs.Span.create () in
+  let snet =
+    Net.create
+      ~config:{ Net.default_config with Net.latency = Latency.constant 1.0 }
+      ~spans:span_spans (Topology.line 3)
+  in
+  let span_pub = Net.add_client snet ~broker:0 in
+  let span_sub = Net.add_client snet ~broker:2 in
+  ignore (Net.advertise snet span_pub (Xroute_xpath.Adv.parse "/x/y"));
+  Net.run snet;
+  ignore (Net.subscribe snet span_sub (Xroute_xpath.Xpe_parser.parse "/x"));
+  Net.run snet;
+  ignore (Net.publish_doc snet span_pub ~doc_id:7 (Xroute_xml.Xml_parser.parse "<x><y/></x>"));
+  Net.run snet;
+  let sps = Xroute_obs.Span.spans_for span_spans ~trace:7 in
+  if sps = [] then begin
+    Printf.printf "smoke FAILED: traced publication produced no spans\n";
+    exit 1
+  end;
+  (match Xroute_obs.Span.check_tree sps with
+  | Ok () -> ()
+  | Error e ->
+    Printf.printf "smoke FAILED: span tree mis-nested: %s\n" e;
+    print_string (Xroute_obs.Span.waterfall sps);
+    exit 1);
+  let span_delay =
+    match Net.delivery_delays snet with
+    | [ (_, 7, d) ] -> d
+    | l ->
+      Printf.printf "smoke FAILED: expected exactly one traced delivery, saw %d\n"
+        (List.length l);
+      exit 1
+  in
+  let leaf_sum = Xroute_obs.Span.stage_sum sps in
+  if Float.abs (leaf_sum -. span_delay) > 1e-6 then begin
+    Printf.printf "smoke FAILED: stage leaves sum to %.9f ms but delivery took %.9f ms\n"
+      leaf_sum span_delay;
+    print_string (Xroute_obs.Span.waterfall sps);
+    exit 1
+  end;
+  Printf.printf "smoke: span gate ok (%d spans, leaf sum = end-to-end %.3f ms)\n"
+    (List.length sps) span_delay;
   Printf.printf "smoke ok\n%!"
 
 (* ------------------------------------------------------------------ *)
@@ -1148,6 +1282,7 @@ let experiments =
     ("fig9", fig9);
     ("fig10", fig10);
     ("fig11", fig11);
+    ("latency-breakdown", latency_breakdown);
     ("srt-index", srt_index_bench);
     ("daemon-throughput", daemon_throughput);
     ("fault-recovery", fault_recovery);
@@ -1200,5 +1335,5 @@ let () =
       end)
     experiments;
   Report.write
-    (Option.value ~default:"BENCH_3.json" (Sys.getenv_opt "XROUTE_BENCH_JSON"));
+    (Option.value ~default:"BENCH_5.json" (Sys.getenv_opt "XROUTE_BENCH_JSON"));
   Printf.printf "\nDone.\n"

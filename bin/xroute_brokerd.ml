@@ -22,7 +22,7 @@ let parse_neighbor s =
 
 let neighbor_conv = Arg.conv (parse_neighbor, fun ppf (id, (h, p)) -> Format.fprintf ppf "%d:%s:%d" id h p)
 
-let run id port neighbors strategy_name no_srt_index verbose =
+let run id port neighbors strategy_name no_srt_index flight_dir verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
@@ -33,7 +33,7 @@ let run id port neighbors strategy_name no_srt_index verbose =
       prerr_endline ("xroute_brokerd: unknown strategy " ^ strategy_name);
       exit 1
   in
-  let daemon = Xroute_daemon.Daemon.create ~strategy ~id ~port ~neighbors () in
+  let daemon = Xroute_daemon.Daemon.create ~strategy ?flight_dir ~id ~port ~neighbors () in
   Printf.printf "broker %d listening on port %d (strategy %s)\n%!" id
     (Xroute_daemon.Daemon.port daemon) strategy_name;
   let stop _ = Xroute_daemon.Daemon.request_stop daemon in
@@ -58,9 +58,15 @@ let cmd =
            ~doc:"Disable the SRT root-element index (flat list scan; same routing \
                  decisions, more match operations — for benchmarking).")
   in
+  let flight_dir_arg =
+    Arg.(value & opt (some string) None & info [ "flight-dir" ] ~docv:"DIR"
+           ~doc:"Enable the flight recorder: dump spans, metrics and rates to \
+                 $(docv) when an AUDIT reports an error-severity finding.")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   Cmd.v
     (Cmd.info "xroute_brokerd" ~version:"1.0.0" ~doc:"Content-based XML router daemon")
-    Term.(const run $ id_arg $ port_arg $ neighbors_arg $ strategy_arg $ no_srt_index_arg $ verbose_arg)
+    Term.(const run $ id_arg $ port_arg $ neighbors_arg $ strategy_arg $ no_srt_index_arg
+          $ flight_dir_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

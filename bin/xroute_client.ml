@@ -113,6 +113,55 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Dump the daemon's metrics registry (Prometheus text or JSON).")
     Term.(const run $ connect_args $ format_arg)
 
+let trace_cmd =
+  let key_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"TRACE-ID") in
+  let host_arg = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Broker host.") in
+  let ports_arg =
+    Arg.(non_empty & opt_all int [] & info [ "port" ] ~docv:"PORT"
+           ~doc:"A broker port (repeatable — spans fetched from every daemon are merged \
+                 into one cross-broker trace).")
+  in
+  let id_arg = Arg.(value & opt int (Unix.getpid ()) & info [ "id" ] ~doc:"Client id.") in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("waterfall", `Waterfall); ("chrome", `Chrome) ]) `Waterfall
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output: $(b,waterfall) (indented text) or $(b,chrome) (trace-event JSON \
+                for Perfetto / chrome://tracing).")
+  in
+  let run key host ports id format =
+    let spans =
+      List.concat_map
+        (fun port ->
+          let c = Xroute_daemon.Client.connect ~client_id:id ~host ~port in
+          Fun.protect
+            ~finally:(fun () -> Xroute_daemon.Client.close c)
+            (fun () ->
+              match Xroute_daemon.Client.trace c key with
+              | Some spans -> spans
+              | None ->
+                Printf.eprintf "xroute_client: no TRACE reply from port %d\n" port;
+                []))
+        ports
+    in
+    if spans = [] then begin
+      prerr_endline "xroute_client: no spans for that trace";
+      exit 1
+    end;
+    match format with
+    | `Waterfall -> print_string (Xroute_obs.Span.waterfall spans)
+    | `Chrome -> print_endline (Xroute_obs.Span.to_chrome spans)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Fetch one publication's causal spans from the daemons and render the \
+             hop-by-hop latency decomposition.")
+    Term.(const run $ key_arg $ host_arg $ ports_arg $ id_arg $ format_arg)
+
 let () =
   let info = Cmd.info "xroute_client" ~version:"1.0.0" ~doc:"Client for the XML router daemon" in
-  exit (Cmd.eval (Cmd.group info [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd; stats_cmd; trace_cmd ]))

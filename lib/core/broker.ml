@@ -223,6 +223,12 @@ let set_universe t universe = t.universe <- universe
 let work t =
   Rtable.Srt.match_ops t.srt + Rtable.Prt.match_checks t.prt + Rtable.Prt.cover_checks t.prt
 
+(* The same cumulative work split by table/stage — (SRT match ops, PRT
+   match checks, PRT cover checks) — so the transport can size per-stage
+   spans from before/after deltas. Sums to {!work}. *)
+let stage_ops t =
+  (Rtable.Srt.match_ops t.srt, Rtable.Prt.match_checks t.prt, Rtable.Prt.cover_checks t.prt)
+
 (* Push the derived quantities — index sizes as gauges, the tables'
    cumulative match counters — into the registry. Call before export;
    the event counters and histograms are maintained inline. *)
@@ -476,7 +482,10 @@ let handle_unsubscribe t ~from id =
 (* Publications                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let handle_publish t ~from pub trail =
+(* The trace context [ctx] is copied verbatim onto every output: the
+   broker decides routing, the transport decides spans (and rewrites
+   [parent_span] to the hop span it opens before forwarding). *)
+let handle_publish t ~from pub trail ctx =
   t.counters.pubs_in <- t.counters.pubs_in + 1;
   M.incr t.meters.m_pubs_in;
   let payloads =
@@ -505,7 +514,7 @@ let handle_publish t ~from pub trail =
         M.incr t.meters.m_deliveries
       | Rtable.Neighbor _ -> ());
       let trail = if t.strategy.trail_routing && is_neighbor_ep ep then !ids else [] in
-      (ep, Message.Publish { pub; trail }))
+      (ep, Message.Publish { pub; trail; ctx }))
     !by_hop
 
 (* ------------------------------------------------------------------ *)
@@ -525,7 +534,7 @@ let handle t ~from (msg : Message.t) =
     | Message.Unadvertise { id } -> handle_unadvertise t ~from id
     | Message.Subscribe { id; xpe } -> handle_subscribe t ~from id xpe
     | Message.Unsubscribe { id } -> handle_unsubscribe t ~from id
-    | Message.Publish { pub; trail } -> handle_publish t ~from pub trail
+    | Message.Publish { pub; trail; ctx } -> handle_publish t ~from pub trail ctx
   in
   (match msg with
   | Message.Subscribe _ ->

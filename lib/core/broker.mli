@@ -67,6 +67,11 @@ val set_universe : t -> string array list -> unit
     delay model charges. *)
 val work : t -> int
 
+(** {!work} split by stage: (SRT match ops, PRT match checks, PRT cover
+    checks). The transport takes before/after deltas to size the
+    per-stage spans of the causal-tracing layer. *)
+val stage_ops : t -> int * int * int
+
 (** Process one message from a neighbor or client; returns the messages
     to send. *)
 val handle : t -> from:Rtable.endpoint -> Message.t -> (Rtable.endpoint * Message.t) list

@@ -7,7 +7,11 @@
      1|U|<origin>.<seq>|
      1|S|<origin>.<seq>|<xpe>
      1|u|<origin>.<seq>|
-     1|P|<doc>.<path>.<size>|<trail>|<path elements>|<attr block>
+     1|P|<doc>.<path>.<size>.<pathcount>[.<trace>.<parent-span>]|<trail>|<path elements>|<attr block>
+
+   The two optional trailing meta components are the causal trace
+   context (lib/obs spans); untraced publications omit them and encode
+   byte-identically to the pre-tracing format.
 
    Fields are '|'-separated; element names and attribute tokens are
    percent-encoded so the separators never collide with content. The
@@ -84,9 +88,20 @@ let encode (msg : Message.t) =
   | Message.Subscribe { id; xpe } ->
     Printf.sprintf "%d|S|%s|%s" version (encode_sub_id id) (escape (Xpe.to_string xpe))
   | Message.Unsubscribe { id } -> Printf.sprintf "%d|u|%s|" version (encode_sub_id id)
-  | Message.Publish { pub; trail } ->
-    Printf.sprintf "%d|P|%d.%d.%d.%d|%s|%s|%s" version pub.doc_id pub.path_id pub.doc_size
-      pub.path_count
+  | Message.Publish { pub; trail; ctx } ->
+    (* Trace context rides two extra dot-components of the meta field;
+       absent when untraced, so untraced wires are byte-identical to the
+       pre-tracing format (still version 1: old decoders were written
+       against the 4-component form, new ones accept both). *)
+    let meta =
+      match ctx with
+      | None ->
+        Printf.sprintf "%d.%d.%d.%d" pub.doc_id pub.path_id pub.doc_size pub.path_count
+      | Some { Message.trace; parent_span } ->
+        Printf.sprintf "%d.%d.%d.%d.%d.%d" pub.doc_id pub.path_id pub.doc_size
+          pub.path_count trace parent_span
+    in
+    Printf.sprintf "%d|P|%s|%s|%s|%s" version meta
       (String.concat "," (List.map encode_sub_id trail))
       (String.concat "," (Array.to_list (Array.map escape pub.steps)))
       (encode_attrs pub.attrs)
@@ -164,43 +179,53 @@ let decode line =
       let* id = decode_sub_id id in
       Ok (Message.Unsubscribe { id })
     | "P", [ meta; trail; steps; attrs ] -> (
-      match String.split_on_char '.' meta with
-      | [ d; p; z; pc ] -> (
-        match
+      let* fields, ctx =
+        match String.split_on_char '.' meta with
+        | [ d; p; z; pc ] -> Ok ((d, p, z, pc), Ok None)
+        | [ d; p; z; pc; t; par ] -> (
+          match (int_of_string_opt t, int_of_string_opt par) with
+          | Some trace, Some parent_span ->
+            Ok ((d, p, z, pc), Ok (Some { Message.trace; parent_span }))
+          | _ -> fail "malformed trace context")
+        | _ -> fail "malformed publication header"
+      in
+      let* ctx = ctx in
+      let d, p, z, pc = fields in
+      match
           (int_of_string_opt d, int_of_string_opt p, int_of_string_opt z, int_of_string_opt pc)
-        with
-        | Some doc_id, Some path_id, Some doc_size, Some path_count ->
-          let* trail =
-            if trail = "" then Ok []
-            else
-              List.fold_left
-                (fun acc s ->
-                  let* acc = acc in
-                  let* id = decode_sub_id s in
-                  Ok (id :: acc))
-                (Ok []) (String.split_on_char ',' trail)
-              |> Result.map List.rev
-          in
-          let* steps =
-            if steps = "" then fail "empty path"
-            else
-              List.fold_left
-                (fun acc s ->
-                  let* acc = acc in
-                  let* s = Result.map_error (fun r -> { offset = 0; reason = r }) (unescape s) in
-                  if s = "" then fail "empty path element" else Ok (s :: acc))
-                (Ok []) (String.split_on_char ',' steps)
-              |> Result.map (fun l -> Array.of_list (List.rev l))
-          in
-          let* attrs = decode_attrs attrs (Array.length steps) in
-          Ok
-            (Message.Publish
-               {
-                 pub =
-                   { Xroute_xml.Xml_paths.doc_id; path_id; steps; attrs; doc_size; path_count };
-                 trail;
-               })
-        | _ -> fail "malformed publication header")
+      with
+      | Some doc_id, Some path_id, Some doc_size, Some path_count ->
+        let* trail =
+          if trail = "" then Ok []
+          else
+            List.fold_left
+              (fun acc s ->
+                let* acc = acc in
+                let* id = decode_sub_id s in
+                Ok (id :: acc))
+              (Ok []) (String.split_on_char ',' trail)
+            |> Result.map List.rev
+        in
+        let* steps =
+          if steps = "" then fail "empty path"
+          else
+            List.fold_left
+              (fun acc s ->
+                let* acc = acc in
+                let* s = Result.map_error (fun r -> { offset = 0; reason = r }) (unescape s) in
+                if s = "" then fail "empty path element" else Ok (s :: acc))
+              (Ok []) (String.split_on_char ',' steps)
+            |> Result.map (fun l -> Array.of_list (List.rev l))
+        in
+        let* attrs = decode_attrs attrs (Array.length steps) in
+        Ok
+          (Message.Publish
+             {
+               pub =
+                 { Xroute_xml.Xml_paths.doc_id; path_id; steps; attrs; doc_size; path_count };
+               trail;
+               ctx;
+             })
       | _ -> fail "malformed publication header")
     | _ -> fail "unknown message kind")
   | _ -> fail "malformed message"

@@ -12,6 +12,13 @@ type sub_id = { origin : int; seq : int }
 let compare_sub_id a b =
   match compare a.origin b.origin with 0 -> compare a.seq b.seq | c -> c
 
+(* Causal trace context (lib/obs span layer): which trace a publication
+   belongs to and which span caused this hop. Brokers copy it verbatim
+   from input to output; the transport (overlay Net, the daemon) rewrites
+   [parent_span] to the hop span it opens. Debug metadata: excluded from
+   [wire_size] so enabling tracing never changes the modeled latencies. *)
+type trace_ctx = { trace : int; parent_span : int }
+
 type t =
   | Advertise of { id : sub_id; adv : Adv.t }
   | Unadvertise of { id : sub_id }
@@ -23,6 +30,7 @@ type t =
          upstream subscriptions this publication already matched; the
          receiving broker may restrict matching to their subtrees. *)
       trail : sub_id list;
+      ctx : trace_ctx option;
     }
 
 let pp_sub_id ppf id = Format.fprintf ppf "%d.%d" id.origin id.seq
@@ -46,7 +54,7 @@ let wire_size = function
   | Unadvertise _ -> 16
   | Subscribe { xpe; _ } -> 16 + String.length (Xpe.to_string xpe)
   | Unsubscribe _ -> 16
-  | Publish { pub; trail } ->
+  | Publish { pub; trail; _ } ->
     (* Each path message carries its share of the document body: the
        network delivers whole documents, split over their routed paths
        (this is what makes bigger documents slower, Figs. 10-11). *)

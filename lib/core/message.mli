@@ -8,6 +8,13 @@ type sub_id = { origin : int; seq : int }
 
 val compare_sub_id : sub_id -> sub_id -> int
 
+(** Causal trace context carried by publications: the trace id (the
+    publication's [doc_id]) and the span id of the hop that sent this
+    message. Brokers copy it input → output; the transport rewrites
+    [parent_span] per hop. Excluded from {!wire_size} — tracing must not
+    perturb the modeled latencies. *)
+type trace_ctx = { trace : int; parent_span : int }
+
 type t =
   | Advertise of { id : sub_id; adv : Adv.t }
   | Unadvertise of { id : sub_id }
@@ -19,6 +26,7 @@ type t =
           (** XTreeNet-style optimization: ids of the upstream
               subscriptions this publication matched; the receiver may
               restrict matching to their subtrees. *)
+      ctx : trace_ctx option;  (** causal trace context, if traced *)
     }
 
 val pp_sub_id : Format.formatter -> sub_id -> unit

@@ -141,7 +141,7 @@ let unadvertise t id =
 (* Publish a document: decomposed at the client edge, as in the paper. *)
 let publish_doc t ~doc_id root =
   let pubs = Xroute_xml.Xml_paths.decompose ~doc_id root in
-  List.iter (fun pub -> send t (Message.Publish { pub; trail = [] })) pubs;
+  List.iter (fun pub -> send t (Message.Publish { pub; trail = []; ctx = None })) pubs;
   List.length pubs
 
 (* Next raw protocol line, waiting until [deadline]; [None] on timeout.
@@ -211,7 +211,7 @@ let stats ?(timeout = 2.0) ?(format = `Prom) t =
       match String.split_on_char '|' line with
       | "STATS" :: "END" :: _ -> Some (Buffer.contents buf)
       | "S" :: _ ->
-        Buffer.add_string buf (String.sub line 2 (String.length line - 2));
+        Buffer.add_string buf (Framing.unescape (String.sub line 2 (String.length line - 2)));
         Buffer.add_char buf '\n';
         go ()
       | _ -> go () (* BEGIN frame or unrelated traffic *))
@@ -237,8 +237,36 @@ let audit ?(timeout = 2.0) t =
         in
         Some (errors, warnings, List.rev !findings)
       | "A" :: sev :: code :: subject :: rest ->
-        findings := (sev, code, subject, String.concat "|" rest) :: !findings;
+        (* Fields are Framing-escaped, so [rest] is a single element in
+           practice; the concat keeps older daemons' raw witnesses
+           readable. *)
+        let u = Framing.unescape in
+        findings := (u sev, u code, u subject, u (String.concat "|" rest)) :: !findings;
         go ()
+      | _ -> go () (* BEGIN frame or unrelated traffic *))
+  in
+  go ()
+
+(* Request the retained spans of one trace (TRACE|<id>); the framed
+   reply (TRACE|BEGIN, T| span wire lines, TRACE|END|<count>) is decoded
+   via [Span.of_wire_line]. Merge the lists from several daemons to
+   reassemble a cross-broker trace. *)
+let trace ?(timeout = 2.0) t key =
+  send_line t (Printf.sprintf "TRACE|%d" key);
+  let deadline = Unix.gettimeofday () +. timeout in
+  let spans = ref [] in
+  let rec go () =
+    match next_line t ~deadline with
+    | None -> None
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "TRACE" :: "END" :: _ -> Some (List.rev !spans)
+      | "T" :: _ -> (
+        let payload = String.sub line 2 (String.length line - 2) in
+        (match Xroute_obs.Span.of_wire_line payload with
+        | Some sp -> spans := sp :: !spans
+        | None -> ());
+        go ())
       | _ -> go () (* BEGIN frame or unrelated traffic *))
   in
   go ()

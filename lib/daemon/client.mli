@@ -52,5 +52,11 @@ val stats : ?timeout:float -> ?format:[ `Prom | `Json ] -> t -> string option
     messages arriving while the reply streams are discarded. *)
 val audit : ?timeout:float -> t -> (int * int * (string * string * string * string) list) option
 
+(** Request the daemon's retained spans of one trace ([TRACE|<id>]);
+    [None] on timeout. Merge the lists returned by several daemons to
+    reassemble a cross-broker trace
+    (e.g. [Xroute_obs.Span.waterfall], [check_tree]). *)
+val trace : ?timeout:float -> t -> int -> Xroute_obs.Span.span list option
+
 (** Distinct delivered doc ids until [timeout] seconds pass quietly. *)
 val drain_deliveries : ?timeout:float -> t -> int list

@@ -15,6 +15,10 @@
    while the loop runs, so start order does not matter. *)
 
 open Xroute_core
+module Mono = Xroute_support.Mono
+module Span = Xroute_obs.Span
+module Timeseries = Xroute_obs.Timeseries
+module Recorder = Xroute_obs.Recorder
 
 let log_src = Logs.Src.create "xroute.daemon" ~doc:"TCP broker daemon"
 
@@ -41,6 +45,12 @@ type t = {
   port : int;
   neighbors : (int * (string * int)) list; (* id -> address *)
   max_write_chunk : int; (* per-write byte cap (tests the offset path) *)
+  clock : Mono.t; (* monotonic wall clock, ms (span timestamps) *)
+  spans : Span.t; (* causal spans of publications through this broker *)
+  timeseries : Timeseries.t; (* periodic registry snapshots *)
+  snapshot_period : float; (* ms between snapshots *)
+  recorder : Recorder.t option; (* flight recorder, when --flight-dir set *)
+  mutable last_snapshot : float;
   mutable conns : conn list;
   mutable last_dial : float;
   mutable stop_requested : bool;
@@ -48,6 +58,9 @@ type t = {
 
 let broker t = t.broker
 let port t = t.port
+let spans t = t.spans
+let timeseries t = t.timeseries
+let recorder t = t.recorder
 
 (* ---------------- low-level helpers ---------------- *)
 
@@ -91,9 +104,10 @@ let conn_for t ep =
 
 (* ---------------- creation ---------------- *)
 
-let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int) ~id ~port
-    ~neighbors () =
+let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
+    ?(snapshot_period = 1000.0) ?flight_dir ~id ~port ~neighbors () =
   if max_write_chunk <= 0 then invalid_arg "Daemon.create: max_write_chunk <= 0";
+  if snapshot_period <= 0.0 then invalid_arg "Daemon.create: snapshot_period <= 0";
   (* Writes to a peer that vanished must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -113,6 +127,14 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int) ~i
     port = actual_port;
     neighbors;
     max_write_chunk;
+    clock = Mono.create ~source:(fun () -> Unix.gettimeofday () *. 1000.0) ();
+    (* Disjoint id bases keep span ids globally unique when a client
+       merges TRACE| replies from several daemons. *)
+    spans = Span.create ~id_base:(id * 1_000_000_000) ();
+    timeseries = Timeseries.create (Broker.metrics broker);
+    snapshot_period;
+    recorder = Option.map (fun dir -> Recorder.create ~dir ()) flight_dir;
+    last_snapshot = 0.0;
     conns = [];
     last_dial = 0.0;
     stop_requested = false;
@@ -133,8 +155,9 @@ let send_message t ep (msg : Message.t) =
 let dispatch t outputs = List.iter (fun (ep, msg) -> send_message t ep msg) outputs
 
 (* STATS|: dump the broker's metrics registry. The exposition is
-   multi-line, so it is framed for the line protocol: STATS|BEGIN|<fmt>,
-   one S|<line> per exposition line, then STATS|END. *)
+   multi-line, so it is framed for the line protocol (Framing.send):
+   STATS|BEGIN|<fmt>, one S|<escaped line> per exposition line, then
+   STATS|END. *)
 let send_stats t conn fmt =
   Broker.refresh_metrics t.broker;
   let reg = Broker.metrics t.broker in
@@ -143,39 +166,133 @@ let send_stats t conn fmt =
     | `Json -> ("json", Xroute_obs.Metrics.to_json reg)
     | `Prom -> ("prom", Xroute_obs.Metrics.to_prometheus reg)
   in
-  enqueue conn ("STATS|BEGIN|" ^ fmt_name);
-  List.iter
-    (fun l -> if l <> "" then enqueue conn ("S|" ^ l))
-    (String.split_on_char '\n' body);
-  enqueue conn "STATS|END"
+  Framing.send ~enqueue:(enqueue conn) ~tag:"STATS" ~begin_args:[ fmt_name ] ~line_tag:"S"
+    (List.filter_map
+       (fun l -> if l = "" then None else Some (Framing.escape l))
+       (String.split_on_char '\n' body))
+
+(* Dump a flight record: the span ring, the (refreshed) registry, and
+   the latest per-second rates. Called when an audit reports an
+   error-severity finding; failures are logged, never raised. *)
+let flight_dump t ~reason =
+  match t.recorder with
+  | None -> ()
+  | Some r -> (
+    Broker.refresh_metrics t.broker;
+    let at = Mono.now t.clock in
+    Timeseries.snapshot t.timeseries ~at;
+    match
+      Recorder.trigger r ~reason ~at ~metrics:(Broker.metrics t.broker)
+        ~spans:(Span.to_list t.spans)
+        ~rates:(Timeseries.rates t.timeseries) ()
+    with
+    | Ok path -> Log.info (fun m -> m "broker %d: flight record %s" (Broker.id t.broker) path)
+    | Error e -> Log.warn (fun m -> m "broker %d: flight dump failed: %s" (Broker.id t.broker) e))
 
 (* AUDIT: run the routing-state audit (Xroute_check) on the hosted
    broker and stream the findings, framed like STATS|: AUDIT|BEGIN, one
    A|<severity>|<code>|<subject>|<witness> per finding, then
-   AUDIT|END|<errors>|<warnings>. Field text is sanitized so '|' and
-   newlines cannot break the line protocol. *)
-let audit_field s =
-  String.map (function '|' -> '/' | '\n' | '\r' -> ' ' | c -> c) s
-
+   AUDIT|END|<errors>|<warnings>. Fields are reversibly escaped
+   (Framing.escape) so '|' and newlines survive the line protocol
+   intact. An error-severity finding triggers a flight-recorder dump
+   when the daemon was given a flight directory. *)
 let send_audit t conn =
   let findings = Xroute_check.Check.audit_broker t.broker in
   let count sev =
     List.length (List.filter (fun f -> f.Xroute_check.Finding.severity = sev) findings)
   in
-  enqueue conn "AUDIT|BEGIN";
-  List.iter
-    (fun (f : Xroute_check.Finding.t) ->
-      enqueue conn
-        (Printf.sprintf "A|%s|%s|%s|%s"
-           (Xroute_check.Finding.severity_to_string f.severity)
-           (audit_field f.code) (audit_field f.subject) (audit_field f.witness)))
-    findings;
-  enqueue conn
-    (Printf.sprintf "AUDIT|END|%d|%d"
-       (count Xroute_check.Finding.Error)
-       (count Xroute_check.Finding.Warning))
+  let errors = count Xroute_check.Finding.Error in
+  Framing.send ~enqueue:(enqueue conn) ~tag:"AUDIT"
+    ~end_args:[ string_of_int errors; string_of_int (count Xroute_check.Finding.Warning) ]
+    ~line_tag:"A"
+    (List.map
+       (fun (f : Xroute_check.Finding.t) ->
+         String.concat "|"
+           (List.map Framing.escape
+              [
+                Xroute_check.Finding.severity_to_string f.severity;
+                f.code;
+                f.subject;
+                f.witness;
+              ]))
+       findings);
+  if errors > 0 then flight_dump t ~reason:(Printf.sprintf "audit reported %d errors" errors)
 
-let handle_line t conn line =
+(* TRACE|<trace-id>: stream the retained spans of one trace, framed as
+   TRACE|BEGIN|<id>, one T|<span wire line> per span (Span.to_wire_line
+   escapes its own fields), then TRACE|END|<count>. Clients merge the
+   replies of several daemons to reassemble a cross-broker trace. *)
+let send_trace t conn key =
+  match int_of_string_opt key with
+  | None -> Log.warn (fun m -> m "malformed TRACE key %S" key)
+  | Some trace ->
+    let spans = Span.spans_for t.spans ~trace in
+    Framing.send ~enqueue:(enqueue conn) ~tag:"TRACE" ~begin_args:[ key ]
+      ~end_args:[ string_of_int (List.length spans) ]
+      ~line_tag:"T"
+      (List.map Span.to_wire_line spans)
+
+(* Handle one routed publication, timing its stages into the span
+   collector. The hop span covers [batch_t (socket readable) …
+   serialize end]; its leaves tile that interval — queue (buffer wait
+   behind earlier lines of the batch), parse (codec decode), match
+   (Broker.handle, with the SRT/PRT/cover op deltas as meta), serialize
+   (encode + enqueue) — so leaf durations sum to the hop duration
+   exactly. A publication arriving without trace context is at its
+   first broker: a root "pub" span is opened (reused across the paths
+   of one document) and the context is minted here. Outgoing copies
+   carry this hop's span id as parent, chaining the next broker's hop
+   under this one. *)
+let handle_publish t ~batch_t ~from pub trail ctx =
+  let b = Broker.id t.broker in
+  let t0 = Mono.now t.clock in
+  let trace, parent, root =
+    match (ctx : Message.trace_ctx option) with
+    | Some c -> (c.trace, Some c.parent_span, None)
+    | None ->
+      let root =
+        match Span.root_for t.spans ~trace:pub.Xroute_xml.Xml_paths.doc_id with
+        | Some r -> r
+        | None ->
+          Span.start_span t.spans ~trace:pub.Xroute_xml.Xml_paths.doc_id ~name:"pub"
+            ~broker:(-1) ~at:batch_t ()
+      in
+      (pub.Xroute_xml.Xml_paths.doc_id, Some root.Span.id, Some root)
+  in
+  let hop = Span.start_span t.spans ?parent ~trace ~name:"hop" ~broker:b ~at:batch_t () in
+  let leaf name start stop ?meta () =
+    if stop -. start > 0.0 then
+      ignore (Span.record t.spans ~parent:hop.Span.id ?meta ~trace ~name ~broker:b ~start ~stop ())
+  in
+  leaf "queue" batch_t t0 ();
+  let t_dec = Mono.now t.clock in
+  leaf "parse" t0 t_dec ();
+  let s0, m0, c0 = Broker.stage_ops t.broker in
+  let outs = Broker.handle t.broker ~from (Message.Publish { pub; trail; ctx }) in
+  let t_match = Mono.now t.clock in
+  let s1, m1, c1 = Broker.stage_ops t.broker in
+  leaf "match" t_dec t_match
+    ~meta:
+      [
+        ("srt_ops", string_of_int (s1 - s0));
+        ("prt_ops", string_of_int (m1 - m0));
+        ("cover_ops", string_of_int (c1 - c0));
+      ]
+    ();
+  let ctx' = Some { Message.trace; parent_span = hop.Span.id } in
+  dispatch t
+    (List.map
+       (fun (ep, m) ->
+         match m with
+         | Message.Publish p -> (ep, Message.Publish { p with ctx = ctx' })
+         | m -> (ep, m))
+       outs);
+  let t_ser = Mono.now t.clock in
+  leaf "serialize" t_match t_ser ();
+  Span.finish hop ~at:t_ser;
+  Option.iter (fun r -> Span.extend r ~at:t_ser) root
+
+let handle_line t conn ~batch_t line =
   match String.split_on_char '|' line with
   | "HELLO" :: kind :: id :: _ -> (
     match (kind, int_of_string_opt id) with
@@ -188,6 +305,7 @@ let handle_line t conn line =
     | Some from -> (
       let payload = String.sub line 2 (String.length line - 2) in
       match Codec.decode payload with
+      | Ok (Message.Publish { pub; trail; ctx }) -> handle_publish t ~batch_t ~from pub trail ctx
       | Ok msg -> dispatch t (Broker.handle t.broker ~from msg)
       | Error e ->
         Log.warn (fun m -> m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))
@@ -196,16 +314,20 @@ let handle_line t conn line =
     let fmt = match rest with "json" :: _ -> `Json | _ -> `Prom in
     send_stats t conn fmt
   | "AUDIT" :: _ -> send_audit t conn
+  | "TRACE" :: key :: _ -> send_trace t conn key
   | _ -> Log.warn (fun m -> m "unknown line %S" line)
 
-(* Extract complete lines from the connection buffer. *)
-let drain_lines t conn =
+(* Extract complete lines from the connection buffer. [batch_t] is when
+   the socket became readable: lines later in the batch were queued
+   behind earlier ones, which the per-publication "queue" stage span
+   measures. *)
+let drain_lines t conn ~batch_t =
   let data = Buffer.contents conn.inbuf in
   let rec go start =
     match String.index_from_opt data start '\n' with
     | Some i ->
       let line = String.sub data start (i - start) in
-      if line <> "" then handle_line t conn line;
+      if line <> "" then handle_line t conn ~batch_t line;
       go (i + 1)
     | None ->
       Buffer.clear conn.inbuf;
@@ -267,8 +389,19 @@ let flush_out t conn =
       continue := false
   done
 
+(* Periodic registry snapshot into the timeseries ring (first step
+   takes the baseline sample). *)
+let maybe_snapshot t =
+  let at = Mono.now t.clock in
+  if at -. t.last_snapshot >= t.snapshot_period then begin
+    t.last_snapshot <- at;
+    Broker.refresh_metrics t.broker;
+    Timeseries.snapshot t.timeseries ~at
+  end
+
 let step ?(timeout = 0.05) t =
   dial_missing t;
+  maybe_snapshot t;
   let readable = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
   let writable = List.filter_map (fun c -> if pending_out c then Some c.fd else None) t.conns in
   match Unix.select readable writable [] timeout with
@@ -285,11 +418,12 @@ let step ?(timeout = 0.05) t =
       (fun conn ->
         if List.memq conn.fd rs then begin
           let buf = Bytes.create 4096 in
+          let batch_t = Mono.now t.clock in
           match Unix.read conn.fd buf 0 4096 with
           | 0 -> close_conn t conn
           | n ->
             Buffer.add_subbytes conn.inbuf buf 0 n;
-            drain_lines t conn
+            drain_lines t conn ~batch_t
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
           | exception Unix.Unix_error _ -> close_conn t conn
         end)

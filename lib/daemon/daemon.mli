@@ -8,8 +8,20 @@
     [STATS|END]. [AUDIT] runs the routing-state audit
     ({!Xroute_check.Check.audit_broker}) on the hosted broker, framed as
     [AUDIT|BEGIN], one [A|<severity>|<code>|<subject>|<witness>] per
-    finding, then [AUDIT|END|<errors>|<warnings>]. Lower-id brokers
-    dial their higher-id neighbors,
+    finding (fields reversibly escaped, see {!Framing}), then
+    [AUDIT|END|<errors>|<warnings>]. [TRACE|<id>] streams the retained
+    causal spans of one trace, framed as [TRACE|BEGIN|<id>], one
+    [T|<span wire line>] per span, then [TRACE|END|<count>].
+
+    Every routed publication is traced: its hop through this broker
+    becomes a "hop" span with stage leaves (queue wait, parse, match
+    with SRT/PRT/cover op counts, serialize) stamped by a monotonic
+    wall clock ({!Xroute_support.Mono}); outgoing copies carry the hop
+    span's id as trace context, chaining the next broker's hop under
+    it. A publication arriving without context (from a client) mints
+    the context and a root "pub" span here.
+
+    Lower-id brokers dial their higher-id neighbors,
     giving one TCP connection per overlay edge; dialing is retried, so
     start order does not matter. *)
 
@@ -20,10 +32,17 @@ type t
     maps neighbor broker ids to their (host, port) addresses.
     [max_write_chunk] caps the bytes per [write] syscall on the queued
     output path (default unlimited) — set it to 1 to exercise the
-    partial-write offset logic deterministically. *)
+    partial-write offset logic deterministically. [snapshot_period] is
+    the interval (ms of wall clock, default 1000) between metrics
+    snapshots into the {!timeseries} ring. [flight_dir] enables the
+    flight recorder: when an [AUDIT] reports an error-severity finding,
+    the span ring, registry and latest rates are dumped there
+    ([Xroute_obs.Recorder]). *)
 val create :
   ?strategy:Xroute_core.Broker.strategy ->
   ?max_write_chunk:int ->
+  ?snapshot_period:float ->
+  ?flight_dir:string ->
   id:int ->
   port:int ->
   neighbors:(int * (string * int)) list ->
@@ -32,6 +51,16 @@ val create :
 
 (** The hosted broker (for inspection). *)
 val broker : t -> Xroute_core.Broker.t
+
+(** The daemon's span collector (ids offset by [broker id × 10⁹] so
+    spans merged across daemons stay unique). *)
+val spans : t -> Xroute_obs.Span.t
+
+(** Periodic registry snapshots (one per [snapshot_period]). *)
+val timeseries : t -> Xroute_obs.Timeseries.t
+
+(** The flight recorder, when [create] was given a [flight_dir]. *)
+val recorder : t -> Xroute_obs.Recorder.t option
 
 (** The bound port. *)
 val port : t -> int

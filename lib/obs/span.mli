@@ -1,0 +1,123 @@
+(** Causal spans: hierarchical timed intervals that decompose one
+    publication's end-to-end latency.
+
+    A trace is the set of spans sharing a [trace] id (publications use
+    their [doc_id]). Within a trace, spans form a tree via [parent]:
+
+    - one root (the publication's lifetime, emit → last delivery),
+    - one "hop" span per broker visit, parented on the span that caused
+      it (the previous hop, or the root for the first broker),
+    - leaf "stage" spans under each hop — the per-stage timers: queue
+      wait, parse/decompose, SRT/PRT match, cover check, serialize,
+      transmit, link, FIFO queueing, delivery. Stage leaves tile their
+      parent's interval, so summing leaf durations along a single-path
+      chain reproduces the measured end-to-end latency exactly (the
+      [--smoke] gate in bench relies on this).
+    - per-edge "edge" spans group the transmit/link/queue leaves of one
+      outgoing link, so sibling leaves never overlap even under fanout.
+
+    Times are milliseconds — virtual in the simulator, monotonic wall
+    clock ({!Xroute_support.Mono}) in the daemon. A collector retains
+    the newest [capacity] spans in a ring with a per-trace bucket index
+    ({!spans_for} cost is independent of unrelated traffic). Daemons use
+    disjoint [id_base]s so spans merged from several processes keep
+    globally unique ids. *)
+
+type span = {
+  id : int;
+  trace : int;  (** correlation key; [doc_id] for publications *)
+  parent : int option;  (** parent span id; [None] for the trace root *)
+  name : string;  (** "pub", "hop", "edge", or a stage name *)
+  broker : int;  (** broker id; [-1] outside any broker *)
+  start : float;  (** ms *)
+  mutable stop : float;  (** ms; [= start] while open *)
+  mutable meta : (string * string) list;
+}
+
+type t
+
+(** Ring of the newest [capacity] spans (default 8192). [id_base] offsets
+    allocated ids — give each daemon a disjoint base.
+    @raise Invalid_argument when [capacity <= 0]. *)
+val create : ?capacity:int -> ?id_base:int -> unit -> t
+
+(** Spans ever started (may exceed the retained count). *)
+val length : t -> int
+
+val capacity : t -> int
+
+(** Open a span at [at]; [stop] starts equal to [start]. *)
+val start_span :
+  t -> ?parent:int -> trace:int -> name:string -> broker:int -> at:float -> unit -> span
+
+(** Record a closed span in one call. *)
+val record :
+  t ->
+  ?parent:int ->
+  ?meta:(string * string) list ->
+  trace:int ->
+  name:string ->
+  broker:int ->
+  start:float ->
+  stop:float ->
+  unit ->
+  span
+
+(** Close at [at] (unconditionally). *)
+val finish : span -> at:float -> unit
+
+(** Push [stop] forward to [at] if later; never moves it back. *)
+val extend : span -> at:float -> unit
+
+val add_meta : span -> string -> string -> unit
+
+(** Retained span by id. O(1). *)
+val find : t -> int -> span option
+
+(** Retained spans of one trace, creation order. O(trace size). *)
+val spans_for : t -> trace:int -> span list
+
+(** The retained root (parent = None) of a trace, if any. *)
+val root_for : t -> trace:int -> span option
+
+(** Spans examined by the most recent {!spans_for}. *)
+val last_lookup_cost : t -> int
+
+(** Retained spans, oldest first. *)
+val to_list : t -> span list
+
+val clear : t -> unit
+val duration : span -> float
+
+(** {2 Renderers and checks} — pure functions over span lists, so spans
+    fetched from several daemons can be merged before rendering. *)
+
+(** Chrome trace-event JSON ({["traceEvents"]} of ["ph":"X"] complete
+    events, [ts]/[dur] in microseconds, [pid] = broker, [tid] = trace);
+    loads in Perfetto / chrome://tracing. *)
+val to_chrome : span list -> string
+
+(** JSON string-body escaping shared by the hand-rolled emitters. *)
+val json_escape : string -> string
+
+(** Indented text waterfall, one trace after another. *)
+val waterfall : span list -> string
+
+(** Structural validation of one trace's spans: exactly one root, every
+    parent resolves, children start no earlier than their parent, leaf
+    children lie inside their parent's interval, sibling leaves do not
+    overlap, no span ends before it starts. An interior child may start
+    after its parent ended (a hop chained across daemons: the message
+    was in flight when the upstream hop closed). *)
+val check_tree : span list -> (unit, string) result
+
+(** Sum of leaf-span durations — the per-stage decomposition total. On a
+    single-path trace this equals root end-to-end latency (see module
+    doc). *)
+val stage_sum : span list -> float
+
+(** One-line wire encoding (fields [|]-separated, content escaped) and
+    its inverse; used by the [TRACE|] daemon command. *)
+val to_wire_line : span -> string
+
+val of_wire_line : string -> span option

@@ -1,0 +1,63 @@
+type sample = { at : float; values : (string * float) list }
+
+type t = {
+  capacity : int;
+  ring : sample option array;
+  mutable total : int;
+  registry : Metrics.t;
+}
+
+let create ?(capacity = 128) registry =
+  if capacity <= 0 then invalid_arg "Timeseries.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; total = 0; registry }
+
+let scalar_of = function
+  | Metrics.Counter c -> float_of_int (Metrics.value c)
+  | Metrics.Gauge g -> Metrics.gauge_value g
+  | Metrics.Histogram h -> float_of_int (Metrics.observations h)
+
+let snapshot t ~at =
+  let values =
+    List.map (fun (name, _help, m) -> (name, scalar_of m)) (Metrics.metrics t.registry)
+  in
+  t.ring.(t.total mod t.capacity) <- Some { at; values };
+  t.total <- t.total + 1
+
+let length t = t.total
+let capacity t = t.capacity
+
+let to_list t =
+  let n = min t.total t.capacity in
+  let start = t.total - n in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some s -> s
+      | None -> assert false)
+
+let last t =
+  if t.total = 0 then None else t.ring.((t.total - 1) mod t.capacity)
+
+let last_two t =
+  if t.total < 2 then None
+  else
+    match (t.ring.((t.total - 2) mod t.capacity), t.ring.((t.total - 1) mod t.capacity)) with
+    | Some prev, Some cur -> Some (prev, cur)
+    | _ -> None
+
+let deltas t =
+  match last_two t with
+  | None -> []
+  | Some (prev, cur) ->
+    List.map
+      (fun (name, v) ->
+        let before = Option.value ~default:0.0 (List.assoc_opt name prev.values) in
+        (name, v -. before))
+      cur.values
+
+let rates t =
+  match last_two t with
+  | None -> []
+  | Some (prev, cur) ->
+    let dt_s = (cur.at -. prev.at) /. 1000.0 in
+    if dt_s <= 0.0 then []
+    else List.map (fun (name, d) -> (name, d /. dt_s)) (deltas t)

@@ -8,7 +8,13 @@
    The buffer is a ring: with capacity [n], only the newest [n] hops are
    retained ([length] keeps counting). Messages are correlated by an
    integer [key]: publications use their [doc_id]; control messages fold
-   their subscription id into one integer ({!key_of_id}). *)
+   their subscription id into one integer ({!key_of_id}).
+
+   Retained hops are additionally bucketed by key, so [hops_for] walks
+   only the hops of the requested message rather than the whole ring:
+   lookup cost is independent of unrelated traffic. The ring evicts
+   globally-oldest-first and every bucket is in record order, so the hop
+   evicted on overwrite is always the front of its bucket. *)
 
 type hop = {
   seq : int; (* global record order, 0-based *)
@@ -24,19 +30,47 @@ type t = {
   capacity : int;
   ring : hop option array;
   mutable total : int; (* hops ever recorded *)
+  by_key : (int, hop Queue.t) Hashtbl.t; (* retained hops per key, record order *)
+  mutable last_lookup_cost : int; (* hops examined by the last [hops_for] *)
 }
 
 let create ?(capacity = 4096) () =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  { capacity; ring = Array.make capacity None; total = 0 }
+  {
+    capacity;
+    ring = Array.make capacity None;
+    total = 0;
+    by_key = Hashtbl.create 64;
+    last_lookup_cost = 0;
+  }
 
 let length t = t.total
 let capacity t = t.capacity
 
+let bucket_drop t key =
+  match Hashtbl.find_opt t.by_key key with
+  | None -> ()
+  | Some q ->
+    ignore (Queue.pop q);
+    if Queue.is_empty q then Hashtbl.remove t.by_key key
+
 let record t ~kind ~key ~broker ~time ~queue_depth ~match_ops =
   let hop = { seq = t.total; kind; key; broker; time; queue_depth; match_ops } in
-  t.ring.(t.total mod t.capacity) <- Some hop;
-  t.total <- t.total + 1
+  let slot = t.total mod t.capacity in
+  (match t.ring.(slot) with
+  | Some evicted -> bucket_drop t evicted.key
+  | None -> ());
+  t.ring.(slot) <- Some hop;
+  t.total <- t.total + 1;
+  let q =
+    match Hashtbl.find_opt t.by_key key with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.by_key key q;
+      q
+  in
+  Queue.push hop q
 
 (* Retained hops, oldest first. *)
 let to_list t =
@@ -47,11 +81,21 @@ let to_list t =
       | Some hop -> hop
       | None -> assert false)
 
-(* The retained path of one message, oldest first. *)
-let hops_for t ~key = List.filter (fun h -> h.key = key) (to_list t)
+(* The retained path of one message, oldest first. O(path length). *)
+let hops_for t ~key =
+  match Hashtbl.find_opt t.by_key key with
+  | None ->
+    t.last_lookup_cost <- 0;
+    []
+  | Some q ->
+    t.last_lookup_cost <- Queue.length q;
+    List.rev (Queue.fold (fun acc h -> h :: acc) [] q)
+
+let last_lookup_cost t = t.last_lookup_cost
 
 let clear t =
   Array.fill t.ring 0 t.capacity None;
+  Hashtbl.reset t.by_key;
   t.total <- 0
 
 (* Fold a subscription id (origin, seq) into a correlation key. *)

@@ -30,8 +30,14 @@ val record :
 (** Retained hops, oldest first. *)
 val to_list : t -> hop list
 
-(** Retained path of one message, oldest first. *)
+(** Retained path of one message, oldest first. Served from a per-key
+    bucket: cost is proportional to that message's retained hops, not to
+    the ring size. *)
 val hops_for : t -> key:int -> hop list
+
+(** Hops examined by the most recent {!hops_for} — the lookup-cost probe
+    the index test asserts on. *)
+val last_lookup_cost : t -> int
 
 val clear : t -> unit
 

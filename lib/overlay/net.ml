@@ -62,6 +62,8 @@ type traffic = {
 
 module M = Xroute_obs.Metrics
 module Trace = Xroute_obs.Trace
+module Span = Xroute_obs.Span
+module Recorder = Xroute_obs.Recorder
 
 (* Network-level metric handles (the per-broker ones live in Broker). *)
 type net_meters = {
@@ -158,9 +160,21 @@ type t = {
   mutable recovery_open : float option;
   mutable recovery_last : float;
   trace : Trace.t option; (* per-hop delivery traces when enabled *)
+  spans : Span.t option; (* causal span collection when enabled *)
+  recorder : Recorder.t option; (* flight-recorder dumps on fault events *)
 }
 
-let create ?(config = default_config) ?trace topo =
+(* Span context threaded from a hop to its outgoing transmissions, so
+   the per-edge stage leaves land under the right hop span and the
+   outgoing trace context points at it. *)
+type hop_span = {
+  hs_spans : Span.t;
+  hs_hop : Span.span;
+  hs_trace : int;
+  hs_processing : float; (* this hop's processing time, ms *)
+}
+
+let create ?(config = default_config) ?trace ?spans ?recorder topo =
   let prng = Xroute_support.Prng.create config.seed in
   let latency_table = Latency.assign config.latency prng topo in
   let brokers =
@@ -204,6 +218,8 @@ let create ?(config = default_config) ?trace topo =
     recovery_open = None;
     recovery_last = 0.0;
     trace;
+    spans;
+    recorder;
   }
 
 let topology t = t.topo
@@ -369,6 +385,11 @@ let rec broker_receive t ~from b (msg : Message.t) =
     count_traffic t msg;
     let broker = t.brokers.(b) in
     let w0 = Broker.work broker in
+    let stage0 =
+      match (t.spans, msg) with
+      | Some _, Message.Publish _ -> Broker.stage_ops broker
+      | _ -> (0, 0, 0)
+    in
     let outs = Broker.handle broker ~from msg in
     let work = Broker.work broker - w0 in
     (match t.trace with
@@ -379,18 +400,82 @@ let rec broker_receive t ~from b (msg : Message.t) =
     let processing =
       t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
     in
-    List.iter (fun (ep, m) -> send t ~src:b ~processing ep m) outs
+    (* One "hop" span per traced publication visit, with stage leaves
+       tiling its processing interval: each matching stage is billed its
+       op-count delta times the configured per-op cost, and the fixed
+       per-message charge closes the tiling ("proc" ends exactly at
+       processing end, absorbing float rounding) — so summing the leaf
+       durations of a single-path trace reproduces the end-to-end delay
+       bit-for-bit (the bench --smoke gate). *)
+    let sp =
+      match (t.spans, msg) with
+      | Some sc, Message.Publish { pub; ctx; _ } ->
+        let now = Sim.now t.sim in
+        let trace = match ctx with Some c -> c.Message.trace | None -> pub.doc_id in
+        let parent = Option.map (fun (c : Message.trace_ctx) -> c.parent_span) ctx in
+        let hop = Span.start_span sc ?parent ~trace ~name:"hop" ~broker:b ~at:now () in
+        let s0, m0, c0 = stage0 in
+        let s1, m1, c1 = Broker.stage_ops broker in
+        let cursor = ref now in
+        let stage name ops =
+          if ops > 0 then begin
+            let stop = !cursor +. (float_of_int ops *. t.config.per_match_cost) in
+            ignore
+              (Span.record sc ~parent:hop.Span.id
+                 ~meta:[ ("ops", string_of_int ops) ]
+                 ~trace ~name ~broker:b ~start:!cursor ~stop ());
+            cursor := stop
+          end
+        in
+        stage "srt_match" (s1 - s0);
+        stage "prt_match" (m1 - m0);
+        stage "cover" (c1 - c0);
+        let pend = now +. processing in
+        ignore
+          (Span.record sc ~parent:hop.Span.id ~trace ~name:"proc" ~broker:b ~start:!cursor
+             ~stop:pend ());
+        Span.finish hop ~at:pend;
+        Some { hs_spans = sc; hs_hop = hop; hs_trace = trace; hs_processing = processing }
+      | _ -> None
+    in
+    List.iter (fun (ep, m) -> send t ~src:b ~processing ?sp ep m) outs
   end
 
-and send t ~src ~processing ep (msg : Message.t) =
+and send t ~src ~processing ?sp ep (msg : Message.t) =
+  (* Forwarded publications chain to the hop span that emitted them:
+     the broker copied the incoming context verbatim, the transport
+     rewrites the parent here. *)
+  let msg =
+    match (sp, msg) with
+    | Some s, Message.Publish { pub; trail; ctx = _ } ->
+      Message.Publish
+        { pub; trail; ctx = Some { Message.trace = s.hs_trace; parent_span = s.hs_hop.Span.id } }
+    | _ -> msg
+  in
   let size_cost = float_of_int (Message.wire_size msg) *. t.config.per_byte_cost in
   match ep with
-  | Rtable.Neighbor n -> transmit t ~src ~dst:n ~cost:(processing +. size_cost) msg
+  | Rtable.Neighbor n -> transmit t ~src ~dst:n ~cost:(processing +. size_cost) ?sp msg
   | Rtable.Client cid ->
     M.observe t.nm.nm_hop_latency (processing +. size_cost +. t.config.client_link);
-    Sim.schedule t.sim
-      ~delay:(processing +. size_cost +. t.config.client_link)
-      (fun () ->
+    let delay = processing +. size_cost +. t.config.client_link in
+    (match sp with
+    | Some s ->
+      let now = Sim.now t.sim in
+      let edge =
+        Span.record s.hs_spans ~parent:s.hs_hop.Span.id
+          ~meta:[ ("to", "client:" ^ string_of_int cid) ]
+          ~trace:s.hs_trace ~name:"edge" ~broker:src ~start:(now +. processing)
+          ~stop:(now +. delay) ()
+      in
+      ignore
+        (Span.record s.hs_spans ~parent:edge.Span.id ~trace:s.hs_trace ~name:"deliver"
+           ~broker:src ~start:(now +. processing) ~stop:(now +. delay) ());
+      Span.extend s.hs_hop ~at:(now +. delay);
+      (match Span.root_for s.hs_spans ~trace:s.hs_trace with
+      | Some root -> Span.extend root ~at:(now +. delay)
+      | None -> ())
+    | None -> ());
+    Sim.schedule t.sim ~delay (fun () ->
         match find_client t cid with
         | Some c when c.connected -> client_receive t c msg
         | Some _ -> destroy t msg
@@ -402,9 +487,12 @@ and send t ~src ~processing ep (msg : Message.t) =
    its extra delay; a duplicating link delivers a second copy just
    after the first (the protocol is idempotent: duplicate ids are
    deduplicated broker-side, repeat deliveries client-side). *)
-and transmit t ~src ~dst ~cost msg =
+and transmit t ~src ~dst ~cost ?sp msg =
   match link_fault_opt t src dst with
   | Some f when Sim.now t.sim < f.down_until ->
+    (* The message keeps its (already rewritten) trace context, so the
+       causal chain survives the outage; only this edge's timing leaves
+       are lost — [sp] is not carried through the blocked queue. *)
     let d = dlink t src dst in
     Queue.push (cost, msg) d.blocked;
     t.fstats.requeues <- t.fstats.requeues + 1;
@@ -413,7 +501,7 @@ and transmit t ~src ~dst ~cost msg =
       d.probing <- true;
       probe_link t src dst 0
     end
-  | _ -> deliver_on_link t ~src ~dst ~cost msg
+  | _ -> deliver_on_link t ~src ~dst ~cost ?sp msg
 
 (* Retry loop for a down edge: probe with capped exponential backoff
    until the outage window ends, then drain the blocked queue in send
@@ -452,7 +540,7 @@ and probe_link t src dst attempt =
    by insertion order). Without the clamp, a covering-induced
    [Unsubscribe] could arrive before the [Subscribe] it revokes and
    invert into a permanently dangling routing entry. *)
-and deliver_on_link t ~src ~dst ~cost msg =
+and deliver_on_link t ~src ~dst ~cost ?sp msg =
   let lf = link_fault_opt t src dst in
   let now = Sim.now t.sim in
   let link = Latency.link_delay t.config.latency t.latency_table t.prng src dst in
@@ -461,6 +549,32 @@ and deliver_on_link t ~src ~dst ~cost msg =
   let arrival = Float.max (now +. cost +. link +. extra) d.tail in
   d.tail <- arrival;
   M.observe t.nm.nm_hop_latency (arrival -. now);
+  (* Per-edge stage leaves, grouped under an "edge" span so fanout
+     edges never produce overlapping sibling leaves: transmit (the
+     per-byte charge), link (propagation + slow-fault extra), and queue
+     (FIFO-clamp wait behind an earlier in-flight message, if any). *)
+  (match sp with
+  | Some s ->
+    let tx0 = now +. s.hs_processing in
+    let tx1 = now +. cost in
+    let l1 = tx1 +. link +. extra in
+    let edge =
+      Span.record s.hs_spans ~parent:s.hs_hop.Span.id
+        ~meta:[ ("to", string_of_int dst) ]
+        ~trace:s.hs_trace ~name:"edge" ~broker:src ~start:tx0 ~stop:arrival ()
+    in
+    ignore
+      (Span.record s.hs_spans ~parent:edge.Span.id ~trace:s.hs_trace ~name:"transmit"
+         ~broker:src ~start:tx0 ~stop:tx1 ());
+    ignore
+      (Span.record s.hs_spans ~parent:edge.Span.id ~trace:s.hs_trace ~name:"link" ~broker:src
+         ~start:tx1 ~stop:l1 ());
+    if arrival -. l1 > 0.0 then
+      ignore
+        (Span.record s.hs_spans ~parent:edge.Span.id ~trace:s.hs_trace ~name:"queue"
+           ~broker:src ~start:l1 ~stop:arrival ());
+    Span.extend s.hs_hop ~at:arrival
+  | None -> ());
   Sim.schedule t.sim ~delay:(arrival -. now) (fun () ->
       broker_receive t ~from:(Rtable.Neighbor src) dst msg);
   match lf with
@@ -469,6 +583,10 @@ and deliver_on_link t ~src ~dst ~cost msg =
     M.incr t.fm.dups;
     let arrival2 = Float.max (arrival +. 0.001) d.tail in
     d.tail <- arrival2;
+    (* Keep the causal tree well-formed under duplication: the dup's
+       hop span starts at [arrival2], which must not exceed its
+       parent's stop. *)
+    (match sp with Some s -> Span.extend s.hs_hop ~at:arrival2 | None -> ());
     Sim.schedule t.sim ~delay:(arrival2 -. now) (fun () ->
         broker_receive t ~from:(Rtable.Neighbor src) dst msg)
   | _ -> ()
@@ -511,11 +629,35 @@ let unadvertise t c id =
   c.adv_ledger <- remove_ledger_id c.adv_ledger id;
   inject t c (Message.Unadvertise { id })
 
+(* When spans are on, anchor a trace for [doc_id]: a root "pub" span
+   (emit → last delivery, extended as deliveries land) with an "inject"
+   leaf for the publisher's client link. Returns the context the path
+   publications carry; reuses the root when the doc already has one
+   (multi-call replay). *)
+let pub_ctx t ~doc_id =
+  match t.spans with
+  | None -> None
+  | Some sc ->
+    let root =
+      match Span.root_for sc ~trace:doc_id with
+      | Some r -> r
+      | None ->
+        let now = Sim.now t.sim in
+        let r = Span.start_span sc ~trace:doc_id ~name:"pub" ~broker:(-1) ~at:now () in
+        ignore
+          (Span.record sc ~parent:r.Span.id ~trace:doc_id ~name:"inject" ~broker:(-1)
+             ~start:now ~stop:(now +. t.config.client_link) ());
+        Span.finish r ~at:(now +. t.config.client_link);
+        r
+    in
+    Some { Message.trace = doc_id; parent_span = root.Span.id }
+
 (* Publish a document: decompose into path publications at the edge. *)
 let publish_doc t c ~doc_id root =
   Hashtbl.replace t.pub_emit doc_id (Sim.now t.sim);
   let pubs = Xroute_xml.Xml_paths.decompose ~doc_id root in
-  List.iter (fun pub -> inject t c (Message.Publish { pub; trail = [] })) pubs;
+  let ctx = pub_ctx t ~doc_id in
+  List.iter (fun pub -> inject t c (Message.Publish { pub; trail = []; ctx })) pubs;
   List.length pubs
 
 (* Publish pre-extracted path publications (workload replay). *)
@@ -524,7 +666,7 @@ let publish_paths t c pubs =
     (fun (pub : Xroute_xml.Xml_paths.publication) ->
       if not (Hashtbl.mem t.pub_emit pub.doc_id) then
         Hashtbl.replace t.pub_emit pub.doc_id (Sim.now t.sim);
-      inject t c (Message.Publish { pub; trail = [] }))
+      inject t c (Message.Publish { pub; trail = []; ctx = pub_ctx t ~doc_id:pub.doc_id }))
     pubs
 
 (* Run the simulation to quiescence. *)
@@ -556,12 +698,44 @@ let replay_ledger t c =
       inject t c (Message.Subscribe { id; xpe }))
     (List.rev c.sub_ledger)
 
+(* Write a flight-recorder dump if a recorder is installed. [broker]
+   restricts the embedded spans/hops to one victim and uses its registry
+   (captured now — a restart replaces the broker object, losing it);
+   without it the dump carries the network registry and everything
+   retained. *)
+let flight_dump t ~reason ?broker () =
+  match t.recorder with
+  | None -> ()
+  | Some r ->
+    let keep f l = match broker with Some b -> List.filter (f b) l | None -> l in
+    let spans =
+      match t.spans with
+      | Some sc -> keep (fun b (s : Span.span) -> s.Span.broker = b) (Span.to_list sc)
+      | None -> []
+    in
+    let hops =
+      match t.trace with
+      | Some tr -> keep (fun b (h : Trace.hop) -> h.Trace.broker = b) (Trace.to_list tr)
+      | None -> []
+    in
+    let metrics =
+      match broker with
+      | Some b ->
+        Broker.refresh_metrics t.brokers.(b);
+        Broker.metrics t.brokers.(b)
+      | None -> t.metrics
+    in
+    (match Recorder.trigger r ~reason ~at:(Sim.now t.sim) ~metrics ~spans ~hops () with
+    | Ok path -> Log.info (fun m -> m "flight recorder: %s" path)
+    | Error e -> Log.warn (fun m -> m "flight recorder failed (%s): %s" reason e))
+
 let crash_broker t b =
   if t.alive.(b) then begin
     close_recovery t;
     t.alive.(b) <- false;
     t.fstats.crashes <- t.fstats.crashes + 1;
     M.incr t.fm.crashes;
+    flight_dump t ~reason:(Printf.sprintf "broker %d crash" b) ~broker:b ();
     Log.info (fun m -> m "broker %d crashed at t=%.3fms" b (Sim.now t.sim))
   end
 
@@ -650,7 +824,8 @@ let install_plan t (plan : Xroute_fault.Plan.t) =
         Sim.schedule t.sim ~delay:(at +. down_for) (fun () -> restart_broker t b)
       | P.Link_down { a; b; at; down_for } ->
         Sim.schedule t.sim ~delay:at (fun () ->
-            (link_fault t a b).down_until <- Sim.now t.sim +. down_for)
+            (link_fault t a b).down_until <- Sim.now t.sim +. down_for;
+            flight_dump t ~reason:(Printf.sprintf "link %d-%d down" a b) ())
       | P.Link_delay { a; b; at; down_for; extra_ms } ->
         Sim.schedule t.sim ~delay:at (fun () ->
             let lf = link_fault t a b in
@@ -714,6 +889,8 @@ let dropped_publications t =
 
 let metrics t = t.metrics
 let trace t = t.trace
+let spans t = t.spans
+let recorder t = t.recorder
 
 (* Refresh every broker's gauges (the network registry is always live). *)
 let refresh_metrics t = Array.iter Broker.refresh_metrics t.brokers

@@ -43,9 +43,21 @@ type traffic = {
 
 type t
 
-(** [create ?trace topo] — pass a [Xroute_obs.Trace.t] to record every
-    broker visit (id, virtual time, queue depth, match ops charged). *)
-val create : ?config:config -> ?trace:Xroute_obs.Trace.t -> Topology.t -> t
+(** [create ?trace ?spans ?recorder topo] — pass a [Xroute_obs.Trace.t]
+    to record every broker visit (id, virtual time, queue depth, match
+    ops charged); pass a [Xroute_obs.Span.t] collector to additionally
+    build full causal span trees per publication (root "pub" span, one
+    "hop" span per broker with per-stage leaves, "edge" spans for every
+    link crossing); pass a [Xroute_obs.Recorder.t] to dump a flight
+    record (final spans + metrics snapshot) when a fault-plan event
+    fires. *)
+val create :
+  ?config:config ->
+  ?trace:Xroute_obs.Trace.t ->
+  ?spans:Xroute_obs.Span.t ->
+  ?recorder:Xroute_obs.Recorder.t ->
+  Topology.t ->
+  t
 
 val topology : t -> Topology.t
 val sim : t -> Sim.t
@@ -158,6 +170,12 @@ val metrics : t -> Xroute_obs.Metrics.t
 
 (** The hop trace passed to {!create}, if any. *)
 val trace : t -> Xroute_obs.Trace.t option
+
+(** The span collector passed to {!create}, if any. *)
+val spans : t -> Xroute_obs.Span.t option
+
+(** The flight recorder passed to {!create}, if any. *)
+val recorder : t -> Xroute_obs.Recorder.t option
 
 (** Refresh every broker's derived gauges. *)
 val refresh_metrics : t -> unit

@@ -1,0 +1,25 @@
+type t = {
+  source : unit -> float;
+  mutable last : float; (* last value handed out *)
+  mutable offset : float; (* accumulated backward-step compensation *)
+}
+
+let create ~source () =
+  let v = source () in
+  { source; last = v; offset = 0.0 }
+
+let now t =
+  let raw = t.source () +. t.offset in
+  if raw >= t.last then begin
+    t.last <- raw;
+    raw
+  end
+  else begin
+    (* The source stepped backwards: absorb the step into the offset so
+       this reading repeats the last value and later readings advance
+       from it at the source's rate. *)
+    t.offset <- t.offset +. (t.last -. raw);
+    t.last
+  end
+
+let offset t = t.offset

@@ -1,0 +1,27 @@
+(** Monotonic clock wrapper over an arbitrary (possibly stepping) time
+    source.
+
+    The daemon stamps spans with wall-clock milliseconds; NTP steps and
+    manual clock changes can move that source backwards, which would
+    produce negative span durations. [now] compensates: whenever the raw
+    source reads earlier than the last value handed out, the difference
+    is folded into a standing offset so time resumes from the last
+    reading and keeps advancing with the source.
+
+    The source is injected (no [Unix] dependency here): the daemon
+    passes [Unix.gettimeofday () *. 1000.]; tests pass a scripted
+    source. The simulator does not use this module at all — virtual
+    time is monotone by construction. *)
+
+type t
+
+(** [create ~source ()] samples [source] once to anchor the clock.
+    [source] must return milliseconds. *)
+val create : source:(unit -> float) -> unit -> t
+
+(** Current time in ms: never less than any previous [now] result. *)
+val now : t -> float
+
+(** Total compensation applied so far (ms); 0 while the source has only
+    moved forward. *)
+val offset : t -> float

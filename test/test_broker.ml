@@ -207,7 +207,7 @@ let test_unsubscribe_shared_xpe_survivor () =
   check ci "departing copy unsubscribed upstream" 1 (count_kind `Unsub outs);
   check ci "survivor re-forwarded" 1 (count_kind `Sub outs);
   (* publications still reach the survivor *)
-  let pouts = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b"; trail = [] }) in
+  let pouts = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b"; trail = []; ctx = None }) in
   check ci "delivered to survivor" 1 (count_kind `Pub pouts)
 
 (* ---------------- Broker: publications ---------------- *)
@@ -216,7 +216,7 @@ let test_pub_forwarding () =
   let b = make_broker ~id:0 ~neighbors:[ 1; 2 ] () in
   ignore (Broker.handle b ~from:(neighbor 1) (Message.Subscribe { id = sid 5 1; xpe = xp "/a/b" }));
   ignore (Broker.handle b ~from:(client 7) (Message.Subscribe { id = sid 7 1; xpe = xp "/a" }));
-  let outs = Broker.handle b ~from:(neighbor 2) (Message.Publish { pub = pub "/a/b/c"; trail = [] }) in
+  let outs = Broker.handle b ~from:(neighbor 2) (Message.Publish { pub = pub "/a/b/c"; trail = []; ctx = None }) in
   check ci "two targets" 2 (count_kind `Pub outs);
   check ci "to broker 1" 1 (List.length (msgs_to (neighbor 1) outs));
   check ci "to client 7" 1 (List.length (msgs_to (client 7) outs))
@@ -224,19 +224,19 @@ let test_pub_forwarding () =
 let test_pub_not_backwards () =
   let b = make_broker ~id:0 ~neighbors:[ 1 ] () in
   ignore (Broker.handle b ~from:(neighbor 1) (Message.Subscribe { id = sid 5 1; xpe = xp "/a" }));
-  let outs = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b"; trail = [] }) in
+  let outs = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b"; trail = []; ctx = None }) in
   check ci "never back to sender" 0 (List.length outs)
 
 let test_pub_dropped_counted () =
   let b = make_broker ~id:0 ~neighbors:[ 1 ] () in
-  ignore (Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/zzz"; trail = [] }));
+  ignore (Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/zzz"; trail = []; ctx = None }));
   check ci "dropped" 1 (Broker.counters b).Broker.pubs_dropped
 
 let test_pub_trail_routing () =
   let strategy = { Broker.default_strategy with Broker.trail_routing = true } in
   let b = make_broker ~strategy ~id:0 ~neighbors:[ 1; 2 ] () in
   ignore (Broker.handle b ~from:(neighbor 1) (Message.Subscribe { id = sid 5 1; xpe = xp "/a" }));
-  let outs = Broker.handle b ~from:(neighbor 2) (Message.Publish { pub = pub "/a/b"; trail = [] }) in
+  let outs = Broker.handle b ~from:(neighbor 2) (Message.Publish { pub = pub "/a/b"; trail = []; ctx = None }) in
   (match outs with
   | [ (ep, Message.Publish { trail; _ }) ] ->
     check cb "to neighbor 1" true (Rtable.endpoint_equal ep (neighbor 1));
@@ -246,7 +246,7 @@ let test_pub_trail_routing () =
   let b2 = make_broker ~strategy ~id:1 ~neighbors:[ 0 ] () in
   ignore (Broker.handle b2 ~from:(client 3) (Message.Subscribe { id = sid 5 1; xpe = xp "/a" }));
   let outs2 =
-    Broker.handle b2 ~from:(neighbor 0) (Message.Publish { pub = pub "/a/b"; trail = [ sid 5 1 ] })
+    Broker.handle b2 ~from:(neighbor 0) (Message.Publish { pub = pub "/a/b"; trail = [ sid 5 1 ]; ctx = None })
   in
   check ci "delivered via trail" 1 (count_kind `Pub outs2)
 
@@ -265,7 +265,7 @@ let test_merge_pass_emits () =
   check ci "merger subscribed" 1 (count_kind `Sub outs);
   check ci "originals unsubscribed" 2 (count_kind `Unsub outs);
   (* publications still delivered to the exact clients *)
-  let pouts = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b/c"; trail = [] }) in
+  let pouts = Broker.handle b ~from:(neighbor 1) (Message.Publish { pub = pub "/a/b/c"; trail = []; ctx = None }) in
   check ci "still delivered" 1 (count_kind `Pub pouts)
 
 let test_merge_pass_disabled () =

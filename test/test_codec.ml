@@ -39,9 +39,9 @@ let test_publish () =
       path_count = 4;
     }
   in
-  let msg = Message.Publish { pub; trail = [ sid 1 1; sid 2 2 ] } in
+  let msg = Message.Publish { pub; trail = [ sid 1 1; sid 2 2 ]; ctx = None } in
   match Codec.decode (Codec.encode msg) with
-  | Ok (Message.Publish { pub = p; trail }) ->
+  | Ok (Message.Publish { pub = p; trail; _ }) ->
     check cb "steps" true (p.steps = [| "a"; "b"; "c" |]);
     check cb "attrs" true (p.attrs.(2) = [ ("x", "1"); ("y", "2") ]);
     check cb "meta" true (p.doc_id = 5 && p.path_id = 2 && p.doc_size = 123 && p.path_count = 4);
@@ -59,7 +59,7 @@ let test_escaping () =
       path_count = 1;
     }
   in
-  let msg = Message.Publish { pub; trail = [] } in
+  let msg = Message.Publish { pub; trail = []; ctx = None } in
   match Codec.decode (Codec.encode msg) with
   | Ok (Message.Publish { pub = p; _ }) ->
     check cb "weird names survive" true (p.steps = pub.steps);
@@ -113,6 +113,11 @@ let gen_msg =
         Array.mapi (fun i _ -> if with_attr && i = 0 then [ ("k|ey", "v,al") ] else []) steps
       in
       let* doc_id = int_range 0 100 and* path_id = int_range 0 100 in
+      let* with_ctx = bool in
+      let* parent_span = int_range 0 1000 in
+      let ctx =
+        if with_ctx then Some { Message.trace = doc_id; parent_span } else None
+      in
       return
         (Message.Publish
            {
@@ -126,6 +131,7 @@ let gen_msg =
                  path_count = 2;
                };
              trail = [ id ];
+             ctx;
            }))
 
 let prop_roundtrip =

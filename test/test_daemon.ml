@@ -337,6 +337,162 @@ let test_audit_over_wire () =
   Client.close subscriber;
   stop_all (daemons, threads)
 
+(* ---------------- causal tracing over the wire ---------------- *)
+
+module Span = Xroute_obs.Span
+
+(* A publication crossing three daemons must leave one merged span tree:
+   a single trace id, a hop span at every broker with its per-stage
+   leaves, parented across process boundaries, renderable as a waterfall
+   and as valid Chrome trace-event JSON. *)
+let test_trace_over_wire () =
+  let daemons, threads = start_line 3 in
+  let d0 = List.nth daemons 0 and d2 = List.nth daemons 2 in
+  Thread.delay 0.3;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d2) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Thread.delay 0.3;
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.3;
+  ignore (Client.publish_doc publisher ~doc_id:42 (Xroute_xml.Xml_parser.parse "<a><b/></a>"));
+  check (Alcotest.list ci) "delivered" [ 42 ]
+    (Client.drain_deliveries ~timeout:1.0 subscriber);
+  (* fetch the doc's spans from every daemon and merge *)
+  let spans =
+    List.concat_map
+      (fun d ->
+        let c = Client.connect ~client_id:300 ~host:"127.0.0.1" ~port:(Daemon.port d) in
+        Fun.protect
+          ~finally:(fun () -> Client.close c)
+          (fun () ->
+            match Client.trace c 42 with
+            | Some spans -> spans
+            | None -> Alcotest.fail "no TRACE reply"))
+      daemons
+  in
+  check cb "one trace id across all brokers" true
+    (spans <> [] && List.for_all (fun s -> s.Span.trace = 42) spans);
+  let hops = List.filter (fun s -> s.Span.name = "hop") spans in
+  check (Alcotest.list ci) "a hop span at every broker" [ 0; 1; 2 ]
+    (List.sort_uniq compare (List.map (fun s -> s.Span.broker) hops));
+  check ci "exactly one root" 1
+    (List.length (List.filter (fun s -> s.Span.parent = None) spans));
+  (* the hop chain is parented across process boundaries *)
+  let ids = List.map (fun s -> s.Span.id) spans in
+  check cb "every parent resolves in the merged set" true
+    (List.for_all
+       (fun s -> match s.Span.parent with None -> true | Some p -> List.mem p ids)
+       spans);
+  check cb "per-stage leaves present" true
+    (List.exists (fun s -> s.Span.name = "parse") spans
+    && List.exists (fun s -> s.Span.name = "match") spans);
+  (match Span.check_tree spans with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("merged trace mis-nested: " ^ e));
+  check cb "waterfall renders" true (String.length (Span.waterfall spans) > 0);
+  (match Xroute_support.Json.parse (Span.to_chrome spans) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("chrome export invalid: " ^ e));
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
+(* ---------------- framed multi-line responses ---------------- *)
+
+let test_framing_escape_roundtrip () =
+  let cases = [ ""; "plain"; "a|b"; "a\nb\rc"; "100%"; "%7C"; "|%|\n%0A" ] in
+  List.iter
+    (fun s ->
+      check Alcotest.string "escape/unescape round-trips" s
+        (Framing.unescape (Framing.escape s)))
+    cases;
+  check cb "escaped text is pipe- and newline-free" true
+    (List.for_all
+       (fun s ->
+         let e = Framing.escape s in
+         not (String.contains e '|' || String.contains e '\n' || String.contains e '\r'))
+       cases);
+  (* unescape is total: malformed escapes pass through unchanged *)
+  check Alcotest.string "malformed escape passes through" "%zz" (Framing.unescape "%zz");
+  check Alcotest.string "trailing percent passes through" "a%" (Framing.unescape "a%")
+
+(* The TRACE frame must carry payloads containing the frame's own
+   delimiters: plant a span whose name and meta embed '|', newlines and
+   '%', then fetch it over the wire. *)
+let test_trace_framing_hostile_payload () =
+  let d = Daemon.create ~id:0 ~port:0 ~neighbors:[] () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let nasty = "stage|with\npipes\rand 100% escapes" in
+  let meta = [ ("k|ey", "v|al\nue"); ("pct", "100%") ] in
+  let planted =
+    Span.record (Daemon.spans d) ~trace:77 ~name:nasty ~broker:0 ~meta ~start:1.0
+      ~stop:2.0 ()
+  in
+  let c = Client.connect ~client_id:1 ~host:"127.0.0.1" ~port:(Daemon.port d) in
+  (match Client.trace c 77 with
+  | Some [ got ] ->
+    check ci "id intact" planted.Span.id got.Span.id;
+    check Alcotest.string "hostile name intact" nasty got.Span.name;
+    check cb "hostile meta intact" true (got.Span.meta = meta)
+  | Some l -> Alcotest.fail (Printf.sprintf "expected 1 span, got %d" (List.length l))
+  | None -> Alcotest.fail "no TRACE reply");
+  (* STATS still answers on the same connection: framing state is clean *)
+  check cb "connection still usable after TRACE" true (Client.stats c <> None);
+  Client.close c;
+  Daemon.request_stop d;
+  Thread.join th
+
+(* ---------------- flight recorder ---------------- *)
+
+(* An error-severity AUDIT finding must leave a post-mortem on disk:
+   corrupt the PRT via a fake non-neighbor broker, audit, then check the
+   daemon's recorder wrote a parseable xroute-flight/1 dump. *)
+let test_flight_recorder_on_audit_error () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xroute-flight-daemon-%d" (Unix.getpid ()))
+  in
+  let d = Daemon.create ~id:0 ~port:0 ~neighbors:[] ~flight_dir:dir () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let intruder = Client.connect ~client_id:0 ~host:"127.0.0.1" ~port:(Daemon.port d) in
+  Client.send_line intruder "HELLO|broker|99";
+  Client.send intruder
+    (Xroute_core.Message.Subscribe { id = { origin = 990; seq = 1 }; xpe = xp "/z" });
+  Thread.delay 0.2;
+  let observer = Client.connect ~client_id:1 ~host:"127.0.0.1" ~port:(Daemon.port d) in
+  (match Client.audit observer with
+  | Some (errors, _, _) -> check cb "audit reports errors" true (errors > 0)
+  | None -> Alcotest.fail "no AUDIT reply");
+  let recorder =
+    match Daemon.recorder d with
+    | Some r -> r
+    | None -> Alcotest.fail "flight_dir did not enable the recorder"
+  in
+  (match Xroute_obs.Recorder.dumps recorder with
+  | [] -> Alcotest.fail "no flight dump after an error-severity audit"
+  | path :: _ ->
+    let ic = open_in_bin path in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Xroute_support.Json.parse body with
+    | Error e -> Alcotest.fail ("flight dump is not JSON: " ^ e)
+    | Ok j ->
+      let str k =
+        Option.bind (Xroute_support.Json.member k j) Xroute_support.Json.to_str
+      in
+      check cb "flight schema" true (str "schema" = Some "xroute-flight/1");
+      check cb "reason names the audit" true
+        (match str "reason" with
+        | Some r -> List.exists (fun w -> w = "audit") (String.split_on_char ' ' r)
+        | None -> false));
+    Sys.remove path);
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  Client.close intruder;
+  Client.close observer;
+  Daemon.request_stop d;
+  Thread.join th
+
 let () =
   Alcotest.run "daemon"
     [
@@ -350,5 +506,15 @@ let () =
           Alcotest.test_case "audit over the wire" `Quick test_audit_over_wire;
           Alcotest.test_case "broker restart mid-session" `Quick test_broker_restart;
           Alcotest.test_case "1-byte write chunks" `Quick test_one_byte_write_chunks;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "trace over the wire, 3 brokers" `Quick test_trace_over_wire;
+          Alcotest.test_case "framing escape round-trip" `Quick
+            test_framing_escape_roundtrip;
+          Alcotest.test_case "hostile payload through TRACE" `Quick
+            test_trace_framing_hostile_payload;
+          Alcotest.test_case "flight dump on audit error" `Quick
+            test_flight_recorder_on_audit_error;
         ] );
     ]

@@ -92,7 +92,7 @@ let snapshot net publisher subscribers docs =
            List.concat
              (List.mapi
                 (fun j (pub : Xroute_xml.Xml_paths.publication) ->
-                  Broker.handle b ~from:phantom (Message.Publish { pub; trail = [] })
+                  Broker.handle b ~from:phantom (Message.Publish { pub; trail = []; ctx = None })
                   |> List.map (fun (ep, _) ->
                          Format.asprintf "b%d p%d -> %a" (Broker.id b) j Rtable.pp_endpoint ep)
                   |> List.sort compare)

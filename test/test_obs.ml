@@ -150,6 +150,72 @@ let test_aggregate () =
     check cf "sums pooled" 13.0 (Metrics.sum h)
   | _ -> Alcotest.fail "aggregated histogram missing")
 
+(* Aggregation must survive capped histograms: the pooled registry keeps
+   only each source's retained samples, but the observation count and
+   sum must stay the true totals, not the retained ones. *)
+let test_aggregate_capped_histograms () =
+  let mk n base =
+    let reg = Metrics.create () in
+    let h = Metrics.histogram reg ~cap:4 "xroute_test_latency_ms" in
+    for i = 1 to n do
+      Metrics.observe h (base +. float_of_int i)
+    done;
+    reg
+  in
+  let a = mk 10 0.0 (* retains 4 of 10, sum 55 *) in
+  let b = mk 6 100.0 (* retains 4 of 6, sum 621 *) in
+  match Metrics.find (Metrics.aggregate [ a; b ]) "xroute_test_latency_ms" with
+  | Some (Metrics.Histogram h) ->
+    check ci "true observation total past both caps" 16 (Metrics.observations h);
+    check cf "true sum past both caps" 676.0 (Metrics.sum h);
+    check cb "retained pool still bounded by the cap" true
+      (Array.length (Metrics.samples h) <= 4)
+  | _ -> Alcotest.fail "aggregated histogram missing"
+
+(* counter_set mirrors an external cumulative source; after aggregation
+   the merged value exceeds any single source, and a later mirror of one
+   source must not drag it back down. *)
+let test_aggregate_counter_set_no_regression () =
+  let mk v =
+    let reg = Metrics.create () in
+    Metrics.add (Metrics.counter reg "xroute_test_events_total") v;
+    reg
+  in
+  match Metrics.find (Metrics.aggregate [ mk 3; mk 4 ]) "xroute_test_events_total" with
+  | Some (Metrics.Counter c) ->
+    check ci "aggregated" 7 (Metrics.value c);
+    Metrics.counter_set c 5;
+    check ci "mirror below the merged total is ignored" 7 (Metrics.value c);
+    Metrics.counter_set c 9;
+    check ci "mirror above it advances" 9 (Metrics.value c)
+  | _ -> Alcotest.fail "aggregated counter missing"
+
+let test_aggregate_preserves_help () =
+  let mk () =
+    let reg = Metrics.create () in
+    ignore (Metrics.counter reg ~help:"Messages handled." "xroute_test_msgs_total");
+    ignore (Metrics.gauge reg ~help:"Table size." "xroute_test_size");
+    ignore (Metrics.histogram reg ~help:"Latency." "xroute_test_latency_ms");
+    reg
+  in
+  let agg = Metrics.aggregate [ mk (); mk () ] in
+  let helps = List.map (fun (n, h, _) -> (n, h)) (Metrics.metrics agg) in
+  List.iter
+    (fun pair -> check cb "help text survives aggregation" true (List.mem pair helps))
+    [
+      ("xroute_test_msgs_total", "Messages handled.");
+      ("xroute_test_size", "Table size.");
+      ("xroute_test_latency_ms", "Latency.");
+    ];
+  let prom = Metrics.to_prometheus agg in
+  check cb "HELP lines in the merged exposition" true
+    (let needle = "# HELP xroute_test_msgs_total Messages handled." in
+     let n = String.length needle in
+     let rec scan i =
+       i + n <= String.length prom && (String.sub prom i n = needle || scan (i + 1))
+     in
+     scan 0)
+
 (* ---------------- golden expositions ---------------- *)
 
 (* These pin the exact exposition byte-for-byte: the daemon streams it
@@ -233,6 +299,218 @@ let test_trace_hops_for () =
   check cb "distinct ids get distinct keys" true
     (Trace.key_of_id ~origin:3 ~seq:7 <> Trace.key_of_id ~origin:7 ~seq:3)
 
+(* The per-key bucket index: looking up one message's path must cost its
+   own hop count, no matter how much unrelated traffic the ring holds. *)
+let test_trace_lookup_cost_independent () =
+  let tr = Trace.create ~capacity:8192 () in
+  let key = 424242 in
+  for i = 0 to 2 do
+    Trace.record tr ~kind:"pub" ~key ~broker:i ~time:(float_of_int i) ~queue_depth:0
+      ~match_ops:0
+  done;
+  for i = 0 to 4999 do
+    Trace.record tr ~kind:"pub" ~key:i ~broker:0 ~time:10.0 ~queue_depth:0 ~match_ops:0
+  done;
+  check ci "path found under noise" 3 (List.length (Trace.hops_for tr ~key));
+  check ci "lookup cost = this key's hops, not ring size" 3 (Trace.last_lookup_cost tr)
+
+(* ---------------- causal spans ---------------- *)
+
+let test_span_tree_and_stage_sum () =
+  let t = Span.create () in
+  let root = Span.start_span t ~trace:7 ~name:"pub" ~broker:(-1) ~at:0.0 () in
+  let hop = Span.start_span t ~parent:root.Span.id ~trace:7 ~name:"hop" ~broker:0 ~at:0.0 () in
+  ignore
+    (Span.record t ~parent:hop.Span.id ~trace:7 ~name:"queue" ~broker:0 ~start:0.0
+       ~stop:1.0 ());
+  ignore
+    (Span.record t ~parent:hop.Span.id ~trace:7 ~name:"proc" ~broker:0 ~start:1.0
+       ~stop:3.0 ());
+  Span.finish hop ~at:3.0;
+  Span.extend root ~at:3.0;
+  let spans = Span.spans_for t ~trace:7 in
+  check ci "four spans in the trace" 4 (List.length spans);
+  (match Span.check_tree spans with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("well-formed tree rejected: " ^ e));
+  check cf "stage leaves sum to end-to-end" 3.0 (Span.stage_sum spans);
+  check cb "root_for finds the root" true
+    (match Span.root_for t ~trace:7 with Some r -> r.Span.id = root.Span.id | None -> false);
+  check cb "extend never moves stop back" true
+    (Span.extend root ~at:1.0;
+     root.Span.stop = 3.0)
+
+let test_span_check_tree_rejects () =
+  let expect_error label spans =
+    check cb label true (Result.is_error (Span.check_tree spans))
+  in
+  let mk () =
+    let t = Span.create () in
+    let root = Span.start_span t ~trace:1 ~name:"pub" ~broker:(-1) ~at:0.0 () in
+    let hop = Span.start_span t ~parent:root.Span.id ~trace:1 ~name:"hop" ~broker:0 ~at:0.0 () in
+    Span.finish hop ~at:3.0;
+    Span.extend root ~at:3.0;
+    (t, root, hop)
+  in
+  (* leaf escaping its parent's interval *)
+  let t, _, hop = mk () in
+  ignore
+    (Span.record t ~parent:hop.Span.id ~trace:1 ~name:"proc" ~broker:0 ~start:1.0
+       ~stop:5.0 ());
+  expect_error "leaf past its parent" (Span.to_list t);
+  (* two roots in one trace *)
+  let t, _, _ = mk () in
+  ignore (Span.record t ~trace:1 ~name:"pub" ~broker:(-1) ~start:0.0 ~stop:1.0 ());
+  expect_error "second root" (Span.to_list t);
+  (* dangling parent *)
+  let t, _, _ = mk () in
+  ignore (Span.record t ~parent:999 ~trace:1 ~name:"proc" ~broker:0 ~start:0.0 ~stop:1.0 ());
+  expect_error "unresolved parent" (Span.to_list t);
+  (* negative duration *)
+  let t, _, hop = mk () in
+  ignore
+    (Span.record t ~parent:hop.Span.id ~trace:1 ~name:"proc" ~broker:0 ~start:2.0
+       ~stop:1.0 ());
+  expect_error "span ends before it starts" (Span.to_list t);
+  (* an INTERIOR child may start after its parent ended: a hop chained
+     across daemons, where the message was in flight when the upstream
+     hop closed *)
+  let t, _, hop = mk () in
+  let hop2 = Span.start_span t ~parent:hop.Span.id ~trace:1 ~name:"hop" ~broker:1 ~at:5.0 () in
+  ignore
+    (Span.record t ~parent:hop2.Span.id ~trace:1 ~name:"proc" ~broker:1 ~start:5.0
+       ~stop:6.0 ());
+  Span.finish hop2 ~at:6.0;
+  check cb "late interior hop accepted (in-flight gap)" true
+    (Result.is_ok (Span.check_tree (Span.to_list t)))
+
+let test_span_ring_and_lookup_cost () =
+  let t = Span.create ~capacity:64 () in
+  for i = 0 to 199 do
+    ignore (Span.record t ~trace:2 ~name:"hop" ~broker:0 ~start:(float_of_int i)
+              ~stop:(float_of_int i) ())
+  done;
+  ignore (Span.record t ~trace:1 ~name:"pub" ~broker:(-1) ~start:500.0 ~stop:500.0 ());
+  ignore (Span.record t ~trace:1 ~name:"hop" ~broker:0 ~start:500.0 ~stop:501.0 ());
+  check ci "length counts all spans ever" 202 (Span.length t);
+  check ci "ring retains capacity" 64 (List.length (Span.to_list t));
+  check ci "trace bucket intact under noise" 2
+    (List.length (Span.spans_for t ~trace:1));
+  check ci "lookup cost = this trace's spans" 2 (Span.last_lookup_cost t);
+  check cb "evicted spans are unfindable" true (Span.find t 1 = None);
+  Span.clear t;
+  check ci "clear resets" 0 (Span.length t)
+
+let test_span_wire_roundtrip () =
+  let t = Span.create () in
+  let nasty = "hop|with\npipes\rand 100% escapes" in
+  let s =
+    Span.record t ~parent:3 ~trace:9 ~name:nasty ~broker:2
+      ~meta:[ ("k|ey", "v|al\nue"); ("pct", "100%") ]
+      ~start:1.5 ~stop:2.5 ()
+  in
+  match Span.of_wire_line (Span.to_wire_line s) with
+  | None -> Alcotest.fail "wire line did not parse back"
+  | Some s' ->
+    check ci "id" s.Span.id s'.Span.id;
+    check ci "trace" 9 s'.Span.trace;
+    check cb "parent" true (s'.Span.parent = Some 3);
+    check cs "hostile name intact" nasty s'.Span.name;
+    check ci "broker" 2 s'.Span.broker;
+    check cf "start" 1.5 s'.Span.start;
+    check cf "stop" 2.5 s'.Span.stop;
+    check cb "hostile meta intact" true (s'.Span.meta = s.Span.meta)
+
+(* ---------------- monotonic clock ---------------- *)
+
+let test_mono_never_decreases () =
+  (* the anchor sample (100) is taken by create; then the source steps
+     backwards from 105 to 50 *)
+  let readings = ref [ 100.0; 105.0; 50.0; 52.0 ] in
+  let source () =
+    match !readings with
+    | [] -> 60.0
+    | x :: rest ->
+      readings := rest;
+      x
+  in
+  let m = Xroute_support.Mono.create ~source () in
+  check cf "advances with the source" 105.0 (Xroute_support.Mono.now m);
+  check cf "backward step held at the last reading" 105.0 (Xroute_support.Mono.now m);
+  check cf "resumes at the source's rate" 107.0 (Xroute_support.Mono.now m);
+  check cf "compensation accounted" 55.0 (Xroute_support.Mono.offset m)
+
+(* ---------------- timeseries ---------------- *)
+
+let test_timeseries_deltas_and_rates () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "xroute_test_events_total" in
+  let g = Metrics.gauge reg "xroute_test_depth" in
+  let ts = Timeseries.create ~capacity:4 reg in
+  check cb "no deltas before two snapshots" true (Timeseries.deltas ts = []);
+  Metrics.add c 10;
+  Metrics.set g 2.0;
+  Timeseries.snapshot ts ~at:1000.0;
+  Metrics.add c 5;
+  Metrics.set g 1.0;
+  Timeseries.snapshot ts ~at:3000.0;
+  check cf "counter delta" 5.0 (List.assoc "xroute_test_events_total" (Timeseries.deltas ts));
+  check cf "gauge delta may be negative" (-1.0)
+    (List.assoc "xroute_test_depth" (Timeseries.deltas ts));
+  check cf "rate is per second" 2.5
+    (List.assoc "xroute_test_events_total" (Timeseries.rates ts));
+  for i = 1 to 6 do
+    Timeseries.snapshot ts ~at:(3000.0 +. float_of_int i)
+  done;
+  check ci "snapshots ever" 8 (Timeseries.length ts);
+  check ci "ring retains capacity" 4 (List.length (Timeseries.to_list ts));
+  check cb "last is the newest" true
+    (match Timeseries.last ts with Some s -> s.Timeseries.at = 3006.0 | None -> false)
+
+(* ---------------- flight recorder ---------------- *)
+
+let test_recorder_dump () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xroute-flight-test-%d" (Unix.getpid ()))
+  in
+  let r = Recorder.create ~dir () in
+  let t = Span.create () in
+  ignore (Span.record t ~trace:1 ~name:"hop" ~broker:0 ~start:0.0 ~stop:1.0 ());
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "xroute_test_events_total") 3;
+  (match
+     Recorder.trigger r ~reason:"Broker 2 crashed!" ~at:123.0 ~metrics:reg
+       ~spans:(Span.to_list t)
+       ~rates:[ ("xroute_test_events_total", 1.5) ]
+       ()
+   with
+  | Error e -> Alcotest.fail ("dump failed: " ^ e)
+  | Ok path ->
+    check cb "dump file exists" true (Sys.file_exists path);
+    check cb "path recorded newest-first" true (Recorder.dumps r = [ path ]);
+    let ic = open_in_bin path in
+    let body = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    (match Xroute_support.Json.parse body with
+    | Error e -> Alcotest.fail ("dump is not JSON: " ^ e)
+    | Ok j ->
+      let str k = Option.bind (Xroute_support.Json.member k j) Xroute_support.Json.to_str in
+      check cb "flight schema" true (str "schema" = Some "xroute-flight/1");
+      check cb "reason embedded" true (str "reason" = Some "Broker 2 crashed!");
+      check cb "spans field is a chrome trace object" true
+        (match Xroute_support.Json.member "spans" j with
+        | Some spans -> Xroute_support.Json.member "traceEvents" spans <> None
+        | None -> false));
+    Sys.remove path);
+  (try Sys.rmdir dir with Sys_error _ -> ());
+  (* a broken directory is reported, never raised *)
+  let bad = Recorder.create ~dir:"/dev/null/nope" () in
+  check cb "broken dir reported as Error" true
+    (match bad |> fun b -> Recorder.trigger b ~reason:"x" ~at:0.0 () with
+    | Error _ -> true
+    | Ok _ -> false)
+
 let () =
   Alcotest.run "obs"
     [
@@ -248,6 +526,11 @@ let () =
           Alcotest.test_case "interleaved sim updates" `Quick test_interleaved_sim_updates;
           Alcotest.test_case "scalar and find" `Quick test_scalar_and_find;
           Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "aggregate capped histograms" `Quick
+            test_aggregate_capped_histograms;
+          Alcotest.test_case "aggregate then counter_set" `Quick
+            test_aggregate_counter_set_no_regression;
+          Alcotest.test_case "aggregate preserves help" `Quick test_aggregate_preserves_help;
         ] );
       ( "exposition",
         [
@@ -258,5 +541,21 @@ let () =
         [
           Alcotest.test_case "ring buffer" `Quick test_trace_ring;
           Alcotest.test_case "hops_for" `Quick test_trace_hops_for;
+          Alcotest.test_case "lookup cost independent of noise" `Quick
+            test_trace_lookup_cost_independent;
         ] );
+      ( "span",
+        [
+          Alcotest.test_case "tree and stage sum" `Quick test_span_tree_and_stage_sum;
+          Alcotest.test_case "check_tree rejects malformed trees" `Quick
+            test_span_check_tree_rejects;
+          Alcotest.test_case "ring and lookup cost" `Quick test_span_ring_and_lookup_cost;
+          Alcotest.test_case "wire round-trip" `Quick test_span_wire_roundtrip;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic under backward steps" `Quick test_mono_never_decreases ] );
+      ( "timeseries",
+        [ Alcotest.test_case "deltas and rates" `Quick test_timeseries_deltas_and_rates ] );
+      ( "recorder",
+        [ Alcotest.test_case "dump and error path" `Quick test_recorder_dump ] );
     ]
