@@ -20,21 +20,24 @@ let scale =
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable report: BENCH_5.json                               *)
+(* Machine-readable reports: BENCH_5.json, BENCH_6.json                *)
 (* ------------------------------------------------------------------ *)
 
 (* Every experiment records (name, fields); the runner adds wall time.
    Written next to the printed tables so runs can be diffed/gated by
-   tooling (schema documented in EXPERIMENTS.md). *)
+   tooling (schema documented in EXPERIMENTS.md). The match-scaling
+   experiment writes to a second sink (schema xroute-bench/6) so its
+   records can be regenerated without touching BENCH_5.json. *)
 module Report = struct
   type value = F of float | I of int | B of bool
 
   let records : (string * (string * value) list) list ref = ref []
+  let records6 : (string * (string * value) list) list ref = ref []
 
   (* Append fields to the experiment's record (merging by name; a
      re-recorded field replaces the old value rather than duplicating
      the JSON key). *)
-  let record name fields =
+  let record_in records name fields =
     match List.assoc_opt name !records with
     | Some existing ->
       let kept =
@@ -42,6 +45,9 @@ module Report = struct
       in
       records := (name, kept @ fields) :: List.remove_assoc name !records
     | None -> records := (name, fields) :: !records
+
+  let record name fields = record_in records name fields
+  let record6 name fields = record_in records6 name fields
 
   let render_value = function
     | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
@@ -54,13 +60,19 @@ module Report = struct
     in
     Printf.sprintf "{\"name\":%S,%s}" name (String.concat "," body)
 
-  let write path =
+  let write_sink ~schema path records =
     let oc = open_out path in
-    Printf.fprintf oc "{\"schema\":\"xroute-bench/5\",\"scale\":%.3f,\"experiments\":[%s]}\n"
-      scale
-      (String.concat "," (List.rev_map render_record !records));
+    Printf.fprintf oc "{\"schema\":%S,\"scale\":%.3f,\"experiments\":[%s]}\n" schema scale
+      (String.concat "," (List.rev_map render_record records));
     close_out oc;
-    Printf.printf "\nwrote %s (%d experiment records)\n%!" path (List.length !records)
+    Printf.printf "\nwrote %s (%d experiment records)\n%!" path (List.length records)
+
+  let write path =
+    write_sink ~schema:"xroute-bench/5" path !records;
+    if !records6 <> [] then
+      write_sink ~schema:"xroute-bench/6"
+        (Option.value ~default:"BENCH_6.json" (Sys.getenv_opt "XROUTE_BENCH_JSON6"))
+        !records6
 end
 
 let section title =
@@ -1083,6 +1095,113 @@ let micro_benchmarks () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* Match scaling - flat scan vs covering tree vs shared-prefix NFA     *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-6 tentpole measurement: per-publication match cost as the PRT
+   grows from 1k to 100k subscriptions, under the three engines the
+   differential harness gates — the flat list (no covering, tree
+   engine), the covering tree (pruned DFS), and the shared-prefix NFA.
+   Decisions must be byte-identical across all three at every size; the
+   NFA's per-publication cost must track its branching into the
+   publication, not the table size. Records go to BENCH_6.json. *)
+
+let prt_decision (prt : Rtable.Prt.t) (pub : Xroute_xml.Xml_paths.publication) =
+  Rtable.Prt.match_pub prt pub
+  |> List.map (fun (p : Rtable.Prt.payload) -> p.Rtable.Prt.id)
+  |> List.sort_uniq compare
+  |> List.map (fun (id : Message.sub_id) -> Printf.sprintf "%d.%d" id.origin id.seq)
+  |> String.concat ";"
+
+let match_scaling () =
+  section
+    "Match scaling - flat list vs covering tree vs shared-prefix NFA\n\
+     (PRT publication matching as the table grows; Set A, NITF; the\n\
+     three engines of the differential harness must agree decision-for-\n\
+     decision while the NFA's cost stays flat in the table size)";
+  let sizes = List.sort_uniq compare [ scaled 1_000; scaled 10_000; scaled 100_000 ] in
+  let requested = List.fold_left max 1 sizes in
+  let xpes =
+    Array.of_list
+      (Xroute_workload.Workload.xpes
+         ~params:(Xroute_workload.Workload.set_a_params nitf) ~count:requested ~seed:71 ())
+  in
+  (* the generator caps at the DTD's distinct-XPE space *)
+  let avail = Array.length xpes in
+  if avail < requested then
+    Printf.printf "(workload yields %d distinct XPEs for %d requested)\n" avail requested;
+  let docs = Xroute_workload.Workload.documents ~dtd:nitf ~count:(scaled 10) ~seed:72 () in
+  let pubs = Xroute_workload.Workload.publications_of_documents docs in
+  let n_pubs = List.length pubs in
+  let flat = Rtable.Prt.create ~flat:true ~engine:Rtable.Prt.Tree () in
+  let tree = Rtable.Prt.create ~engine:Rtable.Prt.Tree () in
+  let nfa = Rtable.Prt.create ~engine:Rtable.Prt.Nfa () in
+  let inserted = ref 0 in
+  let fill upto =
+    for i = !inserted to min upto avail - 1 do
+      let id : Message.sub_id = { origin = 1; seq = i } in
+      ignore (Rtable.Prt.insert flat id xpes.(i) (Rtable.Client 0));
+      ignore (Rtable.Prt.insert tree id xpes.(i) (Rtable.Client 0));
+      ignore (Rtable.Prt.insert nfa id xpes.(i) (Rtable.Client 0))
+    done;
+    inserted := min upto avail
+  in
+  Printf.printf "%d publications from %d documents\n" n_pubs (scaled 10);
+  Printf.printf "%-9s %-9s | %13s %13s %13s | %11s %11s %11s | %5s\n" "xpes" "(stored)"
+    "flat ent/pub" "tree ent/pub" "nfa ent/pub" "flat ms/pub" "tree ms/pub" "nfa ms/pub"
+    "diffs";
+  let last_ratio = ref 0.0 in
+  List.iter
+    (fun size ->
+      fill size;
+      let run prt =
+        let before = Rtable.Prt.match_checks prt in
+        let decisions, wall = time_it (fun () -> List.map (prt_decision prt) pubs) in
+        (decisions, Rtable.Prt.match_checks prt - before, wall)
+      in
+      let d_flat, ops_flat, t_flat = run flat in
+      let d_tree, ops_tree, t_tree = run tree in
+      let d_nfa, ops_nfa, t_nfa = run nfa in
+      let diffs l = List.fold_left2 (fun n a b -> if String.equal a b then n else n + 1) 0 d_flat l in
+      let decision_diffs = diffs d_tree + diffs d_nfa in
+      let per ops = float_of_int ops /. float_of_int (max 1 n_pubs) in
+      let ms t = t *. 1000.0 /. float_of_int (max 1 n_pubs) in
+      let ratio = per ops_flat /. Float.max 1.0 (per ops_nfa) in
+      last_ratio := ratio;
+      Printf.printf
+        "%-9d %-9d | %13.1f %13.1f %13.1f | %11.4f %11.4f %11.4f | %5d  (flat/nfa %.1fx)\n%!"
+        size !inserted (per ops_flat) (per ops_tree) (per ops_nfa) (ms t_flat) (ms t_tree)
+        (ms t_nfa) decision_diffs ratio;
+      Report.record6
+        (Printf.sprintf "match-scaling-%d" size)
+        [
+          ("xpes_requested", Report.I size);
+          ("xpes_stored", Report.I !inserted);
+          ("publications", Report.I n_pubs);
+          ("entries_per_pub_flat", Report.F (per ops_flat));
+          ("entries_per_pub_tree", Report.F (per ops_tree));
+          ("entries_per_pub_nfa", Report.F (per ops_nfa));
+          ("ms_per_pub_flat", Report.F (ms t_flat));
+          ("ms_per_pub_tree", Report.F (ms t_tree));
+          ("ms_per_pub_nfa", Report.F (ms t_nfa));
+          ("nfa_states", Report.I (Rtable.Prt.nfa_states nfa));
+          ("flat_over_nfa", Report.F ratio);
+          ("decision_diffs", Report.I decision_diffs);
+          ("decisions_identical", Report.B (decision_diffs = 0));
+        ];
+      if decision_diffs <> 0 then begin
+        Printf.printf "match-scaling FAILED: %d decision diffs at %d XPEs\n" decision_diffs
+          size;
+        exit 1
+      end)
+    sizes;
+  Report.record6 "match-scaling"
+    [
+      ("sizes", Report.I (List.length sizes));
+      ("flat_over_nfa_at_max", Report.F !last_ratio);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Instrumentation smoke check (wired into dune runtest)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1174,6 +1293,48 @@ let smoke () =
     Printf.printf "smoke FAILED: SRT index avoided no scans (%d >= %d)\n" ops_idx ops_list;
     exit 1
   end;
+  (* NFA vs flat PRT: identical routing decisions on the PSD multi-feed
+     corpus (PSD subscriptions; publications from the PSD feed plus a
+     foreign feed, so the automaton also sees roots it stores nothing
+     under). *)
+  let prt_xpes =
+    Xroute_workload.Workload.xpes ~params:(Xroute_workload.Workload.set_a_params psd)
+      ~count:1500 ~seed:13 ()
+  in
+  let prt_flat = Rtable.Prt.create ~flat:true ~engine:Rtable.Prt.Tree () in
+  let prt_nfa = Rtable.Prt.create ~engine:Rtable.Prt.Nfa () in
+  List.iteri
+    (fun i x ->
+      let id : Message.sub_id = { origin = 2; seq = i } in
+      ignore (Rtable.Prt.insert prt_flat id x (Rtable.Client 0));
+      ignore (Rtable.Prt.insert prt_nfa id x (Rtable.Client 0)))
+    prt_xpes;
+  let corpus =
+    Xroute_workload.Workload.publications_of_documents
+      (Xroute_workload.Workload.documents ~dtd:psd ~count:8 ~seed:14 ()
+      @ Xroute_workload.Workload.documents ~dtd:nitf ~count:4 ~seed:15 ())
+  in
+  let nfa_diffs =
+    List.filter
+      (fun pub -> not (String.equal (prt_decision prt_flat pub) (prt_decision prt_nfa pub)))
+      corpus
+  in
+  Printf.printf "smoke: NFA vs flat PRT on %d XPEs x %d publications: %d decision diffs\n"
+    (List.length prt_xpes) (List.length corpus) (List.length nfa_diffs);
+  if nfa_diffs <> [] then begin
+    Printf.printf "smoke FAILED: NFA match engine diverged from the flat PRT\n";
+    List.iter
+      (fun (pub : Xroute_xml.Xml_paths.publication) ->
+        Printf.printf "  /%s\n" (String.concat "/" (Array.to_list pub.steps)))
+      nfa_diffs;
+    exit 1
+  end;
+  (match Rtable.Prt.nfa_invariants prt_nfa with
+  | [] -> ()
+  | problems ->
+    Printf.printf "smoke FAILED: PRT NFA invariants violated:\n";
+    List.iter (fun m -> Printf.printf "  %s\n" m) problems;
+    exit 1);
   (* Fault gate: crash the relay broker of a line, publish into the
      outage (must be destroyed and accounted), restart it, and require
      the routing state to recover so the next publication is delivered
@@ -1288,6 +1449,7 @@ let experiments =
     ("fault-recovery", fault_recovery);
     ("ablation-exact-cover", ablation_exact_cover);
     ("ablation-yfilter", ablation_yfilter);
+    ("match-scaling", match_scaling);
     ("ablation-trail", ablation_trail_routing);
     ("micro", micro_benchmarks);
   ]

@@ -65,7 +65,7 @@ let of_xpe xpe =
     let symbol =
       match s.test with
       | Xroute_xpath.Xpe.Star -> any
-      | Xroute_xpath.Xpe.Name n -> exact n
+      | Xroute_xpath.Xpe.Name n -> exact (Xroute_support.Symbol.name n)
     in
     match s.axis with
     | Xroute_xpath.Xpe.Child -> [ symbol ]
@@ -81,7 +81,7 @@ let of_adv adv =
     | Xroute_xpath.Adv.Lit symbols ->
       seq
         (Array.to_list symbols
-        |> List.map (function Xroute_xpath.Xpe.Star -> any | Xroute_xpath.Xpe.Name n -> exact n))
+        |> List.map (function Xroute_xpath.Xpe.Star -> any | Xroute_xpath.Xpe.Name n -> exact (Xroute_support.Symbol.name n)))
     | Xroute_xpath.Adv.Group inner -> plus (seq (List.map part_regex inner))
   in
   seq (List.map part_regex (Xroute_xpath.Adv.parts adv))

@@ -135,6 +135,9 @@ let audit_broker ?live_advs ?live_subs broker =
   List.iter
     (fun msg -> add "prt-integrity" (where ^ ": PRT covering forest invariant violated") msg)
     v.Broker.av_prt_invariants;
+  List.iter
+    (fun msg -> add "nfa-integrity" (where ^ ": PRT match automaton invariant violated") msg)
+    v.Broker.av_nfa_invariants;
   (* dangling entries vs the live ledgers *)
   (match live_advs with
   | Some live ->

@@ -29,7 +29,7 @@ module Lang = Xroute_automata.Lang
 let alphabet = [| "a"; "b"; "c"; "d" |]
 
 let gen_test prng =
-  if Prng.bernoulli prng 0.25 then Xpe.Star else Xpe.Name (Prng.choose prng alphabet)
+  if Prng.bernoulli prng 0.25 then Xpe.Star else Xpe.test_of_string (Prng.choose prng alphabet)
 
 let gen_xpe prng =
   let len = 1 + Prng.int prng 5 in

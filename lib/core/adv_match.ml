@@ -38,7 +38,7 @@ open Xroute_xpath
 let test_overlap (a : Adv.symbol) (s : Xpe.nodetest) =
   match (a, s) with
   | Xpe.Star, _ | _, Xpe.Star -> true
-  | Xpe.Name x, Xpe.Name y -> String.equal x y
+  | Xpe.Name x, Xpe.Name y -> Xroute_support.Symbol.equal x y
 
 (* ------------------------------------------------------------------ *)
 (* Non-recursive advertisements                                        *)
@@ -78,7 +78,7 @@ let rel_expr_and_adv_naive (steps : Xpe.step list) (adv : Adv.symbol array) =
 let tests_compatible (a : Xpe.nodetest) (b : Xpe.nodetest) =
   match (a, b) with
   | Xpe.Star, _ | _, Xpe.Star -> true
-  | Xpe.Name x, Xpe.Name y -> String.equal x y
+  | Xpe.Name x, Xpe.Name y -> Xroute_support.Symbol.equal x y
 
 (* Liberal failure function: fail.(j) = length of the longest proper
    border of pattern[0..j] under [tests_compatible]. *)

@@ -35,6 +35,7 @@ type strategy = {
   trail_routing : bool;  (* XTreeNet-style restricted re-matching *)
   exact_engines : bool;  (* automata engines instead of the paper's *)
   srt_index : bool;  (* root-element bucket index in the SRT *)
+  match_engine : Rtable.Prt.match_engine;  (* PRT publication matcher *)
 }
 
 let default_strategy =
@@ -46,6 +47,7 @@ let default_strategy =
     trail_routing = false;
     exact_engines = false;
     srt_index = true;
+    match_engine = Rtable.Prt.Nfa;
   }
 
 (* The six rows of Tables 2 and 3. *)
@@ -100,6 +102,7 @@ type meters = {
   m_srt_catch_all : M.gauge; (* wildcard/recursive catch-all size *)
   m_prt_size : M.gauge;
   m_prt_payloads : M.gauge;
+  m_nfa_states : M.gauge;
   m_forwarded : M.gauge;
   m_mergers_active : M.gauge;
   m_suppressed : M.gauge;
@@ -136,6 +139,7 @@ let make_meters reg =
       M.gauge reg ~help:"SRT wildcard/recursive catch-all entries" "xroute_srt_catch_all";
     m_prt_size = M.gauge reg ~help:"PRT distinct XPEs" "xroute_prt_size";
     m_prt_payloads = M.gauge reg ~help:"PRT stored payloads" "xroute_prt_payloads";
+    m_nfa_states = M.gauge reg ~help:"PRT NFA automaton states" "xroute_nfa_states";
     m_forwarded =
       M.gauge reg ~help:"Subscriptions forwarded upstream" "xroute_broker_forwarded_subs";
     m_mergers_active = M.gauge reg ~help:"Active mergers" "xroute_broker_mergers_active";
@@ -190,7 +194,7 @@ let create ?(strategy = default_strategy) ~id ~neighbors () =
     covers;
     neighbors;
     srt = Rtable.Srt.create ~use_cover:strategy.adv_cover ~engine ~indexed:strategy.srt_index ();
-    prt = Rtable.Prt.create ~flat ~covers ();
+    prt = Rtable.Prt.create ~flat ~covers ~engine:strategy.match_engine ();
     forwarded = Rtable.Prt.Id_map.empty;
     mergers = [];
     suppressed = [];
@@ -243,9 +247,12 @@ let refresh_metrics t =
   M.set_int m.m_srt_catch_all (Rtable.Srt.catch_all_size t.srt);
   M.set_int m.m_prt_size (Rtable.Prt.size t.prt);
   M.set_int m.m_prt_payloads (Rtable.Prt.payload_count t.prt);
+  M.set_int m.m_nfa_states (Rtable.Prt.nfa_states t.prt);
   M.set_int m.m_forwarded (Rtable.Prt.Id_map.cardinal t.forwarded);
   M.set_int m.m_mergers_active (List.length t.mergers);
   M.set_int m.m_suppressed (List.length t.suppressed)
+
+let corrupt_nfa_for_test t = Rtable.Prt.plant_nfa_orphan t.prt
 
 let neighbor_endpoints ?(except = []) t =
   List.filter_map
@@ -654,6 +661,7 @@ type audit_view = {
   av_srt_entries : Rtable.Srt.entry list;
   av_srt_invariants : string list; (* Rtable.Srt.check_invariants *)
   av_prt_invariants : string list; (* Sub_tree.check_invariants *)
+  av_nfa_invariants : string list; (* Rtable.Prt.nfa_invariants *)
   av_subs : (Message.sub_id * Xpe.t * Rtable.endpoint) list; (* stored payloads *)
   av_forwarded : (Message.sub_id * Rtable.endpoint list) list;
   av_mergers : (Message.sub_id * Xpe.t * Message.sub_id list) list;
@@ -699,6 +707,7 @@ let audit_view t =
     av_srt_entries = Rtable.Srt.entries t.srt;
     av_srt_invariants = Rtable.Srt.check_invariants t.srt;
     av_prt_invariants = Sub_tree.check_invariants (Rtable.Prt.tree t.prt);
+    av_nfa_invariants = Rtable.Prt.nfa_invariants t.prt;
     av_subs = List.rev !subs;
     av_forwarded = Rtable.Prt.Id_map.bindings t.forwarded;
     av_mergers = List.map (fun m -> (m.merger_id, m.merger_xpe, m.member_ids)) t.mergers;

@@ -16,6 +16,9 @@ type strategy = {
   srt_index : bool;
       (** root-element bucket index in the SRT (identical decisions,
           fewer match operations); off = flat list scan *)
+  match_engine : Rtable.Prt.match_engine;
+      (** PRT publication matcher: the shared-prefix NFA (default) or
+          the covering tree; identical decisions, gated differentially *)
 }
 
 (** Advertisements + covering, no merging. *)
@@ -58,6 +61,10 @@ val refresh_metrics : t -> unit
 
 val srt_size : t -> int
 val prt_size : t -> int
+
+(** Test hook: plant a dead state in the PRT's NFA, which the
+    [nfa-integrity] audit must report. *)
+val corrupt_nfa_for_test : t -> unit
 
 (** Paths derivable from the publisher's DTD, needed by merging to
     compute imperfect degrees. *)
@@ -102,6 +109,7 @@ type audit_view = {
   av_srt_entries : Rtable.Srt.entry list;
   av_srt_invariants : string list;  (** [Rtable.Srt.check_invariants] *)
   av_prt_invariants : string list;  (** [Sub_tree.check_invariants] *)
+  av_nfa_invariants : string list;  (** [Rtable.Prt.nfa_invariants] *)
   av_subs : (Message.sub_id * Xroute_xpath.Xpe.t * Rtable.endpoint) list;
       (** every stored PRT payload: id, XPE, last hop *)
   av_forwarded : (Message.sub_id * Rtable.endpoint list) list;

@@ -222,7 +222,7 @@ let decode line =
           (Message.Publish
              {
                pub =
-                 { Xroute_xml.Xml_paths.doc_id; path_id; steps; attrs; doc_size; path_count };
+                 (Xroute_xml.Xml_paths.make ~doc_id ~path_id ~steps ~attrs ~doc_size ~path_count);
                trail;
                ctx;
              })

@@ -28,7 +28,7 @@ open Xroute_xpath
 let test_covers (a : Xpe.nodetest) (b : Xpe.nodetest) =
   match (a, b) with
   | Xpe.Star, _ -> true
-  | Xpe.Name x, Xpe.Name y -> String.equal x y
+  | Xpe.Name x, Xpe.Name y -> Xroute_support.Symbol.equal x y
   | Xpe.Name _, Xpe.Star -> false
 
 let preds_subset (p1 : Xpe.predicate list) (p2 : Xpe.predicate list) =

@@ -56,7 +56,7 @@ let imperfect_degree ~universe merger_xpe originals =
 (* Canonical string for a step, with holes. *)
 let step_key (s : Xpe.step) =
   let axis = match s.axis with Xpe.Child -> "/" | Xpe.Desc -> "//" in
-  let test = match s.test with Xpe.Star -> "*" | Xpe.Name n -> n in
+  let test = Xpe.test_to_string s.test in
   let preds = String.concat "" (List.map Xpe.pred_to_string s.preds) in
   axis ^ test ^ preds
 
@@ -71,7 +71,7 @@ let xpe_key_blanking xpe ~blank_test ~blank_axis =
            in
            let test =
              if Some i = blank_test then "?"
-             else match s.test with Xpe.Star -> "*" | Xpe.Name n -> n
+             else Xpe.test_to_string s.test
            in
            let preds = String.concat "" (List.map Xpe.pred_to_string s.preds) in
            axis ^ test ^ preds)

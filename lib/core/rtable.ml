@@ -10,6 +10,7 @@
    false covering predicate, degrading the tree to a flat list. *)
 
 open Xroute_xpath
+module Symbol = Xroute_support.Symbol
 
 type endpoint = Neighbor of int | Client of int
 
@@ -40,7 +41,9 @@ module Srt = struct
      [indexed = false] mode keeps the flat scan alive for differential
      tests and benchmarks). *)
   type t = {
-    buckets : (string, entry list) Hashtbl.t; (* root element -> entries *)
+    (* Keyed by the interned root element: bucket routing never hashes
+       or compares a string. *)
+    buckets : (Symbol.t, entry list) Hashtbl.t;
     mutable catch_all : entry list; (* Star / recursive-rooted advertisements *)
     by_id : (Message.sub_id, entry) Hashtbl.t;
     mutable count : int;
@@ -236,18 +239,18 @@ module Srt = struct
     in
     Hashtbl.iter
       (fun name es ->
-        if es = [] then add "SRT keeps an empty bucket %S" name;
-        check_order (Printf.sprintf "bucket %S" name) es;
+        if es = [] then add "SRT keeps an empty bucket %S" (Symbol.name name);
+        check_order (Printf.sprintf "bucket %S" (Symbol.name name)) es;
         List.iter
           (fun e ->
             match bucket_key t e.adv with
-            | Some k when String.equal k name -> ()
+            | Some k when Symbol.equal k name -> ()
             | Some k ->
               add "SRT entry (%d,%d) filed under %S, belongs in %S" e.id.origin e.id.seq
-                name k
+                (Symbol.name name) (Symbol.name k)
             | None ->
               add "SRT entry (%d,%d) filed under %S, belongs in the catch-all" e.id.origin
-                e.id.seq name)
+                e.id.seq (Symbol.name name))
           es)
       t.buckets;
     check_order "catch-all" t.catch_all;
@@ -257,7 +260,7 @@ module Srt = struct
         | None -> ()
         | Some k ->
           add "SRT entry (%d,%d) in the catch-all, belongs in bucket %S" e.id.origin
-            e.id.seq k)
+            e.id.seq (Symbol.name k))
       t.catch_all;
     if (not t.indexed) && Hashtbl.length t.buckets > 0 then
       add "flat SRT has %d root-element buckets" (Hashtbl.length t.buckets);
@@ -271,6 +274,15 @@ end
 module Prt = struct
   type payload = { id : Message.sub_id; hop : endpoint }
 
+  type match_engine = Tree | Nfa
+
+  let match_engine_to_string = function Tree -> "tree" | Nfa -> "nfa"
+
+  let match_engine_of_string = function
+    | "tree" -> Some Tree
+    | "nfa" -> Some Nfa
+    | _ -> None
+
   module Id_map = Map.Make (struct
     type t = Message.sub_id
 
@@ -279,14 +291,39 @@ module Prt = struct
 
   type t = {
     tree : payload Sub_tree.t;
+    (* The YFilter automaton over the same subscription set. Entries
+       carry an insertion sequence number so NFA match results can be
+       reported in a deterministic (insertion) order, independent of
+       hash-table iteration. Both structures hold the same physical
+       payload records, so removal can select by physical equality and
+       the audit can cross-check them. The automaton is maintained under
+       both engines: switching engines is O(1) and the integrity audit
+       always has both sides to compare. *)
+    nfa : (int * payload) Yfilter.t;
+    mutable nfa_seq : int;
+    engine : match_engine;
     mutable by_id : (payload Sub_tree.node * payload) Id_map.t;
   }
 
-  let create ?flat ?covers () =
-    { tree = Sub_tree.create ?flat ?covers (); by_id = Id_map.empty }
+  (* The NFA is the primary engine: per-publication cost grows with the
+     automaton's branching into the publication, not with the table
+     size. [~engine:Tree] is the opt-out for differential testing,
+     exactly as [Srt.create ~indexed:false] opts out of the bucket
+     index. *)
+  let create ?flat ?covers ?(engine = Nfa) () =
+    {
+      tree = Sub_tree.create ?flat ?covers ();
+      nfa = Yfilter.create ();
+      nfa_seq = 0;
+      engine;
+      by_id = Id_map.empty;
+    }
 
   let size t = Sub_tree.size t.tree
   let tree t = t.tree
+  let engine t = t.engine
+  let nfa_states t = Yfilter.state_count t.nfa
+  let nfa_match_ops t = Yfilter.match_ops t.nfa
   let mem t id = Id_map.mem id t.by_id
   let find t id = Id_map.find_opt id t.by_id
 
@@ -304,6 +341,8 @@ module Prt = struct
   let insert t id xpe hop =
     let payload = { id; hop } in
     let node = Sub_tree.insert t.tree xpe payload in
+    Yfilter.insert t.nfa xpe (t.nfa_seq, payload);
+    t.nfa_seq <- t.nfa_seq + 1;
     t.by_id <- Id_map.add id (node, payload) t.by_id;
     (node, payload)
 
@@ -314,13 +353,25 @@ module Prt = struct
       let was_maximal = List.exists (fun n -> n == node) (Sub_tree.maximal t.tree) in
       let children = Sub_tree.node_children node in
       let last_payload = match Sub_tree.node_payloads node with [ _ ] -> true | _ -> false in
+      (* The node knows the exact XPE, so the automaton trail to unwind
+         is known; the payload is selected by physical equality (the
+         same record was stored at insertion). *)
+      Yfilter.remove t.nfa (Sub_tree.node_xpe node) (fun (_, p) -> p == payload);
       Sub_tree.remove_payload t.tree node payload;
       t.by_id <- Id_map.remove id t.by_id;
       Some (payload, node, was_maximal && last_payload, children)
 
-  (* Publication matching: endpoints of matching subscriptions. *)
+  (* Publication matching: endpoints of matching subscriptions. Both
+     engines return the same payload set (gated by the differential
+     harness); the NFA reports in insertion order, the tree in covering
+     DFS order. *)
   let match_pub t (pub : Xroute_xml.Xml_paths.publication) =
-    Sub_tree.match_path t.tree pub.steps pub.attrs
+    match t.engine with
+    | Tree -> Sub_tree.match_syms t.tree pub.syms pub.attrs
+    | Nfa ->
+      Yfilter.match_syms t.nfa pub.syms pub.attrs
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.map snd
 
   (* Matching restricted to the subtrees of the given subscription ids
      (trail routing): sound because a publication failing a node cannot
@@ -328,7 +379,7 @@ module Prt = struct
   let match_pub_from t ids (pub : Xroute_xml.Xml_paths.publication) =
     let acc = ref [] in
     let rec go node =
-      if Xpe_eval.matches_steps (Sub_tree.node_xpe node) pub.steps pub.attrs then begin
+      if Xpe_eval.matches_syms (Sub_tree.node_xpe node) pub.syms pub.attrs then begin
         acc := List.rev_append (Sub_tree.node_payloads node) !acc;
         List.iter go (Sub_tree.node_children node)
       end
@@ -338,9 +389,54 @@ module Prt = struct
       ids;
     List.rev !acc
 
-  let match_checks t = Sub_tree.match_checks t.tree
+  let match_checks t = Sub_tree.match_checks t.tree + Yfilter.match_ops t.nfa
   let cover_checks t = Sub_tree.cover_checks t.tree
 
   (* Total stored payloads ([size] counts distinct XPEs). *)
   let payload_count t = Sub_tree.payload_count t.tree
+
+  (* ------------------------------------------------------------------ *)
+  (* NFA integrity audit                                                 *)
+  (* ------------------------------------------------------------------ *)
+
+  (* The automaton and the id ledger must describe the same subscription
+     set: every accepting entry holds the physically-same payload record
+     the ledger holds, under the XPE the ledger's node stores, with a
+     unique sequence number; and the automaton's structural invariants
+     (no dead states after churn, exact counters) hold. *)
+  let nfa_invariants t =
+    let problems = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+    List.iter (fun msg -> problems := msg :: !problems) (Yfilter.check_invariants t.nfa);
+    let entries = Yfilter.to_list t.nfa in
+    let ledger = payload_count t in
+    let stored = Yfilter.size t.nfa in
+    if stored <> ledger then add "NFA stores %d payloads, PRT ledger holds %d" stored ledger;
+    let seqs = Hashtbl.create 16 in
+    List.iter
+      (fun (xpe, (seq, (payload : payload))) ->
+        if seq < 0 || seq >= t.nfa_seq then
+          add "NFA entry (%d,%d) carries out-of-range seq %d" payload.id.origin
+            payload.id.seq seq;
+        if Hashtbl.mem seqs seq then
+          add "NFA entries share seq %d" seq
+        else Hashtbl.add seqs seq ();
+        match Id_map.find_opt payload.id t.by_id with
+        | None ->
+          add "NFA holds subscription (%d,%d) absent from the PRT ledger" payload.id.origin
+            payload.id.seq
+        | Some (node, ledger_payload) ->
+          if not (ledger_payload == payload) then
+            add "NFA payload for (%d,%d) is not the ledger's record" payload.id.origin
+              payload.id.seq;
+          if not (Xpe.equal (Sub_tree.node_xpe node) xpe) then
+            add "NFA files (%d,%d) under %s, ledger under %s" payload.id.origin
+              payload.id.seq (Xpe.to_string xpe)
+              (Xpe.to_string (Sub_tree.node_xpe node)))
+      entries;
+    List.rev !problems
+
+  (* Test hook: corrupt the automaton with a state eager pruning could
+     never leave behind — the audit's must-fail mutation. *)
+  let plant_nfa_orphan t = Yfilter.plant_orphan t.nfa
 end

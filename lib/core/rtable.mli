@@ -79,13 +79,34 @@ end
 module Prt : sig
   type payload = { id : Message.sub_id; hop : endpoint }
 
+  (** Which structure answers {!match_pub}: the covering tree (pruned
+      DFS, the paper engine) or the shared-prefix NFA ({!Yfilter},
+      per-publication cost independent of table size). Both are
+      maintained at all times; decisions are gated to be identical. *)
+  type match_engine = Tree | Nfa
+
+  val match_engine_to_string : match_engine -> string
+  val match_engine_of_string : string -> match_engine option
+
   module Id_map : Map.S with type key = Message.sub_id
 
   type t
 
-  val create : ?flat:bool -> ?covers:(Xpe.t -> Xpe.t -> bool) -> unit -> t
+  (** [engine] selects the matching structure; the NFA is the default
+      (primary) engine, [~engine:Tree] is the differential-testing
+      opt-out. *)
+  val create :
+    ?flat:bool -> ?covers:(Xpe.t -> Xpe.t -> bool) -> ?engine:match_engine -> unit -> t
+
   val size : t -> int
   val tree : t -> payload Sub_tree.t
+  val engine : t -> match_engine
+
+  (** Live automaton states (walked, see {!Yfilter.state_count}). *)
+  val nfa_states : t -> int
+
+  (** Cumulative automaton matching work (see {!Yfilter.match_ops}). *)
+  val nfa_match_ops : t -> int
   val mem : t -> Message.sub_id -> bool
   val find : t -> Message.sub_id -> (payload Sub_tree.node * payload) option
 
@@ -117,4 +138,13 @@ module Prt : sig
 
   (** Total stored payloads ({!size} counts distinct XPEs). *)
   val payload_count : t -> int
+
+  (** Violations of the automaton/ledger agreement (empty when healthy):
+      structural NFA invariants, payload identity, XPE agreement, seq
+      uniqueness, and size agreement with the ledger. *)
+  val nfa_invariants : t -> string list
+
+  (** Test hook: corrupt the automaton with a dead state, which
+      {!nfa_invariants} must report — the audit's must-fail mutation. *)
+  val plant_nfa_orphan : t -> unit
 end

@@ -23,6 +23,7 @@
    either the paper engine or the exact automata engine. *)
 
 open Xroute_xpath
+module Symbol = Xroute_support.Symbol
 
 type 'a node = {
   id : int;
@@ -44,7 +45,9 @@ type 'a t = {
      nodes sharing that name or root nodes in the [general] bucket
      (wildcard-first, descendant-first, relative). Root-level scans are
      the hot path of insertion and covering queries. *)
-  root_named : (string, 'a node list) Hashtbl.t;
+  (* Keyed by interned name: bucket lookups neither hash nor compare
+     strings. *)
+  root_named : (Symbol.t, 'a node list) Hashtbl.t;
   mutable root_general : 'a node list;
   mutable next_id : int;
   mutable count : int; (* stored subscriptions (root excluded) *)
@@ -316,11 +319,11 @@ let remove_payload t n payload =
 
 (* All payloads of nodes matching the publication, pruning subtrees at
    the first non-matching node. *)
-let match_path t steps attrs =
+let match_syms t syms attrs =
   let acc = ref [] in
   let rec go n =
     t.match_checks <- t.match_checks + 1;
-    if Xpe_eval.matches_steps n.xpe steps attrs then begin
+    if Xpe_eval.matches_syms n.xpe syms attrs then begin
       acc := List.rev_append n.payloads !acc;
       List.iter go n.children
     end
@@ -328,18 +331,22 @@ let match_path t steps attrs =
   List.iter go t.root.children;
   List.rev !acc
 
+let match_path t steps attrs = match_syms t (Symbol.intern_path steps) attrs
+
 let match_names t steps = match_path t steps (Array.make (Array.length steps) [])
 
 (* Exhaustive matching without pruning, for the no-covering baseline and
    for cross-checking the pruned version in tests. *)
-let match_path_linear t steps attrs =
+let match_syms_linear t syms attrs =
   let acc = ref [] in
   iter
     (fun n ->
       t.match_checks <- t.match_checks + 1;
-      if Xpe_eval.matches_steps n.xpe steps attrs then acc := List.rev_append n.payloads !acc)
+      if Xpe_eval.matches_syms n.xpe syms attrs then acc := List.rev_append n.payloads !acc)
     t;
   List.rev !acc
+
+let match_path_linear t steps attrs = match_syms_linear t (Symbol.intern_path steps) attrs
 
 (* ------------------------------------------------------------------ *)
 (* Invariants (for tests)                                              *)

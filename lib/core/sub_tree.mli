@@ -77,14 +77,21 @@ val remove_node : 'a t -> 'a node -> unit
     when its last payload goes. *)
 val remove_payload : 'a t -> 'a node -> 'a -> unit
 
-(** Payloads of all nodes matching the publication path, pruning a
-    subtree as soon as its root fails to match. *)
+(** Payloads of all nodes matching the publication path (interned),
+    pruning a subtree as soon as its root fails to match. *)
+val match_syms :
+  'a t -> Xroute_support.Symbol.t array -> (string * string) list array -> 'a list
+
+(** {!match_syms} after interning the element names. *)
 val match_path : 'a t -> string array -> (string * string) list array -> 'a list
 
 (** {!match_path} on a bare name path. *)
 val match_names : 'a t -> string array -> 'a list
 
 (** Exhaustive (unpruned) matching, for baselines and cross-checks. *)
+val match_syms_linear :
+  'a t -> Xroute_support.Symbol.t array -> (string * string) list array -> 'a list
+
 val match_path_linear : 'a t -> string array -> (string * string) list array -> 'a list
 
 (** Structural invariant violations (empty when healthy). *)

@@ -1,8 +1,11 @@
 (** YFilter-style shared-prefix NFA index over a subscription set: all
     XPEs compile into one automaton; a publication is matched by one
     simulation pass, independently of the number of stored
-    subscriptions. The baseline the paper's routing tables are contrasted
-    with. *)
+    subscriptions. Promoted from comparison baseline to the primary
+    match engine behind [Rtable.Prt] (selectable; decisions are gated to
+    stay byte-identical to the flat list). Edges are hash lookups on
+    interned names, and removal prunes eagerly, so the automaton always
+    has exactly the states a fresh build would allocate. *)
 
 open Xroute_xpath
 
@@ -13,27 +16,45 @@ val create : unit -> 'a t
 (** Stored payloads. *)
 val size : 'a t -> int
 
-(** Live automaton states: reachable states that still hold or lead to a
-    payload (shared prefixes keep this well below the total number of
-    steps). Shrinks after {!remove}, unlike {!allocated_states}. *)
+(** Automaton states, counted by walking the trie. Removal prunes
+    eagerly, so this always equals {!allocated_states}; the walk exists
+    so tests and the audit can catch a leak. *)
 val state_count : 'a t -> int
 
-(** States ever allocated and not yet pruned. {!remove} prunes lazily
-    (as YFilter does), so this counts dead prefixes too; it never
-    decreases. *)
+(** Automaton states per the allocation counter: incremented on
+    insertion, decremented when removal prunes. After any insert/remove
+    sequence this equals the fresh-build count for the surviving XPEs. *)
 val allocated_states : 'a t -> int
+
+(** Cumulative matching work: automaton states reached plus accepting
+    entries scanned across all {!match_path} calls — the "entries
+    examined" measure the match-scaling bench compares engines on. *)
+val match_ops : 'a t -> int
 
 val insert : 'a t -> Xpe.t -> 'a -> unit
 
 (** [remove t xpe pred] drops the payloads of the exact [xpe] selected
-    by [pred]. *)
+    by [pred], then prunes every automaton state left dead. *)
 val remove : 'a t -> Xpe.t -> ('a -> bool) -> unit
 
-(** Payloads of all subscriptions matching the path (attribute
+(** Payloads of all subscriptions matching the interned path (attribute
     predicates re-checked against [attrs]). *)
+val match_syms :
+  'a t -> Xroute_support.Symbol.t array -> (string * string) list array -> 'a list
+
+(** {!match_syms} after interning the element names. *)
 val match_path : 'a t -> string array -> (string * string) list array -> 'a list
 
 val match_names : 'a t -> string array -> 'a list
 
 (** All stored (xpe, payload) pairs. *)
 val to_list : 'a t -> (Xpe.t * 'a) list
+
+(** Structural invariant violations (empty when healthy): no dead
+    states, exact size and Desc-edge counters, no empty accepting
+    entries. *)
+val check_invariants : 'a t -> string list
+
+(** Test hook: plant a dead state, which {!check_invariants} must
+    report — the audit's must-fail mutation. *)
+val plant_orphan : 'a t -> unit

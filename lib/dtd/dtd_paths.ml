@@ -118,7 +118,7 @@ let non_crossing_choices ~max_choices intervals =
    intervals. *)
 let adv_of_path_with_intervals path intervals =
   let n = Array.length path in
-  let sym i = Xroute_xpath.Xpe.Name path.(i) in
+  let sym i = Xroute_xpath.Xpe.Name (Xroute_support.Symbol.intern path.(i)) in
   (* Intervals sorted outermost-first: by lo ascending, hi descending. *)
   let sorted = List.sort (fun a b -> if a.lo <> b.lo then compare a.lo b.lo else compare b.hi a.hi) intervals in
   let rec build lo hi intervals =

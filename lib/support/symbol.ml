@@ -1,0 +1,83 @@
+(* Hash-consed symbol table for element and attribute names.
+
+   Routing hot paths compare element names constantly: every NFA edge
+   fired, every node test evaluated, every bucket lookup. Interning each
+   distinct name once into a small integer turns those comparisons into
+   int equality and makes names usable as array/hashtable keys without
+   hashing the string again.
+
+   Determinism contract: interning order assigns ids, and ids leak into
+   iteration orders of symbol-keyed hashtables — so NOTHING
+   routing-visible may depend on id order. [compare] (by id) exists for
+   building maps; every ordering that reaches a routing decision must go
+   through [compare_name], which is the original lexicographic order and
+   therefore independent of when symbols were created (test_symbol.ml
+   pins this).
+
+   Concurrency: the daemon handles each connection on its own thread, so
+   two threads may intern concurrently. Writes are serialized by a
+   mutex. [name] stays lock-free: the id -> string table is a grow-only
+   array published with a single field write after being filled, so a
+   reader either sees the old array (covering every id it can have
+   observed) or the new one. *)
+
+type t = int
+
+type table = {
+  by_name : (string, int) Hashtbl.t;
+  mutable names : string array; (* index = id; may have spare capacity *)
+  mutable count : int;
+  lock : Mutex.t;
+}
+
+let table =
+  { by_name = Hashtbl.create 256; names = Array.make 256 ""; count = 0; lock = Mutex.create () }
+
+let id (s : t) = s
+let equal (a : t) (b : t) = Int.equal a b
+let compare (a : t) (b : t) = Int.compare a b
+let hash (s : t) = s
+
+let count () = table.count
+
+let name (s : t) =
+  (* Lock-free: [names] and [count] are published only after the slot is
+     written (see [intern]); a stale read still covers every id the
+     caller can legitimately hold. *)
+  let names = table.names in
+  if s >= 0 && s < Array.length names then names.(s)
+  else invalid_arg (Printf.sprintf "Symbol.name: unknown symbol %d" s)
+
+let compare_name (a : t) (b : t) =
+  if equal a b then 0 else String.compare (name a) (name b)
+
+let locked f =
+  Mutex.lock table.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table.lock) f
+
+(* Reads of [by_name] also take the lock: a systhread can be preempted
+   mid-resize (resizing allocates), so an unguarded [find_opt] could see
+   the table inconsistent. *)
+let find str = locked (fun () -> Hashtbl.find_opt table.by_name str)
+
+let intern str =
+  locked @@ fun () ->
+  match Hashtbl.find_opt table.by_name str with
+  | Some id -> id
+  | None ->
+    let id = table.count in
+    (if id >= Array.length table.names then begin
+       (* Copy-publish so concurrent [name] readers never see a
+          half-grown array. *)
+       let grown = Array.make (2 * Array.length table.names) "" in
+       Array.blit table.names 0 grown 0 id;
+       table.names <- grown
+     end);
+    table.names.(id) <- str;
+    table.count <- id + 1;
+    Hashtbl.replace table.by_name str id;
+    id
+
+let intern_path steps = Array.map intern steps
+
+let pp ppf s = Format.pp_print_string ppf (name s)

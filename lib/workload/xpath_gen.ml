@@ -168,7 +168,7 @@ let rec generate_one ?(attempts = 25) params prng =
         let wprob = if i = 0 then params.wildcard_prob *. 0.15 else params.wildcard_prob in
         let dprob = if i = 0 then params.desc_prob *. 0.1 else params.desc_prob in
         let test =
-          if Xroute_support.Prng.bernoulli prng wprob then Xpe.Star else Xpe.Name name
+          if Xroute_support.Prng.bernoulli prng wprob then Xpe.Star else Xpe.test_of_string name
         in
         let axis =
           if i = 0 then

@@ -9,10 +9,24 @@ type publication = {
   doc_id : int;
   path_id : int;
   steps : string array; (* element names from the root to a leaf *)
+  syms : Xroute_support.Symbol.t array; (* [steps] interned, position by position *)
   attrs : (string * string) list array; (* attributes at each position *)
   doc_size : int; (* serialized size in bytes of the source document *)
   path_count : int; (* how many path publications the document yields *)
 }
+
+(* The one place publications are born: [syms] is always [steps]
+   interned, so matchers can rely on it without re-checking. *)
+let make ~doc_id ~path_id ~steps ~attrs ~doc_size ~path_count =
+  {
+    doc_id;
+    path_id;
+    steps;
+    syms = Xroute_support.Symbol.intern_path steps;
+    attrs;
+    doc_size;
+    path_count;
+  }
 
 let pp_publication ppf p =
   Format.fprintf ppf "doc=%d path=%d /%s" p.doc_id p.path_id
@@ -23,19 +37,27 @@ let publication_to_string p = Format.asprintf "%a" pp_publication p
 let key_of_steps steps = String.concat "\x00" (Array.to_list steps)
 
 (* All root-to-leaf name sequences, left-to-right document order,
-   including duplicates. *)
-let raw_paths root =
+   including duplicates. Element symbols ride along from the tree, so
+   decomposition never re-interns. *)
+let raw_paths_symed root =
   let acc = ref [] in
-  let rec walk rev_names rev_attrs node =
+  let rec walk rev_names rev_syms rev_attrs node =
     let rev_names = Xml_tree.name node :: rev_names in
+    let rev_syms = Xml_tree.sym node :: rev_syms in
     let rev_attrs = Xml_tree.attrs node :: rev_attrs in
     match Xml_tree.children node with
     | [] ->
-      acc := (Array.of_list (List.rev rev_names), Array.of_list (List.rev rev_attrs)) :: !acc
-    | children -> List.iter (walk rev_names rev_attrs) children
+      acc :=
+        ( Array.of_list (List.rev rev_names),
+          Array.of_list (List.rev rev_syms),
+          Array.of_list (List.rev rev_attrs) )
+        :: !acc
+    | children -> List.iter (walk rev_names rev_syms rev_attrs) children
   in
-  walk [] [] root;
+  walk [] [] [] root;
   List.rev !acc
+
+let raw_paths root = List.map (fun (steps, _, attrs) -> (steps, attrs)) (raw_paths_symed root)
 
 (* Distinct paths of a document as publications. Two leaves with the same
    element-name sequence produce one publication (the routing decision is
@@ -46,16 +68,16 @@ let decompose ?(dedup = true) ~doc_id root =
   let next_id = ref 0 in
   let pubs =
     List.filter_map
-      (fun (steps, attrs) ->
+      (fun (steps, syms, attrs) ->
         let key = key_of_steps steps in
         if dedup && Hashtbl.mem seen key then None
         else begin
           Hashtbl.replace seen key ();
           let path_id = !next_id in
           incr next_id;
-          Some { doc_id; path_id; steps; attrs; doc_size; path_count = 0 }
+          Some { doc_id; path_id; steps; syms; attrs; doc_size; path_count = 0 }
         end)
-      (raw_paths root)
+      (raw_paths_symed root)
   in
   let n = List.length pubs in
   List.map (fun p -> { p with path_count = n }) pubs
@@ -74,11 +96,6 @@ let publication_of_string ?(doc_id = 0) ?(path_id = 0) s =
   if List.exists (fun p -> p = "") parts then
     invalid_arg (Printf.sprintf "publication_of_string: empty step in %S" s);
   let steps = Array.of_list parts in
-  {
-    doc_id;
-    path_id;
-    steps;
-    attrs = Array.make (Array.length steps) [];
-    doc_size = String.length s;
-    path_count = 1;
-  }
+  make ~doc_id ~path_id ~steps
+    ~attrs:(Array.make (Array.length steps) [])
+    ~doc_size:(String.length s) ~path_count:1

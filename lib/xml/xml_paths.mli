@@ -5,10 +5,22 @@ type publication = {
   doc_id : int;
   path_id : int;
   steps : string array;  (** element names from the root to a leaf *)
+  syms : Xroute_support.Symbol.t array;
+      (** [steps] interned position by position — what matchers consume *)
   attrs : (string * string) list array;  (** attributes at each position *)
   doc_size : int;  (** serialized size in bytes of the source document *)
   path_count : int;  (** how many path publications the document yields *)
 }
+
+(** Build a publication; [syms] is derived from [steps] by interning. *)
+val make :
+  doc_id:int ->
+  path_id:int ->
+  steps:string array ->
+  attrs:(string * string) list array ->
+  doc_size:int ->
+  path_count:int ->
+  publication
 
 val pp_publication : Format.formatter -> publication -> unit
 val publication_to_string : publication -> string

@@ -6,6 +6,7 @@
 
 type t = {
   name : string;
+  sym : Xroute_support.Symbol.t; (* [name] interned at construction *)
   attrs : (string * string) list;
   children : t list;
   text : string; (* concatenated character data directly under this element *)
@@ -16,11 +17,13 @@ type document = {
   doc_id : int;
 }
 
-let element ?(attrs = []) ?(text = "") name children = { name; attrs; children; text }
+let element ?(attrs = []) ?(text = "") name children =
+  { name; sym = Xroute_support.Symbol.intern name; attrs; children; text }
 
 let leaf ?(attrs = []) ?(text = "") name = element ~attrs ~text name []
 
 let name t = t.name
+let sym t = t.sym
 let attrs t = t.attrs
 let children t = t.children
 let text t = t.text
@@ -38,7 +41,7 @@ let rec depth t =
   | children -> 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 children
 
 let rec equal a b =
-  String.equal a.name b.name
+  Xroute_support.Symbol.equal a.sym b.sym
   && List.length a.attrs = List.length b.attrs
   && List.for_all2 (fun (k, v) (k', v') -> String.equal k k' && String.equal v v') a.attrs b.attrs
   && String.equal a.text b.text

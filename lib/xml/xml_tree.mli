@@ -4,6 +4,7 @@
 
 type t = {
   name : string;
+  sym : Xroute_support.Symbol.t;  (** [name] interned at construction *)
   attrs : (string * string) list;
   children : t list;
   text : string;  (** concatenated character data directly under this element *)
@@ -17,6 +18,10 @@ val element : ?attrs:(string * string) list -> ?text:string -> string -> t list 
 val leaf : ?attrs:(string * string) list -> ?text:string -> string -> t
 
 val name : t -> string
+
+(** The element name as an interned symbol. *)
+val sym : t -> Xroute_support.Symbol.t
+
 val attrs : t -> (string * string) list
 val children : t -> t list
 val text : t -> string

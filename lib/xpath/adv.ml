@@ -48,7 +48,7 @@ let parts t = t.parts
 
 (* Non-recursive advertisement from names; "*" becomes the wildcard. *)
 let of_names names =
-  let to_sym n = if n = "*" then Xpe.Star else Xpe.Name n in
+  let to_sym = Xpe.test_of_string in
   make [ Lit (Array.of_list (List.map to_sym names)) ]
 
 let is_group = function Group _ -> true | Lit _ -> false
@@ -79,7 +79,7 @@ let length t =
   if is_recursive t then invalid_arg "Adv.length: recursive advertisement";
   min_length t
 
-let symbol_to_string = function Xpe.Star -> "*" | Xpe.Name n -> n
+let symbol_to_string = Xpe.test_to_string
 
 let to_string t =
   let buf = Buffer.create 32 in
@@ -235,7 +235,7 @@ let expand_capped ~max_paths ~max_reps t =
 let symbols_overlap a b =
   match (a, b) with
   | Xpe.Star, _ | _, Xpe.Star -> true
-  | Xpe.Name x, Xpe.Name y -> String.equal x y
+  | Xpe.Name x, Xpe.Name y -> Xroute_support.Symbol.equal x y
 
 (* Does a fixed path (bare names) belong to P(adv) for a non-recursive
    advertisement? Full-length match. *)
@@ -247,7 +247,8 @@ let non_recursive_matches_names symbols names =
       (fun i s ->
         match s with
         | Xpe.Star -> ()
-        | Xpe.Name n -> if not (String.equal n names.(i)) then ok := false)
+        | Xpe.Name n ->
+          if not (String.equal (Xroute_support.Symbol.name n) names.(i)) then ok := false)
       symbols;
     !ok
   end
@@ -256,7 +257,11 @@ let non_recursive_matches_names symbols names =
    name path; backtracking over group repetitions. *)
 let matches_names t names =
   let n = Array.length names in
-  let sym_ok s i = match s with Xpe.Star -> true | Xpe.Name x -> String.equal x names.(i) in
+  let sym_ok s i =
+    match s with
+    | Xpe.Star -> true
+    | Xpe.Name x -> String.equal (Xroute_support.Symbol.name x) names.(i)
+  in
   (* match parts starting at i; continue with [k] on the index after *)
   let rec match_parts parts i (k : int -> bool) =
     match parts with
@@ -303,7 +308,7 @@ let parse input =
       let start = !pos in
       while !pos < n && is_name_char (peek ()) do incr pos done;
       if !pos = start then error "expected an element name or *";
-      Xpe.Name (String.sub input start (!pos - start))
+      Xpe.Name (Xroute_support.Symbol.intern (String.sub input start (!pos - start)))
     end
   in
   (* parts := ( '/' symbol | '(' parts ')+' )* *)

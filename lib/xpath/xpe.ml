@@ -12,7 +12,11 @@
    because the paper's subscription-tree and covering algorithms treat them
    differently (Sec. 4.1, "Property of a Relative XPE node"). *)
 
-type nodetest = Star | Name of string
+module Symbol = Xroute_support.Symbol
+
+(* Node tests carry interned names: equality on the matching hot paths
+   (NFA edges, publication evaluation, covering) is int equality. *)
+type nodetest = Star | Name of Symbol.t
 
 type axis = Child | Desc
 
@@ -32,10 +36,11 @@ let make ?(relative = false) steps =
   | _ -> ());
   { relative; steps }
 
+(* Node test from a plain name (interned); "*" becomes the wildcard. *)
+let test_of_string n = if String.equal n "*" then Star else Name (Symbol.intern n)
+
 (* Absolute XPE /t1/t2/... from plain names; "*" becomes the wildcard. *)
-let absolute_of_names names =
-  let to_test n = if n = "*" then Star else Name n in
-  make (List.map (fun n -> step Child (to_test n)) names)
+let absolute_of_names names = make (List.map (fun n -> step Child (test_of_string n)) names)
 
 let length t = List.length t.steps
 
@@ -56,7 +61,7 @@ let semantic_steps t =
   | true, first :: rest -> { first with axis = Desc } :: rest
   | _, steps -> steps
 
-let test_to_string = function Star -> "*" | Name n -> n
+let test_to_string = function Star -> "*" | Name n -> Symbol.name n
 
 let pred_to_string { attr; value } = Printf.sprintf "[@%s='%s']" attr value
 
@@ -80,7 +85,9 @@ let compare_nodetest a b =
   | Star, Star -> 0
   | Star, Name _ -> -1
   | Name _, Star -> 1
-  | Name x, Name y -> String.compare x y
+  (* [compare_name], not id order: node-test order must not depend on
+     interning order (it feeds Xpe.compare and every sort built on it). *)
+  | Name x, Name y -> Symbol.compare_name x y
 
 let compare_pred a b =
   match String.compare a.attr b.attr with 0 -> String.compare a.value b.value | c -> c
@@ -104,7 +111,9 @@ let hash t = Hashtbl.hash (to_string t)
 
 (* Element names mentioned by the XPE (wildcards excluded). *)
 let names t =
-  List.filter_map (fun s -> match s.test with Name n -> Some n | Star -> None) t.steps
+  List.filter_map
+    (fun s -> match s.test with Name n -> Some (Symbol.name n) | Star -> None)
+    t.steps
 
 (* Split at descendant operators into maximal-length simple sub-XPEs
    (Sec. 3.2, DesExprAndAdv): "/a/b//c/*//d" gives [ [a;b]; [c;*]; [d] ],

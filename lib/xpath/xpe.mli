@@ -1,7 +1,9 @@
 (** XPath expressions (XPEs): single-path XPath with [/], [//], [*] and
     attribute equality predicates. *)
 
-type nodetest = Star | Name of string
+(** Node tests carry interned names ({!Xroute_support.Symbol}): hot-path
+    name comparisons are int equality. *)
+type nodetest = Star | Name of Xroute_support.Symbol.t
 
 type axis =
   | Child  (** the [/] operator *)
@@ -19,6 +21,9 @@ val step : ?preds:predicate list -> axis -> nodetest -> step
     e.g. [d/a]) may not start with [//].
     @raise Invalid_argument on an empty step list. *)
 val make : ?relative:bool -> step list -> t
+
+(** Node test from a plain name (interned); ["*"] becomes the wildcard. *)
+val test_of_string : string -> nodetest
 
 (** [/t1/t2/...] from plain names; ["*"] becomes the wildcard. *)
 val absolute_of_names : string list -> t

@@ -8,10 +8,16 @@
 
    Matching is plain backtracking: XPEs and paths are bounded to ~10 steps
    in the paper's workloads, so worst-case exponential blowup from many
-   [//] operators is irrelevant; correctness and clarity win. *)
+   [//] operators is irrelevant; correctness and clarity win.
+
+   The core matcher runs over interned paths ([Symbol.t array]): the
+   per-position node test is int equality. The string-array entry points
+   intern and delegate, so one-off callers need no symbol plumbing. *)
+
+module Symbol = Xroute_support.Symbol
 
 let test_matches test element =
-  match test with Xpe.Star -> true | Xpe.Name n -> String.equal n element
+  match test with Xpe.Star -> true | Xpe.Name n -> Symbol.equal n element
 
 let preds_match preds attrs =
   List.for_all
@@ -22,28 +28,32 @@ let preds_match preds attrs =
 let step_matches (s : Xpe.step) element attrs =
   test_matches s.test element && preds_match s.preds attrs
 
-(* Match the semantic steps against [steps]/[attrs] starting at [i]:
+(* Match the semantic steps against [syms]/[attrs] starting at [i]:
    a Child step consumes position [i]; a Desc step consumes some
    position [j >= i]. *)
-let rec match_from ~steps ~attrs xpe_steps i =
-  let n = Array.length steps in
+let rec match_from ~syms ~attrs xpe_steps i =
+  let n = Array.length syms in
   match xpe_steps with
   | [] -> true
   | ({ Xpe.axis = Child; _ } as s) :: rest ->
-    i < n && step_matches s steps.(i) attrs.(i) && match_from ~steps ~attrs rest (i + 1)
+    i < n && step_matches s syms.(i) attrs.(i) && match_from ~syms ~attrs rest (i + 1)
   | ({ Xpe.axis = Desc; _ } as s) :: rest ->
     let rec try_at j =
       if j >= n then false
-      else if step_matches s steps.(j) attrs.(j) && match_from ~steps ~attrs rest (j + 1) then true
+      else if step_matches s syms.(j) attrs.(j) && match_from ~syms ~attrs rest (j + 1) then true
       else try_at (j + 1)
     in
     try_at i
 
-let matches_steps xpe steps attrs = match_from ~steps ~attrs (Xpe.semantic_steps xpe) 0
+(* Core matcher: interned path. *)
+let matches_syms xpe syms attrs = match_from ~syms ~attrs (Xpe.semantic_steps xpe) 0
 
-(* Publication match: prefix/infix semantics described above. *)
+let matches_steps xpe steps attrs = matches_syms xpe (Symbol.intern_path steps) attrs
+
+(* Publication match: prefix/infix semantics described above, over the
+   publication's pre-interned path. *)
 let matches_publication xpe (p : Xroute_xml.Xml_paths.publication) =
-  matches_steps xpe p.steps p.attrs
+  matches_syms xpe p.syms p.attrs
 
 (* Element-name-only matching (no attributes), used by the workload
    and merging machinery where paths are bare name sequences. *)

@@ -5,9 +5,14 @@
     starting point (relative XPE / leading [//]), with [//] allowing
     gaps. *)
 
-(** [matches_steps xpe steps attrs] — core matcher over a concrete path
-    given as element names plus per-position attributes. [steps] and
-    [attrs] must have equal lengths. *)
+(** [matches_syms xpe syms attrs] — core matcher over an interned path
+    plus per-position attributes. [syms] and [attrs] must have equal
+    lengths. *)
+val matches_syms :
+  Xpe.t -> Xroute_support.Symbol.t array -> (string * string) list array -> bool
+
+(** [matches_steps xpe steps attrs] — {!matches_syms} after interning
+    the element names. *)
 val matches_steps : Xpe.t -> string array -> (string * string) list array -> bool
 
 val matches_publication : Xpe.t -> Xroute_xml.Xml_paths.publication -> bool

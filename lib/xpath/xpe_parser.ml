@@ -35,7 +35,7 @@ let parse_test st =
     advance st;
     Xpe.Star
   end
-  else Xpe.Name (parse_name st)
+  else Xpe.Name (Xroute_support.Symbol.intern (parse_name st))
 
 (* A predicate of the form [@attr='value'] or [@attr="value"]. *)
 let parse_predicate st =

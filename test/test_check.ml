@@ -170,6 +170,26 @@ let test_audit_catches_corruption () =
   check cb "error severity" true
     (List.exists (fun f -> f.Finding.severity = Finding.Error) fs)
 
+(* The NFA must-fail mutation: a planted dead automaton state (which
+   eager pruning could never leave behind) must surface as an
+   [nfa-integrity] error. *)
+let test_audit_catches_nfa_orphan () =
+  let b = Broker.create ~id:0 ~neighbors:[ 1 ] () in
+  ignore
+    (Broker.handle b ~from:(Rtable.Client 7)
+       (Message.Subscribe { id = { origin = 7; seq = 1 }; xpe = xp "/a/b" }));
+  check ci "clean before the mutation" 0
+    (List.length
+       (List.filter (fun f -> f.Finding.code = "nfa-integrity") (Check.audit_broker b)));
+  Broker.corrupt_nfa_for_test b;
+  let fs = Check.audit_broker b in
+  let nfa_errors =
+    List.filter
+      (fun f -> f.Finding.code = "nfa-integrity" && f.Finding.severity = Finding.Error)
+      fs
+  in
+  check cb "planted orphan state reported" true (nfa_errors <> [])
+
 (* A clean broker audits clean, including against explicit ledgers. *)
 let test_audit_clean_broker () =
   let b = Broker.create ~id:0 ~neighbors:[ 1 ] () in
@@ -239,6 +259,7 @@ let () =
           Alcotest.test_case "all strategies converge clean" `Quick test_audit_sweep;
           Alcotest.test_case "report stats" `Quick test_audit_report_stats;
           Alcotest.test_case "corruption caught" `Quick test_audit_catches_corruption;
+          Alcotest.test_case "NFA orphan caught" `Quick test_audit_catches_nfa_orphan;
           Alcotest.test_case "clean broker, dangling ledger" `Quick test_audit_clean_broker;
         ] );
       ( "report",

@@ -45,8 +45,12 @@ let gen_script ~seed ~nclients ~nops params =
 
 (* Run [ops] (settling the network between operations), publish [docs],
    and return each subscriber's sorted delivered doc-id list. *)
-let deliveries_with ~seed ~advs ops docs =
-  let strategy = Option.get (Xroute_core.Broker.strategy_of_name "with-Adv-with-Cov") in
+let deliveries_with ?strategy ~seed ~advs ops docs =
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Option.get (Xroute_core.Broker.strategy_of_name "with-Adv-with-Cov")
+  in
   let net =
     Net.create ~config:{ Net.default_config with Net.strategy; seed } (Topology.line 3)
   in
@@ -90,6 +94,34 @@ let run_round seed =
     Alcotest.failf "seed %d: churned deliveries differ from fresh-survivor deliveries" seed;
   unsubs
 
+(* The NFA match engine must be invisible in delivery terms: under
+   every strategy, a churned network routing publications through the
+   automaton delivers byte-identically to one matching on the flat /
+   covering tree. *)
+let test_nfa_engine_all_strategies () =
+  let dtd = Lazy.force Xroute_dtd.Dtd_samples.book in
+  let advs = Xroute_dtd.Dtd_paths.advertisements (Xroute_dtd.Dtd_graph.build dtd) in
+  let params = Xroute_workload.Workload.set_a_params dtd in
+  List.iter
+    (fun name ->
+      let base = Option.get (Xroute_core.Broker.strategy_of_name name) in
+      let seed = 17 in
+      let ops, _live = gen_script ~seed ~nclients:2 ~nops:30 params in
+      let docs = Xroute_workload.Workload.documents ~dtd ~count:8 ~seed:(seed + 1000) () in
+      let via_nfa =
+        deliveries_with
+          ~strategy:{ base with Xroute_core.Broker.match_engine = Xroute_core.Rtable.Prt.Nfa }
+          ~seed ~advs ops docs
+      in
+      let via_tree =
+        deliveries_with
+          ~strategy:{ base with Xroute_core.Broker.match_engine = Xroute_core.Rtable.Prt.Tree }
+          ~seed ~advs ops docs
+      in
+      if via_nfa <> via_tree then
+        Alcotest.failf "strategy %s: NFA engine deliveries differ from tree engine" name)
+    Xroute_core.Broker.strategy_names
+
 let test_churn_equals_fresh () =
   let total_unsubs = ref 0 in
   for seed = 1 to 6 do
@@ -127,5 +159,7 @@ let () =
             test_reforward_after_cover_removal;
           Alcotest.test_case "interleaved equals fresh survivors" `Quick
             test_churn_equals_fresh;
+          Alcotest.test_case "NFA engine identical under all strategies" `Quick
+            test_nfa_engine_all_strategies;
         ] );
     ]

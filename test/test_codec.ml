@@ -30,14 +30,10 @@ let test_unsubscribe_unadvertise () =
 
 let test_publish () =
   let pub =
-    {
-      Xroute_xml.Xml_paths.doc_id = 5;
-      path_id = 2;
-      steps = [| "a"; "b"; "c" |];
-      attrs = [| [ ("k", "v") ]; []; [ ("x", "1"); ("y", "2") ] |];
-      doc_size = 123;
-      path_count = 4;
-    }
+    (Xroute_xml.Xml_paths.make ~doc_id:5 ~path_id:2
+       ~steps:[| "a"; "b"; "c" |]
+       ~attrs:[| [ ("k", "v") ]; []; [ ("x", "1"); ("y", "2") ] |]
+       ~doc_size:123 ~path_count:4)
   in
   let msg = Message.Publish { pub; trail = [ sid 1 1; sid 2 2 ]; ctx = None } in
   match Codec.decode (Codec.encode msg) with
@@ -50,14 +46,10 @@ let test_publish () =
 
 let test_escaping () =
   let pub =
-    {
-      Xroute_xml.Xml_paths.doc_id = 1;
-      path_id = 0;
-      steps = [| "we|ird"; "na,me"; "e=q;x%" |];
-      attrs = [| []; [ ("k|1", "v,2") ]; [] |];
-      doc_size = 9;
-      path_count = 1;
-    }
+    (Xroute_xml.Xml_paths.make ~doc_id:1 ~path_id:0
+       ~steps:[| "we|ird"; "na,me"; "e=q;x%" |]
+       ~attrs:[| []; [ ("k|1", "v,2") ]; [] |]
+       ~doc_size:9 ~path_count:1)
   in
   let msg = Message.Publish { pub; trail = []; ctx = None } in
   match Codec.decode (Codec.encode msg) with
@@ -122,14 +114,8 @@ let gen_msg =
         (Message.Publish
            {
              pub =
-               {
-                 Xroute_xml.Xml_paths.doc_id;
-                 path_id;
-                 steps;
-                 attrs;
-                 doc_size = 10;
-                 path_count = 2;
-               };
+               (Xroute_xml.Xml_paths.make ~doc_id ~path_id ~steps ~attrs
+                  ~doc_size:10 ~path_count:2);
              trail = [ id ];
              ctx;
            }))

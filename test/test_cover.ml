@@ -106,7 +106,7 @@ let random_xpe prng =
     List.init len (fun i ->
         let test =
           if Xroute_support.Prng.bernoulli prng 0.35 then Xpe.Star
-          else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+          else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))
         in
         let axis =
           if i = 0 && relative then Xpe.Child

@@ -21,8 +21,8 @@ let direct_matches xpes (pub : Xroute_xml.Xml_paths.publication) =
 let sort_uniq is = List.sort_uniq compare is
 
 (* Index a population: subscription [i] becomes id [{origin = 1; seq = i}]. *)
-let build_prt xpes =
-  let prt = Rtable.Prt.create () in
+let build_prt ?flat ?engine xpes =
+  let prt = Rtable.Prt.create ?flat ?engine () in
   List.iteri
     (fun i x -> ignore (Rtable.Prt.insert prt { Message.origin = 1; seq = i } x (Rtable.Client 0)))
     xpes;
@@ -69,7 +69,14 @@ let shrink_path engine_name engine_of_xpe xpe (pub : Xroute_xml.Xml_paths.public
 
 let prt_single xpe steps attrs =
   let prt = build_prt [ xpe ] in
-  Rtable.Prt.match_pub prt { doc_id = 0; path_id = 0; steps; attrs; doc_size = 0; path_count = 1 }
+  Rtable.Prt.match_pub prt
+    (Xroute_xml.Xml_paths.make ~doc_id:0 ~path_id:0 ~steps ~attrs ~doc_size:0 ~path_count:1)
+  <> []
+
+let prt_tree_single xpe steps attrs =
+  let prt = build_prt ~engine:Rtable.Prt.Tree [ xpe ] in
+  Rtable.Prt.match_pub prt
+    (Xroute_xml.Xml_paths.make ~doc_id:0 ~path_id:0 ~steps ~attrs ~doc_size:0 ~path_count:1)
   <> []
 
 let yf_single xpe steps attrs =
@@ -96,19 +103,28 @@ let run_round ~name ~dtd ~params ~xpe_count ~xpe_seed ~doc_count ~doc_seed () =
   let xpes = Xroute_workload.Workload.xpes ~params ~count:xpe_count ~seed:xpe_seed () in
   let docs = Xroute_workload.Workload.documents ~dtd ~count:doc_count ~seed:doc_seed () in
   let pubs = Xroute_workload.Workload.publications_of_documents docs in
+  (* NFA engine (the default), the covering-tree opt-out, and the raw
+     automaton: each must agree with direct evaluation *)
   let prt = build_prt xpes in
+  let prt_tree = build_prt ~engine:Rtable.Prt.Tree xpes in
   let yf = build_yfilter xpes in
   let mismatches = ref 0 in
   List.iter
     (fun pub ->
       let expect = sort_uniq (direct_matches xpes pub) in
       let from_prt = prt_matches prt pub in
+      let from_tree = prt_matches prt_tree pub in
       let from_yf = yf_matches yf pub in
       if from_prt <> expect then
         mismatches :=
           !mismatches
-          + report_mismatch ~round:name xpes pub ~expect ~engine_name:"prt" ~got:from_prt
+          + report_mismatch ~round:name xpes pub ~expect ~engine_name:"prt-nfa" ~got:from_prt
               ~single:prt_single;
+      if from_tree <> expect then
+        mismatches :=
+          !mismatches
+          + report_mismatch ~round:name xpes pub ~expect ~engine_name:"prt-tree"
+              ~got:from_tree ~single:prt_tree_single;
       if from_yf <> expect then
         mismatches :=
           !mismatches
@@ -146,16 +162,52 @@ let test_flat_prt_agrees () =
   let xpes = Xroute_workload.Workload.xpes ~params ~count:40 ~seed:51 () in
   let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:5 ~seed:52 () in
   let pubs = Xroute_workload.Workload.publications_of_documents docs in
-  let tree = build_prt xpes in
-  let flat = Rtable.Prt.create ~flat:true () in
+  let tree = build_prt ~engine:Rtable.Prt.Tree xpes in
+  let flat = build_prt ~flat:true ~engine:Rtable.Prt.Tree xpes in
+  let nfa = build_prt ~engine:Rtable.Prt.Nfa xpes in
+  let flat_nfa = build_prt ~flat:true ~engine:Rtable.Prt.Nfa xpes in
+  List.iter
+    (fun pub ->
+      let expect = prt_matches flat pub in
+      check Alcotest.(list int) "flat and covering PRT agree" expect (prt_matches tree pub);
+      check Alcotest.(list int) "NFA engine agrees" expect (prt_matches nfa pub);
+      check Alcotest.(list int) "flat NFA engine agrees" expect (prt_matches flat_nfa pub))
+    pubs
+
+(* Engine switching under churn: insert, remove a random half, insert
+   more — the NFA and tree engines must agree decision-for-decision,
+   and the automaton must shrink back when subscriptions go. *)
+let test_nfa_engine_after_churn () =
+  let params = Xroute_workload.Workload.set_a_params psd in
+  let xpes = Xroute_workload.Workload.xpes ~params ~count:60 ~seed:61 () in
+  let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:5 ~seed:62 () in
+  let pubs = Xroute_workload.Workload.publications_of_documents docs in
+  let nfa = Rtable.Prt.create ~engine:Rtable.Prt.Nfa () in
+  let tree = Rtable.Prt.create ~engine:Rtable.Prt.Tree () in
+  let insert prt i x =
+    ignore (Rtable.Prt.insert prt { Message.origin = 1; seq = i } x (Rtable.Client 0))
+  in
+  let survivors = List.filteri (fun i _ -> i mod 2 = 0) xpes in
+  let fresh = Rtable.Prt.create ~engine:Rtable.Prt.Nfa () in
+  List.iteri (fun i x -> insert fresh (2 * i) x) survivors;
+  List.iteri (fun i x -> insert nfa i x; insert tree i x) xpes;
   List.iteri
-    (fun i x -> ignore (Rtable.Prt.insert flat { Message.origin = 1; seq = i } x (Rtable.Client 0)))
+    (fun i _ ->
+      if i mod 2 = 1 then begin
+        ignore (Rtable.Prt.remove nfa { Message.origin = 1; seq = i });
+        ignore (Rtable.Prt.remove tree { Message.origin = 1; seq = i })
+      end)
     xpes;
+  (* removal shrank the automaton to exactly the fresh-build size *)
+  check Alcotest.int "automaton shrank to fresh-build size"
+    (Rtable.Prt.nfa_states fresh) (Rtable.Prt.nfa_states nfa);
+  check Alcotest.(list string) "NFA/ledger agreement" [] (Rtable.Prt.nfa_invariants nfa);
   List.iter
     (fun pub ->
       check
         Alcotest.(list int)
-        "flat and covering PRT agree" (prt_matches flat pub) (prt_matches tree pub))
+        "NFA and tree engines agree after churn" (prt_matches tree pub)
+        (prt_matches nfa pub))
     pubs
 
 let () =
@@ -165,5 +217,6 @@ let () =
         [
           Alcotest.test_case "seeded sweep" `Quick test_sweep;
           Alcotest.test_case "flat PRT agrees" `Quick test_flat_prt_agrees;
+          Alcotest.test_case "NFA engine after churn" `Quick test_nfa_engine_after_churn;
         ] );
     ]

@@ -251,7 +251,9 @@ let test_advertisements_no_false_paths () =
         (fun exp ->
           let names =
             Array.map
-              (function Xroute_xpath.Xpe.Name n -> n | Xroute_xpath.Xpe.Star -> "*")
+              (function
+                | Xroute_xpath.Xpe.Name n -> Xroute_support.Symbol.name n
+                | Xroute_xpath.Xpe.Star -> "*")
               exp
           in
           let key = String.concat "/" (Array.to_list names) in

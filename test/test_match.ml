@@ -10,7 +10,7 @@ let cb = Alcotest.bool
 let xp = Xpe_parser.parse
 let ad = Adv.parse
 
-let sym s = if s = "*" then Xpe.Star else Xpe.Name s
+let sym s = Xpe.test_of_string s
 let syms l = Array.of_list (List.map sym l)
 
 (* ---------------- AbsExprAndAdv ---------------- *)
@@ -132,7 +132,7 @@ let test_paper_engine_equals_oracle () =
       List.init len (fun i ->
           let test =
             if Xroute_support.Prng.bernoulli prng 0.3 then Xpe.Star
-            else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+            else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))
           in
           let axis =
             if i = 0 && relative then Xpe.Child
@@ -149,7 +149,7 @@ let test_paper_engine_equals_oracle () =
       Adv.Lit
         (Array.init len (fun _ ->
              if Xroute_support.Prng.bernoulli prng 0.2 then Xpe.Star
-             else Xpe.Name (Xroute_support.Prng.choose prng alphabet)))
+             else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))))
     in
     let parts =
       List.concat

@@ -9,7 +9,12 @@ open Xroute_xpath
 let gen_name = QCheck.Gen.oneofl [ "a"; "b"; "c"; "d" ]
 
 let gen_test =
-  QCheck.Gen.(frequency [ (3, map (fun n -> Xpe.Name n) gen_name); (1, return Xpe.Star) ])
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun n -> Xpe.Name (Xroute_support.Symbol.intern n)) gen_name);
+        (1, return Xpe.Star);
+      ])
 
 let gen_axis = QCheck.Gen.(frequency [ (3, return Xpe.Child); (1, return Xpe.Desc) ])
 
@@ -103,7 +108,9 @@ let prop_overlap_witnessed =
         (fun symbols ->
           (* replace wildcards by a fresh name to build one concrete path *)
           let concrete =
-            Array.map (function Xpe.Name n -> n | Xpe.Star -> "z") symbols
+            Array.map
+              (function Xpe.Name n -> Xroute_support.Symbol.name n | Xpe.Star -> "z")
+              symbols
           in
           Adv.matches_names adv concrete && Xpe_eval.matches_names xpe concrete
           || true (* wildcard instantiation may miss; not a counterexample *))

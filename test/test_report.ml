@@ -132,6 +132,64 @@ let test_bench5_latency_breakdown () =
                 "link_p50_ms"; "deliver_p50_ms" ])
         [ "no-Adv-no-Cov"; "with-Adv-with-Cov"; "with-Adv-with-CovPM" ])
 
+(* The match-scaling records are the committed face of the PR-6
+   tentpole: pin their presence and shape in BENCH_6.json, and gate the
+   two claims the NFA promotion stands on — zero decision diffs, and an
+   order-of-magnitude fewer entries examined than the flat scan at the
+   largest table. *)
+let test_bench6_match_scaling () =
+  match List.assoc_opt "BENCH_6.json" (bench_files ()) with
+  | None -> Alcotest.fail "BENCH_6.json not committed at the repo root"
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error e -> Alcotest.fail ("BENCH_6.json: " ^ e)
+    | Ok j ->
+      check cs "schema" "xroute-bench/6"
+        (Option.value ~default:"<missing>"
+           (Option.bind (Json.member "schema" j) Json.to_str));
+      let experiments =
+        Option.value ~default:[]
+          (Option.bind (Json.member "experiments" j) Json.to_list)
+      in
+      let record name =
+        List.find_opt
+          (fun r -> Option.bind (Json.member "name" r) Json.to_str = Some name)
+          experiments
+      in
+      List.iter
+        (fun size ->
+          let name = Printf.sprintf "match-scaling-%d" size in
+          match record name with
+          | None -> Alcotest.fail (name ^ " record missing")
+          | Some r ->
+            let num field = Option.bind (Json.member field r) Json.to_num in
+            List.iter
+              (fun field ->
+                check cb (name ^ " has positive " ^ field) true
+                  (match num field with Some v -> v > 0.0 | None -> false))
+              [ "xpes_stored"; "publications"; "entries_per_pub_flat";
+                "entries_per_pub_tree"; "entries_per_pub_nfa"; "nfa_states";
+                "flat_over_nfa" ];
+            check cb (name ^ ": zero decision diffs") true (num "decision_diffs" = Some 0.0);
+            check cb (name ^ ": decisions_identical") true
+              (Option.bind (Json.member "decisions_identical" r) (function
+                 | Json.Bool b -> Some b
+                 | _ -> None)
+              = Some true);
+            (* the NFA must examine no more than the flat scan anywhere *)
+            check cb (name ^ ": nfa examines fewer entries") true
+              (match (num "entries_per_pub_nfa", num "entries_per_pub_flat") with
+              | Some n, Some f -> n <= f
+              | _ -> false))
+        [ 1000; 10000; 100000 ];
+      (match record "match-scaling" with
+      | None -> Alcotest.fail "match-scaling summary record missing"
+      | Some r ->
+        check cb "flat/nfa ratio at the largest table is >= 10x" true
+          (match Option.bind (Json.member "flat_over_nfa_at_max" r) Json.to_num with
+          | Some v -> v >= 10.0
+          | None -> false)))
+
 (* ---------------- Chrome trace-event golden ---------------- *)
 
 (* Byte-exact golden: one recorded span, every field populated. *)
@@ -203,6 +261,8 @@ let () =
             test_bench_reports_validate;
           Alcotest.test_case "BENCH_5 latency breakdown" `Quick
             test_bench5_latency_breakdown;
+          Alcotest.test_case "BENCH_6 match scaling" `Quick
+            test_bench6_match_scaling;
         ] );
       ( "chrome-export",
         [

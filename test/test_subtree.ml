@@ -135,7 +135,7 @@ let test_match_pruning_agrees_with_linear () =
       List.init len (fun _ ->
           let test =
             if Xroute_support.Prng.bernoulli prng 0.3 then Xpe.Star
-            else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+            else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))
           in
           let axis = if Xroute_support.Prng.bernoulli prng 0.25 then Xpe.Desc else Xpe.Child in
           Xpe.step axis test)
@@ -191,7 +191,7 @@ let test_insert_random_invariants () =
       List.init len (fun _ ->
           let test =
             if Xroute_support.Prng.bernoulli prng 0.4 then Xpe.Star
-            else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+            else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))
           in
           Xpe.step Xpe.Child test)
     in

@@ -19,7 +19,7 @@ let test_make_rejects_empty () =
 let test_make_rejects_relative_desc () =
   Alcotest.check_raises "relative //"
     (Invalid_argument "Xpe.make: a relative XPE cannot start with //") (fun () ->
-      ignore (Xpe.make ~relative:true [ Xpe.step Xpe.Desc (Xpe.Name "a") ]))
+      ignore (Xpe.make ~relative:true [ Xpe.step Xpe.Desc (Xpe.test_of_string "a") ]))
 
 let test_roundtrip_to_string () =
   let cases =
@@ -50,7 +50,7 @@ let test_split_on_desc () =
         String.concat ","
           (List.map
              (fun (s : Xpe.step) ->
-               match s.test with Xpe.Name n -> n | Xpe.Star -> "*")
+               Xpe.test_to_string s.test)
              seg))
       segs
   in
@@ -165,7 +165,7 @@ let test_adv_lengths () =
 
 let test_adv_normalization () =
   (* Adjacent literals fuse; empty groups vanish. *)
-  let a = Adv.make [ Adv.Lit [| Xpe.Name "a" |]; Adv.Lit [| Xpe.Name "b" |] ] in
+  let a = Adv.make [ Adv.Lit [| Xpe.test_of_string "a" |]; Adv.Lit [| Xpe.test_of_string "b" |] ] in
   check cs "fused" "/a/b" (Adv.to_string a);
   Alcotest.check_raises "empty adv" (Invalid_argument "Adv.make: empty advertisement")
     (fun () -> ignore (Adv.make [ Adv.Lit [||] ]))
@@ -202,7 +202,7 @@ let test_adv_expand_budget () =
   (* all expansions must themselves match the advertisement *)
   List.iter
     (fun exp ->
-      let names = Array.map (function Xpe.Name n -> n | Xpe.Star -> "*") exp in
+      let names = Array.map Xpe.test_to_string exp in
       check cb "expansion matches adv" true (Adv.matches_names a names))
     expansions;
   check cb "several" true (List.length expansions >= 3)
@@ -237,7 +237,7 @@ let test_adv_expand_cap () =
   (* every truncated expansion still matches the advertisement *)
   List.iter
     (fun e ->
-      let names = Array.map (function Xpe.Name n -> n | Xpe.Star -> "*") e in
+      let names = Array.map Xpe.test_to_string e in
       check cb "truncated expansion matches adv" true (Adv.matches_names a names))
     cut
 

@@ -75,12 +75,41 @@ let test_state_count_after_remove () =
   check ci "live states" 5 (Yfilter.state_count t);
   check ci "allocated states" 5 (Yfilter.allocated_states t);
   Yfilter.remove t (xp "/a/b/c") (fun _ -> true);
-  (* the b and c states no longer lead to a payload: live count drops,
-     allocation (lazy pruning) does not *)
+  (* eager pruning: the b and c states die with their payload, and the
+     allocation counter follows the live count *)
   check ci "live shrinks after remove" 3 (Yfilter.state_count t);
-  check ci "allocated never decreases" 5 (Yfilter.allocated_states t);
+  check ci "allocated shrinks too" 3 (Yfilter.allocated_states t);
   Yfilter.remove t (xp "/a/q") (fun _ -> true);
-  check ci "only the root is live" 1 (Yfilter.state_count t)
+  check ci "only the root is live" 1 (Yfilter.state_count t);
+  check ci "only the root is allocated" 1 (Yfilter.allocated_states t)
+
+(* Insert+remove cycles must land exactly on the fresh-build automaton:
+   no leaked states, and the invariant audit stays clean throughout. *)
+let test_churn_returns_to_fresh_build () =
+  let base = [ "/a/b/c"; "/a/b/d"; "//x/y"; "/*/q" ] in
+  let fresh = index_of base in
+  let fresh_states = Yfilter.state_count fresh in
+  let t : int Yfilter.t = Yfilter.create () in
+  List.iteri (fun i x -> Yfilter.insert t (xp x) i) base;
+  let extra = [ "/a/b/c/deep/er"; "/zz//ww"; "/a/b"; "//x/y/z[@k='v']" ] in
+  for round = 1 to 3 do
+    List.iteri (fun i x -> Yfilter.insert t (xp x) (100 + i)) extra;
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "round %d: invariants hold while grown" round)
+      []
+      (Yfilter.check_invariants t);
+    List.iter (fun x -> Yfilter.remove t (xp x) (fun p -> p >= 100)) extra;
+    check ci
+      (Printf.sprintf "round %d: states back to fresh build" round)
+      fresh_states (Yfilter.state_count t);
+    check ci
+      (Printf.sprintf "round %d: allocation counter agrees" round)
+      fresh_states (Yfilter.allocated_states t);
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "round %d: invariants hold after churn" round)
+      []
+      (Yfilter.check_invariants t)
+  done
 
 let test_predicates_rechecked () =
   let t : int Yfilter.t = Yfilter.create () in
@@ -89,6 +118,31 @@ let test_predicates_rechecked () =
   check (Alcotest.list ci) "pred ok" [ 1 ]
     (Yfilter.match_path t p [| []; [ ("k", "v") ] |]);
   check (Alcotest.list ci) "pred fails" [] (Yfilter.match_path t p [| []; [ ("k", "w") ] |])
+
+(* Predicates do not take part in the automaton, so a predicate XPE
+   shares its whole trail with a predicate-free twin: the NFA accepts
+   both, and only the lazy exact-evaluator re-check separates them. *)
+let test_predicates_shared_prefix () =
+  let t : int Yfilter.t = Yfilter.create () in
+  Yfilter.insert t (xp "/a/b") 1;
+  Yfilter.insert t (xp "/a/b[@k='v']") 2;
+  Yfilter.insert t (xp "/a/b[@k='v'][@m='n']") 3;
+  (* one shared trail: root, a, b — predicates add no states *)
+  check ci "predicates add no states" 3 (Yfilter.state_count t);
+  let p = path "a/b" in
+  (* NFA accepts all three; the re-check rejects the predicate XPEs *)
+  check (Alcotest.list ci) "nfa accepts, evaluator rejects" [ 1 ]
+    (Yfilter.match_path t p [| []; [] |]);
+  check (Alcotest.list ci) "one predicate satisfied" [ 1; 2 ]
+    (List.sort compare (Yfilter.match_path t p [| []; [ ("k", "v") ] |]));
+  check (Alcotest.list ci) "both predicates satisfied" [ 1; 2; 3 ]
+    (List.sort compare (Yfilter.match_path t p [| []; [ ("k", "v"); ("m", "n") ] |]));
+  (* removing the predicate-free twin must keep the shared trail alive
+     for the predicate XPEs *)
+  Yfilter.remove t (xp "/a/b") (fun _ -> true);
+  check ci "shared trail survives" 3 (Yfilter.state_count t);
+  check (Alcotest.list ci) "predicate XPEs still reachable" [ 2 ]
+    (Yfilter.match_path t p [| []; [ ("k", "v") ] |])
 
 let test_to_list () =
   let t = index_of [ "/a"; "/a/b" ] in
@@ -105,7 +159,7 @@ let test_equivalence_random () =
       List.init len (fun i ->
           let test =
             if Xroute_support.Prng.bernoulli prng 0.3 then Xpe.Star
-            else Xpe.Name (Xroute_support.Prng.choose prng alphabet)
+            else Xpe.Name (Xroute_support.Symbol.intern (Xroute_support.Prng.choose prng alphabet))
           in
           let axis =
             if i = 0 && relative then Xpe.Child
@@ -152,7 +206,9 @@ let () =
           Alcotest.test_case "duplicates" `Quick test_duplicate_xpes_accumulate;
           Alcotest.test_case "remove" `Quick test_remove;
           Alcotest.test_case "state count after remove" `Quick test_state_count_after_remove;
+          Alcotest.test_case "churn returns to fresh build" `Quick test_churn_returns_to_fresh_build;
           Alcotest.test_case "predicates" `Quick test_predicates_rechecked;
+          Alcotest.test_case "predicates share prefixes" `Quick test_predicates_shared_prefix;
           Alcotest.test_case "to_list" `Quick test_to_list;
         ] );
       ("equivalence", [ Alcotest.test_case "random vs linear" `Quick test_equivalence_random ]);
