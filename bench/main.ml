@@ -20,7 +20,7 @@ let scale =
 let scaled n = max 1 (int_of_float (float_of_int n *. scale))
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable reports: BENCH_5.json, BENCH_6.json                *)
+(* Machine-readable reports: BENCH_5/6/7.json                          *)
 (* ------------------------------------------------------------------ *)
 
 (* Every experiment records (name, fields); the runner adds wall time.
@@ -33,6 +33,7 @@ module Report = struct
 
   let records : (string * (string * value) list) list ref = ref []
   let records6 : (string * (string * value) list) list ref = ref []
+  let records7 : (string * (string * value) list) list ref = ref []
 
   (* Append fields to the experiment's record (merging by name; a
      re-recorded field replaces the old value rather than duplicating
@@ -48,6 +49,7 @@ module Report = struct
 
   let record name fields = record_in records name fields
   let record6 name fields = record_in records6 name fields
+  let record7 name fields = record_in records7 name fields
 
   let render_value = function
     | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
@@ -72,7 +74,11 @@ module Report = struct
     if !records6 <> [] then
       write_sink ~schema:"xroute-bench/6"
         (Option.value ~default:"BENCH_6.json" (Sys.getenv_opt "XROUTE_BENCH_JSON6"))
-        !records6
+        !records6;
+    if !records7 <> [] then
+      write_sink ~schema:"xroute-bench/7"
+        (Option.value ~default:"BENCH_7.json" (Sys.getenv_opt "XROUTE_BENCH_JSON7"))
+        !records7
 end
 
 let section title =
@@ -271,6 +277,190 @@ let daemon_throughput () =
     ];
   if !received < n then begin
     Printf.printf "ERROR: daemon burst lost %d publications\n" (n - !received);
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Saturation: pipelined multi-root burst against the sharded daemon   *)
+(* ------------------------------------------------------------------ *)
+
+(* The headline daemon experiment for the sharded engine: a 2-broker
+   line saturated by four pipelined publishers (one advertisement root
+   each, publications pre-framed and written in ~56 KB chunks so the
+   event loop sees deep batches, not one line per syscall). The
+   subscriber side holds a mixed selection — one shallow anchored XPE,
+   one deep anchored XPE, one unanchored ("//...", replicated to every
+   shard) — and one root is deliberately unsubscribed so selectivity is
+   real. Run once at --domains 1 and once at --domains N; the delivered
+   doc-id sets must be identical, and the sharded run's throughput is
+   compared against the BENCH_2 seed baseline. *)
+
+let saturation_run ~domains ~docs_per_root =
+  let open Xroute_daemon in
+  let d0 = Daemon.create ~domains ~id:0 ~port:0 ~neighbors:[ (1, ("127.0.0.1", 0)) ] () in
+  let d1 =
+    Daemon.create ~domains ~id:1 ~port:0
+      ~neighbors:[ (0, ("127.0.0.1", Daemon.port d0)) ] ()
+  in
+  let threads =
+    List.map (fun d -> Thread.create (fun () -> Daemon.run ~timeout:0.005 d) ()) [ d0; d1 ]
+  in
+  Thread.delay 0.3;
+  let roots = 4 in
+  let publishers =
+    List.init roots (fun k ->
+        Client.connect ~client_id:(100 + k) ~host:"127.0.0.1" ~port:(Daemon.port d0))
+  in
+  List.iteri
+    (fun k p ->
+      ignore (Client.advertise p (Xroute_xpath.Adv.parse (Printf.sprintf "/burst%d/item%d" k k))))
+    publishers;
+  Thread.delay 0.3;
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d1) in
+  (* roots 0-2 subscribed (anchored shallow / anchored deep / unanchored),
+     root 3 withheld *)
+  ignore (Client.subscribe subscriber (Xroute_xpath.Xpe_parser.parse "/burst0"));
+  ignore (Client.subscribe subscriber (Xroute_xpath.Xpe_parser.parse "/burst1/item1"));
+  ignore (Client.subscribe subscriber (Xroute_xpath.Xpe_parser.parse "//item2"));
+  Thread.delay 0.3;
+  (* Pre-frame each publisher's burst into chunks of whole lines: the
+     publisher writes a chunk per syscall, which is what lets a 1-core
+     box saturate the daemon's batched read path. *)
+  let chunks_for k =
+    let doc =
+      Xroute_xml.Xml_parser.parse (Printf.sprintf "<burst%d><item%d/></burst%d>" k k k)
+    in
+    let chunks = ref [] in
+    let chunk = Buffer.create (1 lsl 16) in
+    for i = 0 to docs_per_root - 1 do
+      let doc_id = (k * 10_000_000) + i in
+      List.iter
+        (fun pub ->
+          Buffer.add_string chunk
+            ("M|" ^ Codec.encode (Message.Publish { pub; trail = []; ctx = None }) ^ "\n"))
+        (Xroute_xml.Xml_paths.decompose ~doc_id doc);
+      if Buffer.length chunk >= 56 * 1024 then begin
+        chunks := Buffer.contents chunk :: !chunks;
+        Buffer.clear chunk
+      end
+    done;
+    if Buffer.length chunk > 0 then chunks := Buffer.contents chunk :: !chunks;
+    List.rev !chunks
+  in
+  let bursts = List.mapi (fun k p -> (p, ref (chunks_for k))) publishers in
+  let expected =
+    List.concat_map
+      (fun k -> List.init docs_per_root (fun i -> (k * 10_000_000) + i))
+      [ 0; 1; 2 ]
+  in
+  let published = roots * docs_per_root in
+  let t0 = Unix.gettimeofday () in
+  (* round-robin one chunk per publisher so the roots interleave on the
+     wire and every shard stays busy *)
+  let remaining = ref true in
+  while !remaining do
+    remaining := false;
+    List.iter
+      (fun (p, chunks) ->
+        match !chunks with
+        | [] -> ()
+        | c :: rest ->
+          Client.send_line p c;
+          chunks := rest;
+          if rest <> [] then remaining := true)
+      bursts
+  done;
+  let deadline = t0 +. 120.0 in
+  let got = Hashtbl.create (List.length expected) in
+  while Hashtbl.length got < List.length expected && Unix.gettimeofday () < deadline do
+    List.iter
+      (fun i -> Hashtbl.replace got i ())
+      (Client.drain_deliveries ~timeout:0.2 subscriber)
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let delivered = List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) got []) in
+  let per_sec = float_of_int (Hashtbl.length got) /. wall in
+  let hops =
+    Xroute_obs.Span.to_list (Daemon.spans d1)
+    |> List.filter (fun (s : Xroute_obs.Span.span) -> s.name = "hop" && s.stop > s.start)
+    |> List.map Xroute_obs.Span.duration
+    |> List.sort compare
+  in
+  let percentile p =
+    match hops with
+    | [] -> 0.0
+    | l ->
+      let n = List.length l in
+      List.nth l (min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  List.iter Client.close (subscriber :: publishers);
+  List.iter Daemon.request_stop [ d0; d1 ];
+  List.iter Thread.join threads;
+  (published, delivered, expected, wall, per_sec, percentile 0.5, percentile 0.99)
+
+let saturation () =
+  section
+    "Saturation - pipelined 4-root burst, sequential vs sharded daemon\n\
+     (pre-framed publications written in 56KB chunks through a 2-broker\n\
+     line; --domains 1 and --domains 4 must deliver identical doc-id\n\
+     sets; sharded throughput is gated against the BENCH_2 baseline)";
+  (* BENCH_2.json daemon-throughput msgs_per_sec (the seed's one-line-\
+     per-write, 4KB-read event loop). *)
+  let baseline = 1194.73 in
+  let docs_per_root = scaled 5000 in
+  let run domains =
+    let published, delivered, expected, wall, per_sec, p50, p99 =
+      saturation_run ~domains ~docs_per_root
+    in
+    Printf.printf
+      "domains %d: %d published, %d/%d delivered in %.2f s  (%.0f msgs/s, hop p50 %.2f ms, p99 %.2f ms)\n%!"
+      domains published (List.length delivered) (List.length expected) wall per_sec p50 p99;
+    if delivered <> expected then begin
+      Printf.printf "ERROR: saturation burst at %d domains lost or misrouted publications\n"
+        domains;
+      exit 1
+    end;
+    Report.record7
+      (Printf.sprintf "saturation-domains-%d" domains)
+      [
+        ("domains", Report.I domains);
+        ("roots", Report.I 4);
+        ("published", Report.I published);
+        ("delivered", Report.I (List.length delivered));
+        ("burst_wall_ms", Report.F (wall *. 1000.0));
+        ("msgs_per_sec", Report.F per_sec);
+        ("p50_hop_ms", Report.F p50);
+        ("p99_hop_ms", Report.F p99);
+      ];
+    (delivered, per_sec)
+  in
+  let delivered_seq, _ = run 1 in
+  let delivered_sharded, per_sec_sharded = run 4 in
+  let diffs =
+    if delivered_seq = delivered_sharded then 0
+    else begin
+      (* symmetric difference of the two delivered-id sets *)
+      let seen l =
+        let h = Hashtbl.create 1024 in
+        List.iter (fun i -> Hashtbl.replace h i ()) l;
+        h
+      in
+      let in_seq = seen delivered_seq and in_sharded = seen delivered_sharded in
+      List.length (List.filter (fun i -> not (Hashtbl.mem in_sharded i)) delivered_seq)
+      + List.length (List.filter (fun i -> not (Hashtbl.mem in_seq i)) delivered_sharded)
+    end
+  in
+  Printf.printf "decision diffs (domains 1 vs 4): %d;  speedup vs BENCH_2 baseline: %.1fx\n%!"
+    diffs (per_sec_sharded /. baseline);
+  Report.record7 "saturation-domains-4"
+    [
+      ("decision_diffs", Report.F (float_of_int diffs));
+      ("decisions_identical", Report.B (diffs = 0));
+      ("baseline_msgs_per_sec", Report.F baseline);
+      ("speedup_vs_baseline", Report.F (per_sec_sharded /. baseline));
+    ];
+  if diffs <> 0 then begin
+    Printf.printf "ERROR: sharded daemon diverged from the sequential daemon\n";
     exit 1
   end
 
@@ -1335,6 +1525,78 @@ let smoke () =
     Printf.printf "smoke FAILED: PRT NFA invariants violated:\n";
     List.iter (fun m -> Printf.printf "  %s\n" m) problems;
     exit 1);
+  (* Shard gate: the domain pool's merged decisions must be
+     byte-identical to the sequential NFA PRT on the same mixed
+     anchored/unanchored subscription set. Reuses the NFA gate's 1500
+     XPEs and 12-document corpus; publications are emitted through the
+     seq-keyed reorder buffer in submission order, so the i-th emitted
+     decision compares against the i-th sequential one. *)
+  let module Pool = Xroute_daemon.Shard_pool in
+  let pool = Pool.create ~domains:3 () in
+  List.iteri
+    (fun i x ->
+      let id : Message.sub_id = { origin = 2; seq = i } in
+      let seq = Pool.next_seq pool in
+      Pool.subscribe pool ~stamp:seq id x (Rtable.Client 0);
+      Pool.push_control pool ~seq (fun () -> ()))
+    prt_xpes;
+  let render (payloads : Rtable.Prt.payload list) =
+    List.map (fun (p : Rtable.Prt.payload) -> p.Rtable.Prt.id) payloads
+    |> List.sort_uniq compare
+    |> List.map (fun (id : Message.sub_id) -> Printf.sprintf "%d.%d" id.origin id.seq)
+    |> String.concat ";"
+  in
+  let pool_got = ref [] in
+  let drain_pool () =
+    Pool.drain pool ~publish:(fun ~seq:_ ~from:_ ~batch_t:_ outcome ->
+        match outcome with
+        | Pool.Routed { payloads; _ } -> pool_got := render payloads :: !pool_got
+        | Pool.Undecodable _ -> pool_got := "<undecodable>" :: !pool_got)
+  in
+  let submitted =
+    List.filter
+      (fun pub ->
+        let payload = Codec.encode (Message.Publish { pub; trail = []; ctx = None }) in
+        match Pool.publish_root payload with
+        | None -> false
+        | Some root ->
+          let seq = Pool.next_seq pool in
+          while
+            not (Pool.submit_publish pool ~seq ~from:(Rtable.Client 9) ~batch_t:0.0 ~payload ~root)
+          do
+            drain_pool ();
+            Unix.sleepf 0.0002
+          done;
+          true)
+      corpus
+  in
+  let shard_deadline = Unix.gettimeofday () +. 20.0 in
+  while Pool.in_flight pool > 0 && Unix.gettimeofday () < shard_deadline do
+    drain_pool ();
+    if Pool.in_flight pool > 0 then Unix.sleepf 0.0002
+  done;
+  let stuck = Pool.in_flight pool in
+  Pool.stop pool;
+  if stuck > 0 then begin
+    Printf.printf "smoke FAILED: shard pool left %d publications in flight\n" stuck;
+    exit 1
+  end;
+  let sequential = List.map (prt_decision prt_nfa) submitted in
+  let pooled = List.rev !pool_got in
+  if List.length pooled <> List.length sequential then begin
+    Printf.printf "smoke FAILED: shard pool emitted %d decisions for %d publications\n"
+      (List.length pooled) (List.length sequential);
+    exit 1
+  end;
+  let shard_diffs =
+    List.fold_left2 (fun n a b -> if String.equal a b then n else n + 1) 0 sequential pooled
+  in
+  Printf.printf "smoke: shard pool vs sequential PRT on %d publications: %d decision diffs\n"
+    (List.length submitted) shard_diffs;
+  if shard_diffs <> 0 then begin
+    Printf.printf "smoke FAILED: shard pool diverged from the sequential PRT\n";
+    exit 1
+  end;
   (* Fault gate: crash the relay broker of a line, publish into the
      outage (must be destroyed and accounted), restart it, and require
      the routing state to recover so the next publication is delivered
@@ -1446,6 +1708,7 @@ let experiments =
     ("latency-breakdown", latency_breakdown);
     ("srt-index", srt_index_bench);
     ("daemon-throughput", daemon_throughput);
+    ("saturation", saturation);
     ("fault-recovery", fault_recovery);
     ("ablation-exact-cover", ablation_exact_cover);
     ("ablation-yfilter", ablation_yfilter);

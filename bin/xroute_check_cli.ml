@@ -147,6 +147,89 @@ let audit_report dtd ~strategies ~seeds ~ops =
       ];
   }
 
+(* ---------------- shard-integrity audit ---------------- *)
+
+(* Drive an in-process domain pool (Xroute_daemon.Shard_pool) through
+   seeded subscribe/unsubscribe/publish churn — the same glue the
+   daemon's pool mode uses — then audit the partition at quiescence:
+   anchored entries on their owner shard alone, unanchored entries
+   replicated everywhere, no orphans, unique stamps, counters summing.
+   --inject-shard-skew silently breaks shard 0 first; the audit must
+   then report errors (the @lint mutation check). *)
+let shard_audit_report ~domains ~seed ~ops ~inject =
+  let module Pool = Xroute_daemon.Shard_pool in
+  let module Message = Xroute_core.Message in
+  let module Codec = Xroute_core.Codec in
+  let xp = Xroute_xpath.Xpe_parser.parse in
+  let broker = Broker.create ~id:0 ~neighbors:[ 1 ] () in
+  let pool = Pool.create ~domains () in
+  let drain () = Pool.drain pool ~publish:(fun ~seq:_ ~from:_ ~batch_t:_ _ -> ()) in
+  let prng = Prng.create ((seed * 6271) + 3) in
+  let sub_patterns =
+    [ "/a/b"; "/a"; "/b"; "/c/d"; "/d/e"; "//b"; "//d"; "/*/c" ]
+  in
+  let docs =
+    List.map Xroute_xml.Xml_parser.parse
+      [ "<a><b/></a>"; "<b><c/></b>"; "<c><d/></c>"; "<d><e/></d>" ]
+  in
+  let from = Xroute_core.Rtable.Client 100 in
+  let live = ref [] in
+  let next_sub = ref 0 in
+  let next_doc = ref 0 in
+  for _ = 1 to ops do
+    match Prng.int prng 5 with
+    | 0 | 1 ->
+      incr next_sub;
+      let id = { Message.origin = 200; seq = !next_sub } in
+      let xpe = xp (List.nth sub_patterns (Prng.int prng (List.length sub_patterns))) in
+      let seq = Pool.next_seq pool in
+      let before = Broker.prt_mem broker id in
+      ignore (Broker.handle broker ~from (Message.Subscribe { id; xpe }));
+      if (not before) && Broker.prt_mem broker id then begin
+        Pool.subscribe pool ~stamp:seq id xpe from;
+        live := id :: !live
+      end;
+      Pool.push_control pool ~seq (fun () -> ())
+    | 2 when !live <> [] ->
+      let id = List.nth !live (Prng.int prng (List.length !live)) in
+      live := List.filter (fun i -> Message.compare_sub_id i id <> 0) !live;
+      let seq = Pool.next_seq pool in
+      ignore (Broker.handle broker ~from (Message.Unsubscribe { id }));
+      if not (Broker.prt_mem broker id) then Pool.unsubscribe pool id;
+      Pool.push_control pool ~seq (fun () -> ())
+    | _ ->
+      incr next_doc;
+      List.iter
+        (fun pub ->
+          let payload = Codec.encode (Message.Publish { pub; trail = []; ctx = None }) in
+          match Pool.publish_root payload with
+          | None -> ()
+          | Some root ->
+            let seq = Pool.next_seq pool in
+            while not (Pool.submit_publish pool ~seq ~from ~batch_t:0.0 ~payload ~root) do
+              drain ();
+              Unix.sleepf 0.0002
+            done)
+        (Xroute_xml.Xml_paths.decompose ~doc_id:!next_doc
+           (List.nth docs (Prng.int prng (List.length docs))))
+  done;
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  while Pool.in_flight pool > 0 && Unix.gettimeofday () < deadline do
+    drain ();
+    Unix.sleepf 0.0002
+  done;
+  drain ();
+  Pool.quiesce pool;
+  if inject then Pool.corrupt_for_test pool;
+  let subs =
+    List.map
+      (fun (id, xpe, _) -> (id, xpe))
+      (Broker.audit_view broker).Broker.av_subs
+  in
+  let report = Check.audit_shards_report (Pool.view pool ~subs) in
+  Pool.stop pool;
+  report
+
 (* ---------------- routing-state audit (live daemon) ---------------- *)
 
 let severity_of_string = function
@@ -200,13 +283,15 @@ let parse_seeds s =
     or_die (Error ("bad --seeds list " ^ s))
   else seeds
 
-let run dtd_spec workload soundness audit self_audit seeds_str pairs count clients
-    strategy_name ops inject_unsound witness_incomplete json_path connect metrics quiet
-    verbose =
+let run dtd_spec workload soundness audit shard_audit self_audit seeds_str pairs count
+    clients strategy_name ops domains inject_unsound inject_shard_skew witness_incomplete
+    json_path connect metrics quiet verbose =
   setup_logs verbose;
   let dtd = or_die (load_dtd dtd_spec) in
   let seeds = parse_seeds seeds_str in
-  let none_selected = not (workload || soundness || audit || connect <> None) in
+  let none_selected =
+    not (workload || soundness || audit || shard_audit || connect <> None)
+  in
   let all = self_audit || none_selected in
   let reports = ref [] in
   let add r = reports := r :: !reports in
@@ -217,6 +302,10 @@ let run dtd_spec workload soundness audit self_audit seeds_str pairs count clien
     in
     add (Soundness.run ~covers ~seeds ~pairs_per_seed:pairs ~witness_incomplete ())
   end;
+  if shard_audit || all then
+    List.iter
+      (fun seed -> add (shard_audit_report ~domains ~seed ~ops:(ops * 4) ~inject:inject_shard_skew))
+      seeds;
   (match connect with
   | Some c -> add (daemon_audit_report ~connect:c)
   | None ->
@@ -263,6 +352,14 @@ let cmd =
   let audit_arg =
     Arg.(value & flag & info [ "audit" ] ~doc:"Run the routing-state audit family.")
   in
+  let shard_audit_arg =
+    Arg.(
+      value & flag
+      & info [ "shard-audit" ]
+          ~doc:
+            "Run the shard-integrity audit family: churn an in-process domain pool and \
+             check the PRT partition invariants at quiescence.")
+  in
   let self_audit_arg =
     Arg.(
       value & flag
@@ -301,6 +398,19 @@ let cmd =
     Arg.(
       value & opt int 30
       & info [ "ops" ] ~docv:"N" ~doc:"Audit: churn operations per simulated network.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Shard audit: worker domains in the churned pool.")
+  in
+  let inject_shard_skew_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-shard-skew" ]
+          ~doc:
+            "Mutation check: silently corrupt one shard's partition before the shard \
+             audit; the run must report errors and exit 1.")
   in
   let inject_arg =
     Arg.(
@@ -343,9 +453,10 @@ let cmd =
   Cmd.v
     (Cmd.info "xroute_check" ~version:"%%VERSION%%" ~doc)
     Term.(
-      const run $ dtd_arg $ workload_arg $ soundness_arg $ audit_arg $ self_audit_arg
-      $ seeds_arg $ pairs_arg $ count_arg $ clients_arg $ strategy_arg $ ops_arg
-      $ inject_arg $ witness_incomplete_arg $ json_arg $ connect_arg $ metrics_arg
-      $ quiet_arg $ verbose_arg)
+      const run $ dtd_arg $ workload_arg $ soundness_arg $ audit_arg $ shard_audit_arg
+      $ self_audit_arg $ seeds_arg $ pairs_arg $ count_arg $ clients_arg $ strategy_arg
+      $ ops_arg $ domains_arg $ inject_arg $ inject_shard_skew_arg
+      $ witness_incomplete_arg $ json_arg $ connect_arg $ metrics_arg $ quiet_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

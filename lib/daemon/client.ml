@@ -21,7 +21,7 @@ type t = {
   port : int;
   mutable reconnect_wait : float; (* total redial budget per failure, seconds *)
   mutable next_seq : int;
-  inbuf : Buffer.t;
+  inbuf : Linebuf.t;
   mutable advs : (Message.sub_id * Xroute_xpath.Adv.t) list; (* newest first *)
   mutable subs : (Message.sub_id * Xroute_xpath.Xpe.t) list; (* newest first *)
   mutable reconnects : int;
@@ -58,7 +58,9 @@ let hello t fd = write_all fd (Printf.sprintf "HELLO|client|%d\n" t.client_id)
    subscriptions, in registration order and with their original ids. *)
 let reconnect t =
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
-  Buffer.clear t.inbuf;
+  (* Drop any partial line from the dead connection: its tail is gone,
+     and gluing it to the new connection's bytes would forge a line. *)
+  Linebuf.clear t.inbuf;
   let deadline = Unix.gettimeofday () +. t.reconnect_wait in
   let rec attempt backoff =
     match dial ~host:t.host ~port:t.port with
@@ -101,7 +103,7 @@ let connect ~client_id ~host ~port =
       port;
       reconnect_wait = 8.0;
       next_seq = 0;
-      inbuf = Buffer.create 256;
+      inbuf = Linebuf.create ~initial:256 ();
       advs = [];
       subs = [];
       reconnects = 0;
@@ -149,18 +151,9 @@ let publish_doc t ~doc_id root =
    replays the session) and the wait continues; [None] if redialing
    exhausts its budget too. *)
 let next_line t ~deadline =
-  let line_from_buffer () =
-    let data = Buffer.contents t.inbuf in
-    match String.index_opt data '\n' with
-    | Some i ->
-      let line = String.sub data 0 i in
-      Buffer.clear t.inbuf;
-      Buffer.add_string t.inbuf (String.sub data (i + 1) (String.length data - i - 1));
-      Some line
-    | None -> None
-  in
+  let buf = Bytes.create 4096 in
   let rec go () =
-    match line_from_buffer () with
+    match Linebuf.next_line t.inbuf with
     | Some line -> Some line
     | None ->
       let remaining = deadline -. Unix.gettimeofday () in
@@ -169,13 +162,18 @@ let next_line t ~deadline =
         match Unix.select [ t.fd ] [] [] remaining with
         | [], _, _ -> None
         | _ -> (
-          let buf = Bytes.create 4096 in
           match Unix.read t.fd buf 0 4096 with
           | 0 -> recover ()
           | n ->
-            Buffer.add_subbytes t.inbuf buf 0 n;
+            Linebuf.add_subbytes t.inbuf buf 0 n;
             go ()
-          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> recover ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go () (* interrupted: retry *)
+          | exception
+              Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.ETIMEDOUT), _, _) ->
+            (* Peer reset, half-close torn down under us, or the TCP
+               keepalive/retransmit timer gave up: all mean the session
+               is dead and replayable — same treatment as EOF. *)
+            recover ())
       end
   and recover () = match reconnect t with () -> go () | exception Unix.Unix_error _ -> None in
   go ()

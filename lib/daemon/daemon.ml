@@ -27,7 +27,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 type conn = {
   fd : Unix.file_descr;
   mutable endpoint : Rtable.endpoint option; (* set after HELLO *)
-  inbuf : Buffer.t;
+  mutable connecting : bool; (* non-blocking connect still in progress *)
+  inbuf : Linebuf.t;
   (* Output path: lines of a burst coalesce into [outbuf]; at write time
      the accumulated bytes move (one copy) onto [outq] and are written
      chunk by chunk, [out_off] marking the sent prefix of the head chunk
@@ -50,11 +51,21 @@ type t = {
   timeseries : Timeseries.t; (* periodic registry snapshots *)
   snapshot_period : float; (* ms between snapshots *)
   recorder : Recorder.t option; (* flight recorder, when --flight-dir set *)
+  pool : Shard_pool.t option; (* domain pool, when --domains > 1 *)
+  shard_gauges : (Xroute_obs.Metrics.gauge * Xroute_obs.Metrics.gauge * Xroute_obs.Metrics.gauge) array;
+  pool_gauge : Xroute_obs.Metrics.gauge option; (* publications routed via the pool *)
+  read_buf : Bytes.t; (* reusable socket read buffer *)
+  resolved : (string, Unix.inet_addr) Hashtbl.t; (* DNS memo for dials *)
   mutable last_snapshot : float;
   mutable conns : conn list;
   mutable last_dial : float;
   mutable stop_requested : bool;
 }
+
+(* Stop pulling new bytes off connections while this many publications
+   sit between submission and emission: the kernel socket buffers fill
+   and TCP pushes the pressure back to the senders. *)
+let read_watermark = 4096
 
 let broker t = t.broker
 let port t = t.port
@@ -69,7 +80,8 @@ let conn_of fd =
   {
     fd;
     endpoint = None;
-    inbuf = Buffer.create 256;
+    connecting = false;
+    inbuf = Linebuf.create ~initial:256 ();
     outbuf = Buffer.create 256;
     outq = Queue.create ();
     out_off = 0;
@@ -105,9 +117,18 @@ let conn_for t ep =
 (* ---------------- creation ---------------- *)
 
 let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
-    ?(snapshot_period = 1000.0) ?flight_dir ~id ~port ~neighbors () =
+    ?(snapshot_period = 1000.0) ?flight_dir ?(domains = 1) ~id ~port ~neighbors () =
   if max_write_chunk <= 0 then invalid_arg "Daemon.create: max_write_chunk <= 0";
   if snapshot_period <= 0.0 then invalid_arg "Daemon.create: snapshot_period <= 0";
+  if domains < 1 then invalid_arg "Daemon.create: domains < 1";
+  (* The pool's determinism argument needs stamp-ordered NFA matching:
+     the tree engine reports in covering-DFS order and trail routing
+     matches against a trail-dependent subset, so neither can be merged
+     byte-identically from per-shard results. *)
+  if domains > 1 && strategy.Broker.match_engine <> Rtable.Prt.Nfa then
+    invalid_arg "Daemon.create: --domains > 1 requires the nfa match engine";
+  if domains > 1 && strategy.Broker.trail_routing then
+    invalid_arg "Daemon.create: --domains > 1 is incompatible with trail routing";
   (* Writes to a peer that vanished must surface as EPIPE, not kill the
      process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -121,6 +142,23 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
   in
   let broker = Broker.create ~strategy ~id ~neighbors:(List.map fst neighbors) () in
   Log.info (fun m -> m "broker %d listening on port %d" id actual_port);
+  let pool = if domains > 1 then Some (Shard_pool.create ~domains ()) else None in
+  let module M = Xroute_obs.Metrics in
+  let reg = Broker.metrics broker in
+  let shard_gauges =
+    match pool with
+    | None -> [||]
+    | Some _ ->
+      Array.init domains (fun i ->
+          ( M.gauge reg ~help:"shard subscriptions" (Printf.sprintf "xroute_shard_%d_entries" i),
+            M.gauge reg ~help:"shard publications matched" (Printf.sprintf "xroute_shard_%d_pubs" i),
+            M.gauge reg ~help:"shard match operations" (Printf.sprintf "xroute_shard_%d_match_ops" i) ))
+  in
+  let pool_gauge =
+    Option.map
+      (fun _ -> M.gauge reg ~help:"publications routed via the domain pool" "xroute_pool_pubs_routed")
+      pool
+  in
   {
     broker;
     listen_fd;
@@ -134,6 +172,11 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
     timeseries = Timeseries.create (Broker.metrics broker);
     snapshot_period;
     recorder = Option.map (fun dir -> Recorder.create ~dir ()) flight_dir;
+    pool;
+    shard_gauges;
+    pool_gauge;
+    read_buf = Bytes.create 65536;
+    resolved = Hashtbl.create 4;
     last_snapshot = 0.0;
     conns = [];
     last_dial = 0.0;
@@ -141,6 +184,23 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
   }
 
 let request_stop t = t.stop_requested <- true
+let pool t = t.pool
+
+(* Per-shard observability counters, mirrored into the registry so
+   STATS| and the timeseries snapshots carry them. *)
+let refresh_pool_gauges t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    let module M = Xroute_obs.Metrics in
+    Array.iteri
+      (fun i (g_entries, g_pubs, g_ops) ->
+        let shard = Shard_pool.shard pool i in
+        M.set_int g_entries (Rtable.Prt.Shard.size shard);
+        M.set_int g_pubs (Rtable.Prt.Shard.pubs_matched shard);
+        M.set_int g_ops (Rtable.Prt.Shard.match_ops shard))
+      t.shard_gauges;
+    Option.iter (fun g -> M.set_int g (Shard_pool.pubs_routed pool)) t.pool_gauge
 
 (* ---------------- protocol ---------------- *)
 
@@ -160,6 +220,7 @@ let dispatch t outputs = List.iter (fun (ep, msg) -> send_message t ep msg) outp
    STATS|END. *)
 let send_stats t conn fmt =
   Broker.refresh_metrics t.broker;
+  refresh_pool_gauges t;
   let reg = Broker.metrics t.broker in
   let fmt_name, body =
     match fmt with
@@ -292,73 +353,260 @@ let handle_publish t ~batch_t ~from pub trail ctx =
   Span.finish hop ~at:t_ser;
   Option.iter (fun r -> Span.extend r ~at:t_ser) root
 
-let handle_line t conn ~batch_t line =
+(* Identify a connection. A peer re-connecting (or a confused one)
+   can send a HELLO claiming an endpoint that already has a live
+   connection; keeping both would make [conn_for] pick whichever sits
+   first in the list, silently splitting that endpoint's traffic
+   between two sockets. The freshest identification wins: the stale
+   conn is closed (its unsent output is gone either way once the peer
+   reads from the new socket). *)
+let identify t conn ep =
+  (match conn_for t ep with
+  | Some stale when stale != conn ->
+    Log.info (fun m ->
+        m "broker %d: %a re-identified, closing the stale connection" (Broker.id t.broker)
+          Rtable.pp_endpoint ep);
+    close_conn t stale
+  | Some _ | None -> ());
+  conn.endpoint <- Some ep
+
+let handle_hello t conn line kind id =
+  match (kind, int_of_string_opt id) with
+  | "broker", Some b -> identify t conn (Rtable.Neighbor b)
+  | "client", Some c -> identify t conn (Rtable.Client c)
+  | _ -> Log.warn (fun m -> m "malformed HELLO %S" line)
+
+(* Finish one pool-matched publication on the main domain: the reorder
+   buffer already restored arrival order, so routing (counters, hop
+   grouping) and emission here are byte-identical to the sequential
+   path. Span stages reuse the worker-measured parse/match durations,
+   laid out backwards from drain time so the leaves still tile
+   [batch_t, t_ser] exactly (the queue leaf absorbs the pool's
+   in-flight wait, which is exactly what it measures). *)
+let handle_pool_publish t ~seq:_ ~from ~batch_t outcome =
+  match (outcome : Shard_pool.outcome) with
+  | Shard_pool.Undecodable e ->
+    Log.warn (fun m ->
+        m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)
+  | Shard_pool.Routed { pub; ctx; payloads; ops; parse_ms; match_ms } ->
+    let b = Broker.id t.broker in
+    let t0 = Mono.now t.clock in
+    let trace, parent, root =
+      match (ctx : Message.trace_ctx option) with
+      | Some c -> (c.trace, Some c.parent_span, None)
+      | None ->
+        let root =
+          match Span.root_for t.spans ~trace:pub.Xroute_xml.Xml_paths.doc_id with
+          | Some r -> r
+          | None ->
+            Span.start_span t.spans ~trace:pub.Xroute_xml.Xml_paths.doc_id ~name:"pub"
+              ~broker:(-1) ~at:batch_t ()
+        in
+        (pub.Xroute_xml.Xml_paths.doc_id, Some root.Span.id, Some root)
+    in
+    let hop = Span.start_span t.spans ?parent ~trace ~name:"hop" ~broker:b ~at:batch_t () in
+    let leaf name start stop ?meta () =
+      if stop -. start > 0.0 then
+        ignore (Span.record t.spans ~parent:hop.Span.id ?meta ~trace ~name ~broker:b ~start ~stop ())
+    in
+    let t_match_end = t0 in
+    let t_match_start = max batch_t (t_match_end -. match_ms) in
+    let t_parse_start = max batch_t (t_match_start -. parse_ms) in
+    leaf "queue" batch_t t_parse_start ();
+    leaf "parse" t_parse_start t_match_start ();
+    leaf "match" t_match_start t_match_end ~meta:[ ("prt_ops", string_of_int ops) ] ();
+    let outs = Broker.route_publication t.broker ~from ~pub ~ctx ~payloads ~match_ops:ops in
+    let ctx' = Some { Message.trace; parent_span = hop.Span.id } in
+    dispatch t
+      (List.map
+         (fun (ep, m) ->
+           match m with
+           | Message.Publish p -> (ep, Message.Publish { p with ctx = ctx' })
+           | m -> (ep, m))
+         outs);
+    let t_ser = Mono.now t.clock in
+    leaf "serialize" t_match_end t_ser ();
+    Span.finish hop ~at:t_ser;
+    Option.iter (fun r -> Span.extend r ~at:t_ser) root
+
+let pool_drain t pool =
+  Shard_pool.drain pool ~publish:(fun ~seq ~from ~batch_t outcome ->
+      handle_pool_publish t ~seq ~from ~batch_t outcome)
+
+(* Pool-mode line handling. Every line gets a global arrival sequence
+   number; publications are classified by root (a raw-line field scan,
+   no decode) and shipped to their owner shard, everything else runs
+   its state transition NOW — arrival order is exactly the order the
+   sequential engine would process in — but parks its emission in the
+   reorder buffer, so the bytes leaving each connection are identical
+   to the sequential daemon's. HELLO stays immediate: it only sets
+   connection metadata and must attribute the very next line. *)
+let handle_line_pool t pool conn ~batch_t line =
   match String.split_on_char '|' line with
-  | "HELLO" :: kind :: id :: _ -> (
-    match (kind, int_of_string_opt id) with
-    | "broker", Some b -> conn.endpoint <- Some (Rtable.Neighbor b)
-    | "client", Some c -> conn.endpoint <- Some (Rtable.Client c)
-    | _ -> Log.warn (fun m -> m "malformed HELLO %S" line))
+  | "HELLO" :: kind :: id :: _ -> handle_hello t conn line kind id
   | "M" :: _ -> (
     match conn.endpoint with
     | None -> Log.warn (fun m -> m "message before HELLO, ignoring")
     | Some from -> (
       let payload = String.sub line 2 (String.length line - 2) in
-      match Codec.decode payload with
-      | Ok (Message.Publish { pub; trail; ctx }) -> handle_publish t ~batch_t ~from pub trail ctx
-      | Ok msg -> dispatch t (Broker.handle t.broker ~from msg)
-      | Error e ->
-        Log.warn (fun m -> m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))
-  | "PING" :: _ -> enqueue conn "PONG"
+      match Shard_pool.publish_root payload with
+      | Some root ->
+        let seq = Shard_pool.next_seq pool in
+        (* Backpressure: a full ingress ring means the owner shard is
+           behind; drain finished work (freeing ring slots downstream)
+           and yield until the submit lands. *)
+        while not (Shard_pool.submit_publish pool ~seq ~from ~batch_t ~payload ~root) do
+          pool_drain t pool;
+          Unix.sleepf 0.0002
+        done
+      | None -> (
+        let seq = Shard_pool.next_seq pool in
+        match Codec.decode payload with
+        | Ok msg ->
+          (* Mirror actual PRT changes onto the shards before any later
+             publication is submitted: the ingress rings are FIFO, so a
+             publication at seq n sees exactly the subscriptions of
+             lines with seq < n — the sequential engine's view. *)
+          let interesting_id =
+            match msg with
+            | Message.Subscribe { id; _ } | Message.Unsubscribe { id } -> Some id
+            | Message.Advertise _ | Message.Unadvertise _ | Message.Publish _ -> None
+          in
+          let before =
+            match interesting_id with
+            | Some id -> Broker.prt_mem t.broker id
+            | None -> false
+          in
+          let outs = Broker.handle t.broker ~from msg in
+          (match (msg, interesting_id) with
+          | Message.Subscribe { id; xpe }, _ ->
+            if (not before) && Broker.prt_mem t.broker id then
+              Shard_pool.subscribe pool ~stamp:seq id xpe from
+          | Message.Unsubscribe { id }, _ ->
+            if before && not (Broker.prt_mem t.broker id) then Shard_pool.unsubscribe pool id
+          | (Message.Advertise _ | Message.Unadvertise _ | Message.Publish _), _ -> ());
+          Shard_pool.push_control pool ~seq (fun () -> dispatch t outs)
+        | Error e ->
+          Shard_pool.push_control pool ~seq (fun () ->
+              Log.warn (fun m ->
+                  m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))))
+  | "PING" :: _ ->
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> enqueue conn "PONG")
   | "STATS" :: rest ->
     let fmt = match rest with "json" :: _ -> `Json | _ -> `Prom in
-    send_stats t conn fmt
-  | "AUDIT" :: _ -> send_audit t conn
-  | "TRACE" :: key :: _ -> send_trace t conn key
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> send_stats t conn fmt)
+  | "AUDIT" :: _ ->
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> send_audit t conn)
+  | "TRACE" :: key :: _ ->
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> send_trace t conn key)
   | _ -> Log.warn (fun m -> m "unknown line %S" line)
+
+let handle_line t conn ~batch_t line =
+  match t.pool with
+  | Some pool -> handle_line_pool t pool conn ~batch_t line
+  | None -> (
+    match String.split_on_char '|' line with
+    | "HELLO" :: kind :: id :: _ -> handle_hello t conn line kind id
+    | "M" :: _ -> (
+      match conn.endpoint with
+      | None -> Log.warn (fun m -> m "message before HELLO, ignoring")
+      | Some from -> (
+        let payload = String.sub line 2 (String.length line - 2) in
+        match Codec.decode payload with
+        | Ok (Message.Publish { pub; trail; ctx }) -> handle_publish t ~batch_t ~from pub trail ctx
+        | Ok msg -> dispatch t (Broker.handle t.broker ~from msg)
+        | Error e ->
+          Log.warn (fun m -> m "undecodable message from %a: %a" Rtable.pp_endpoint from Codec.pp_error e)))
+    | "PING" :: _ -> enqueue conn "PONG"
+    | "STATS" :: rest ->
+      let fmt = match rest with "json" :: _ -> `Json | _ -> `Prom in
+      send_stats t conn fmt
+    | "AUDIT" :: _ -> send_audit t conn
+    | "TRACE" :: key :: _ -> send_trace t conn key
+    | _ -> Log.warn (fun m -> m "unknown line %S" line))
 
 (* Extract complete lines from the connection buffer. [batch_t] is when
    the socket became readable: lines later in the batch were queued
    behind earlier ones, which the per-publication "queue" stage span
    measures. *)
 let drain_lines t conn ~batch_t =
-  let data = Buffer.contents conn.inbuf in
-  let rec go start =
-    match String.index_from_opt data start '\n' with
-    | Some i ->
-      let line = String.sub data start (i - start) in
-      if line <> "" then handle_line t conn ~batch_t line;
-      go (i + 1)
-    | None ->
-      Buffer.clear conn.inbuf;
-      Buffer.add_string conn.inbuf (String.sub data start (String.length data - start))
+  let rec go () =
+    if not conn.closed then
+      match Linebuf.next_line conn.inbuf with
+      | Some line ->
+        if line <> "" then handle_line t conn ~batch_t line;
+        go ()
+      | None -> ()
   in
-  go 0
+  go ()
 
 (* ---------------- dialing ---------------- *)
 
-(* Connect to lower-id neighbors that are not connected yet. *)
+(* Resolve a neighbor host. Name resolution can block for seconds on a
+   broken resolver, so successful lookups are memoized: each name stalls
+   the loop at most once, and the common numeric-address case never
+   touches the resolver at all. *)
+let resolve t host =
+  match Hashtbl.find_opt t.resolved host with
+  | Some addr -> Some addr
+  | None -> (
+    let addr =
+      match Unix.inet_addr_of_string host with
+      | addr -> Some addr
+      | exception Failure _ -> (
+        match (Unix.gethostbyname host).Unix.h_addr_list with
+        | [||] -> None
+        | addrs -> Some addrs.(0)
+        | exception Not_found -> None)
+    in
+    match addr with
+    | Some a ->
+      Hashtbl.replace t.resolved host a;
+      Some a
+    | None -> None)
+
+(* Connect to lower-id neighbors that are not connected yet. The socket
+   goes non-blocking BEFORE connect: a slow or black-holed peer must not
+   stall the event loop (a blocking connect can hang for the full TCP
+   timeout — minutes — during which every established connection
+   starves). EINPROGRESS parks the conn with [connecting] set; [step]
+   finishes the handshake when the socket reports writability. The conn
+   carries its endpoint from the start so [conn_for] suppresses duplicate
+   dials on the next 50ms tick, but HELLO is only enqueued once the
+   connect actually completes. *)
 let dial_missing t =
   let now = Unix.gettimeofday () in
   if now -. t.last_dial >= 0.05 then begin
     t.last_dial <- now;
     List.iter
       (fun (nid, (host, port)) ->
-        if nid < Broker.id t.broker && conn_for t (Rtable.Neighbor nid) = None then begin
-          try
-            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-            let addr =
-              try Unix.inet_addr_of_string host
-              with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
-            in
-            Unix.connect fd (Unix.ADDR_INET (addr, port));
-            let conn = conn_of fd in
-            conn.endpoint <- Some (Rtable.Neighbor nid);
-            enqueue conn (Printf.sprintf "HELLO|broker|%d" (Broker.id t.broker));
-            t.conns <- conn :: t.conns;
-            Log.info (fun m -> m "broker %d connected to neighbor %d" (Broker.id t.broker) nid)
-          with Unix.Unix_error _ -> () (* retry on the next tick *)
-        end)
+        if nid < Broker.id t.broker && conn_for t (Rtable.Neighbor nid) = None then
+          match resolve t host with
+          | None -> () (* retry on the next tick *)
+          | Some addr -> (
+            match Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 with
+            | exception Unix.Unix_error _ -> ()
+            | fd -> (
+              Unix.set_nonblock fd;
+              match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+              | () ->
+                (* Loopback can complete synchronously. *)
+                let conn = conn_of fd in
+                conn.endpoint <- Some (Rtable.Neighbor nid);
+                enqueue conn (Printf.sprintf "HELLO|broker|%d" (Broker.id t.broker));
+                t.conns <- conn :: t.conns;
+                Log.info (fun m -> m "broker %d connected to neighbor %d" (Broker.id t.broker) nid)
+              | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) ->
+                let conn = conn_of fd in
+                conn.connecting <- true;
+                conn.endpoint <- Some (Rtable.Neighbor nid);
+                t.conns <- conn :: t.conns
+              | exception Unix.Unix_error _ -> (
+                try Unix.close fd with Unix.Unix_error _ -> ()))))
       t.neighbors
   end
 
@@ -384,6 +632,7 @@ let flush_out t conn =
         conn.out_off <- 0
       end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> () (* interrupted, not failed: retry *)
     | exception Unix.Unix_error _ ->
       close_conn t conn;
       continue := false
@@ -399,44 +648,130 @@ let maybe_snapshot t =
     Timeseries.snapshot t.timeseries ~at
   end
 
+(* Accept everything the backlog holds, not just one connection per
+   tick: under a connection burst, one-accept-per-select caps the accept
+   rate at 1/timeout per second and the backlog overflows. *)
+let accept_burst t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | fd, _ -> t.conns <- conn_of fd :: t.conns
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+(* Read one connection until EAGAIN (bounded): a peer writing faster
+   than one 4KB read per select tick would otherwise accumulate
+   unboundedly in the kernel buffer. The bound keeps one loud peer from
+   monopolizing the tick. Line handling can close [conn] (fatal protocol
+   errors) or close OTHER conns (duplicate HELLO), hence the re-check on
+   every iteration. *)
+let read_conn t conn =
+  let size = Bytes.length t.read_buf in
+  let batch_t = Mono.now t.clock in
+  let rounds = ref 8 in
+  let continue = ref true in
+  while !continue && !rounds > 0 && not conn.closed do
+    decr rounds;
+    match Unix.read conn.fd t.read_buf 0 size with
+    | 0 ->
+      close_conn t conn;
+      continue := false
+    | n ->
+      Linebuf.add_subbytes conn.inbuf t.read_buf 0 n;
+      drain_lines t conn ~batch_t;
+      if n < size then continue := false
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ ->
+      close_conn t conn;
+      continue := false
+  done
+
+(* A non-blocking connect resolved: writability means the three-way
+   handshake finished (or failed — SO_ERROR disambiguates). *)
+let finish_connect t conn =
+  match Unix.getsockopt_error conn.fd with
+  | None ->
+    conn.connecting <- false;
+    enqueue conn (Printf.sprintf "HELLO|broker|%d" (Broker.id t.broker));
+    (match conn.endpoint with
+    | Some (Rtable.Neighbor nid) ->
+      Log.info (fun m -> m "broker %d connected to neighbor %d" (Broker.id t.broker) nid)
+    | Some _ | None -> ())
+  | Some _ -> close_conn t conn (* refused/unreachable: redial next tick *)
+
 let step ?(timeout = 0.05) t =
   dial_missing t;
   maybe_snapshot t;
-  let readable = t.listen_fd :: List.map (fun c -> c.fd) t.conns in
-  let writable = List.filter_map (fun c -> if pending_out c then Some c.fd else None) t.conns in
-  match Unix.select readable writable [] timeout with
+  (* Ingress throttle: past the watermark, leave peer sockets out of the
+     read set and let TCP push the pressure back to the senders. *)
+  let can_read =
+    match t.pool with Some pool -> Shard_pool.in_flight pool < read_watermark | None -> true
+  in
+  let readable =
+    let conn_fds =
+      if can_read then
+        List.filter_map (fun c -> if c.connecting then None else Some c.fd) t.conns
+      else []
+    in
+    let base = t.listen_fd :: conn_fds in
+    match t.pool with Some pool -> Shard_pool.wake_fd pool :: base | None -> base
+  in
+  let writable =
+    List.filter_map
+      (fun c -> if c.connecting || pending_out c then Some c.fd else None)
+      t.conns
+  in
+  (match Unix.select readable writable [] timeout with
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   | rs, ws, _ ->
-    (* accept *)
-    if List.memq t.listen_fd rs then begin
-      match Unix.accept t.listen_fd with
-      | fd, _ -> t.conns <- conn_of fd :: t.conns
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    end;
-    (* read *)
+    if List.memq t.listen_fd rs then accept_burst t;
+    (* read — iterate the live list and re-check [closed] on every
+       conn: handling a line can close other connections mid-tick
+       (duplicate HELLO, fatal dispatch errors), and reading from an
+       already-closed fd would hit whatever unrelated descriptor the
+       kernel has since handed that number to. *)
     List.iter
       (fun conn ->
-        if List.memq conn.fd rs then begin
-          let buf = Bytes.create 4096 in
-          let batch_t = Mono.now t.clock in
-          match Unix.read conn.fd buf 0 4096 with
-          | 0 -> close_conn t conn
-          | n ->
-            Buffer.add_subbytes conn.inbuf buf 0 n;
-            drain_lines t conn ~batch_t
-          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-          | exception Unix.Unix_error _ -> close_conn t conn
-        end)
-      (List.filter (fun c -> not c.closed) t.conns);
+        if (not conn.closed) && (not conn.connecting) && List.memq conn.fd rs then
+          read_conn t conn)
+      t.conns;
+    (* drain the pool: run control thunks and finish routed publications
+       in arrival order *)
+    (match t.pool with
+    | Some pool ->
+      if List.memq (Shard_pool.wake_fd pool) rs then Shard_pool.drain_wake pool;
+      pool_drain t pool
+    | None -> ());
     (* write *)
     List.iter
-      (fun conn -> if List.memq conn.fd ws && pending_out conn then flush_out t conn)
-      (List.filter (fun c -> not c.closed) t.conns)
+      (fun conn ->
+        if (not conn.closed) && List.memq conn.fd ws then
+          if conn.connecting then finish_connect t conn
+          else if pending_out conn then flush_out t conn)
+      t.conns)
 
 (* Run until [request_stop] (or forever). *)
 let run ?(timeout = 0.05) t =
   while not t.stop_requested do
     step ~timeout t
   done;
+  (* Let in-flight publications finish routing (bounded) before the
+     connections are torn down, so a stop request does not silently
+     drop work already read off the sockets. *)
+  (match t.pool with
+  | None -> ()
+  | Some pool ->
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    while Shard_pool.in_flight pool > 0 && Unix.gettimeofday () < deadline do
+      pool_drain t pool;
+      Unix.sleepf 0.0002
+    done;
+    pool_drain t pool;
+    (* flush what the drain enqueued *)
+    List.iter (fun c -> if (not c.closed) && pending_out c then flush_out t c) t.conns;
+    Shard_pool.stop pool);
   List.iter (fun c -> close_conn t c) t.conns;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())

@@ -37,12 +37,18 @@ type t
     snapshots into the {!timeseries} ring. [flight_dir] enables the
     flight recorder: when an [AUDIT] reports an error-severity finding,
     the span ring, registry and latest rates are dumped there
-    ([Xroute_obs.Recorder]). *)
+    ([Xroute_obs.Recorder]). [domains] (default 1) shards publication
+    matching across that many worker domains ({!Shard_pool}); routing
+    decisions and emitted bytes stay identical to [domains = 1].
+    @raise Invalid_argument when [domains > 1] is combined with the tree
+    match engine or trail routing (their match orders cannot be merged
+    deterministically from per-shard results). *)
 val create :
   ?strategy:Xroute_core.Broker.strategy ->
   ?max_write_chunk:int ->
   ?snapshot_period:float ->
   ?flight_dir:string ->
+  ?domains:int ->
   id:int ->
   port:int ->
   neighbors:(int * (string * int)) list ->
@@ -51,6 +57,10 @@ val create :
 
 (** The hosted broker (for inspection). *)
 val broker : t -> Xroute_core.Broker.t
+
+(** The domain pool, when [create] was given [domains > 1] (for
+    inspection: shard audits, quiescent state checks). *)
+val pool : t -> Shard_pool.t option
 
 (** The daemon's span collector (ids offset by [broker id × 10⁹] so
     spans merged across daemons stay unique). *)

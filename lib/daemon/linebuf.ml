@@ -1,0 +1,77 @@
+(* Incremental line framing buffer.
+
+   The daemon and the client both accumulate socket reads and split
+   them into '\n'-terminated protocol lines. Doing that with
+   [Buffer.contents] re-copies the whole backlog on every read, so a
+   client draining an N-byte burst pays O(N^2) — the perf bug this
+   module replaces. Here the bytes live in one growable region with a
+   consumed prefix ([start]), and [next_line] resumes its newline scan
+   where the previous scan stopped ([scan]), so every byte is copied
+   into the buffer once, scanned once, and copied out once: O(N) for
+   the whole burst regardless of read fragmentation.
+
+   Compaction happens only when it is free (buffer fully consumed) or
+   when growth would otherwise be needed — "compact only when
+   consumed", never per read. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable start : int; (* first unconsumed byte *)
+  mutable len : int; (* end of valid data (exclusive) *)
+  mutable scan : int; (* next position to look for '\n'; start <= scan <= len *)
+}
+
+let create ?(initial = 4096) () =
+  { buf = Bytes.create (max 64 initial); start = 0; len = 0; scan = 0 }
+
+let length t = t.len - t.start
+
+let clear t =
+  t.start <- 0;
+  t.len <- 0;
+  t.scan <- 0
+
+(* Ensure room for [n] more bytes: slide the live region down if the
+   consumed prefix alone frees enough space, otherwise grow. *)
+let reserve t n =
+  let live = t.len - t.start in
+  if t.len + n > Bytes.length t.buf then
+    if live + n <= Bytes.length t.buf then begin
+      Bytes.blit t.buf t.start t.buf 0 live;
+      t.scan <- t.scan - t.start;
+      t.start <- 0;
+      t.len <- live
+    end
+    else begin
+      let size = ref (2 * Bytes.length t.buf) in
+      while live + n > !size do
+        size := 2 * !size
+      done;
+      let grown = Bytes.create !size in
+      Bytes.blit t.buf t.start grown 0 live;
+      t.buf <- grown;
+      t.scan <- t.scan - t.start;
+      t.start <- 0;
+      t.len <- live
+    end
+
+let add_subbytes t src pos n =
+  reserve t n;
+  Bytes.blit src pos t.buf t.len n;
+  t.len <- t.len + n
+
+let add_string t s = add_subbytes t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let next_line t =
+  match Bytes.index_from_opt t.buf t.scan '\n' with
+  | Some i when i < t.len ->
+    let line = Bytes.sub_string t.buf t.start (i - t.start) in
+    t.start <- i + 1;
+    t.scan <- t.start;
+    if t.start = t.len then clear t;
+    Some line
+  | _ ->
+    (* No newline in the live region: remember we scanned it all, so
+       the next call only looks at freshly added bytes. *)
+    t.scan <- t.len;
+    None

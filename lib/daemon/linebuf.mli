@@ -1,0 +1,24 @@
+(** Incremental '\n'-framed line buffer with an amortized O(1)-per-byte
+    scan: bytes are appended once, scanned once (the newline search
+    resumes where it stopped), and copied out once per line — replacing
+    the O(n²) [Buffer.contents] re-scans in the daemon's [drain_lines]
+    and the client's [next_line]. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+(** [add_subbytes t src pos n] appends [n] bytes of [src] at [pos]. *)
+
+val add_string : t -> string -> unit
+
+val next_line : t -> string option
+(** Next complete line, without its terminating ['\n']; [None] when no
+    full line is buffered yet. *)
+
+val length : t -> int
+(** Unconsumed bytes currently buffered. *)
+
+val clear : t -> unit
+(** Drop all buffered bytes (e.g. on reconnect). *)

@@ -1,0 +1,411 @@
+(* Sharded publication-matching pool (OCaml 5 domains).
+
+   The daemon's hot cost per publication is decode (Codec + re-intern)
+   plus the NFA match. Both depend only on the PRT, never on the SRT or
+   the covering state, so they can leave the event loop: the pool
+   partitions the PRT by advertisement-root symbol — the same
+   discriminator as the SRT bucket index ([Rtable.Srt.sub_root]) — and
+   runs one [Rtable.Prt.Shard] per worker domain. A subscription
+   anchored at root [n] lives only on [owner n]; an unanchored
+   subscription (relative / leading [//] / leading wildcard) is
+   replicated to every shard. A publication's path starts at its root
+   element, so exactly one shard — [owner root] — sees every
+   subscription that can match it, and the pool matches each
+   publication exactly once.
+
+   Determinism: outputs must be byte-identical to the sequential
+   engine. Three mechanisms carry that:
+
+   - every inbound line gets a global arrival sequence number ([seq]);
+     shard entries are stamped with their subscribing line's seq, and
+     [Shard.match_pub] sorts by stamp — the same relative order as the
+     authoritative table's [nfa_seq], since both are monotone over the
+     arrival order of inserted subscriptions;
+   - each worker's ingress is a bounded SPSC ring, so shard updates
+     pushed at arrival time are seen by every later publication on that
+     shard and by no earlier one (FIFO);
+   - results are merged through a reorder buffer keyed by seq: nothing
+     is emitted until every lower seq has been, so the per-connection
+     output byte streams equal the sequential engine's.
+
+   Backpressure: a full ingress ring makes [submit_publish] report
+   failure; the daemon then drains the reorder buffer (freeing results)
+   and stops adding connection fds to its read set while the in-flight
+   count sits above its watermark, pushing the pressure into TCP.
+   Workers write one byte to a self-pipe per result batch so the
+   daemon's [select] wakes as soon as decisions are ready. *)
+
+open Xroute_core
+module Spsc = Xroute_support.Spsc
+module Shard = Rtable.Prt.Shard
+
+let src = Logs.Src.create "xroute.pool" ~doc:"Sharded matching pool"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* What a worker hands back for one publication. Stage durations are
+   measured on the worker so the daemon can emit parse/match span
+   leaves that reflect where the time actually went. *)
+type outcome =
+  | Routed of {
+      pub : Xroute_xml.Xml_paths.publication;
+      ctx : Message.trace_ctx option;
+      payloads : Rtable.Prt.payload list;
+      ops : int; (* automaton entries examined *)
+      parse_ms : float;
+      match_ms : float;
+    }
+  | Undecodable of Codec.error
+
+type wcmd =
+  | Sub of { stamp : int; id : Message.sub_id; xpe : Xroute_xpath.Xpe.t; hop : Rtable.endpoint }
+  | Unsub of Message.sub_id
+  | Pub of { seq : int; payload : string }
+
+type worker = {
+  index : int;
+  shard : Shard.t;
+  ingress : wcmd Spsc.t;
+  results : (int * outcome) Spsc.t;
+  processed : int Atomic.t; (* commands the worker has completed *)
+  mutable submitted : int; (* commands the main domain has pushed *)
+  mutable domain : unit Domain.t option;
+}
+
+(* Reorder-buffer slot: a control line's outputs are emitted by a thunk
+   (its state transition already ran at arrival time on the main
+   domain); a publication waits for its worker outcome. *)
+type pending =
+  | Control of (unit -> unit)
+  | Pending_pub of {
+      from : Rtable.endpoint;
+      batch_t : float;
+      mutable outcome : outcome option;
+    }
+
+type t = {
+  workers : worker array;
+  stop : bool Atomic.t;
+  mutable seq : int; (* next global arrival sequence *)
+  mutable next_emit : int; (* lowest seq not yet emitted *)
+  reorder : (int, pending) Hashtbl.t;
+  mutable in_flight : int; (* publications submitted, not yet emitted *)
+  mutable pubs_routed : int; (* publications fully emitted *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+}
+
+let domains t = Array.length t.workers
+let in_flight t = t.in_flight
+let wake_fd t = t.wake_r
+let pubs_routed t = t.pubs_routed
+let shard t i = t.workers.(i).shard
+
+(* Deterministic partition: hash the root element's NAME, not its
+   interned id — ids depend on interning order, which differs between a
+   fresh daemon and a restarted one, and the owner of a root must not. *)
+let owner t root_name = Hashtbl.hash root_name mod Array.length t.workers
+
+(* ---------------- worker domain ---------------- *)
+
+let wake_byte = Bytes.make 1 '!'
+
+let worker_loop ~stop ~wake_w w =
+  let process cmd =
+    match cmd with
+    | Sub { stamp; id; xpe; hop } ->
+      Shard.insert w.shard ~stamp id xpe hop;
+      false
+    | Unsub id ->
+      Shard.remove w.shard id;
+      false
+    | Pub { seq; payload } ->
+      let t0 = Unix.gettimeofday () in
+      let outcome =
+        match Codec.decode payload with
+        | Ok (Message.Publish { pub; trail = _; ctx }) ->
+          let t1 = Unix.gettimeofday () in
+          let payloads, ops = Shard.match_pub w.shard pub in
+          let t2 = Unix.gettimeofday () in
+          Routed
+            {
+              pub;
+              ctx;
+              payloads;
+              ops;
+              parse_ms = (t1 -. t0) *. 1000.0;
+              match_ms = (t2 -. t1) *. 1000.0;
+            }
+        | Ok _ -> Undecodable { Codec.offset = 0; reason = "pool: not a publication" }
+        | Error e -> Undecodable e
+      in
+      (* The ring is sized to the pool's in-flight bound, so this spin
+         is defensive only. *)
+      while not (Spsc.push w.results (seq, outcome)) do
+        Domain.cpu_relax ()
+      done;
+      true
+  in
+  (* Drain everything queued, then signal once per batch: on a loaded
+     loop one context switch covers hundreds of publications. *)
+  let rec drain produced =
+    match Spsc.pop w.ingress with
+    | Some cmd ->
+      let p = process cmd in
+      Atomic.incr w.processed;
+      drain (produced || p)
+    | None -> produced
+  in
+  let wake () =
+    (* A pending byte already wakes the daemon; a full pipe means one is
+       pending, so EAGAIN (and a racing shutdown's EPIPE/EBADF) is fine. *)
+    try ignore (Unix.write wake_w wake_byte 0 1) with Unix.Unix_error _ -> ()
+  in
+  let rec run () =
+    if not (Atomic.get stop) then begin
+      if drain false then wake ();
+      if Spsc.is_empty w.ingress then begin
+        (* Brief spin for the low-latency case, then yield the core —
+           a spinning worker would starve the event loop on small
+           machines. *)
+        let spins = ref 200 in
+        while !spins > 0 && Spsc.is_empty w.ingress && not (Atomic.get stop) do
+          Domain.cpu_relax ();
+          decr spins
+        done;
+        if Spsc.is_empty w.ingress && not (Atomic.get stop) then Unix.sleepf 0.0002
+      end;
+      run ()
+    end
+  in
+  run ()
+
+(* ---------------- construction / teardown ---------------- *)
+
+(* Ring sizing: the daemon's read watermark keeps global in-flight
+   below [ingress capacity * 4]; results get headroom above that so a
+   worker can never be blocked on its result ring while the main domain
+   is itself spinning on a full ingress (a 1-core deadlock otherwise). *)
+let ingress_capacity = 1024
+
+let create ~domains () =
+  if domains < 1 then invalid_arg "Shard_pool.create: need at least one domain";
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let stop = Atomic.make false in
+  let workers =
+    Array.init domains (fun index ->
+        {
+          index;
+          shard = Shard.create ();
+          ingress = Spsc.create ingress_capacity;
+          results = Spsc.create (ingress_capacity * 16);
+          processed = Atomic.make 0;
+          submitted = 0;
+          domain = None;
+        })
+  in
+  let t =
+    {
+      workers;
+      stop;
+      seq = 0;
+      next_emit = 0;
+      reorder = Hashtbl.create 4096;
+      in_flight = 0;
+      pubs_routed = 0;
+      wake_r;
+      wake_w;
+    }
+  in
+  Array.iter
+    (fun w -> w.domain <- Some (Domain.spawn (fun () -> worker_loop ~stop ~wake_w w)))
+    workers;
+  t
+
+let stop t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Array.iter
+      (fun w ->
+        match w.domain with
+        | Some d ->
+          Domain.join d;
+          w.domain <- None
+        | None -> ())
+      t.workers;
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+  end
+
+(* ---------------- main-domain feeding ---------------- *)
+
+let next_seq t =
+  let s = t.seq in
+  t.seq <- s + 1;
+  s
+
+(* Move finished worker results into the reorder buffer. Main domain
+   only. *)
+let pump t =
+  Array.iter
+    (fun w ->
+      let rec go () =
+        match Spsc.pop w.results with
+        | Some (seq, outcome) ->
+          (match Hashtbl.find_opt t.reorder seq with
+          | Some (Pending_pub p) -> p.outcome <- Some outcome
+          | Some (Control _) | None ->
+            (* Can't happen under the seq contract; drop loudly. *)
+            Log.err (fun m -> m "pool: result for unknown seq %d" seq));
+          go ()
+        | None -> ()
+      in
+      go ())
+    t.workers
+
+let push_cmd t w cmd =
+  (* Shard updates must not be dropped; the worker drains its own
+     ingress, so waiting (while keeping results flowing) always makes
+     progress. *)
+  while not (Spsc.push w.ingress cmd) do
+    pump t;
+    Domain.cpu_relax ()
+  done;
+  w.submitted <- w.submitted + 1
+
+let push_control t ~seq thunk = Hashtbl.replace t.reorder seq (Control thunk)
+
+let subscribe t ~stamp id xpe hop =
+  match Rtable.Srt.sub_root xpe with
+  | Some root ->
+    push_cmd t
+      t.workers.(owner t (Xroute_support.Symbol.name root))
+      (Sub { stamp; id; xpe; hop })
+  | None ->
+    Array.iter (fun w -> push_cmd t w (Sub { stamp; id; xpe; hop })) t.workers
+
+let unsubscribe t id = Array.iter (fun w -> push_cmd t w (Unsub id)) t.workers
+
+let submit_publish t ~seq ~from ~batch_t ~payload ~root =
+  let w = t.workers.(owner t root) in
+  if Spsc.push w.ingress (Pub { seq; payload }) then begin
+    w.submitted <- w.submitted + 1;
+    Hashtbl.replace t.reorder seq (Pending_pub { from; batch_t; outcome = None });
+    t.in_flight <- t.in_flight + 1;
+    true
+  end
+  else false
+
+(* Emit everything ready, in seq order. [publish] receives each
+   finished publication (the daemon finishes routing, spans and
+   dispatch there); control thunks run here. *)
+let drain t ~publish =
+  pump t;
+  let rec emit () =
+    match Hashtbl.find_opt t.reorder t.next_emit with
+    | None -> ()
+    | Some (Control thunk) ->
+      Hashtbl.remove t.reorder t.next_emit;
+      t.next_emit <- t.next_emit + 1;
+      thunk ();
+      emit ()
+    | Some (Pending_pub p) -> (
+      match p.outcome with
+      | None -> () (* head-of-line publication still on its worker *)
+      | Some outcome ->
+        Hashtbl.remove t.reorder t.next_emit;
+        let seq = t.next_emit in
+        t.next_emit <- t.next_emit + 1;
+        t.in_flight <- t.in_flight - 1;
+        (* Only decoded publications count: the per-shard matched
+           counters must sum to this gauge (shard audit). *)
+        (match outcome with Routed _ -> t.pubs_routed <- t.pubs_routed + 1 | Undecodable _ -> ());
+        publish ~seq ~from:p.from ~batch_t:p.batch_t outcome;
+        pump t;
+        emit ())
+  in
+  emit ()
+
+(* Consume pending wake bytes (call when [wake_fd] selects readable). *)
+let drain_wake t =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r buf 0 64 with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ()
+
+(* ---------------- classification ---------------- *)
+
+(* Root element of a publication wire line ("1|P|meta|trail|steps|attrs"
+   — the steps field is comma-separated, root first), without a full
+   decode: the main domain only needs the shard key. [None] means "not
+   a well-formed publication line"; the caller falls back to the
+   sequential control path, whose full decode reproduces the
+   sequential engine's error handling. *)
+let publish_root payload =
+  let n = String.length payload in
+  if n < 4 || String.sub payload 0 4 <> "1|P|" then None
+  else
+    match String.index_from_opt payload 4 '|' with
+    | None -> None
+    | Some bar2 -> (
+      match String.index_from_opt payload (bar2 + 1) '|' with
+      | None -> None
+      | Some bar3 ->
+        let steps_start = bar3 + 1 in
+        let steps_end =
+          match String.index_from_opt payload steps_start '|' with
+          | Some b -> b
+          | None -> n
+        in
+        let root_end =
+          let rec go i = if i >= steps_end then steps_end else if payload.[i] = ',' then i else go (i + 1) in
+          go steps_start
+        in
+        if root_end = steps_start then None
+        else
+          let raw = String.sub payload steps_start (root_end - steps_start) in
+          (match Codec.unescape raw with Ok r when r <> "" -> Some r | Ok _ | Error _ -> None))
+
+(* ---------------- quiescence, audit, obs ---------------- *)
+
+(* Wait until every worker has finished everything pushed to it. Only
+   meaningful after the caller has drained its publications
+   ([in_flight] = 0); afterwards, reading shard state from the main
+   domain is race-free (the [processed] atomics carry the
+   happens-before edge). *)
+let quiesce t =
+  Array.iter
+    (fun w ->
+      while Atomic.get w.processed < w.submitted do
+        Unix.sleepf 0.0002
+      done)
+    t.workers
+
+(* Plain-data snapshot for [Xroute_check.Check.audit_shards]. [subs] is
+   the authoritative PRT content (id, XPE); call at quiescence. *)
+let view t ~subs =
+  {
+    Xroute_check.Check.shv_domains = Array.length t.workers;
+    shv_entries =
+      Array.to_list (Array.map (fun w -> (w.index, Shard.entries w.shard)) t.workers);
+    shv_subs =
+      List.map
+        (fun (id, xpe) ->
+          match Rtable.Srt.sub_root xpe with
+          | Some root -> (id, Some (owner t (Xroute_support.Symbol.name root)))
+          | None -> (id, None))
+        subs;
+    shv_shard_pubs =
+      Array.to_list
+        (Array.map (fun w -> (w.index, Shard.pubs_matched w.shard)) t.workers);
+    shv_pool_pubs = t.pubs_routed;
+  }
+
+(* Must-fail mutation hook: break one shard's automaton/partition. *)
+let corrupt_for_test t = Shard.corrupt_for_test t.workers.(0).shard

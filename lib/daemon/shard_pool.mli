@@ -1,0 +1,115 @@
+(** Sharded publication-matching pool over OCaml 5 domains.
+
+    The PRT is partitioned by advertisement-root symbol (the
+    [Rtable.Srt.sub_root] discriminator): one [Rtable.Prt.Shard] per
+    worker domain, anchored subscriptions on their owner shard,
+    unanchored ones replicated everywhere — so each publication is
+    matched on exactly one shard (its root's owner) against exactly the
+    subscriptions that can match it. Results are merged through a
+    seq-keyed reorder buffer, making the emitted outputs byte-identical
+    to the sequential engine (see the implementation header for the
+    full determinism argument).
+
+    Threading contract: every function except the worker internals must
+    be called from the single owning (daemon main) domain. *)
+
+open Xroute_core
+
+type t
+
+(** What a worker hands back for one publication: the decoded
+    publication with its stamp-ordered matching payloads (plus the
+    automaton entries examined and worker-side stage timings), or the
+    decode error the sequential path would have logged. *)
+type outcome =
+  | Routed of {
+      pub : Xroute_xml.Xml_paths.publication;
+      ctx : Message.trace_ctx option;
+      payloads : Rtable.Prt.payload list;
+      ops : int;
+      parse_ms : float;
+      match_ms : float;
+    }
+  | Undecodable of Codec.error
+
+val create : domains:int -> unit -> t
+(** Spawn [domains] worker domains (>= 1). *)
+
+val stop : t -> unit
+(** Signal and join every worker; idempotent. *)
+
+val domains : t -> int
+
+val next_seq : t -> int
+(** Allocate the next global arrival sequence number. Every allocated
+    seq must be fed to exactly one of {!push_control} /
+    {!submit_publish}, or {!drain} stalls at the hole. *)
+
+val push_control : t -> seq:int -> (unit -> unit) -> unit
+(** Park a control line's emission thunk at [seq]; it runs inside
+    {!drain} once every lower seq has been emitted. The line's state
+    transition (e.g. [Broker.handle]) must already have run at arrival
+    time. *)
+
+val subscribe :
+  t -> stamp:int -> Message.sub_id -> Xroute_xpath.Xpe.t -> Rtable.endpoint -> unit
+(** Mirror a PRT insertion onto the owner shard (anchored) or all
+    shards (unanchored). [stamp] is the subscribing line's seq. Blocks
+    (briefly) if an ingress ring is full — shard updates are never
+    dropped. *)
+
+val unsubscribe : t -> Message.sub_id -> unit
+(** Mirror a PRT removal (broadcast; removal is a no-op where the id is
+    absent). *)
+
+val submit_publish :
+  t -> seq:int -> from:Rtable.endpoint -> batch_t:float -> payload:string -> root:string -> bool
+(** Hand a raw publication line to its owner shard. [false] = the
+    ingress ring is full and nothing was enqueued (back off: {!drain},
+    then retry with the same [seq]). *)
+
+val drain :
+  t ->
+  publish:(seq:int -> from:Rtable.endpoint -> batch_t:float -> outcome -> unit) ->
+  unit
+(** Emit everything ready in seq order: control thunks run here,
+    finished publications go to [publish] (which finishes routing,
+    spans and dispatch on the main domain). *)
+
+val publish_root : string -> string option
+(** Root element of a raw publication wire line ("1|P|..."), or [None]
+    when the line is not a well-formed publication — the caller then
+    uses the sequential control path, whose full decode reproduces the
+    sequential error handling. *)
+
+val owner : t -> string -> int
+(** Owner shard of a root element name (hash of the name, not of the
+    interned id — stable across interning orders). *)
+
+val in_flight : t -> int
+(** Publications submitted but not yet emitted — the daemon's read
+    watermark input. *)
+
+val pubs_routed : t -> int
+(** Publications fully routed through the pool (the global gauge the
+    per-shard counters must sum to). *)
+
+val wake_fd : t -> Unix.file_descr
+(** Self-pipe read end: becomes readable when workers finish results;
+    add to the [select] read set and call {!drain_wake} when it fires. *)
+
+val drain_wake : t -> unit
+
+val quiesce : t -> unit
+(** Wait until every worker has processed everything pushed at it. Call
+    with [in_flight t = 0]; afterwards shard state may be read from the
+    owning domain without a race. *)
+
+val shard : t -> int -> Rtable.Prt.Shard.t
+
+val view : t -> subs:(Message.sub_id * Xroute_xpath.Xpe.t) list -> Xroute_check.Check.shard_view
+(** Snapshot for [Check.audit_shards]; [subs] is the authoritative PRT
+    content. Call at quiescence. *)
+
+val corrupt_for_test : t -> unit
+(** Must-fail mutation hook: silently break shard 0's partition. *)

@@ -1,0 +1,57 @@
+(* Bounded single-producer/single-consumer queue for cross-domain
+   handoff. One designated producer domain calls [push]; one designated
+   consumer domain calls [pop]. The ring carries ['a option] slots and
+   publishes through two monotone [Atomic.t] cursors, so the OCaml 5
+   memory model gives the consumer an acquire view of everything the
+   producer wrote before bumping [tail] (and symmetrically for slot
+   reuse through [head]). No locks, no allocation on the hot path
+   beyond the [Some] cell. *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next slot to pop; owned by the consumer *)
+  tail : int Atomic.t; (* next slot to fill; owned by the producer *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
+  let cap = pow2 capacity 1 in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = Array.length t.slots
+
+(* Racy by nature (either cursor may move underneath the caller), but
+   monotonicity keeps it a safe estimate: never negative, and exact
+   when called from the producer or consumer domain. *)
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let is_empty t = length t = 0
+
+let push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= Array.length t.slots then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    (* Release: the slot write above happens-before any consumer that
+       observes the new tail. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let slot = head land t.mask in
+    let x = t.slots.(slot) in
+    (* Drop the reference so the value is collectable before the ring
+       wraps, then release the slot back to the producer. *)
+    t.slots.(slot) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

@@ -1,0 +1,29 @@
+(** Bounded single-producer/single-consumer queue for cross-domain
+    handoff. Exactly one domain may call {!push} and exactly one domain
+    may call {!pop}; under that contract the queue is lock-free and the
+    consumer observes every write the producer made before pushing
+    (publication safety via the two atomic cursors). *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] makes a queue holding at least [capacity]
+    elements (rounded up to a power of two). Raises [Invalid_argument]
+    on a non-positive capacity. *)
+
+val capacity : 'a t -> int
+(** Actual ring size after rounding. *)
+
+val push : 'a t -> 'a -> bool
+(** [push t x] enqueues [x]; [false] means the ring is full and nothing
+    was written. Producer domain only. *)
+
+val pop : 'a t -> 'a option
+(** [pop t] dequeues the oldest element, [None] when empty. Consumer
+    domain only. *)
+
+val length : 'a t -> int
+(** Racy size estimate; exact when called from the producer or the
+    consumer domain. *)
+
+val is_empty : 'a t -> bool

@@ -14,38 +14,45 @@
    therefore independent of when symbols were created (test_symbol.ml
    pins this).
 
-   Concurrency: the daemon handles each connection on its own thread, so
-   two threads may intern concurrently. Writes are serialized by a
-   mutex. [name] stays lock-free: the id -> string table is a grow-only
-   array published with a single field write after being filled, so a
-   reader either sees the old array (covering every id it can have
-   observed) or the new one. *)
+   Concurrency: the daemon handles each connection on its own thread —
+   and, since the sharded match pool, decodes publications on worker
+   domains — so interning and [name] lookups race across true parallel
+   domains, not just preemptible systhreads. Writes stay serialized by a
+   mutex (OCaml 5 [Mutex] establishes happens-before across domains).
+   [name] stays lock-free, but lock-free across domains requires real
+   publication: plain mutable-field reads may be arbitrarily stale under
+   the OCaml 5 memory model, so [names] and [count] are [Atomic.t].
+   [intern] fills the slot first and only then release-stores the array
+   and the count; [name] acquire-loads [count] before touching the
+   array, so any id below the count it observed has a fully published
+   slot. *)
 
 type t = int
 
 type table = {
   by_name : (string, int) Hashtbl.t;
-  mutable names : string array; (* index = id; may have spare capacity *)
-  mutable count : int;
+  names : string array Atomic.t; (* index = id; may have spare capacity *)
+  count : int Atomic.t;
   lock : Mutex.t;
 }
 
 let table =
-  { by_name = Hashtbl.create 256; names = Array.make 256 ""; count = 0; lock = Mutex.create () }
+  { by_name = Hashtbl.create 256; names = Atomic.make (Array.make 256 "");
+    count = Atomic.make 0; lock = Mutex.create () }
 
 let id (s : t) = s
 let equal (a : t) (b : t) = Int.equal a b
 let compare (a : t) (b : t) = Int.compare a b
 let hash (s : t) = s
 
-let count () = table.count
+let count () = Atomic.get table.count
 
 let name (s : t) =
-  (* Lock-free: [names] and [count] are published only after the slot is
-     written (see [intern]); a stale read still covers every id the
-     caller can legitimately hold. *)
-  let names = table.names in
-  if s >= 0 && s < Array.length names then names.(s)
+  (* Lock-free: acquire the count first — [intern] release-stores it
+     after the slot and the (possibly grown) array, so seeing [s < n]
+     guarantees the subsequent array read observes slot [s] filled. *)
+  let n = Atomic.get table.count in
+  if s >= 0 && s < n then (Atomic.get table.names).(s)
   else invalid_arg (Printf.sprintf "Symbol.name: unknown symbol %d" s)
 
 let compare_name (a : t) (b : t) =
@@ -65,16 +72,24 @@ let intern str =
   match Hashtbl.find_opt table.by_name str with
   | Some id -> id
   | None ->
-    let id = table.count in
-    (if id >= Array.length table.names then begin
-       (* Copy-publish so concurrent [name] readers never see a
-          half-grown array. *)
-       let grown = Array.make (2 * Array.length table.names) "" in
-       Array.blit table.names 0 grown 0 id;
-       table.names <- grown
-     end);
-    table.names.(id) <- str;
-    table.count <- id + 1;
+    let id = Atomic.get table.count in
+    let names = Atomic.get table.names in
+    let names =
+      if id >= Array.length names then begin
+        (* Copy-publish so concurrent [name] readers never see a
+           half-grown array; fill the new slot before the store. *)
+        let grown = Array.make (2 * Array.length names) "" in
+        Array.blit names 0 grown 0 id;
+        grown.(id) <- str;
+        Atomic.set table.names grown;
+        grown
+      end
+      else names
+    in
+    names.(id) <- str;
+    (* Release: slot write above happens-before any reader that
+       observes the bumped count. *)
+    Atomic.set table.count (id + 1);
     Hashtbl.replace table.by_name str id;
     id
 

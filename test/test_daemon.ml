@@ -224,6 +224,217 @@ let test_one_byte_write_chunks () =
   Daemon.request_stop d;
   Thread.join th
 
+(* ---------------- line buffering ---------------- *)
+
+(* Linebuf is the daemon's (and client's) inbound accumulator; its
+   contract: bytes in, complete lines out, partial tail retained. *)
+let test_linebuf_basics () =
+  let lb = Linebuf.create ~initial:4 () in
+  Linebuf.add_string lb "one\ntw";
+  check (Alcotest.option Alcotest.string) "first line" (Some "one") (Linebuf.next_line lb);
+  check (Alcotest.option Alcotest.string) "partial held" None (Linebuf.next_line lb);
+  Linebuf.add_string lb "o\nthree\n";
+  check (Alcotest.option Alcotest.string) "split line reassembled" (Some "two")
+    (Linebuf.next_line lb);
+  check (Alcotest.option Alcotest.string) "third" (Some "three") (Linebuf.next_line lb);
+  check (Alcotest.option Alcotest.string) "drained" None (Linebuf.next_line lb);
+  Linebuf.add_string lb "stale";
+  Linebuf.clear lb;
+  Linebuf.add_string lb "fresh\n";
+  check (Alcotest.option Alcotest.string) "clear drops the partial" (Some "fresh")
+    (Linebuf.next_line lb)
+
+(* The regression this buffer exists for: the old Buffer-based path
+   re-copied the whole accumulation on every read, so a 1MB burst
+   arriving in tiny reads cost O(n^2) — minutes for this input. Feeding
+   1MB one byte at a time must stay linear (well under a second). *)
+let test_linebuf_byte_at_a_time () =
+  let line = String.make 63 'x' in
+  let n_lines = 16 * 1024 in (* 16K lines x 64 bytes = 1MB *)
+  let data = String.concat "" (List.init n_lines (fun _ -> line ^ "\n")) in
+  let lb = Linebuf.create () in
+  let got = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  String.iter
+    (fun c ->
+      Linebuf.add_string lb (String.make 1 c);
+      match Linebuf.next_line lb with
+      | Some l ->
+        check Alcotest.string "line intact" line l;
+        incr got
+      | None -> ())
+    data;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check ci "every line extracted" n_lines !got;
+  check ci "buffer fully consumed" 0 (Linebuf.length lb);
+  check cb (Printf.sprintf "1MB byte-at-a-time is linear (%.2fs)" elapsed) true
+    (elapsed < 5.0)
+
+(* ---------------- duplicate HELLO ---------------- *)
+
+(* A peer re-identifying as an endpoint that already has a live
+   connection must evict the stale one — otherwise conn_for picks
+   whichever sits first and silently splits the endpoint's traffic
+   between two sockets. The classic trigger is a client reconnecting
+   before the daemon notices the old socket died. *)
+let test_duplicate_hello_reconnect () =
+  let d = Daemon.create ~id:0 ~port:0 ~neighbors:[] () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let port = Daemon.port d in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  let sub1 = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  ignore (Client.subscribe sub1 (xp "/a"));
+  Thread.delay 0.2;
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  ignore (Client.publish_doc publisher ~doc_id:1 doc);
+  check (Alcotest.list ci) "first connection serves deliveries" [ 1 ]
+    (Client.drain_deliveries ~timeout:0.8 sub1);
+  (* same client id walks in on a second TCP connection *)
+  let sub2 = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  Thread.delay 0.3;
+  ignore (Client.publish_doc publisher ~doc_id:2 doc);
+  check (Alcotest.list ci) "deliveries follow the fresh connection" [ 2 ]
+    (Client.drain_deliveries ~timeout:0.8 sub2);
+  (* and the stale socket was actually closed by the daemon: reading it
+     raw (no reconnect machinery) hits EOF *)
+  Client.close publisher;
+  Client.close sub1;
+  Client.close sub2;
+  Daemon.request_stop d;
+  Thread.join th
+
+(* ---------------- inbound burst ---------------- *)
+
+(* A publisher that writes a ~1MB pile of publication lines in a few
+   big bursts while the daemon is throttled to 1-byte output writes:
+   the inbound path (batched reads + Linebuf) must keep up and every
+   matching publication must come out intact on the slow side. *)
+let test_large_inbound_burst () =
+  let d = Daemon.create ~max_write_chunk:1 ~id:0 ~port:0 ~neighbors:[] () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let port = Daemon.port d in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  (* only /a/b publications match: most of the burst is inbound-only *)
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.2;
+  let matching i =
+    let pubs =
+      Xroute_xml.Xml_paths.decompose ~doc_id:i (Xroute_xml.Xml_parser.parse "<a><b/></a>")
+    in
+    String.concat ""
+      (List.map
+         (fun pub ->
+           "M|" ^ Xroute_core.Codec.encode (Xroute_core.Message.Publish { pub; trail = []; ctx = None }) ^ "\n")
+         pubs)
+  in
+  let filler i =
+    let pubs =
+      Xroute_xml.Xml_paths.decompose ~doc_id:i
+        (Xroute_xml.Xml_parser.parse "<z><y/><y/><y/><y/></z>")
+    in
+    String.concat ""
+      (List.map
+         (fun pub ->
+           "M|" ^ Xroute_core.Codec.encode (Xroute_core.Message.Publish { pub; trail = []; ctx = None }) ^ "\n")
+         pubs)
+  in
+  (* ~1MB of wire bytes: 24 matching docs in a sea of non-matching ones *)
+  let n_match = 24 in
+  let burst = Buffer.create (1 lsl 20) in
+  let doc_id = ref 0 in
+  while Buffer.length burst < 1 lsl 20 do
+    incr doc_id;
+    if !doc_id mod 200 = 0 && !doc_id / 200 <= n_match then
+      Buffer.add_string burst (matching !doc_id)
+    else Buffer.add_string burst (filler !doc_id)
+  done;
+  let expected =
+    List.filter (fun i -> i mod 200 = 0 && i / 200 <= n_match) (List.init !doc_id (fun i -> i + 1))
+  in
+  (* one send_line call = one big write (the client loops on partial
+     writes); the trailing empty line it adds is ignored by the daemon *)
+  Client.send_line publisher (Buffer.contents burst);
+  let deadline = Unix.gettimeofday () +. 30.0 in
+  let got = Hashtbl.create 64 in
+  let rec drain () =
+    List.iter (fun i -> Hashtbl.replace got i ()) (Client.drain_deliveries ~timeout:0.5 subscriber);
+    if Hashtbl.length got < List.length expected && Unix.gettimeofday () < deadline then drain ()
+  in
+  drain ();
+  check (Alcotest.list ci) "every matching doc survived the 1MB burst" expected
+    (List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) got []));
+  Client.close publisher;
+  Client.close subscriber;
+  Daemon.request_stop d;
+  Thread.join th
+
+(* ---------------- multi-domain daemon ---------------- *)
+
+(* The same end-to-end script against a sequential daemon and a
+   4-domain daemon: deliveries must be identical, and the sharded
+   daemon must expose its per-shard gauges over STATS|. *)
+let run_script_against ~domains =
+  let d = Daemon.create ~domains ~id:0 ~port:0 ~neighbors:[] () in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let port = Daemon.port d in
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  let s1 = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port in
+  let s2 = Client.connect ~client_id:201 ~host:"127.0.0.1" ~port in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/c/d"));
+  ignore (Client.subscribe s1 (xp "/a"));
+  ignore (Client.subscribe s2 (xp "//d"));
+  Thread.delay 0.3;
+  let docs =
+    [ (1, "<a><b/></a>"); (2, "<c><d/></c>"); (3, "<a><b/><b/></a>"); (4, "<q><r/></q>") ]
+  in
+  List.iter
+    (fun (i, body) ->
+      ignore (Client.publish_doc publisher ~doc_id:i (Xroute_xml.Xml_parser.parse body)))
+    docs;
+  let got1 = Client.drain_deliveries ~timeout:1.0 s1 in
+  let got2 = Client.drain_deliveries ~timeout:1.0 s2 in
+  let stats = Client.stats ~format:`Prom s1 in
+  Client.close publisher;
+  Client.close s1;
+  Client.close s2;
+  Daemon.request_stop d;
+  Thread.join th;
+  (got1, got2, stats)
+
+let test_domains_end_to_end () =
+  let seq1, seq2, _ = run_script_against ~domains:1 in
+  let par1, par2, stats = run_script_against ~domains:4 in
+  check (Alcotest.list ci) "s1 deliveries identical across engines" seq1 par1;
+  check (Alcotest.list ci) "s2 deliveries identical across engines" seq2 par2;
+  check (Alcotest.list ci) "s1 saw the /a docs" [ 1; 3 ] par1;
+  check (Alcotest.list ci) "s2 saw the //d doc" [ 2 ] par2;
+  (match stats with
+  | None -> Alcotest.fail "no STATS reply from the sharded daemon"
+  | Some body ->
+    check cb "per-shard gauges exposed" true
+      (let has s =
+         let n = String.length body and m = String.length s in
+         let rec go i = i + m <= n && (String.sub body i m = s || go (i + 1)) in
+         go 0
+       in
+       has "xroute_shard_0_entries" && has "xroute_shard_3_entries"
+       && has "xroute_pool_pubs_routed"));
+  (* the pool rejects configurations it cannot merge deterministically *)
+  check cb "tree engine rejected" true
+    (match
+       Daemon.create
+         ~strategy:{ Xroute_core.Broker.default_strategy with match_engine = Xroute_core.Rtable.Prt.Tree }
+         ~domains:2 ~id:9 ~port:0 ~neighbors:[] ()
+     with
+    | exception Invalid_argument _ -> true
+    | d ->
+      Daemon.request_stop d;
+      false)
+
 (* Parse a Prometheus text exposition into (base-metric-name, value)
    pairs; comment lines skipped, quantile labels stripped. *)
 let parse_prom body =
@@ -506,6 +717,19 @@ let () =
           Alcotest.test_case "audit over the wire" `Quick test_audit_over_wire;
           Alcotest.test_case "broker restart mid-session" `Quick test_broker_restart;
           Alcotest.test_case "1-byte write chunks" `Quick test_one_byte_write_chunks;
+          Alcotest.test_case "duplicate HELLO evicts the stale conn" `Quick
+            test_duplicate_hello_reconnect;
+          Alcotest.test_case "1MB inbound burst" `Quick test_large_inbound_burst;
+        ] );
+      ( "linebuf",
+        [
+          Alcotest.test_case "basics" `Quick test_linebuf_basics;
+          Alcotest.test_case "1MB one byte at a time" `Quick test_linebuf_byte_at_a_time;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "end to end, sharded vs sequential" `Quick
+            test_domains_end_to_end;
         ] );
       ( "tracing",
         [

@@ -190,6 +190,75 @@ let test_bench6_match_scaling () =
           | Some v -> v >= 10.0
           | None -> false)))
 
+(* The BENCH_7 saturation pin: the sharded daemon's burst record must
+   show the 10x end-to-end throughput gain over the BENCH_2 seed
+   baseline at >= 4 domains, with zero decision diffs against the
+   sequential run and no publication loss on either side. *)
+let test_bench7_saturation () =
+  match List.assoc_opt "BENCH_7.json" (bench_files ()) with
+  | None -> Alcotest.fail "BENCH_7.json not committed at the repo root"
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error e -> Alcotest.fail ("BENCH_7.json: " ^ e)
+    | Ok j ->
+      check cs "schema" "xroute-bench/7"
+        (Option.value ~default:"<missing>"
+           (Option.bind (Json.member "schema" j) Json.to_str));
+      let experiments =
+        Option.value ~default:[]
+          (Option.bind (Json.member "experiments" j) Json.to_list)
+      in
+      let record name =
+        List.find_opt
+          (fun r -> Option.bind (Json.member "name" r) Json.to_str = Some name)
+          experiments
+      in
+      let get name =
+        match record name with
+        | Some r -> r
+        | None -> Alcotest.fail (name ^ " record missing")
+      in
+      let seq = get "saturation-domains-1" in
+      let sharded = get "saturation-domains-4" in
+      List.iter
+        (fun (label, r) ->
+          let num field = Option.bind (Json.member field r) Json.to_num in
+          List.iter
+            (fun field ->
+              check cb (label ^ " has positive " ^ field) true
+                (match num field with Some v -> v > 0.0 | None -> false))
+            [ "domains"; "roots"; "published"; "delivered"; "burst_wall_ms";
+              "msgs_per_sec"; "p50_hop_ms"; "p99_hop_ms" ];
+          (* the subscriber holds 3 of the 4 roots: no loss means
+             delivered = 3/4 of published, on both runs *)
+          check cb (label ^ ": no publication loss") true
+            (match (num "published", num "delivered") with
+            | Some p, Some d -> d = p *. 0.75
+            | _ -> false))
+        [ ("saturation-domains-1", seq); ("saturation-domains-4", sharded) ];
+      let num field = Option.bind (Json.member field sharded) Json.to_num in
+      check cb "sharded run used >= 4 domains" true
+        (match num "domains" with Some v -> v >= 4.0 | None -> false);
+      check cb "zero decision diffs vs the sequential daemon" true
+        (num "decision_diffs" = Some 0.0);
+      check cb "decisions_identical" true
+        (Option.bind (Json.member "decisions_identical" sharded) (function
+           | Json.Bool b -> Some b
+           | _ -> None)
+        = Some true);
+      check cb "baseline is the BENCH_2 seed throughput" true
+        (num "baseline_msgs_per_sec" = Some 1194.73);
+      (* the acceptance gate: >= 10x the seed's burst throughput *)
+      check cb "sharded burst is >= 10x the BENCH_2 baseline" true
+        (match (num "msgs_per_sec", num "baseline_msgs_per_sec") with
+        | Some m, Some b -> m >= 10.0 *. b
+        | _ -> false);
+      check cb "speedup_vs_baseline is consistent" true
+        (match (num "speedup_vs_baseline", num "msgs_per_sec", num "baseline_msgs_per_sec")
+         with
+        | Some s, Some m, Some b -> Float.abs (s -. (m /. b)) < 0.01
+        | _ -> false))
+
 (* ---------------- Chrome trace-event golden ---------------- *)
 
 (* Byte-exact golden: one recorded span, every field populated. *)
@@ -263,6 +332,8 @@ let () =
             test_bench5_latency_breakdown;
           Alcotest.test_case "BENCH_6 match scaling" `Quick
             test_bench6_match_scaling;
+          Alcotest.test_case "BENCH_7 saturation" `Quick
+            test_bench7_saturation;
         ] );
       ( "chrome-export",
         [

@@ -1,0 +1,339 @@
+(* Differential test of the sharded matching pool (Shard_pool): the
+   same wire-line script fed to (a) a broker driven sequentially and
+   (b) a broker driven through the pool glue must produce exactly the
+   same rendered output stream and the same counters, for every domain
+   count — the byte-identical-decisions contract that lets --domains N
+   replace the sequential engine.
+
+   The pool glue here replicates lib/daemon's handle_line_pool: raw
+   publication lines are classified by root and shipped to their owner
+   shard, control lines run their state transition at arrival and park
+   their outputs in the reorder buffer. Also covered: the shard
+   partition audit (Check.audit_shards) on healthy pools, on handcrafted
+   violations, and on a pool broken by the mutation hook (must fail). *)
+
+open Xroute_core
+open Xroute_daemon
+module Prng = Xroute_support.Prng
+module Check = Xroute_check.Check
+module Finding = Xroute_check.Finding
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+let xp = Xroute_xpath.Xpe_parser.parse
+
+(* ---------------- script generation ---------------- *)
+
+(* One script step: a raw protocol line as some endpoint. *)
+type step = { from : Rtable.endpoint; line : string }
+
+let encode msg = "M|" ^ Codec.encode msg
+
+let docs =
+  [
+    "<a><b/><c/></a>";
+    "<a><b><d/></b></a>";
+    "<b><c/></b>";
+    "<c><d/><d/></c>";
+    "<d><e><f/></e></d>";
+    "<e/>";
+  ]
+  |> List.map Xroute_xml.Xml_parser.parse
+
+let sub_patterns =
+  [
+    "/a/b"; "/a"; "/b"; "/c/d"; "/d/e/f"; "/e";
+    (* unanchored: replicated to every shard *)
+    "//b"; "//d"; "/*/c";
+  ]
+
+let adv_patterns = [ "/a/b"; "/a/c"; "/b/c"; "/c/d"; "/d/e/f"; "/e"; "/a/b/d" ]
+
+(* A deterministic churn script: advertisements, subscriptions (some
+   later unsubscribed), publications (documents decomposed into one line
+   per path, as the client edge does), and an undecodable publication
+   line sprinkled in. *)
+let make_script ~seed ~steps =
+  let rng = Prng.create seed in
+  let next_doc = ref 0 in
+  let live_subs = ref [] in
+  let next_sub = ref 0 in
+  let script = ref [] in
+  let push from line = script := { from; line } :: !script in
+  let client rng = Rtable.Client (100 + Prng.int rng 4) in
+  (* advertise everything up front so subscriptions propagate the same
+     way on both sides regardless of strategy *)
+  List.iteri
+    (fun i p ->
+      push (Rtable.Client 100)
+        (encode
+           (Message.Advertise
+              { id = { Message.origin = 100; seq = 1000 + i }; adv = Xroute_xpath.Adv.parse p })))
+    adv_patterns;
+  for _ = 1 to steps do
+    match Prng.int rng 10 with
+    | 0 | 1 | 2 ->
+      (* subscribe *)
+      let pat = List.nth sub_patterns (Prng.int rng (List.length sub_patterns)) in
+      let from = client rng in
+      incr next_sub;
+      let id = { Message.origin = 200; seq = !next_sub } in
+      live_subs := (id, from) :: !live_subs;
+      push from (encode (Message.Subscribe { id; xpe = xp pat }))
+    | 3 -> (
+      (* unsubscribe an earlier subscription, from the same endpoint *)
+      match !live_subs with
+      | [] -> ()
+      | subs ->
+        let id, from = List.nth subs (Prng.int rng (List.length subs)) in
+        live_subs := List.filter (fun (i, _) -> Message.compare_sub_id i id <> 0) subs;
+        push from (encode (Message.Unsubscribe { id })))
+    | 4 ->
+      (* a malformed publication line: both sides must shrug it off
+         without disturbing the stream *)
+      push (Rtable.Client 100) "M|1|P|garbage"
+    | _ ->
+      (* publish: one line per decomposed path *)
+      let doc = List.nth docs (Prng.int rng (List.length docs)) in
+      incr next_doc;
+      let from = client rng in
+      List.iter
+        (fun pub -> push from (encode (Message.Publish { pub; trail = []; ctx = None })))
+        (Xroute_xml.Xml_paths.decompose ~doc_id:!next_doc doc)
+  done;
+  List.rev !script
+
+(* ---------------- the two engines ---------------- *)
+
+let render outs =
+  List.map
+    (fun (ep, msg) -> Format.asprintf "%a > %s" Rtable.pp_endpoint ep (Codec.encode msg))
+    outs
+
+let payload_of line = String.sub line 2 (String.length line - 2)
+
+(* Reference: decode and handle each line at arrival, sequentially. *)
+let run_sequential script =
+  let broker = Broker.create ~id:0 ~neighbors:[ 1 ] () in
+  let out = ref [] in
+  List.iter
+    (fun { from; line } ->
+      match Codec.decode (payload_of line) with
+      | Ok msg -> out := List.rev_append (render (Broker.handle broker ~from msg)) !out
+      | Error _ -> ())
+    script;
+  (broker, List.rev !out)
+
+(* Pool glue, mirroring Daemon.handle_line_pool: publications classified
+   by root and matched on their owner shard, control lines handled at
+   arrival with emission parked in the reorder buffer. *)
+let run_pooled ~domains script =
+  let broker = Broker.create ~id:0 ~neighbors:[ 1 ] () in
+  let pool = Shard_pool.create ~domains () in
+  let out = ref [] in
+  let record outs = out := List.rev_append (render outs) !out in
+  let publish ~seq:_ ~from ~batch_t:_ outcome =
+    match (outcome : Shard_pool.outcome) with
+    | Shard_pool.Undecodable _ -> ()
+    | Shard_pool.Routed { pub; ctx; payloads; ops; _ } ->
+      record (Broker.route_publication broker ~from ~pub ~ctx ~payloads ~match_ops:ops)
+  in
+  let drain () = Shard_pool.drain pool ~publish in
+  List.iter
+    (fun { from; line } ->
+      let payload = payload_of line in
+      match Shard_pool.publish_root payload with
+      | Some root ->
+        let seq = Shard_pool.next_seq pool in
+        while
+          not (Shard_pool.submit_publish pool ~seq ~from ~batch_t:0.0 ~payload ~root)
+        do
+          drain ();
+          Unix.sleepf 0.0002
+        done
+      | None -> (
+        let seq = Shard_pool.next_seq pool in
+        match Codec.decode payload with
+        | Ok msg ->
+          let interesting_id =
+            match msg with
+            | Message.Subscribe { id; _ } | Message.Unsubscribe { id } -> Some id
+            | _ -> None
+          in
+          let before =
+            match interesting_id with Some id -> Broker.prt_mem broker id | None -> false
+          in
+          let outs = Broker.handle broker ~from msg in
+          (match msg with
+          | Message.Subscribe { id; xpe } ->
+            if (not before) && Broker.prt_mem broker id then
+              Shard_pool.subscribe pool ~stamp:seq id xpe from
+          | Message.Unsubscribe { id } ->
+            if before && not (Broker.prt_mem broker id) then Shard_pool.unsubscribe pool id
+          | _ -> ());
+          Shard_pool.push_control pool ~seq (fun () -> record outs)
+        | Error _ -> Shard_pool.push_control pool ~seq (fun () -> ())))
+    script;
+  (* settle: everything submitted must come back out *)
+  let deadline = Unix.gettimeofday () +. 20.0 in
+  while Shard_pool.in_flight pool > 0 && Unix.gettimeofday () < deadline do
+    drain ();
+    Unix.sleepf 0.0002
+  done;
+  drain ();
+  check ci "pool drained completely" 0 (Shard_pool.in_flight pool);
+  (broker, pool, List.rev !out)
+
+(* ---------------- differential matrix ---------------- *)
+
+let counters_triple broker =
+  let c = Broker.counters broker in
+  (c.Broker.msgs_in, c.Broker.pubs_in, c.Broker.deliveries)
+
+let run_matrix_case ~seed ~domains () =
+  let script = make_script ~seed ~steps:120 in
+  let seq_broker, expected = run_sequential script in
+  let pool_broker, pool, got = run_pooled ~domains script in
+  check ci "same output count" (List.length expected) (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      if e <> g then
+        Alcotest.failf "output %d diverged:\n  sequential: %s\n  pooled:     %s" i e g)
+    (List.combine expected got);
+  check (Alcotest.triple ci ci ci) "same counters" (counters_triple seq_broker)
+    (counters_triple pool_broker);
+  (* the partition must audit clean at quiescence *)
+  Shard_pool.quiesce pool;
+  let subs =
+    List.map (fun (id, xpe, _) -> (id, xpe)) (Broker.audit_view pool_broker).Broker.av_subs
+  in
+  let findings = Check.audit_shards (Shard_pool.view pool ~subs) in
+  List.iter
+    (fun (f : Finding.t) -> Printf.printf "  shard finding: %s %s\n%!" f.code f.witness)
+    findings;
+  check ci "shard audit clean" 0 (List.length findings);
+  Shard_pool.stop pool
+
+let test_matrix () =
+  List.iter
+    (fun seed ->
+      List.iter (fun domains -> run_matrix_case ~seed ~domains ()) [ 1; 2; 4 ])
+    [ 7; 42; 1001 ]
+
+(* The mutation hook must be caught: a silently broken partition is
+   exactly what the audit family exists to detect. *)
+let test_corruption_caught () =
+  let script = make_script ~seed:5 ~steps:80 in
+  let pool_broker, pool, _ = run_pooled ~domains:3 script in
+  Shard_pool.quiesce pool;
+  let subs =
+    List.map (fun (id, xpe, _) -> (id, xpe)) (Broker.audit_view pool_broker).Broker.av_subs
+  in
+  check ci "healthy first" 0 (List.length (Check.audit_shards (Shard_pool.view pool ~subs)));
+  Shard_pool.corrupt_for_test pool;
+  let findings = Check.audit_shards (Shard_pool.view pool ~subs) in
+  check cb "corruption detected" true (findings <> []);
+  check cb "all error severity" true
+    (List.for_all (fun (f : Finding.t) -> f.Finding.severity = Finding.Error) findings);
+  Shard_pool.stop pool
+
+(* ---------------- audit unit tests on handcrafted views ---------------- *)
+
+let id n = { Message.origin = 9; seq = n }
+
+let clean_view =
+  {
+    Check.shv_domains = 2;
+    shv_entries = [ (0, [ (id 1, 10); (id 3, 30) ]); (1, [ (id 2, 20); (id 3, 30) ]) ];
+    shv_subs = [ (id 1, Some 0); (id 2, Some 1); (id 3, None) ];
+    shv_shard_pubs = [ (0, 4); (1, 3) ];
+    shv_pool_pubs = 7;
+  }
+
+let codes findings = List.sort_uniq compare (List.map (fun (f : Finding.t) -> f.code) findings)
+
+let test_audit_units () =
+  check (Alcotest.list Alcotest.string) "clean view" [] (codes (Check.audit_shards clean_view));
+  (* anchored entry on the wrong shard *)
+  check (Alcotest.list Alcotest.string) "ownership"
+    [ "shard-ownership" ]
+    (codes
+       (Check.audit_shards
+          {
+            clean_view with
+            shv_entries = [ (0, [ (id 3, 30) ]); (1, [ (id 1, 10); (id 2, 20); (id 3, 30) ]) ];
+          }));
+  (* unanchored entry missing from one shard *)
+  check (Alcotest.list Alcotest.string) "replication"
+    [ "shard-replication" ]
+    (codes
+       (Check.audit_shards
+          {
+            clean_view with
+            shv_entries = [ (0, [ (id 1, 10); (id 3, 30) ]); (1, [ (id 2, 20) ]) ];
+          }));
+  (* shard entry absent from the authoritative table *)
+  check (Alcotest.list Alcotest.string) "orphan"
+    [ "shard-orphan" ]
+    (codes
+       (Check.audit_shards
+          {
+            clean_view with
+            shv_entries =
+              [ (0, [ (id 1, 10); (id 3, 30); (id 4, 40) ]); (1, [ (id 2, 20); (id 3, 30) ]) ];
+          }));
+  (* two entries of one shard sharing a stamp *)
+  check (Alcotest.list Alcotest.string) "stamp"
+    [ "shard-stamp" ]
+    (codes
+       (Check.audit_shards
+          {
+            clean_view with
+            shv_entries = [ (0, [ (id 1, 10); (id 3, 10) ]); (1, [ (id 2, 20); (id 3, 30) ]) ];
+          }));
+  (* per-shard counters out of step with the pool gauge *)
+  check (Alcotest.list Alcotest.string) "counter drift"
+    [ "shard-counter-drift" ]
+    (codes (Check.audit_shards { clean_view with shv_pool_pubs = 9 }));
+  (* the report carries the shard statistics *)
+  let report = Check.audit_shards_report clean_view in
+  check cb "stats present" true
+    (List.mem_assoc "shards_audited" report.Finding.stats
+    && List.mem_assoc "sharded_subscriptions" report.Finding.stats)
+
+(* ---------------- stress: churn + faults across domain counts -------- *)
+
+(* A longer adversarial script — heavy subscribe/unsubscribe churn
+   interleaved with publications and decode garbage — run at every
+   domain count and compared output-for-output against the sequential
+   engine. This is the deterministic multi-domain stress gate. *)
+let test_stress_churn () =
+  List.iter
+    (fun seed ->
+      let script = make_script ~seed ~steps:400 in
+      let _, expected = run_sequential script in
+      List.iter
+        (fun domains ->
+          let _, pool, got = run_pooled ~domains script in
+          if expected <> got then
+            Alcotest.failf "stress seed %d domains %d: %d vs %d outputs diverged" seed
+              domains (List.length expected) (List.length got);
+          Shard_pool.stop pool)
+        [ 2; 3; 4 ])
+    [ 11; 23 ]
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "differential matrix" `Quick test_matrix;
+          Alcotest.test_case "stress churn across domains" `Quick test_stress_churn;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "handcrafted views" `Quick test_audit_units;
+          Alcotest.test_case "mutation caught" `Quick test_corruption_caught;
+        ] );
+    ]
