@@ -34,6 +34,7 @@ module Report = struct
   let records : (string * (string * value) list) list ref = ref []
   let records6 : (string * (string * value) list) list ref = ref []
   let records7 : (string * (string * value) list) list ref = ref []
+  let records8 : (string * (string * value) list) list ref = ref []
 
   (* Append fields to the experiment's record (merging by name; a
      re-recorded field replaces the old value rather than duplicating
@@ -50,6 +51,7 @@ module Report = struct
   let record name fields = record_in records name fields
   let record6 name fields = record_in records6 name fields
   let record7 name fields = record_in records7 name fields
+  let record8 name fields = record_in records8 name fields
 
   let render_value = function
     | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
@@ -78,8 +80,35 @@ module Report = struct
     if !records7 <> [] then
       write_sink ~schema:"xroute-bench/7"
         (Option.value ~default:"BENCH_7.json" (Sys.getenv_opt "XROUTE_BENCH_JSON7"))
-        !records7
+        !records7;
+    if !records8 <> [] then
+      write_sink ~schema:"xroute-bench/8"
+        (Option.value ~default:"BENCH_8.json" (Sys.getenv_opt "XROUTE_BENCH_JSON8"))
+        !records8
 end
+
+(* Process peak RSS (VmHWM) in bytes, from /proc/self/status — a
+   monotone high-water mark, so the scenario scale series runs its
+   points in ascending order and each reading reflects the largest
+   population simulated so far. *)
+let peak_rss_bytes () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec find () =
+      match input_line ic with
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+          close_in ic;
+          let digits = String.to_seq line |> Seq.filter (fun c -> c >= '0' && c <= '9') in
+          int_of_string (String.of_seq digits) * 1024
+        end
+        else find ()
+      | exception End_of_file ->
+        close_in ic;
+        0
+    in
+    find ()
+  with Sys_error _ -> 0
 
 let section title =
   Printf.printf "\n==============================================================\n";
@@ -1392,6 +1421,112 @@ let match_scaling () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Million-client scenario engine: sim-events/sec and peak RSS          *)
+(* ------------------------------------------------------------------ *)
+
+module Scenario = Xroute_workload.Scenario
+
+(* Two halves, one experiment. First the trust gate: at small scale,
+   every scenario kind runs on both simulator queue backends and the
+   delivery ledgers must be byte-identical (full rows), with identical
+   per-broker next-hop decisions and fault accounting — the differential
+   that makes the large-scale numbers below meaningful. Then the scale
+   series: the flash-crowd scenario at 10k/100k/1M virtual subscribers,
+   reporting sim-events/sec and process peak RSS per point, so simulator
+   performance is tracked by the same BENCH machinery as broker
+   performance. Points run in ascending order (peak RSS is a high-water
+   mark). *)
+let scenario_scale () =
+  section "Scenario engine: heap/list differential gate + scale series (BENCH_8.json)";
+  Printf.printf "differential gate (1000 clients, full ledgers, all kinds):\n%!";
+  let gate_failed = ref false in
+  List.iter
+    (fun kind ->
+      let spec =
+        {
+          Scenario.default_spec with
+          Scenario.kind;
+          clients = 1_000;
+          docs = 8;
+          levels = 3;
+          xpes = 64;
+          batch = 128;
+        }
+      in
+      let (a, _b, diffs), wall = time_it (fun () -> Scenario.differential ~ledger:`Full spec) in
+      let name = Scenario.kind_to_string kind in
+      Printf.printf "  %-8s deliveries=%-7d subs=%-6d diffs=%d (%.0f ms)\n%!" name
+        a.Scenario.deliveries a.Scenario.subs_sent (List.length diffs) (wall *. 1000.0);
+      if diffs <> [] then gate_failed := true;
+      Report.record8
+        (Printf.sprintf "scenario-differential-%s" name)
+        [
+          ("clients", Report.I spec.Scenario.clients);
+          ("deliveries", Report.I a.Scenario.deliveries);
+          ("subs", Report.I a.Scenario.subs_sent);
+          ("unsubs", Report.I a.Scenario.unsubs_sent);
+          ("ledger_diffs", Report.I (List.length diffs));
+          ("ledgers_identical", Report.B (diffs = []));
+        ])
+    Scenario.all_kinds;
+  if !gate_failed then begin
+    Printf.printf "scenario-scale FAILED: heap/list ledger differential diverged\n";
+    exit 1
+  end;
+  let points =
+    [
+      (scaled 10_000, 4, 8, 1_024);
+      (scaled 100_000, 5, 6, 4_096);
+      (scaled 1_000_000, 6, 4, 8_192);
+    ]
+  in
+  Printf.printf "\nflash-crowd scale series:\n";
+  Printf.printf "%-9s %-8s | %10s %12s %12s %10s | %9s\n" "clients" "brokers" "deliveries"
+    "sim events" "events/sec" "wall s" "peakRSS MB";
+  List.iter
+    (fun (clients, levels, docs, batch) ->
+      let spec =
+        {
+          Scenario.default_spec with
+          Scenario.kind = Scenario.Flash_crowd;
+          clients;
+          docs;
+          levels;
+          batch;
+        }
+      in
+      let o, wall =
+        time_it (fun () -> Scenario.run ~ledger:`Digest ~decisions:false spec)
+      in
+      let rss = peak_rss_bytes () in
+      let eps = float_of_int o.Scenario.events /. Float.max 1e-9 wall in
+      Printf.printf "%-9d %-8d | %10d %12d %12.0f %10.2f | %9.1f\n%!" clients
+        ((1 lsl levels) - 1) o.Scenario.deliveries o.Scenario.events eps wall
+        (float_of_int rss /. 1.0e6);
+      Report.record8
+        (Printf.sprintf "scenario-scale-%d" clients)
+        [
+          ("clients", Report.I clients);
+          ("brokers", Report.I ((1 lsl levels) - 1));
+          ("docs", Report.I o.Scenario.docs_published);
+          ("subs", Report.I o.Scenario.subs_sent);
+          ("deliveries", Report.I o.Scenario.deliveries);
+          ("events", Report.I o.Scenario.events);
+          ("events_per_sec", Report.F eps);
+          ("wall_s", Report.F wall);
+          ("peak_rss_bytes", Report.I rss);
+          ("prt_total", Report.I o.Scenario.prt_total);
+          ("virtual_ms", Report.F o.Scenario.virtual_ms);
+        ])
+    points;
+  Report.record8 "scenario-scale"
+    [
+      ("scale_points", Report.I (List.length points));
+      ("max_clients", Report.I (List.fold_left (fun m (c, _, _, _) -> max m c) 0 points));
+      ("differential_gate", Report.B (not !gate_failed));
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Instrumentation smoke check (wired into dune runtest)               *)
 (* ------------------------------------------------------------------ *)
 
@@ -1688,6 +1823,33 @@ let smoke () =
   end;
   Printf.printf "smoke: span gate ok (%d spans, leaf sum = end-to-end %.3f ms)\n"
     (List.length sps) span_delay;
+  (* Scenario gate: the heap-backed event queue must produce a
+     byte-identical delivery ledger to the sorted-list reference on a
+     small flash-crowd scenario — the differential the million-client
+     numbers in BENCH_8.json stand on. *)
+  let scen_spec =
+    {
+      Scenario.default_spec with
+      Scenario.clients = 300;
+      docs = 5;
+      levels = 3;
+      xpes = 32;
+      batch = 64;
+      dtd = "book";
+    }
+  in
+  let scen_a, _, scen_diffs = Scenario.differential ~ledger:`Full scen_spec in
+  if scen_diffs <> [] then begin
+    Printf.printf "smoke FAILED: scenario heap/list differential diverged (%s)\n"
+      (String.concat ", " scen_diffs);
+    exit 1
+  end;
+  if scen_a.Scenario.deliveries = 0 then begin
+    Printf.printf "smoke FAILED: smoke scenario produced no deliveries\n";
+    exit 1
+  end;
+  Printf.printf "smoke: scenario gate ok (%d deliveries, heap = list ledger)\n"
+    scen_a.Scenario.deliveries;
   Printf.printf "smoke ok\n%!"
 
 (* ------------------------------------------------------------------ *)
@@ -1715,6 +1877,7 @@ let experiments =
     ("match-scaling", match_scaling);
     ("ablation-trail", ablation_trail_routing);
     ("micro", micro_benchmarks);
+    ("scenario-scale", scenario_scale);
   ]
 
 let () =

@@ -11,6 +11,11 @@
    - audit     : routing-state invariants over converged simulated
                  churn networks — or over a live daemon with --connect.
 
+   Two harness-integrity families ride along (also in the default set):
+   --shard-audit checks the daemon's domain-pool PRT partition, and
+   --scenario-audit checks the scale harness itself — heap-vs-list
+   queue differential, run-to-run determinism, liveness smells.
+
    The report prints as text (and as JSON with --json); the process
    exits 1 when any Error-severity finding is present. --self-audit is
    the fixed configuration the build's @lint alias runs. *)
@@ -230,6 +235,36 @@ let shard_audit_report ~domains ~seed ~ops ~inject =
   Pool.stop pool;
   report
 
+(* ---------------- scenario-integrity audit ---------------- *)
+
+(* Sweep every scenario kind at smoke scale: heap-vs-list differential,
+   determinism replay, liveness smells. --inject-scenario-skew replays
+   the list leg one seed off; the audit must then exit 1 (the @scenario
+   mutation rule). *)
+let scenario_audit_report ~clients ~seed ~inject =
+  let module Scenario = Xroute_workload.Scenario in
+  (* trimmed book-DTD spec: the audit exercises the harness (queues,
+     ledger digests, generators), not nitf match throughput — the book
+     grammar runs the same checks two orders of magnitude faster *)
+  let specs =
+    List.map
+      (fun kind ->
+        {
+          Scenario.default_spec with
+          Scenario.kind;
+          clients;
+          seed;
+          docs = 6;
+          xpes = 48;
+          levels = 3;
+          rounds = 2;
+          channels = 4;
+          dtd = "book";
+        })
+      Scenario.all_kinds
+  in
+  Check.audit_scenario_report ~inject specs
+
 (* ---------------- routing-state audit (live daemon) ---------------- *)
 
 let severity_of_string = function
@@ -283,14 +318,15 @@ let parse_seeds s =
     or_die (Error ("bad --seeds list " ^ s))
   else seeds
 
-let run dtd_spec workload soundness audit shard_audit self_audit seeds_str pairs count
-    clients strategy_name ops domains inject_unsound inject_shard_skew witness_incomplete
-    json_path connect metrics quiet verbose =
+let run dtd_spec workload soundness audit shard_audit scenario_audit self_audit
+    seeds_str pairs count clients strategy_name ops domains scenario_clients
+    inject_unsound inject_shard_skew inject_scenario_skew witness_incomplete json_path
+    connect metrics quiet verbose =
   setup_logs verbose;
   let dtd = or_die (load_dtd dtd_spec) in
   let seeds = parse_seeds seeds_str in
   let none_selected =
-    not (workload || soundness || audit || shard_audit || connect <> None)
+    not (workload || soundness || audit || shard_audit || scenario_audit || connect <> None)
   in
   let all = self_audit || none_selected in
   let reports = ref [] in
@@ -306,6 +342,10 @@ let run dtd_spec workload soundness audit shard_audit self_audit seeds_str pairs
     List.iter
       (fun seed -> add (shard_audit_report ~domains ~seed ~ops:(ops * 4) ~inject:inject_shard_skew))
       seeds;
+  if scenario_audit || all then
+    add
+      (scenario_audit_report ~clients:scenario_clients ~seed:(List.hd seeds)
+         ~inject:inject_scenario_skew);
   (match connect with
   | Some c -> add (daemon_audit_report ~connect:c)
   | None ->
@@ -360,6 +400,15 @@ let cmd =
             "Run the shard-integrity audit family: churn an in-process domain pool and \
              check the PRT partition invariants at quiescence.")
   in
+  let scenario_audit_arg =
+    Arg.(
+      value & flag
+      & info [ "scenario-audit" ]
+          ~doc:
+            "Run the scenario-integrity audit family: sweep every scenario kind at \
+             smoke scale and check the heap-vs-list differential, run-to-run \
+             determinism, and liveness smells.")
+  in
   let self_audit_arg =
     Arg.(
       value & flag
@@ -403,6 +452,20 @@ let cmd =
     Arg.(
       value & opt int 4
       & info [ "domains" ] ~docv:"N" ~doc:"Shard audit: worker domains in the churned pool.")
+  in
+  let scenario_clients_arg =
+    Arg.(
+      value & opt int 600
+      & info [ "scenario-clients" ] ~docv:"N"
+          ~doc:"Scenario audit: virtual clients per audited scenario.")
+  in
+  let inject_scenario_skew_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-scenario-skew" ]
+          ~doc:
+            "Mutation check: replay the list-queue leg of the scenario differential \
+             one seed off; the run must report errors and exit 1.")
   in
   let inject_shard_skew_arg =
     Arg.(
@@ -454,8 +517,9 @@ let cmd =
     (Cmd.info "xroute_check" ~version:"%%VERSION%%" ~doc)
     Term.(
       const run $ dtd_arg $ workload_arg $ soundness_arg $ audit_arg $ shard_audit_arg
-      $ self_audit_arg $ seeds_arg $ pairs_arg $ count_arg $ clients_arg $ strategy_arg
-      $ ops_arg $ domains_arg $ inject_arg $ inject_shard_skew_arg
+      $ scenario_audit_arg $ self_audit_arg $ seeds_arg $ pairs_arg $ count_arg
+      $ clients_arg $ strategy_arg $ ops_arg $ domains_arg $ scenario_clients_arg
+      $ inject_arg $ inject_shard_skew_arg $ inject_scenario_skew_arg
       $ witness_incomplete_arg $ json_arg $ connect_arg $ metrics_arg $ quiet_arg
       $ verbose_arg)
 

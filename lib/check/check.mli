@@ -78,3 +78,29 @@ val audit_shards : shard_view -> Finding.t list
 
 (** {!audit_shards} packaged as a report with shard statistics. *)
 val audit_shards_report : shard_view -> Finding.report
+
+(** {2 Scenario-integrity audit}
+
+    The scale harness itself is audited: the simulator's heap and list
+    queue backends must produce byte-identical delivery ledgers on the
+    same scenario (the differential gate), identical specs must
+    reproduce identical ledger/decision digests and fault accounting
+    across runs, and a scenario must actually exercise the network —
+    nonzero deliveries, at least one subscription per client. All error-severity: a broken harness
+    silently invalidates every benchmark and regression gate built on
+    it. *)
+
+(** Audit one scenario spec (run it several times — keep specs at smoke
+    scale). Returns the findings plus the heap-queue outcome the checks
+    ran against. [inject] replays the list leg of the differential one
+    seed off, so the gate provably fires (the @scenario mutation
+    rule). *)
+val audit_scenario :
+  ?inject:bool ->
+  Xroute_workload.Scenario.spec ->
+  Finding.t list * Xroute_workload.Scenario.outcome
+
+(** {!audit_scenario} over a spec list, packaged as a report with sweep
+    statistics. *)
+val audit_scenario_report :
+  ?inject:bool -> Xroute_workload.Scenario.spec list -> Finding.report

@@ -168,6 +168,13 @@ type t = {
   prt : Rtable.Prt.t;
   (* where each subscription id was forwarded (undone on unsubscribe) *)
   mutable forwarded : Rtable.endpoint list Rtable.Prt.Id_map.t;
+  (* per-XPE index over [forwarded]: for each stored XPE (keyed by its
+     printed form, the same key that dedups equal XPEs onto one PRT
+     node), the subscription ids stored there whose forwarded-target
+     set is non-empty. Lets [served_endpoints] consult a coverer node
+     without scanning its payload list, which is one entry per
+     subscriber on a popular XPE. *)
+  fwd_active : (string, Message.sub_id list) Hashtbl.t;
   (* merge bookkeeping *)
   mutable mergers : merger_record list;
   mutable suppressed : Rtable.Prt.Id_map.key list; (* ids replaced by a merger *)
@@ -196,6 +203,7 @@ let create ?(strategy = default_strategy) ~id ~neighbors () =
     srt = Rtable.Srt.create ~use_cover:strategy.adv_cover ~engine ~indexed:strategy.srt_index ();
     prt = Rtable.Prt.create ~flat ~covers ~engine:strategy.match_engine ();
     forwarded = Rtable.Prt.Id_map.empty;
+    fwd_active = Hashtbl.create 64;
     mergers = [];
     suppressed = [];
     merge_seq = 0;
@@ -263,6 +271,37 @@ let neighbor_endpoints ?(except = []) t =
 
 let is_neighbor_ep = function Rtable.Neighbor _ -> true | Rtable.Client _ -> false
 
+(* [fwd_active] maintenance. The invariant: a tree payload's id is in
+   its node's bucket iff its forwarded-target set is non-empty. Merger
+   ids never enter (they have no tree node; [served_endpoints] walks
+   [t.mergers] directly). Buckets hold the few actual forwarders of a
+   node — typically one — so the list operations here are O(1). *)
+let fwd_active_add t xpe id =
+  let key = Xpe.to_string xpe in
+  let ids = Option.value ~default:[] (Hashtbl.find_opt t.fwd_active key) in
+  if not (List.exists (fun i -> Message.compare_sub_id i id = 0) ids) then
+    Hashtbl.replace t.fwd_active key (id :: ids)
+
+let fwd_active_remove t xpe id =
+  let key = Xpe.to_string xpe in
+  match Hashtbl.find_opt t.fwd_active key with
+  | None -> ()
+  | Some ids -> (
+    match List.filter (fun i -> Message.compare_sub_id i id <> 0) ids with
+    | [] -> Hashtbl.remove t.fwd_active key
+    | kept -> Hashtbl.replace t.fwd_active key kept)
+
+(* Re-sync one id's index entry from the forwarded map; for ids with no
+   tree node (mergers, already-removed subscriptions) this is a no-op. *)
+let fwd_active_sync t sub_id =
+  match Rtable.Prt.find t.prt sub_id with
+  | None -> ()
+  | Some (node, _) ->
+    let xpe = Sub_tree.node_xpe node in
+    (match Rtable.Prt.Id_map.find_opt sub_id t.forwarded with
+    | Some (_ :: _) -> fwd_active_add t xpe sub_id
+    | Some [] | None -> fwd_active_remove t xpe sub_id)
+
 let record_forwarded t sub_id targets =
   let existing =
     Option.value ~default:[] (Rtable.Prt.Id_map.find_opt sub_id t.forwarded)
@@ -273,6 +312,7 @@ let record_forwarded t sub_id targets =
       targets
   in
   t.forwarded <- Rtable.Prt.Id_map.add sub_id (added @ existing) t.forwarded;
+  if added <> [] || existing <> [] then fwd_active_sync t sub_id;
   added
 
 let forwarded_targets t sub_id =
@@ -301,18 +341,25 @@ let sub_targets t ~from xpe =
    "forwarded"). Active mergers count as coverers of their members. *)
 
 (* Endpoints already served for [xpe] by some other subscription or
-   merger: the union of the coverers' forwarded-target sets. *)
+   merger: the union of the coverers' forwarded-target sets. Coverer
+   nodes are consulted through [fwd_active] rather than their payload
+   lists: payloads with nothing forwarded contribute nothing to the
+   union, so the served set is unchanged, and a hot node with thousands
+   of equal subscribers costs one index lookup instead of a scan. *)
 let served_endpoints t ~self_id xpe =
   if not t.strategy.use_cover then []
   else begin
     let from_tree =
       List.concat_map
         (fun node ->
-          List.concat_map
-            (fun (p : Rtable.Prt.payload) ->
-              if Message.compare_sub_id p.id self_id = 0 then []
-              else forwarded_targets t p.id)
-            (Sub_tree.node_payloads node))
+          match Hashtbl.find_opt t.fwd_active (Xpe.to_string (Sub_tree.node_xpe node)) with
+          | None -> []
+          | Some ids ->
+            List.concat_map
+              (fun id ->
+                if Message.compare_sub_id id self_id = 0 then []
+                else forwarded_targets t id)
+              ids)
         (Sub_tree.coverers (Rtable.Prt.tree t.prt) xpe)
     in
     let from_mergers =
@@ -413,12 +460,16 @@ let handle_subscribe t ~from id xpe =
   if Rtable.Prt.mem t.prt id then [] (* duplicate *)
   else begin
     (* Subscriptions this one strictly covers (equal XPEs are kept:
-       they already serve their targets). Computed before insertion. *)
+       they already serve their targets). Computed before insertion.
+       The equal node is dropped before its payloads are expanded — on
+       a popular XPE it holds one payload per subscriber, and
+       materializing them per arrival made subscribing quadratic. *)
     let displaced =
       if t.strategy.use_cover then
-        List.filter
-          (fun (node, _) -> not (Xpe.equal (Sub_tree.node_xpe node) xpe))
-          (Rtable.Prt.covered_maximal t.prt xpe)
+        Sub_tree.covered_roots (Rtable.Prt.tree t.prt) xpe
+        |> List.concat_map (fun node ->
+               if Xpe.equal (Sub_tree.node_xpe node) xpe then []
+               else List.map (fun p -> (node, p)) (Sub_tree.node_payloads node))
       else []
     in
     let targets = sub_targets t ~from xpe in
@@ -432,7 +483,7 @@ let handle_subscribe t ~from id xpe =
     let mine = forwarded_targets t id in
     let unsub_msgs =
       List.concat_map
-        (fun (_node, (p : Rtable.Prt.payload)) ->
+        (fun (node, (p : Rtable.Prt.payload)) ->
           if is_suppressed t p.id then []
           else begin
             let where = forwarded_targets t p.id in
@@ -440,6 +491,7 @@ let handle_subscribe t ~from id xpe =
               List.partition (fun ep -> List.exists (Rtable.endpoint_equal ep) mine) where
             in
             t.forwarded <- Rtable.Prt.Id_map.add p.id kept t.forwarded;
+            if kept = [] then fwd_active_remove t (Sub_tree.node_xpe node) p.id;
             List.map (fun ep -> (ep, Message.Unsubscribe { id = p.id })) redundant
           end)
         displaced
@@ -457,6 +509,7 @@ let handle_unsubscribe t ~from id =
     let removed_xpe = Sub_tree.node_xpe node in
     let where = forwarded_targets t id in
     t.forwarded <- Rtable.Prt.Id_map.remove id t.forwarded;
+    fwd_active_remove t removed_xpe id;
     let upstream = List.map (fun ep -> (ep, Message.Unsubscribe { id })) where in
     (* Every subscription the departed one covered — its former children,
        equal subscriptions sharing its node, and covered subscriptions in
@@ -499,12 +552,20 @@ let handle_unsubscribe t ~from id =
    it opens before forwarding). *)
 let route_payloads t ~from pub ctx payloads =
   let by_hop : (Rtable.endpoint * Message.sub_id list ref) list ref = ref [] in
+  (* Hop lookup by hashing, not an assoc scan: at an edge broker every
+     local subscriber is a distinct hop, so the scan was quadratic in
+     matched payloads. [by_hop] still records first-encounter order —
+     the emitted message order is unchanged. *)
+  let seen : (Rtable.endpoint, Message.sub_id list ref) Hashtbl.t = Hashtbl.create 16 in
   List.iter
     (fun (p : Rtable.Prt.payload) ->
       if not (Rtable.endpoint_equal p.hop from) then begin
-        match List.find_opt (fun (ep, _) -> Rtable.endpoint_equal ep p.hop) !by_hop with
-        | Some (_, ids) -> ids := p.id :: !ids
-        | None -> by_hop := (p.hop, ref [ p.id ]) :: !by_hop
+        match Hashtbl.find_opt seen p.hop with
+        | Some ids -> ids := p.id :: !ids
+        | None ->
+          let ids = ref [ p.id ] in
+          Hashtbl.add seen p.hop ids;
+          by_hop := (p.hop, ids) :: !by_hop
       end)
     payloads;
   if !by_hop = [] then begin
@@ -635,6 +696,7 @@ let merge_pass t =
               (fun sub_id ->
                 let where = forwarded_targets t sub_id in
                 t.forwarded <- Rtable.Prt.Id_map.remove sub_id t.forwarded;
+                fwd_active_sync t sub_id;
                 List.map (fun ep -> (ep, Message.Unsubscribe { id = sub_id })) where)
               member_ids
           in
@@ -750,13 +812,17 @@ let audit_view t =
    entries through the unsubscribe path, which re-forwards the covered
    survivors they were shadowing. *)
 let neighbor_reset t ~ep =
+  let emptied = ref [] in
   t.forwarded <-
     Rtable.Prt.Id_map.filter_map
-      (fun _ targets ->
+      (fun id targets ->
         match List.filter (fun e -> not (Rtable.endpoint_equal e ep)) targets with
-        | [] -> None
+        | [] ->
+          emptied := id :: !emptied;
+          None
         | kept -> Some kept)
       t.forwarded;
+  List.iter (fun id -> fwd_active_sync t id) !emptied;
   let stale_advs = srt_ids_from t ep in
   let stale_subs = prt_ids_from t ep in
   Log.info (fun m ->

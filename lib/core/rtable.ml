@@ -52,6 +52,12 @@ module Srt = struct
     use_cover : bool; (* advertisement covering (extension) *)
     engine : Adv_match.engine;
     mutable match_ops : int;
+    (* Memoized [hops_for_sub]: mass-subscription workloads look the
+       same XPE up repeatedly against a table that only changes when an
+       advertisement arrives or leaves. A hit charges [match_ops] with
+       exactly the ops of the scan it replaces, so the simulated cost
+       model is unchanged by the cache. *)
+    hops_cache : (string, endpoint list * int) Hashtbl.t;
   }
 
   let create ?(use_cover = false) ?(engine = Adv_match.Paper) ?(indexed = true) () =
@@ -65,6 +71,7 @@ module Srt = struct
       use_cover;
       engine;
       match_ops = 0;
+      hops_cache = Hashtbl.create 64;
     }
 
   let size t = t.count
@@ -137,6 +144,7 @@ module Srt = struct
         | None -> t.catch_all <- entry :: t.catch_all);
         Hashtbl.replace t.by_id id entry;
         t.count <- t.count + 1;
+        Hashtbl.reset t.hops_cache;
         `Stored
     end
 
@@ -153,6 +161,7 @@ module Srt = struct
         | [] -> Hashtbl.remove t.buckets n
         | es -> Hashtbl.replace t.buckets n es)
       | None -> t.catch_all <- drop t.catch_all);
+      Hashtbl.reset t.hops_cache;
       Some entry.hop
 
   (* Root element a subscription's matches are anchored at, if any: an
@@ -181,14 +190,23 @@ module Srt = struct
 
   (* Last hops of the advertisements overlapping the subscription. *)
   let hops_for_sub t xpe =
-    let hops =
-      List.filter_map
-        (fun e ->
-          t.match_ops <- t.match_ops + 1;
-          if Adv_match.overlaps ~engine:t.engine xpe e.adv then Some e.hop else None)
-        (scan_candidates t xpe)
-    in
-    dedup_hops hops
+    let key = Xpe.to_string xpe in
+    match Hashtbl.find_opt t.hops_cache key with
+    | Some (hops, ops) ->
+      t.match_ops <- t.match_ops + ops;
+      hops
+    | None ->
+      let ops0 = t.match_ops in
+      let hops =
+        List.filter_map
+          (fun e ->
+            t.match_ops <- t.match_ops + 1;
+            if Adv_match.overlaps ~engine:t.engine xpe e.adv then Some e.hop else None)
+          (scan_candidates t xpe)
+      in
+      let hops = dedup_hops hops in
+      Hashtbl.add t.hops_cache key (hops, t.match_ops - ops0);
+      hops
 
   (* Advertisements (ids) from a given hop. *)
   let ids_from t hop =

@@ -53,6 +53,17 @@ type 'a t = {
   mutable count : int; (* stored subscriptions (root excluded) *)
   mutable cover_checks : int; (* covering tests performed, for metrics *)
   mutable match_checks : int; (* publication match tests performed *)
+  (* Memoized covering queries. Workloads where many subscribers share
+     an XPE repeat the same root-fringe scan per arrival, which was the
+     hot loop of large simulations; results stay valid until the tree's
+     shape changes ([version] stamps every attach/detach). A cache hit
+     still charges [cover_checks] with exactly what the fresh scan it
+     replaces would have performed, so the simulated cost model — and
+     with it virtual time — is unchanged by the cache. *)
+  mutable version : int;
+  mutable cache_version : int;
+  coverers_cache : (string, 'a node list * int) Hashtbl.t;
+  covered_roots_cache : (string, 'a node list * int) Hashtbl.t;
 }
 
 (* The index key of an XPE: [Some name] when its first semantic step is a
@@ -87,6 +98,10 @@ let create ?(flat = false) ?(covers = fun s1 s2 -> Cover.covers s1 s2) () =
     count = 0;
     cover_checks = 0;
     match_checks = 0;
+    version = 0;
+    cache_version = 0;
+    coverers_cache = Hashtbl.create 64;
+    covered_roots_cache = Hashtbl.create 64;
   }
 
 let size t = t.count
@@ -173,10 +188,31 @@ let is_covered t xpe =
   && ((match find_equal t xpe with Some _ -> true | None -> false)
      || List.exists (fun c -> covers_checked t c.xpe xpe) (root_cover_candidates t xpe))
 
+let cache_refresh t =
+  if t.cache_version <> t.version then begin
+    Hashtbl.reset t.coverers_cache;
+    Hashtbl.reset t.covered_roots_cache;
+    t.cache_version <- t.version
+  end
+
 (* Depth-1 nodes covered by [xpe]. *)
 let covered_roots t xpe =
   if t.flat then []
-  else List.filter (fun c -> covers_checked t xpe c.xpe) (root_covered_candidates t xpe)
+  else begin
+    cache_refresh t;
+    let key = Xpe.to_string xpe in
+    match Hashtbl.find_opt t.covered_roots_cache key with
+    | Some (nodes, checks) ->
+      t.cover_checks <- t.cover_checks + checks;
+      nodes
+    | None ->
+      let c0 = t.cover_checks in
+      let nodes =
+        List.filter (fun c -> covers_checked t xpe c.xpe) (root_covered_candidates t xpe)
+      in
+      Hashtbl.add t.covered_roots_cache key (nodes, t.cover_checks - c0);
+      nodes
+  end
 
 (* All stored nodes covered by [xpe]: subtrees of covered roots plus
    whatever super pointers reach (used by diagnostics and merging). *)
@@ -204,11 +240,13 @@ let covered_nodes t xpe =
 (* ------------------------------------------------------------------ *)
 
 let attach t parent n =
+  t.version <- t.version + 1;
   n.parent <- Some parent;
   parent.children <- n :: parent.children;
   if is_root parent then root_index_add t n
 
 let detach_from t parent n =
+  t.version <- t.version + 1;
   parent.children <- List.filter (fun x -> x.id <> n.id) parent.children;
   if is_root parent then root_index_remove t n
 
@@ -387,18 +425,28 @@ let check_invariants t =
 let coverers t xpe =
   if t.flat then []
   else begin
-    let acc = ref [] in
-    let rec go children =
-      List.iter
-        (fun c ->
-          if covers_checked t c.xpe xpe then begin
-            acc := c :: !acc;
-            go c.children
-          end)
-        children
-    in
-    go (root_cover_candidates t xpe);
-    List.rev !acc
+    cache_refresh t;
+    let key = Xpe.to_string xpe in
+    match Hashtbl.find_opt t.coverers_cache key with
+    | Some (nodes, checks) ->
+      t.cover_checks <- t.cover_checks + checks;
+      nodes
+    | None ->
+      let c0 = t.cover_checks in
+      let acc = ref [] in
+      let rec go children =
+        List.iter
+          (fun c ->
+            if covers_checked t c.xpe xpe then begin
+              acc := c :: !acc;
+              go c.children
+            end)
+          children
+      in
+      go (root_cover_candidates t xpe);
+      let nodes = List.rev !acc in
+      Hashtbl.add t.coverers_cache key (nodes, t.cover_checks - c0);
+      nodes
   end
 
 (* Total stored payloads (equal XPEs share one node but keep all their

@@ -142,6 +142,12 @@ type t = {
   brokers : Broker.t array;
   alive : bool array; (* false between an injected crash and its restart *)
   mutable clients : client list;
+  client_index : (int, client) Hashtbl.t; (* cid -> client, O(1) on the delivery path *)
+  (* Deliveries addressed to a cid with no materialized client record
+     land here (virtual clients of the scenario engine): called with
+     (cid, doc_id, arrival time) per path publication. *)
+  mutable edge_sink : (int -> int -> float -> unit) option;
+  mutable virtual_deliveries : int;
   mutable next_cid : int;
   mutable next_seq : int;
   traffic : traffic; (* messages received by brokers, by kind *)
@@ -174,7 +180,7 @@ type hop_span = {
   hs_processing : float; (* this hop's processing time, ms *)
 }
 
-let create ?(config = default_config) ?trace ?spans ?recorder topo =
+let create ?(config = default_config) ?queue ?trace ?spans ?recorder topo =
   let prng = Xroute_support.Prng.create config.seed in
   let latency_table = Latency.assign config.latency prng topo in
   let brokers =
@@ -185,12 +191,15 @@ let create ?(config = default_config) ?trace ?spans ?recorder topo =
   {
     topo;
     config;
-    sim = Sim.create ();
+    sim = Sim.create ?queue ();
     prng;
     latency_table;
     brokers;
     alive = Array.make (Topology.broker_count topo) true;
     clients = [];
+    client_index = Hashtbl.create 64;
+    edge_sink = None;
+    virtual_deliveries = 0;
     next_cid = 0;
     next_seq = 0;
     traffic = { adv = 0; unadv = 0; sub = 0; unsub = 0; pub = 0 };
@@ -248,9 +257,22 @@ let add_client t ~broker =
   in
   t.next_cid <- t.next_cid + 1;
   t.clients <- c :: t.clients;
+  Hashtbl.replace t.client_index c.cid c;
   c
 
-let find_client t cid = List.find_opt (fun c -> c.cid = cid) t.clients
+let find_client t cid = Hashtbl.find_opt t.client_index cid
+
+(* Reserve [n] contiguous client ids (for virtual clients) without
+   materializing client records; returns the first id of the block.
+   Keeps virtual and real cids disjoint. *)
+let alloc_cids t n =
+  if n < 0 then invalid_arg "Net.alloc_cids";
+  let first = t.next_cid in
+  t.next_cid <- t.next_cid + n;
+  first
+
+let set_edge_sink t sink = t.edge_sink <- Some sink
+let virtual_deliveries t = t.virtual_deliveries
 
 let count_traffic t (msg : Message.t) =
   M.incr t.nm.nm_total;
@@ -479,7 +501,16 @@ and send t ~src ~processing ?sp ep (msg : Message.t) =
         match find_client t cid with
         | Some c when c.connected -> client_receive t c msg
         | Some _ -> destroy t msg
-        | None -> ())
+        | None -> (
+          (* No materialized record: a virtual client. Path publications
+             feed the edge sink (one call per delivery, in arrival
+             order); control messages are broker-internal, as above. *)
+          match (t.edge_sink, msg) with
+          | Some sink, Message.Publish { pub; _ } ->
+            t.virtual_deliveries <- t.virtual_deliveries + 1;
+            M.incr t.nm.nm_deliveries;
+            sink cid pub.doc_id (Sim.now t.sim)
+          | _ -> ()))
 
 (* One transmission over the directed [src]->[dst] edge, honoring the
    edge's active fault windows: a down link queues the message (in send
@@ -628,6 +659,27 @@ let unsubscribe t c id =
 let unadvertise t c id =
   c.adv_ledger <- remove_ledger_id c.adv_ledger id;
   inject t c (Message.Unadvertise { id })
+
+(* Virtual-client operations: inject control messages from a bare cid
+   (reserved via [alloc_cids]) without a client record or ledger. The
+   scenario engine uses these so a million-subscriber run materializes
+   no per-client state beyond the brokers' routing tables; deliveries
+   come back through the edge sink. *)
+
+let subscribe_virtual t ~broker ~cid xpe =
+  if broker < 0 || broker >= Array.length t.brokers then
+    invalid_arg "Net.subscribe_virtual";
+  let id = fresh_sub_id t ~origin:cid in
+  Sim.schedule t.sim ~delay:t.config.client_link (fun () ->
+      broker_receive t ~from:(Rtable.Client cid) broker (Message.Subscribe { id; xpe }));
+  id
+
+let unsubscribe_virtual t ~broker (id : Message.sub_id) =
+  if broker < 0 || broker >= Array.length t.brokers then
+    invalid_arg "Net.unsubscribe_virtual";
+  Sim.schedule t.sim ~delay:t.config.client_link (fun () ->
+      broker_receive t ~from:(Rtable.Client id.Message.origin) broker
+        (Message.Unsubscribe { id }))
 
 (* When spans are on, anchor a trace for [doc_id]: a root "pub" span
    (emit → last delivery, extended as deliveries land) with an "inject"

@@ -53,6 +53,7 @@ type t
     fires. *)
 val create :
   ?config:config ->
+  ?queue:Sim.queue_kind ->
   ?trace:Xroute_obs.Trace.t ->
   ?spans:Xroute_obs.Span.t ->
   ?recorder:Xroute_obs.Recorder.t ->
@@ -70,6 +71,28 @@ val clients : t -> client list
 
 val add_client : t -> broker:int -> client
 val find_client : t -> int -> client option
+
+(** {2 Virtual clients}
+
+    The million-client path: subscribers addressed by bare client id,
+    with no client record, ledger, or delivery table. Reserve an id
+    block with {!alloc_cids}, subscribe with {!subscribe_virtual}, and
+    receive deliveries through the {!set_edge_sink} callback — one call
+    per path-publication delivery, in arrival order. *)
+
+(** Reserve [n] contiguous client ids (disjoint from real clients);
+    returns the first id of the block. *)
+val alloc_cids : t -> int -> int
+
+(** Install the sink for deliveries to non-materialized cids: called
+    with (cid, doc_id, arrival time in virtual ms). *)
+val set_edge_sink : t -> (int -> int -> float -> unit) -> unit
+
+(** Path-publication deliveries that went to the edge sink. *)
+val virtual_deliveries : t -> int
+
+val subscribe_virtual : t -> broker:int -> cid:int -> Xroute_xpath.Xpe.t -> Message.sub_id
+val unsubscribe_virtual : t -> broker:int -> Message.sub_id -> unit
 
 (** Client operations; all enqueue work — call {!run} to execute. *)
 

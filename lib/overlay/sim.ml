@@ -1,55 +1,100 @@
 (* Discrete-event simulation engine.
 
    Events are closures ordered by (virtual time, insertion sequence);
-   the sequence number makes simultaneous events deterministic. Virtual
-   time is in milliseconds. *)
+   the sequence number makes simultaneous events deterministic (FIFO
+   for equal times). Virtual time is in milliseconds.
 
-type event = { time : float; seq : int; action : unit -> unit }
+   Two queue backends implement the same ordering contract:
+
+   - [`Heap] (default): {!Xroute_support.Equeue}, a 4-ary min-heap over
+     parallel unboxed arrays — the production path, no per-event record
+     allocation.
+   - [`List]: a sorted insertion list. O(n) per schedule, kept as the
+     obviously-correct reference; the scenario differential gate runs
+     every scenario against both backends and requires byte-identical
+     delivery ledgers. *)
+
+type queue_kind = [ `Heap | `List ]
+
+type list_queue = {
+  (* Ascending (time, seq); head is the next event. *)
+  mutable items : (float * int * (unit -> unit)) list;
+  mutable next_seq : int;
+}
+
+type queue = Q_heap of Xroute_support.Equeue.t | Q_list of list_queue
 
 type t = {
-  queue : event Xroute_support.Heap.t;
+  queue : queue;
   mutable now : float;
-  mutable next_seq : int;
   mutable executed : int;
 }
 
-let compare_event a b =
-  match compare a.time b.time with 0 -> compare a.seq b.seq | c -> c
+let create ?(queue = `Heap) () =
+  let queue =
+    match queue with
+    | `Heap -> Q_heap (Xroute_support.Equeue.create ~capacity:1024 ())
+    | `List -> Q_list { items = []; next_seq = 0 }
+  in
+  { queue; now = 0.0; executed = 0 }
 
-let create () =
-  let dummy = { time = 0.0; seq = -1; action = ignore } in
-  {
-    queue = Xroute_support.Heap.create ~capacity:1024 ~cmp:compare_event ~dummy ();
-    now = 0.0;
-    next_seq = 0;
-    executed = 0;
-  }
-
+let queue_kind t = match t.queue with Q_heap _ -> `Heap | Q_list _ -> `List
 let now t = t.now
-let pending t = Xroute_support.Heap.length t.queue
+
+let pending t =
+  match t.queue with
+  | Q_heap h -> Xroute_support.Equeue.length h
+  | Q_list l -> List.length l.items
+
 let executed t = t.executed
 
 (* Schedule [action] to run [delay] ms from the current virtual time. *)
 let schedule t ~delay action =
   if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
-  let ev = { time = t.now +. delay; seq = t.next_seq; action } in
-  t.next_seq <- t.next_seq + 1;
-  Xroute_support.Heap.push t.queue ev
+  let time = t.now +. delay in
+  match t.queue with
+  | Q_heap h -> Xroute_support.Equeue.push h ~time action
+  | Q_list l ->
+    let seq = l.next_seq in
+    l.next_seq <- seq + 1;
+    (* Stable insert: the new event goes after every existing entry with
+       an equal time (its seq is the largest so far). *)
+    let rec insert = function
+      | [] -> [ (time, seq, action) ]
+      | ((t0, _, _) as hd) :: tl when t0 <= time -> hd :: insert tl
+      | rest -> (time, seq, action) :: rest
+    in
+    l.items <- insert l.items
 
 (* Run until the queue drains (or [max_events] is hit, a runaway guard). *)
-let run ?(max_events = 50_000_000) t =
-  let rec loop budget =
-    if budget <= 0 then failwith "Sim.run: event budget exhausted (runaway simulation?)"
-    else
-      match Xroute_support.Heap.pop_min t.queue with
-      | None -> ()
-      | Some ev ->
-        t.now <- max t.now ev.time;
-        t.executed <- t.executed + 1;
-        ev.action ();
-        loop (budget - 1)
+let run ?(max_events = 200_000_000) t =
+  let budget = ref max_events in
+  let exec time action =
+    t.now <- (if time > t.now then time else t.now);
+    t.executed <- t.executed + 1;
+    action ()
   in
-  loop max_events
+  match t.queue with
+  | Q_heap h ->
+    while
+      if !budget <= 0 then
+        failwith "Sim.run: event budget exhausted (runaway simulation?)"
+      else Xroute_support.Equeue.pop_with h exec
+    do
+      decr budget
+    done
+  | Q_list l ->
+    let continue = ref true in
+    while !continue do
+      match l.items with
+      | [] -> continue := false
+      | (time, _, action) :: rest ->
+        if !budget <= 0 then
+          failwith "Sim.run: event budget exhausted (runaway simulation?)";
+        decr budget;
+        l.items <- rest;
+        exec time action
+    done
 
 (* Advance virtual time to at least [time] even with an empty queue. *)
 let advance_to t time = if time > t.now then t.now <- time

@@ -1,9 +1,19 @@
 (** Discrete-event simulation engine: closures ordered by (virtual time,
-    insertion sequence); time is in milliseconds. *)
+    insertion sequence); time is in milliseconds.
+
+    The queue backend is pluggable: [`Heap] (default) is the unboxed
+    4-ary heap ({!Xroute_support.Equeue}); [`List] is a sorted-list
+    reference implementation kept for the scenario differential gate.
+    Both order events identically — (time, seq) with FIFO stability for
+    equal times. *)
 
 type t
 
-val create : unit -> t
+type queue_kind = [ `Heap | `List ]
+
+val create : ?queue:queue_kind -> unit -> t
+
+val queue_kind : t -> queue_kind
 
 (** Current virtual time (ms). *)
 val now : t -> float

@@ -116,6 +116,136 @@ let test_strategy strategy_name () =
   done;
   check cb "ran" true true
 
+(* ------------------------------------------------------------------ *)
+(* Codec / daemon framing against scenario-shaped corpora               *)
+(* ------------------------------------------------------------------ *)
+
+(* A mass-churn wire corpus shaped like what Scenario.Churn pushes
+   through a daemon link: advertisements first, then waves of
+   subscribe/unsubscribe over a duplicate-heavy XPE pool, with
+   publications (decomposed generated documents) interleaved. *)
+let churn_corpus ~seed ~waves ~per_wave =
+  let prng = Xroute_support.Prng.create seed in
+  let dtd = Lazy.force Xroute_dtd.Dtd_samples.book in
+  let graph = Xroute_dtd.Dtd_graph.build dtd in
+  let advs = Xroute_dtd.Dtd_paths.advertisements graph in
+  let params = Xroute_workload.Xpath_gen.default_params dtd in
+  let pool =
+    Array.init 12 (fun _ -> Xroute_workload.Xpath_gen.generate_one params prng)
+  in
+  let msgs = ref [] in
+  let push m = msgs := m :: !msgs in
+  List.iteri
+    (fun i adv -> push (Xroute_core.Message.Advertise { id = { origin = 1; seq = i }; adv }))
+    (List.filteri (fun i _ -> i < 10) advs);
+  let seq = ref 0 in
+  for wave = 1 to waves do
+    let wave_ids = ref [] in
+    for _ = 1 to per_wave do
+      incr seq;
+      let id = { Xroute_core.Message.origin = 100 + (wave mod 3); seq = !seq } in
+      let xpe = pool.(Xroute_support.Prng.int prng (Array.length pool)) in
+      wave_ids := id :: !wave_ids;
+      push (Xroute_core.Message.Subscribe { id; xpe })
+    done;
+    let doc =
+      Xroute_workload.Xml_gen.generate (Xroute_workload.Xml_gen.default_params dtd) prng
+    in
+    List.iter
+      (fun pub -> push (Xroute_core.Message.Publish { pub; trail = []; ctx = None }))
+      (List.filteri
+         (fun i _ -> i < 5)
+         (Xroute_xml.Xml_paths.decompose ~doc_id:wave doc));
+    (* the wave unsubscribes in FIFO order, as the scenario engine does *)
+    List.iter
+      (fun id -> push (Xroute_core.Message.Unsubscribe { id }))
+      (List.rev !wave_ids)
+  done;
+  List.rev !msgs
+
+(* Every corpus message survives encode -> chunked Linebuf reassembly ->
+   decode, regardless of how the byte stream is sliced. *)
+let test_corpus_through_linebuf () =
+  List.iter
+    (fun seed ->
+      let msgs = churn_corpus ~seed ~waves:4 ~per_wave:12 in
+      let wire = String.concat "" (List.map (fun m -> Xroute_core.Codec.encode m ^ "\n") msgs) in
+      let prng = Xroute_support.Prng.create (seed * 31) in
+      let buf = Xroute_daemon.Linebuf.create () in
+      let out = ref [] in
+      let n = String.length wire in
+      let pos = ref 0 in
+      while !pos < n do
+        (* hostile chunking: 1-byte dribbles through big slabs *)
+        let len = min (n - !pos) (1 + Xroute_support.Prng.int prng 97) in
+        Xroute_daemon.Linebuf.add_string buf (String.sub wire !pos len);
+        pos := !pos + len;
+        let rec drain () =
+          match Xroute_daemon.Linebuf.next_line buf with
+          | Some line ->
+            out := Xroute_core.Codec.decode_exn line :: !out;
+            drain ()
+          | None -> ()
+        in
+        drain ()
+      done;
+      let out = List.rev !out in
+      if List.length out <> List.length msgs then
+        Alcotest.failf "seed %d: %d messages in, %d out" seed (List.length msgs)
+          (List.length out);
+      List.iter2
+        (fun a b ->
+          check Alcotest.string "message survives framing" (Xroute_core.Message.to_string a)
+            (Xroute_core.Message.to_string b))
+        msgs out;
+      check Alcotest.int "no residue in the buffer" 0 (Xroute_daemon.Linebuf.length buf))
+    [ 3; 17; 23 ]
+
+(* Truncations of valid wire lines must decode to Ok or Error, never
+   raise — a peer dying mid-line is routine for the daemon. *)
+let test_truncated_lines () =
+  let msgs = churn_corpus ~seed:5 ~waves:2 ~per_wave:8 in
+  let prng = Xroute_support.Prng.create 55 in
+  List.iter
+    (fun m ->
+      let line = Xroute_core.Codec.encode m in
+      for _ = 1 to 8 do
+        let cut = Xroute_support.Prng.int prng (String.length line) in
+        let t = String.sub line 0 cut in
+        match Xroute_core.Codec.decode t with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+          Alcotest.failf "decode raised %s on truncation %S" (Printexc.to_string e) t
+      done)
+    msgs
+
+(* Hostile input: random bytes, separator floods, broken escapes. The
+   decoder must return Error (or a valid Ok) without raising, and the
+   framing escape must stay reversible on arbitrary strings. *)
+let test_hostile_lines () =
+  let prng = Xroute_support.Prng.create 77 in
+  for _ = 1 to 500 do
+    let len = Xroute_support.Prng.int prng 40 in
+    let hostile =
+      String.init len (fun _ ->
+          match Xroute_support.Prng.int prng 6 with
+          | 0 -> '|'
+          | 1 -> '%'
+          | 2 -> '.'
+          | 3 -> Char.chr (1 + Xroute_support.Prng.int prng 255)
+          | _ -> Char.chr (32 + Xroute_support.Prng.int prng 95))
+    in
+    (match Xroute_core.Codec.decode hostile with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+      Alcotest.failf "decode raised %s on %S" (Printexc.to_string e) hostile);
+    let esc = Xroute_daemon.Framing.escape hostile in
+    check Alcotest.string "framing escape reversible" hostile
+      (Xroute_daemon.Framing.unescape esc);
+    check cb "escaped text is line-safe" false
+      (String.exists (fun c -> c = '|' || c = '\n' || c = '\r') esc)
+  done
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -123,4 +253,10 @@ let () =
         List.map
           (fun name -> Alcotest.test_case name `Slow (test_strategy name))
           Xroute_core.Broker.strategy_names );
+      ( "codec framing",
+        [
+          Alcotest.test_case "churn corpus through linebuf" `Quick test_corpus_through_linebuf;
+          Alcotest.test_case "truncated lines" `Quick test_truncated_lines;
+          Alcotest.test_case "hostile lines" `Quick test_hostile_lines;
+        ] );
     ]

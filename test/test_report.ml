@@ -259,6 +259,88 @@ let test_bench7_saturation () =
         | Some s, Some m, Some b -> Float.abs (s -. (m /. b)) < 0.01
         | _ -> false))
 
+(* The BENCH_8 scenario-scale pin: the committed scale series must
+   reach a million clients with positive throughput and RSS figures at
+   >= 3 scale points, and every heap-vs-list differential record must
+   show identical ledgers with zero diffs. *)
+let test_bench8_scenario_scale () =
+  match List.assoc_opt "BENCH_8.json" (bench_files ()) with
+  | None -> Alcotest.fail "BENCH_8.json not committed at the repo root"
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error e -> Alcotest.fail ("BENCH_8.json: " ^ e)
+    | Ok j ->
+      check cs "schema" "xroute-bench/8"
+        (Option.value ~default:"<missing>"
+           (Option.bind (Json.member "schema" j) Json.to_str));
+      let experiments =
+        Option.value ~default:[]
+          (Option.bind (Json.member "experiments" j) Json.to_list)
+      in
+      let named prefix =
+        List.filter
+          (fun r ->
+            match Option.bind (Json.member "name" r) Json.to_str with
+            | Some n ->
+              String.length n >= String.length prefix
+              && String.sub n 0 (String.length prefix) = prefix
+            | None -> false)
+          experiments
+      in
+      (* differential gate: all four kinds, identical ledgers, 0 diffs *)
+      let diffs = named "scenario-differential-" in
+      check ci "all four scenario kinds in the differential gate" 4 (List.length diffs);
+      List.iter
+        (fun r ->
+          let name =
+            Option.value ~default:"?" (Option.bind (Json.member "name" r) Json.to_str)
+          in
+          check cb (name ^ ": zero ledger diffs") true
+            (Option.bind (Json.member "ledger_diffs" r) Json.to_num = Some 0.0);
+          check cb (name ^ ": ledgers identical") true
+            (Option.bind (Json.member "ledgers_identical" r) (function
+               | Json.Bool b -> Some b
+               | _ -> None)
+            = Some true))
+        diffs;
+      (* scale series: >= 3 points, each with throughput and peak RSS *)
+      let points = named "scenario-scale-" in
+      check cb ">= 3 scale points" true (List.length points >= 3);
+      List.iter
+        (fun r ->
+          let name =
+            Option.value ~default:"?" (Option.bind (Json.member "name" r) Json.to_str)
+          in
+          List.iter
+            (fun field ->
+              check cb (name ^ " has positive " ^ field) true
+                (match Option.bind (Json.member field r) Json.to_num with
+                | Some v -> v > 0.0
+                | None -> false))
+            [ "clients"; "brokers"; "subs"; "deliveries"; "events";
+              "events_per_sec"; "wall_s"; "peak_rss_bytes" ])
+        points;
+      check cb "the million-client point is present" true
+        (List.exists
+           (fun r -> Option.bind (Json.member "clients" r) Json.to_num = Some 1_000_000.0)
+           points);
+      (* summary record ties the two together *)
+      let summary =
+        List.find_opt
+          (fun r -> Option.bind (Json.member "name" r) Json.to_str = Some "scenario-scale")
+          experiments
+      in
+      match summary with
+      | None -> Alcotest.fail "scenario-scale summary record missing"
+      | Some r ->
+        check cb "summary max_clients = 1000000" true
+          (Option.bind (Json.member "max_clients" r) Json.to_num = Some 1_000_000.0);
+        check cb "summary differential_gate" true
+          (Option.bind (Json.member "differential_gate" r) (function
+             | Json.Bool b -> Some b
+             | _ -> None)
+          = Some true))
+
 (* ---------------- Chrome trace-event golden ---------------- *)
 
 (* Byte-exact golden: one recorded span, every field populated. *)
@@ -334,6 +416,8 @@ let () =
             test_bench6_match_scaling;
           Alcotest.test_case "BENCH_7 saturation" `Quick
             test_bench7_saturation;
+          Alcotest.test_case "BENCH_8 scenario scale" `Quick
+            test_bench8_scenario_scale;
         ] );
       ( "chrome-export",
         [

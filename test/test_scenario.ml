@@ -1,0 +1,201 @@
+(* Scenario-engine regression: determinism (same seed + spec => same
+   delivery ledger, fault accounting, and per-broker next-hop decisions
+   across independent runs) and the heap-vs-list queue differential that
+   backs the million-client numbers. Runs at smoke scale — correctness
+   of the engine, not its throughput. *)
+
+open Xroute_workload
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+let ci = Alcotest.int
+
+(* Small but non-trivial: enough clients for batching to kick in (three
+   generator rounds at batch=64). *)
+let small kind =
+  {
+    Scenario.kind;
+    clients = 160;
+    docs = 6;
+    levels = 3;
+    xpes = 24;
+    batch = 64;
+    rounds = 2;
+    channels = 4;
+    dtd = "book";
+    seed = 11;
+  }
+
+(* ---------------- spec parsing ---------------- *)
+
+let test_spec_roundtrip () =
+  List.iter
+    (fun kind ->
+      let spec = { (small kind) with Scenario.seed = 99 } in
+      match Scenario.spec_of_string (Scenario.spec_to_string spec) with
+      | Ok parsed -> check cb "spec round-trips" true (parsed = spec)
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    Scenario.all_kinds
+
+let test_spec_parse_partial () =
+  match Scenario.spec_of_string "kind=churn,clients=5000,seed=7" with
+  | Ok s ->
+    check cb "kind" true (s.Scenario.kind = Scenario.Churn);
+    check ci "clients" 5000 s.Scenario.clients;
+    check ci "seed" 7 s.Scenario.seed;
+    check ci "docs defaulted" Scenario.default_spec.Scenario.docs s.Scenario.docs
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_spec_parse_errors () =
+  let bad s =
+    match Scenario.spec_of_string s with
+    | Ok _ -> Alcotest.failf "expected %S to be rejected" s
+    | Error _ -> ()
+  in
+  bad "kind=tsunami";
+  bad "clients=-1";
+  bad "levels=1";
+  bad "dtd=notadtd";
+  bad "frobnicate=3";
+  bad "clients"
+
+(* ---------------- scenario sanity ---------------- *)
+
+(* Every kind must actually exercise the network: subscriptions land,
+   documents are published, deliveries happen. *)
+let test_scenarios_deliver () =
+  List.iter
+    (fun kind ->
+      let spec = small kind in
+      let o = Scenario.run spec in
+      let name = Scenario.kind_to_string kind in
+      check ci (name ^ ": all subscriptions sent")
+        (match kind with
+        | Scenario.Churn ->
+          (* every client subscribes once, churned ones once more *)
+          spec.Scenario.clients + o.Scenario.unsubs_sent
+        | _ -> spec.Scenario.clients)
+        o.Scenario.subs_sent;
+      (match kind with
+      | Scenario.Churn -> check cb (name ^ ": unsubs happened") true (o.Scenario.unsubs_sent > 0)
+      | _ -> check ci (name ^ ": no unsubs") 0 o.Scenario.unsubs_sent);
+      check ci (name ^ ": all docs published") spec.Scenario.docs o.Scenario.docs_published;
+      check cb (name ^ ": deliveries happened") true (o.Scenario.deliveries > 0);
+      check cb (name ^ ": ledger rows captured") true
+        (match o.Scenario.ledger with
+        | Some a -> Xroute_support.Pool.Arena.length a = o.Scenario.deliveries
+        | None -> false);
+      check cb (name ^ ": decisions probed") true (o.Scenario.decisions <> []);
+      check cb (name ^ ": PRT populated") true (o.Scenario.prt_total > 0))
+    Scenario.all_kinds
+
+(* Ledger digest must agree between Full (arena) and Digest (running)
+   capture of the same run. *)
+let test_ledger_digest_modes_agree () =
+  let spec = small Scenario.Flash_crowd in
+  let full = Scenario.run ~ledger:`Full spec in
+  let digest = Scenario.run ~ledger:`Digest spec in
+  check cb "full mode kept the arena" true (full.Scenario.ledger <> None);
+  check cb "digest mode dropped the arena" true (digest.Scenario.ledger = None);
+  check Alcotest.int64 "running digest = arena digest"
+    (Xroute_support.Pool.Arena.digest (Option.get full.Scenario.ledger))
+    digest.Scenario.ledger_digest;
+  check Alcotest.int64 "outcome digests agree" full.Scenario.ledger_digest
+    digest.Scenario.ledger_digest
+
+(* ---------------- determinism ---------------- *)
+
+let ledger_rows o =
+  match o.Scenario.ledger with
+  | None -> []
+  | Some a ->
+    let rows = ref [] in
+    Xroute_support.Pool.Arena.iter a (fun cid doc time -> rows := (cid, doc, time) :: !rows);
+    List.rev !rows
+
+(* Two independent runs of the same spec: identical ledgers (row for
+   row), fault stats, and per-broker next-hop decisions. *)
+let test_same_seed_identical () =
+  List.iter
+    (fun kind ->
+      let spec = small kind in
+      let a = Scenario.run spec in
+      let b = Scenario.run spec in
+      let name = Scenario.kind_to_string kind in
+      check cb (name ^ ": ledgers identical") true (Scenario.equal_ledgers a b);
+      check cb (name ^ ": ledger rows identical") true (ledger_rows a = ledger_rows b);
+      check cb (name ^ ": decisions identical") true (a.Scenario.decisions = b.Scenario.decisions);
+      check Alcotest.string (name ^ ": fault stats identical") a.Scenario.fault_line
+        b.Scenario.fault_line;
+      check ci (name ^ ": events identical") a.Scenario.events b.Scenario.events)
+    Scenario.all_kinds
+
+(* Different seeds must actually change the run (guards against the
+   seed being ignored somewhere). *)
+let test_seed_sensitivity () =
+  let spec = small Scenario.Flash_crowd in
+  let a = Scenario.run spec in
+  let b = Scenario.run { spec with Scenario.seed = spec.Scenario.seed + 1 } in
+  check cb "different seeds -> different ledgers" false (Scenario.equal_ledgers a b)
+
+(* ---------------- heap vs list differential ---------------- *)
+
+let test_queue_differential () =
+  List.iter
+    (fun kind ->
+      let spec = small kind in
+      let a, b, diffs = Scenario.differential spec in
+      let name = Scenario.kind_to_string kind in
+      if diffs <> [] then
+        Alcotest.failf "%s: heap/list differential diffs: %s" name (String.concat ", " diffs);
+      check cb (name ^ ": heap ran on heap queue") true (a.Scenario.queue = `Heap);
+      check cb (name ^ ": list ran on list queue") true (b.Scenario.queue = `List);
+      check cb (name ^ ": rows match") true (ledger_rows a = ledger_rows b))
+    Scenario.all_kinds
+
+(* The differential holds under an overlaid fault plan too: crashes and
+   outages are virtual-time-deterministic, so both backends must agree
+   on losses and recoveries, not just the happy path. *)
+let test_queue_differential_with_faults () =
+  let fspec =
+    { Xroute_fault.Plan.default_spec with Xroute_fault.Plan.client_drops = 0 }
+  in
+  let spec = { (small Scenario.Churn) with Scenario.seed = 5 } in
+  let a, b, diffs = Scenario.differential ~fault_spec:fspec spec in
+  if diffs <> [] then
+    Alcotest.failf "faulted differential diffs: %s" (String.concat ", " diffs);
+  check cb "faults actually fired" true
+    (a.Scenario.fault_line = b.Scenario.fault_line
+    && a.Scenario.fault_line <> Scenario.(run (small Flash_crowd)).Scenario.fault_line
+    || a.Scenario.fault_line <> "");
+  (* the plan must have produced at least one crash for the gate to mean
+     anything *)
+  check cb "crashes in fault line" true
+    (not (String.length a.Scenario.fault_line >= 9
+          && String.sub a.Scenario.fault_line 0 9 = "crashes=0"))
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "partial parse" `Quick test_spec_parse_partial;
+          Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+        ] );
+      ( "sanity",
+        [
+          Alcotest.test_case "all kinds deliver" `Quick test_scenarios_deliver;
+          Alcotest.test_case "digest modes agree" `Quick test_ledger_digest_modes_agree;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed identical" `Quick test_same_seed_identical;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "heap vs list" `Quick test_queue_differential;
+          Alcotest.test_case "heap vs list under faults" `Quick test_queue_differential_with_faults;
+        ] );
+    ]

@@ -271,6 +271,191 @@ let test_stats_reduction () =
   check cf "90 percent" 90.0 (Stats.reduction ~before:100.0 ~after:10.0);
   check cf "zero before" 0.0 (Stats.reduction ~before:0.0 ~after:10.0)
 
+(* ---------------- Equeue (simulator event heap) ---------------- *)
+
+(* Pushed actions record a tag when fired, so pop order is observable. *)
+let tagged fired tag () = fired := tag :: !fired
+
+let eq_drain fired q =
+  let rec go acc =
+    let time = Equeue.min_time q in
+    if Equeue.pop_with q (fun t act ->
+           act ();
+           match time with
+           | Some t' when t' = t -> ()
+           | _ -> Alcotest.fail "min_time disagrees with popped time")
+    then
+      match !fired with
+      | tag :: _ -> go (tag :: acc)
+      | [] -> Alcotest.fail "popped action did not fire"
+    else List.rev acc
+  in
+  go []
+
+let test_equeue_empty () =
+  let q = Equeue.create () in
+  check cb "is_empty" true (Equeue.is_empty q);
+  check ci "length" 0 (Equeue.length q);
+  check (Alcotest.option cf) "min_time" None (Equeue.min_time q);
+  check cb "pop on empty" false (Equeue.pop_with q (fun _ _ -> Alcotest.fail "called"))
+
+let test_equeue_orders_by_time () =
+  let q = Equeue.create () in
+  let fired = ref [] in
+  List.iteri
+    (fun i t -> Equeue.push q ~time:t (tagged fired i))
+    [ 5.0; 1.0; 9.0; 3.0; 7.0; 0.5; 4.0 ];
+  (* indices sorted by their times: 0.5 1 3 4 5 7 9 *)
+  check (Alcotest.list ci) "time order" [ 5; 1; 3; 6; 0; 4; 2 ] (eq_drain fired q)
+
+(* Equal timestamps pop in insertion order — the covering race in the
+   overlay (an unsubscribe overtaking its subscribe on a FIFO link)
+   depends on this. *)
+let test_equeue_fifo_stability () =
+  let q = Equeue.create ~capacity:4 () in
+  let fired = ref [] in
+  for i = 0 to 99 do
+    Equeue.push q ~time:1.0 (tagged fired i)
+  done;
+  Equeue.push q ~time:0.5 (tagged fired 1000);
+  check (Alcotest.list ci) "FIFO under ties"
+    (1000 :: List.init 100 Fun.id)
+    (eq_drain fired q);
+  (* and the assigned sequence numbers are strictly increasing in
+     to_sorted_list order for a fresh tie-heavy queue *)
+  for i = 0 to 49 do
+    Equeue.push q ~time:2.0 (tagged fired i)
+  done;
+  let seqs = List.map (fun (_, s, _) -> s) (Equeue.to_sorted_list q) in
+  check cb "seqs strictly increasing" true
+    (List.for_all2 (fun a b -> a < b) (List.filteri (fun i _ -> i < 49) seqs) (List.tl seqs))
+
+let test_equeue_to_sorted_list_nondestructive () =
+  let q = Equeue.create () in
+  List.iter (fun t -> Equeue.push q ~time:t ignore) [ 3.0; 1.0; 2.0 ];
+  let times = List.map (fun (t, _, _) -> t) (Equeue.to_sorted_list q) in
+  check (Alcotest.list cf) "pop order" [ 1.0; 2.0; 3.0 ] times;
+  check ci "queue untouched" 3 (Equeue.length q)
+
+let test_equeue_clear_and_reuse () =
+  let q = Equeue.create ~capacity:2 () in
+  for i = 0 to 9 do
+    Equeue.push q ~time:(float_of_int i) ignore
+  done;
+  Equeue.clear q;
+  check cb "cleared" true (Equeue.is_empty q);
+  let fired = ref [] in
+  Equeue.push q ~time:2.0 (tagged fired 2);
+  Equeue.push q ~time:1.0 (tagged fired 1);
+  check (Alcotest.list ci) "reusable after clear" [ 1; 2 ] (eq_drain fired q)
+
+(* Seeded random insert/pop interleavings against a sorted-list oracle.
+   Times are drawn from a tiny set so timestamp ties are the common
+   case, exercising the FIFO tie-break continuously. *)
+let test_equeue_random_vs_oracle () =
+  List.iter
+    (fun seed ->
+      let p = Prng.create seed in
+      let q = Equeue.create ~capacity:1 () in
+      let oracle = ref [] (* (time, push index), kept in pop order *) in
+      let fired = ref [] in
+      let pushes = ref 0 in
+      (* stable insert: after all entries with time <= t *)
+      let rec ins t tag = function
+        | [] -> [ (t, tag) ]
+        | (t0, g0) :: rest when t0 <= t -> (t0, g0) :: ins t tag rest
+        | later -> (t, tag) :: later
+      in
+      for _ = 1 to 3000 do
+        if Prng.bool p || !oracle = [] then begin
+          let time = float_of_int (Prng.int p 8) in
+          let tag = !pushes in
+          incr pushes;
+          Equeue.push q ~time (tagged fired tag);
+          oracle := ins time tag !oracle
+        end
+        else begin
+          let expect_t, expect_tag = List.hd !oracle in
+          oracle := List.tl !oracle;
+          let ok =
+            Equeue.pop_with q (fun t act ->
+                act ();
+                if t <> expect_t then
+                  Alcotest.failf "seed %d: popped time %g, oracle %g" seed t expect_t)
+          in
+          check cb "pop succeeded" true ok;
+          match !fired with
+          | tag :: _ ->
+            if tag <> expect_tag then
+              Alcotest.failf "seed %d: popped tag %d, oracle %d (FIFO violation)" seed tag
+                expect_tag
+          | [] -> Alcotest.fail "nothing fired"
+        end
+      done;
+      check ci "length agrees with oracle" (List.length !oracle) (Equeue.length q))
+    [ 7; 42; 1234 ]
+
+(* ---------------- Pool (arena + free list) ---------------- *)
+
+let test_arena_rows_and_growth () =
+  (* chunk_rows=4 forces several chunk boundaries *)
+  let a = Pool.Arena.create ~chunk_rows:4 () in
+  for i = 0 to 25 do
+    let idx = Pool.Arena.add a i (i * 10) (float_of_int i /. 2.0) in
+    check ci "dense index" i idx
+  done;
+  check ci "length" 26 (Pool.Arena.length a);
+  for i = 0 to 25 do
+    check ci "get_a" i (Pool.Arena.get_a a i);
+    check ci "get_b" (i * 10) (Pool.Arena.get_b a i);
+    check cf "get_time" (float_of_int i /. 2.0) (Pool.Arena.get_time a i)
+  done;
+  let seen = ref [] in
+  Pool.Arena.iter a (fun x _ _ -> seen := x :: !seen);
+  check (Alcotest.list ci) "iter in insertion order" (List.init 26 Fun.id) (List.rev !seen);
+  (match Pool.Arena.get_a a 26 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-bounds row not rejected")
+
+let test_arena_digest_incremental () =
+  let a = Pool.Arena.create ~chunk_rows:8 () in
+  let h = ref Pool.Arena.digest_empty in
+  let rows = [ (1, 2, 0.5); (3, 4, 1.5); (5, 6, 2.5); (1, 2, 0.5) ] in
+  List.iter
+    (fun (x, y, t) ->
+      ignore (Pool.Arena.add a x y t);
+      h := Pool.Arena.digest_row !h x y t)
+    rows;
+  check Alcotest.int64 "incremental = whole-arena"
+    (Pool.Arena.digest a)
+    (Pool.Arena.digest_close !h (List.length rows));
+  (* order sensitivity: swapping two rows must change the digest *)
+  let b = Pool.Arena.create ~chunk_rows:8 () in
+  List.iter
+    (fun (x, y, t) -> ignore (Pool.Arena.add b x y t))
+    [ (3, 4, 1.5); (1, 2, 0.5); (5, 6, 2.5); (1, 2, 0.5) ];
+  check cb "order-sensitive" false (Pool.Arena.digest a = Pool.Arena.digest b);
+  Pool.Arena.clear a;
+  check ci "clear empties" 0 (Pool.Arena.length a);
+  check Alcotest.int64 "empty digest" (Pool.Arena.digest_close Pool.Arena.digest_empty 0)
+    (Pool.Arena.digest a)
+
+let test_free_pool () =
+  let pool = Pool.Free.create ~make:(fun () -> ref 0) ~reset:(fun r -> r := 0) () in
+  let x = Pool.Free.acquire pool in
+  x := 41;
+  check ci "live" 1 (Pool.Free.live pool);
+  check ci "created" 1 (Pool.Free.created pool);
+  Pool.Free.release pool x;
+  check ci "released" 0 (Pool.Free.live pool);
+  let y = Pool.Free.acquire pool in
+  check cb "recycled" true (x == y);
+  check ci "reset ran" 0 !y;
+  check ci "no fresh make" 1 (Pool.Free.created pool);
+  let z = Pool.Free.acquire pool in
+  check cb "fresh when empty" false (y == z);
+  check ci "created grew" 2 (Pool.Free.created pool)
+
 let () =
   Alcotest.run "support"
     [
@@ -302,6 +487,22 @@ let () =
           Alcotest.test_case "clear" `Quick test_heap_clear;
           Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
           Alcotest.test_case "random model" `Quick test_heap_random_model;
+        ] );
+      ( "equeue",
+        [
+          Alcotest.test_case "empty" `Quick test_equeue_empty;
+          Alcotest.test_case "orders by time" `Quick test_equeue_orders_by_time;
+          Alcotest.test_case "FIFO stability" `Quick test_equeue_fifo_stability;
+          Alcotest.test_case "to_sorted_list nondestructive" `Quick
+            test_equeue_to_sorted_list_nondestructive;
+          Alcotest.test_case "clear and reuse" `Quick test_equeue_clear_and_reuse;
+          Alcotest.test_case "random vs oracle" `Quick test_equeue_random_vs_oracle;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "arena rows and growth" `Quick test_arena_rows_and_growth;
+          Alcotest.test_case "arena digest incremental" `Quick test_arena_digest_incremental;
+          Alcotest.test_case "free pool" `Quick test_free_pool;
         ] );
       ( "zipf",
         [
