@@ -11,10 +11,18 @@
    - audit     : routing-state invariants over converged simulated
                  churn networks — or over a live daemon with --connect.
 
-   Two harness-integrity families ride along (also in the default set):
-   --shard-audit checks the daemon's domain-pool PRT partition, and
+   Three harness-integrity families ride along (also in the default
+   set): --shard-audit checks the daemon's domain-pool PRT partition,
    --scenario-audit checks the scale harness itself — heap-vs-list
-   queue differential, run-to-run determinism, liveness smells.
+   queue differential, run-to-run determinism, liveness smells — and
+   --conc-audit replays the pool's lock-free core (SPSC rings, reorder
+   buffer, counters) under a schedule-exploring cooperative scheduler
+   with a vector-clock race detector.
+
+   Exit codes are uniform across every family and both output modes:
+   0 when the run produced no Error-severity finding (warnings and
+   infos alone never fail), 1 on any Error, 2 on unusable invocations
+   (bad DTD, bad seed list, unreachable daemon).
 
    The report prints as text (and as JSON with --json); the process
    exits 1 when any Error-severity finding is present. --self-audit is
@@ -265,6 +273,23 @@ let scenario_audit_report ~clients ~seed ~inject =
   in
   Check.audit_scenario_report ~inject specs
 
+(* ---------------- concurrency audit ---------------- *)
+
+(* Replay the shard pool's enqueue/match/drain core (the production
+   Spsc + Reorder + Tsync code) under the schedule explorer. On
+   failure, print each witness schedule prominently even in --quiet
+   runs: the trace is what reproduces the bug. *)
+let conc_audit_report ~depth ~random ~seed ~inject ~quiet =
+  let depth = if depth <= 0 then None else Some depth in
+  let report = Xroute_check.Conc.audit ?depth ~random ~seed ~inject () in
+  if quiet && Finding.has_errors report then
+    List.iter
+      (fun (f : Finding.t) ->
+        if f.severity = Finding.Error then
+          Printf.eprintf "xroute_check: %s: %s\n  %s\n" f.code f.subject f.witness)
+      report.Finding.findings;
+  report
+
 (* ---------------- routing-state audit (live daemon) ---------------- *)
 
 let severity_of_string = function
@@ -318,15 +343,17 @@ let parse_seeds s =
     or_die (Error ("bad --seeds list " ^ s))
   else seeds
 
-let run dtd_spec workload soundness audit shard_audit scenario_audit self_audit
-    seeds_str pairs count clients strategy_name ops domains scenario_clients
-    inject_unsound inject_shard_skew inject_scenario_skew witness_incomplete json_path
-    connect metrics quiet verbose =
+let run dtd_spec workload soundness audit shard_audit scenario_audit conc_audit
+    self_audit seeds_str pairs count clients strategy_name ops domains scenario_clients
+    conc_depth conc_random inject_unsound inject_shard_skew inject_scenario_skew
+    inject_conc_race witness_incomplete json_path connect metrics quiet verbose =
   setup_logs verbose;
   let dtd = or_die (load_dtd dtd_spec) in
   let seeds = parse_seeds seeds_str in
   let none_selected =
-    not (workload || soundness || audit || shard_audit || scenario_audit || connect <> None)
+    not
+      (workload || soundness || audit || shard_audit || scenario_audit || conc_audit
+     || connect <> None)
   in
   let all = self_audit || none_selected in
   let reports = ref [] in
@@ -346,6 +373,10 @@ let run dtd_spec workload soundness audit shard_audit scenario_audit self_audit
     add
       (scenario_audit_report ~clients:scenario_clients ~seed:(List.hd seeds)
          ~inject:inject_scenario_skew);
+  if conc_audit || all then
+    add
+      (conc_audit_report ~depth:conc_depth ~random:conc_random ~seed:(List.hd seeds)
+         ~inject:inject_conc_race ~quiet);
   (match connect with
   | Some c -> add (daemon_audit_report ~connect:c)
   | None ->
@@ -409,6 +440,16 @@ let cmd =
              smoke scale and check the heap-vs-list differential, run-to-run \
              determinism, and liveness smells.")
   in
+  let conc_audit_arg =
+    Arg.(
+      value & flag
+      & info [ "conc-audit" ]
+          ~doc:
+            "Run the concurrency audit family: replay the shard pool's lock-free core \
+             (SPSC rings, reorder buffer, counters) under bounded-exhaustive plus \
+             seeded-random schedules with a vector-clock race detector, checking every \
+             schedule's decisions against the sequential engine.")
+  in
   let self_audit_arg =
     Arg.(
       value & flag
@@ -458,6 +499,29 @@ let cmd =
       value & opt int 600
       & info [ "scenario-clients" ] ~docv:"N"
           ~doc:"Scenario audit: virtual clients per audited scenario.")
+  in
+  let conc_depth_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "conc-depth" ] ~docv:"N"
+          ~doc:
+            "Conc audit: override the bounded-exhaustive DFS depth for every scenario \
+             (0 = per-scenario defaults).")
+  in
+  let conc_random_arg =
+    Arg.(
+      value & opt int 250
+      & info [ "conc-random" ] ~docv:"N"
+          ~doc:"Conc audit: seeded random schedules per scenario beyond the DFS sweep.")
+  in
+  let inject_conc_race_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-conc-race" ]
+          ~doc:
+            "Mutation check: plant an unsynchronized plain counter between a worker and \
+             the drain thread in the pool models; the run must report a data race with a \
+             witness schedule and exit 1.")
   in
   let inject_scenario_skew_arg =
     Arg.(
@@ -517,9 +581,10 @@ let cmd =
     (Cmd.info "xroute_check" ~version:"%%VERSION%%" ~doc)
     Term.(
       const run $ dtd_arg $ workload_arg $ soundness_arg $ audit_arg $ shard_audit_arg
-      $ scenario_audit_arg $ self_audit_arg $ seeds_arg $ pairs_arg $ count_arg
-      $ clients_arg $ strategy_arg $ ops_arg $ domains_arg $ scenario_clients_arg
-      $ inject_arg $ inject_shard_skew_arg $ inject_scenario_skew_arg
+      $ scenario_audit_arg $ conc_audit_arg $ self_audit_arg $ seeds_arg $ pairs_arg
+      $ count_arg $ clients_arg $ strategy_arg $ ops_arg $ domains_arg
+      $ scenario_clients_arg $ conc_depth_arg $ conc_random_arg $ inject_arg
+      $ inject_shard_skew_arg $ inject_scenario_skew_arg $ inject_conc_race_arg
       $ witness_incomplete_arg $ json_arg $ connect_arg $ metrics_arg $ quiet_arg
       $ verbose_arg)
 

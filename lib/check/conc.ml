@@ -1,0 +1,332 @@
+(* Schedule-exploring concurrency audit (see conc.mli).
+
+   The models below re-enact the shard pool's enqueue/match/drain logic
+   with the *production* cross-domain structures — [Spsc] rings and the
+   [Reorder] buffer, both built on [Tsync] — driven by model threads on
+   the cooperative scheduler. What is modelled away is only the domain
+   boundary and the payload semantics (keys stand in for root symbols,
+   stamp lists for matched payloads); every synchronization edge the
+   daemon relies on is the real code. [lib/daemon] depends on this
+   library, so the audit deliberately lives below [Shard_pool]: the pool
+   is the thin composition of exactly these verified pieces. *)
+
+open Xroute_support
+
+(* ------------------------------------------------------------------ *)
+(* Pool model                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Script op: the main thread's arrival stream. Keys stand in for
+   advertisement roots; [owner] is the same mod-hash idea as the pool's. *)
+type op = Sub of int | Pub of int
+
+(* Worker command, as pushed through the ingress ring. *)
+type cmd = CSub of int * int (* stamp, key *) | CPub of int * int (* seq, key *)
+
+(* One emitted decision, in drain order. *)
+type emit = E_control of int | E_pub of int * int * int list (* seq, key, stamps *)
+
+let emit_to_string = function
+  | E_control seq -> Printf.sprintf "C%d" seq
+  | E_pub (seq, key, stamps) ->
+    Printf.sprintf "P%d/k%d[%s]" seq key
+      (String.concat "," (List.map string_of_int stamps))
+
+let emits_to_string es = String.concat " " (List.map emit_to_string es)
+
+(* What the sequential engine would emit for [script]: ops in arrival
+   order, each publication matched against every earlier same-key
+   subscription, stamps ascending. *)
+let sequential script =
+  List.mapi
+    (fun seq op ->
+      match op with
+      | Sub _ -> E_control seq
+      | Pub key ->
+        let stamps =
+          List.concat
+            (List.mapi
+               (fun j o ->
+                 match o with Sub k when j < seq && k = key -> [ j ] | _ -> [])
+               script)
+        in
+        E_pub (seq, key, stamps))
+    script
+
+let pool_model ~workers ~script ~inject () =
+  let owner key = key mod workers in
+  let ingress = Array.init workers (fun _ -> Spsc.create 2) in
+  let results = Array.init workers (fun _ -> Spsc.create 2) in
+  let shards =
+    Array.init workers (fun _ -> Tsync.Cell.make ~name:"model.shard" [])
+  in
+  let processed =
+    Array.init workers (fun _ -> Tsync.Atomic.make ~name:"model.processed" 0)
+  in
+  let stop = Tsync.Atomic.make ~name:"model.stop" false in
+  let noise = Tsync.Cell.make ~name:"injected.race_counter" 0 in
+  let reorder : (int, int list) Reorder.t = Reorder.create () in
+  (* Main-domain-only bookkeeping: plain OCaml state, on purpose —
+     never touched by workers, so it carries no synchronization. *)
+  let emitted = ref [] in
+  let submitted = Array.make workers 0 in
+  let in_flight = ref 0 in
+  let worker w () =
+    let running = ref true in
+    while !running do
+      match Spsc.pop ingress.(w) with
+      | Some (CSub (stamp, key)) ->
+        Tsync.Cell.set shards.(w) ((stamp, key) :: Tsync.Cell.get shards.(w));
+        Tsync.Atomic.incr processed.(w)
+      | Some (CPub (seq, key)) ->
+        let matched =
+          Tsync.Cell.get shards.(w)
+          |> List.filter (fun (_, k) -> k = key)
+          |> List.map fst |> List.sort compare
+        in
+        while not (Spsc.push results.(w) (seq, matched)) do
+          ()
+        done;
+        Tsync.Atomic.incr processed.(w);
+        if inject then
+          (* The planted bug: a plain counter bumped after the release
+             chain (result push, processed incr), read by main with no
+             acquire of it — unordered in every schedule. *)
+          Tsync.Cell.set noise (Tsync.Cell.get noise + 1)
+      | None -> if Tsync.Atomic.get stop then running := false
+    done
+  in
+  let pump () =
+    Array.iter
+      (fun r ->
+        let rec go () =
+          match Spsc.pop r with
+          | Some (seq, stamps) ->
+            ignore (Reorder.complete reorder ~seq stamps);
+            go ()
+          | None -> ()
+        in
+        go ())
+      results
+  in
+  let drain () =
+    pump ();
+    let rec emit () =
+      match Reorder.pop_ready reorder with
+      | `Wait -> ()
+      | `Control thunk ->
+        thunk ();
+        emit ()
+      | `Emit (seq, key, stamps) ->
+        decr in_flight;
+        emitted := E_pub (seq, key, stamps) :: !emitted;
+        emit ()
+    in
+    emit ()
+  in
+  let push_blocking w c =
+    while not (Spsc.push ingress.(w) c) do
+      (* Backpressure: the ring is full; free results and retry, exactly
+         the daemon's drain-and-retry loop. *)
+      drain ()
+    done;
+    submitted.(w) <- submitted.(w) + 1
+  in
+  let main () =
+    List.iteri
+      (fun seq op ->
+        match op with
+        | Sub key ->
+          push_blocking (owner key) (CSub (seq, key));
+          Reorder.put_control reorder ~seq (fun () ->
+              emitted := E_control seq :: !emitted)
+        | Pub key ->
+          Reorder.put_pending reorder ~seq key;
+          incr in_flight;
+          push_blocking (owner key) (CPub (seq, key)))
+      script;
+    while !in_flight > 0 do
+      drain ()
+    done;
+    Tsync.Atomic.set stop true;
+    (* quiesce: wait out the per-worker processed counters *)
+    Array.iteri
+      (fun w p ->
+        while Tsync.Atomic.get p < submitted.(w) do
+          ()
+        done)
+      processed;
+    if inject then ignore (Tsync.Cell.get noise)
+  in
+  let check () =
+    let got = List.rev !emitted in
+    let want = sequential script in
+    if got <> want then
+      failwith
+        (Printf.sprintf "emitted [%s], sequential engine says [%s]"
+           (emits_to_string got) (emits_to_string want));
+    if not (Reorder.is_empty reorder) then
+      failwith
+        (Printf.sprintf "%d reorder slots left at quiesce" (Reorder.pending reorder));
+    if Reorder.next_emit reorder <> List.length script then
+      failwith
+        (Printf.sprintf "reorder cursor %d, expected %d" (Reorder.next_emit reorder)
+           (List.length script));
+    if !in_flight <> 0 then
+      failwith (Printf.sprintf "%d publications still in flight" !in_flight);
+    Array.iteri
+      (fun w r ->
+        if not (Spsc.is_empty r) then
+          failwith (Printf.sprintf "ingress ring %d not empty" w))
+      ingress;
+    Array.iter
+      (fun r -> if not (Spsc.is_empty r) then failwith "result ring not empty")
+      results;
+    Array.iteri
+      (fun w p ->
+        let n = Tsync.Atomic.get p in
+        if n <> submitted.(w) then
+          failwith
+            (Printf.sprintf "worker %d processed %d of %d commands" w n submitted.(w)))
+      processed;
+    Array.iteri
+      (fun w shard ->
+        let subs_owned =
+          List.length
+            (List.filteri
+               (fun _ o -> match o with Sub k -> owner k = w | Pub _ -> false)
+               script)
+        in
+        let have = List.length (Tsync.Cell.get shard) in
+        if have <> subs_owned then
+          failwith
+            (Printf.sprintf "shard %d holds %d subscriptions, expected %d" w have
+               subs_owned))
+      shards
+  in
+  (Array.init (workers + 1) (fun i -> if i = 0 then main else worker (i - 1)), check)
+
+(* ------------------------------------------------------------------ *)
+(* SPSC ring model: FIFO through wraparound at capacity 2.             *)
+(* ------------------------------------------------------------------ *)
+
+let spsc_model ~items ~cap () =
+  let ring = Spsc.create cap in
+  let got = ref [] in
+  let producer () =
+    for i = 1 to items do
+      while not (Spsc.push ring i) do
+        ()
+      done
+    done
+  in
+  let consumer () =
+    let n = ref 0 in
+    while !n < items do
+      match Spsc.pop ring with
+      | Some v ->
+        got := v :: !got;
+        incr n
+      | None -> ()
+    done
+  in
+  let check () =
+    let want = List.init items (fun i -> i + 1) in
+    let have = List.rev !got in
+    if have <> want then
+      failwith
+        (Printf.sprintf "consumer saw [%s], producer sent [%s]"
+           (String.concat "," (List.map string_of_int have))
+           (String.concat "," (List.map string_of_int want)));
+    if not (Spsc.is_empty ring) then failwith "ring not empty after full drain"
+  in
+  ([| producer; consumer |], check)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario table and driver                                           *)
+(* ------------------------------------------------------------------ *)
+
+type scenario = {
+  sc_name : string;
+  sc_depth : int;  (** default bounded-exhaustive DFS depth *)
+  sc_mk : inject:bool -> unit -> (unit -> unit) array * (unit -> unit);
+}
+
+let scenarios =
+  [
+    {
+      sc_name = "spsc-ring-wrap";
+      sc_depth = 10;
+      sc_mk = (fun ~inject:_ () -> spsc_model ~items:5 ~cap:2 ());
+    };
+    {
+      sc_name = "pool-1worker";
+      sc_depth = 9;
+      sc_mk =
+        (fun ~inject () ->
+          pool_model ~workers:1 ~script:[ Sub 0; Pub 0; Sub 0; Pub 0 ] ~inject ());
+    };
+    {
+      sc_name = "pool-2worker";
+      sc_depth = 6;
+      sc_mk =
+        (fun ~inject () ->
+          pool_model ~workers:2
+            ~script:[ Sub 0; Sub 1; Pub 0; Pub 1; Pub 0 ]
+            ~inject ());
+    };
+  ]
+
+let explore_scenarios ?depth ?(random = 250) ?(seed = 1) ?(inject = false) () =
+  List.map
+    (fun sc ->
+      let depth = Option.value depth ~default:sc.sc_depth in
+      ( sc.sc_name,
+        Tsync.Sched.explore ~depth ~random ~seed ~mk:(sc.sc_mk ~inject) () ))
+    scenarios
+
+let stat_key name = String.map (fun c -> if c = '-' then '_' else c) name
+
+let audit ?depth ?random ?seed ?(inject = false) () =
+  let results = explore_scenarios ?depth ?random ?seed ~inject () in
+  let findings = ref [] in
+  let schedules = ref 0 and steps = ref 0 and races = ref 0 and divergences = ref 0 in
+  List.iter
+    (fun (name, (e : Tsync.Sched.exploration)) ->
+      schedules := !schedules + e.distinct;
+      steps := !steps + e.total_steps;
+      races := !races + List.length e.race_witnesses;
+      divergences := !divergences + List.length e.failure_witnesses;
+      List.iter
+        (fun (sched, diag) ->
+          findings :=
+            Finding.make ~severity:Error ~family:"conc" ~code:"conc-race"
+              ~subject:(Printf.sprintf "data race in model %s: %s" name diag)
+              ~witness:(Printf.sprintf "witness schedule [%s]" sched)
+            :: !findings)
+        e.race_witnesses;
+      List.iter
+        (fun (sched, diag) ->
+          findings :=
+            Finding.make ~severity:Error ~family:"conc" ~code:"conc-divergence"
+              ~subject:
+                (Printf.sprintf "model %s diverged from the sequential engine: %s"
+                   name diag)
+              ~witness:(Printf.sprintf "witness schedule [%s]" sched)
+            :: !findings)
+        e.failure_witnesses)
+    results;
+  let stats =
+    [
+      ("conc_scenarios", float_of_int (List.length results));
+      ("conc_schedules", float_of_int !schedules);
+      ("conc_steps", float_of_int !steps);
+      ("conc_races", float_of_int !races);
+      ("conc_divergences", float_of_int !divergences);
+    ]
+    @ List.map
+        (fun (name, (e : Tsync.Sched.exploration)) ->
+          ("conc_schedules_" ^ stat_key name, float_of_int e.distinct))
+        results
+  in
+  Finding.report ~stats (List.rev !findings)

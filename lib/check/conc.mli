@@ -1,0 +1,47 @@
+(** Concurrency audit of the shard pool's lock-free core.
+
+    PR 7 made the broker multicore; its safety net until now was
+    differential testing under whatever interleavings the OS produced.
+    This family closes that gap the way cover/merge soundness is
+    closed: systematically. The pool's cross-domain machinery — the
+    SPSC ingress/result rings, the seq-keyed reorder buffer, the
+    processed/stop counters — is built on [Xroute_support.Tsync], so
+    the {e same code} that runs under the daemon is replayed here on a
+    cooperative scheduler that context-switches at every instrumented
+    access, exploring bounded-exhaustive plus seeded-random schedules.
+
+    Each scenario models one slice of the pool's enqueue/match/drain
+    logic (a producer/consumer ring at wraparound; a 1-worker and a
+    2-worker pool fed interleaved subscribe/publish scripts). After
+    every schedule the emitted decisions are compared against the
+    sequential engine's and the pool invariants are re-checked: seqs
+    emitted gap-free and monotone, rings empty, reorder buffer empty at
+    quiesce, processed counters equal to submitted. Throughout, a
+    vector-clock happens-before detector flags any pair of plain
+    accesses to one location unordered by the release/acquire chains.
+
+    Every finding is error-severity and carries the witness schedule —
+    the decision trace that reproduces it. *)
+
+open Xroute_support
+
+(** Exploration of every scenario: name paired with the outcome. *)
+val explore_scenarios :
+  ?depth:int ->
+  ?random:int ->
+  ?seed:int ->
+  ?inject:bool ->
+  unit ->
+  (string * Tsync.Sched.exploration) list
+(** [depth] overrides each scenario's DFS depth bound (default:
+    per-scenario, sized so the sweep stays in the hundreds of
+    schedules per scenario); [random] adds seeded random walks per
+    scenario (default 250). [inject] plants an unsynchronized plain
+    counter between a worker and the main thread — the must-fail
+    mutation proving the detector has teeth. *)
+
+val audit :
+  ?depth:int -> ?random:int -> ?seed:int -> ?inject:bool -> unit -> Finding.report
+(** {!explore_scenarios} packaged as a report: [conc-race] /
+    [conc-divergence] errors with witness schedules, plus the
+    schedules/steps statistics the @conc gate and BENCH_9 pin. *)

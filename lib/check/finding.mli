@@ -10,7 +10,9 @@ type severity = Error | Warning | Info
 
 type t = {
   severity : severity;
-  family : string;  (** ["workload"] | ["soundness"] | ["routing"] *)
+  family : string;
+      (** ["workload"] | ["soundness"] | ["routing"] | ["shard"] |
+          ["scenario"] | ["conc"] *)
   code : string;  (** stable machine-readable finding kind *)
   subject : string;  (** what the finding is about *)
   witness : string;  (** the evidence: the offending pair / entry *)

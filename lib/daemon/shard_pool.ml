@@ -37,6 +37,8 @@
 
 open Xroute_core
 module Spsc = Xroute_support.Spsc
+module Tsync = Xroute_support.Tsync
+module Reorder = Xroute_support.Reorder
 module Shard = Rtable.Prt.Shard
 
 let src = Logs.Src.create "xroute.pool" ~doc:"Sharded matching pool"
@@ -67,28 +69,20 @@ type worker = {
   shard : Shard.t;
   ingress : wcmd Spsc.t;
   results : (int * outcome) Spsc.t;
-  processed : int Atomic.t; (* commands the worker has completed *)
+  processed : int Tsync.Atomic.t; (* commands the worker has completed *)
   mutable submitted : int; (* commands the main domain has pushed *)
   mutable domain : unit Domain.t option;
 }
 
-(* Reorder-buffer slot: a control line's outputs are emitted by a thunk
-   (its state transition already ran at arrival time on the main
-   domain); a publication waits for its worker outcome. *)
-type pending =
-  | Control of (unit -> unit)
-  | Pending_pub of {
-      from : Rtable.endpoint;
-      batch_t : float;
-      mutable outcome : outcome option;
-    }
+(* Reorder-buffer payload of a pending publication; control lines carry
+   their emission thunk directly (see Xroute_support.Reorder). *)
+type pub_meta = { from : Rtable.endpoint; batch_t : float }
 
 type t = {
   workers : worker array;
-  stop : bool Atomic.t;
+  stop : bool Tsync.Atomic.t;
   mutable seq : int; (* next global arrival sequence *)
-  mutable next_emit : int; (* lowest seq not yet emitted *)
-  reorder : (int, pending) Hashtbl.t;
+  reorder : (pub_meta, outcome) Reorder.t;
   mutable in_flight : int; (* publications submitted, not yet emitted *)
   mutable pubs_routed : int; (* publications fully emitted *)
   wake_r : Unix.file_descr;
@@ -152,7 +146,7 @@ let worker_loop ~stop ~wake_w w =
     match Spsc.pop w.ingress with
     | Some cmd ->
       let p = process cmd in
-      Atomic.incr w.processed;
+      Tsync.Atomic.incr w.processed;
       drain (produced || p)
     | None -> produced
   in
@@ -162,18 +156,18 @@ let worker_loop ~stop ~wake_w w =
     try ignore (Unix.write wake_w wake_byte 0 1) with Unix.Unix_error _ -> ()
   in
   let rec run () =
-    if not (Atomic.get stop) then begin
+    if not (Tsync.Atomic.get stop) then begin
       if drain false then wake ();
       if Spsc.is_empty w.ingress then begin
         (* Brief spin for the low-latency case, then yield the core —
            a spinning worker would starve the event loop on small
            machines. *)
         let spins = ref 200 in
-        while !spins > 0 && Spsc.is_empty w.ingress && not (Atomic.get stop) do
+        while !spins > 0 && Spsc.is_empty w.ingress && not (Tsync.Atomic.get stop) do
           Domain.cpu_relax ();
           decr spins
         done;
-        if Spsc.is_empty w.ingress && not (Atomic.get stop) then Unix.sleepf 0.0002
+        if Spsc.is_empty w.ingress && not (Tsync.Atomic.get stop) then Unix.sleepf 0.0002
       end;
       run ()
     end
@@ -186,14 +180,17 @@ let worker_loop ~stop ~wake_w w =
    below [ingress capacity * 4]; results get headroom above that so a
    worker can never be blocked on its result ring while the main domain
    is itself spinning on a full ingress (a 1-core deadlock otherwise). *)
-let ingress_capacity = 1024
+let default_ingress_capacity = 1024
 
-let create ~domains () =
+(* [ingress_capacity] is overridable so the backpressure path (full
+   ring -> submit_publish = false -> daemon drains and retries) can be
+   driven deterministically by tests with a tiny ring. *)
+let create ?(ingress_capacity = default_ingress_capacity) ~domains () =
   if domains < 1 then invalid_arg "Shard_pool.create: need at least one domain";
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
-  let stop = Atomic.make false in
+  let stop = Tsync.Atomic.make ~name:"pool.stop" false in
   let workers =
     Array.init domains (fun index ->
         {
@@ -201,7 +198,7 @@ let create ~domains () =
           shard = Shard.create ();
           ingress = Spsc.create ingress_capacity;
           results = Spsc.create (ingress_capacity * 16);
-          processed = Atomic.make 0;
+          processed = Tsync.Atomic.make ~name:"pool.processed" 0;
           submitted = 0;
           domain = None;
         })
@@ -211,8 +208,7 @@ let create ~domains () =
       workers;
       stop;
       seq = 0;
-      next_emit = 0;
-      reorder = Hashtbl.create 4096;
+      reorder = Reorder.create ();
       in_flight = 0;
       pubs_routed = 0;
       wake_r;
@@ -225,8 +221,8 @@ let create ~domains () =
   t
 
 let stop t =
-  if not (Atomic.get t.stop) then begin
-    Atomic.set t.stop true;
+  if not (Tsync.Atomic.get t.stop) then begin
+    Tsync.Atomic.set t.stop true;
     Array.iter
       (fun w ->
         match w.domain with
@@ -254,11 +250,9 @@ let pump t =
       let rec go () =
         match Spsc.pop w.results with
         | Some (seq, outcome) ->
-          (match Hashtbl.find_opt t.reorder seq with
-          | Some (Pending_pub p) -> p.outcome <- Some outcome
-          | Some (Control _) | None ->
+          if not (Reorder.complete t.reorder ~seq outcome) then
             (* Can't happen under the seq contract; drop loudly. *)
-            Log.err (fun m -> m "pool: result for unknown seq %d" seq));
+            Log.err (fun m -> m "pool: result for unknown seq %d" seq);
           go ()
         | None -> ()
       in
@@ -275,7 +269,7 @@ let push_cmd t w cmd =
   done;
   w.submitted <- w.submitted + 1
 
-let push_control t ~seq thunk = Hashtbl.replace t.reorder seq (Control thunk)
+let push_control t ~seq thunk = Reorder.put_control t.reorder ~seq thunk
 
 let subscribe t ~stamp id xpe hop =
   match Rtable.Srt.sub_root xpe with
@@ -292,7 +286,7 @@ let submit_publish t ~seq ~from ~batch_t ~payload ~root =
   let w = t.workers.(owner t root) in
   if Spsc.push w.ingress (Pub { seq; payload }) then begin
     w.submitted <- w.submitted + 1;
-    Hashtbl.replace t.reorder seq (Pending_pub { from; batch_t; outcome = None });
+    Reorder.put_pending t.reorder ~seq { from; batch_t };
     t.in_flight <- t.in_flight + 1;
     true
   end
@@ -304,27 +298,19 @@ let submit_publish t ~seq ~from ~batch_t ~payload ~root =
 let drain t ~publish =
   pump t;
   let rec emit () =
-    match Hashtbl.find_opt t.reorder t.next_emit with
-    | None -> ()
-    | Some (Control thunk) ->
-      Hashtbl.remove t.reorder t.next_emit;
-      t.next_emit <- t.next_emit + 1;
+    match Reorder.pop_ready t.reorder with
+    | `Wait -> ()
+    | `Control thunk ->
       thunk ();
       emit ()
-    | Some (Pending_pub p) -> (
-      match p.outcome with
-      | None -> () (* head-of-line publication still on its worker *)
-      | Some outcome ->
-        Hashtbl.remove t.reorder t.next_emit;
-        let seq = t.next_emit in
-        t.next_emit <- t.next_emit + 1;
-        t.in_flight <- t.in_flight - 1;
-        (* Only decoded publications count: the per-shard matched
-           counters must sum to this gauge (shard audit). *)
-        (match outcome with Routed _ -> t.pubs_routed <- t.pubs_routed + 1 | Undecodable _ -> ());
-        publish ~seq ~from:p.from ~batch_t:p.batch_t outcome;
-        pump t;
-        emit ())
+    | `Emit (seq, meta, outcome) ->
+      t.in_flight <- t.in_flight - 1;
+      (* Only decoded publications count: the per-shard matched
+         counters must sum to this gauge (shard audit). *)
+      (match outcome with Routed _ -> t.pubs_routed <- t.pubs_routed + 1 | Undecodable _ -> ());
+      publish ~seq ~from:meta.from ~batch_t:meta.batch_t outcome;
+      pump t;
+      emit ()
   in
   emit ()
 
@@ -382,7 +368,7 @@ let publish_root payload =
 let quiesce t =
   Array.iter
     (fun w ->
-      while Atomic.get w.processed < w.submitted do
+      while Tsync.Atomic.get w.processed < w.submitted do
         Unix.sleepf 0.0002
       done)
     t.workers

@@ -32,8 +32,10 @@ type outcome =
     }
   | Undecodable of Codec.error
 
-val create : domains:int -> unit -> t
-(** Spawn [domains] worker domains (>= 1). *)
+val create : ?ingress_capacity:int -> domains:int -> unit -> t
+(** Spawn [domains] worker domains (>= 1). [ingress_capacity] (default
+    1024) sizes each worker's ingress ring; tests shrink it to drive
+    the backpressure path deterministically. *)
 
 val stop : t -> unit
 (** Signal and join every worker; idempotent. *)

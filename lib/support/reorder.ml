@@ -1,0 +1,47 @@
+(* Sequence-keyed reorder buffer (see reorder.mli). Extracted from the
+   daemon's shard pool so the same code runs under the production event
+   loop and under the conc-audit's schedule explorer. *)
+
+type ('p, 'o) slot =
+  | Control of (unit -> unit)
+  | Pending of { payload : 'p; mutable outcome : 'o option }
+
+type ('p, 'o) t = {
+  slots : (int, ('p, 'o) slot) Hashtbl.t;
+  next_emit : int Tsync.Cell.t; (* owning-domain cursor *)
+}
+
+let create () =
+  { slots = Hashtbl.create 4096; next_emit = Tsync.Cell.make ~name:"reorder.next_emit" 0 }
+
+let put_control t ~seq thunk = Hashtbl.replace t.slots seq (Control thunk)
+
+let put_pending t ~seq payload =
+  Hashtbl.replace t.slots seq (Pending { payload; outcome = None })
+
+let complete t ~seq outcome =
+  match Hashtbl.find_opt t.slots seq with
+  | Some (Pending p) ->
+    p.outcome <- Some outcome;
+    true
+  | Some (Control _) | None -> false
+
+let pop_ready t =
+  let head = Tsync.Cell.get t.next_emit in
+  match Hashtbl.find_opt t.slots head with
+  | None -> `Wait
+  | Some (Control thunk) ->
+    Hashtbl.remove t.slots head;
+    Tsync.Cell.set t.next_emit (head + 1);
+    `Control thunk
+  | Some (Pending p) -> (
+    match p.outcome with
+    | None -> `Wait (* head-of-line item still on its worker *)
+    | Some outcome ->
+      Hashtbl.remove t.slots head;
+      Tsync.Cell.set t.next_emit (head + 1);
+      `Emit (head, p.payload, outcome))
+
+let next_emit t = Tsync.Cell.get t.next_emit
+let pending t = Hashtbl.length t.slots
+let is_empty t = Hashtbl.length t.slots = 0

@@ -1,0 +1,48 @@
+(** Sequence-keyed reorder buffer: the merge stage of the shard pool.
+
+    Work items enter stamped with a global arrival sequence number and
+    complete out of order on worker domains; the buffer re-serializes
+    emission so seq [k] is released only after every seq below [k] —
+    the mechanism that keeps the pool's output byte-identical to the
+    sequential engine's.
+
+    Two slot shapes mirror the daemon's traffic: a {e control} slot
+    carries a thunk whose state transition already ran at arrival time
+    and only its output emission waits for its turn; a {e pending} slot
+    carries per-item payload and waits for a worker outcome delivered
+    by {!complete}.
+
+    Single-consumer: all operations belong to the owning (main) domain.
+    The cursor is a [Tsync] cell so the concurrency audit verifies that
+    ownership instead of assuming it. *)
+
+type ('p, 'o) t
+(** Buffer with pending payloads ['p] and worker outcomes ['o]. *)
+
+val create : unit -> ('p, 'o) t
+
+val put_control : ('p, 'o) t -> seq:int -> (unit -> unit) -> unit
+(** Register a control slot: [thunk] runs when [seq] is emitted. *)
+
+val put_pending : ('p, 'o) t -> seq:int -> 'p -> unit
+(** Register a pending slot awaiting its worker outcome. *)
+
+val complete : ('p, 'o) t -> seq:int -> 'o -> bool
+(** Attach a worker outcome to its pending slot. [false] means the seq
+    is unknown (or not pending) — a seq-contract violation the caller
+    reports. *)
+
+val pop_ready :
+  ('p, 'o) t -> [ `Control of unit -> unit | `Emit of int * 'p * 'o | `Wait ]
+(** Release the head of the emission order: [`Control thunk] or
+    [`Emit (seq, payload, outcome)] advance the cursor and remove the
+    slot (the caller runs/emits); [`Wait] means the head seq has not
+    arrived or its outcome is still on a worker. *)
+
+val next_emit : ('p, 'o) t -> int
+(** The lowest sequence number not yet emitted. *)
+
+val pending : ('p, 'o) t -> int
+(** Slots currently buffered (either shape). *)
+
+val is_empty : ('p, 'o) t -> bool

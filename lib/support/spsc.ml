@@ -1,17 +1,24 @@
 (* Bounded single-producer/single-consumer queue for cross-domain
    handoff. One designated producer domain calls [push]; one designated
    consumer domain calls [pop]. The ring carries ['a option] slots and
-   publishes through two monotone [Atomic.t] cursors, so the OCaml 5
-   memory model gives the consumer an acquire view of everything the
-   producer wrote before bumping [tail] (and symmetrically for slot
-   reuse through [head]). No locks, no allocation on the hot path
-   beyond the [Some] cell. *)
+   publishes through two monotone cursors, so the OCaml 5 memory model
+   gives the consumer an acquire view of everything the producer wrote
+   before bumping [tail] (and symmetrically for slot reuse through
+   [head]). No locks, no allocation on the hot path beyond the [Some]
+   cell.
+
+   Built on [Tsync]: the cursors are instrumented atomics and the slot
+   array an instrumented plain array, so in production the ring
+   compiles to the raw atomic ops while under [xroute_check
+   --conc-audit] every access is a scheduling point of the
+   schedule-exploring race detector — which is exactly what certifies
+   the release/acquire argument above instead of taking it on faith. *)
 
 type 'a t = {
-  slots : 'a option array;
+  slots : 'a option Tsync.Cells.t;
   mask : int;
-  head : int Atomic.t; (* next slot to pop; owned by the consumer *)
-  tail : int Atomic.t; (* next slot to fill; owned by the producer *)
+  head : int Tsync.Atomic.t; (* next slot to pop; owned by the consumer *)
+  tail : int Tsync.Atomic.t; (* next slot to fill; owned by the producer *)
 }
 
 let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
@@ -19,39 +26,44 @@ let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
 let create capacity =
   if capacity <= 0 then invalid_arg "Spsc.create: capacity must be positive";
   let cap = pow2 capacity 1 in
-  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+  {
+    slots = Tsync.Cells.make ~name:"spsc.slot" cap None;
+    mask = cap - 1;
+    head = Tsync.Atomic.make ~name:"spsc.head" 0;
+    tail = Tsync.Atomic.make ~name:"spsc.tail" 0;
+  }
 
-let capacity t = Array.length t.slots
+let capacity t = Tsync.Cells.length t.slots
 
 (* Racy by nature (either cursor may move underneath the caller), but
    monotonicity keeps it a safe estimate: never negative, and exact
    when called from the producer or consumer domain. *)
-let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+let length t = max 0 (Tsync.Atomic.get t.tail - Tsync.Atomic.get t.head)
 
 let is_empty t = length t = 0
 
 let push t x =
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  if tail - head >= Array.length t.slots then false
+  let tail = Tsync.Atomic.get t.tail in
+  let head = Tsync.Atomic.get t.head in
+  if tail - head >= Tsync.Cells.length t.slots then false
   else begin
-    t.slots.(tail land t.mask) <- Some x;
+    Tsync.Cells.set t.slots (tail land t.mask) (Some x);
     (* Release: the slot write above happens-before any consumer that
        observes the new tail. *)
-    Atomic.set t.tail (tail + 1);
+    Tsync.Atomic.set t.tail (tail + 1);
     true
   end
 
 let pop t =
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
+  let head = Tsync.Atomic.get t.head in
+  let tail = Tsync.Atomic.get t.tail in
   if head >= tail then None
   else begin
     let slot = head land t.mask in
-    let x = t.slots.(slot) in
+    let x = Tsync.Cells.get t.slots slot in
     (* Drop the reference so the value is collectable before the ring
        wraps, then release the slot back to the producer. *)
-    t.slots.(slot) <- None;
-    Atomic.set t.head (head + 1);
+    Tsync.Cells.set t.slots slot None;
+    Tsync.Atomic.set t.head (head + 1);
     x
   end

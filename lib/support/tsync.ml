@@ -1,0 +1,409 @@
+(* Instrumented synchronization shim (see tsync.mli).
+
+   Production: [runtime] is [None]; every operation is the raw
+   [Stdlib.Atomic] op / field access behind one ref-read-and-branch.
+
+   Check mode: [Sched.run] installs a runtime whose hook performs an
+   effect at every instrumented access, suspending the current model
+   thread. The scheduler picks the next thread (exploring the choice
+   tree), applies the suspended access to the vector-clock state —
+   detecting unsynchronized plain accesses — and resumes the thread,
+   which then executes the real memory operation. Running the access
+   bookkeeping at grant time, not at suspension time, keeps the
+   happens-before analysis aligned with the order operations actually
+   execute in. *)
+
+type access_kind = Load | Store | Rmw
+
+type runtime = { on_access : sync:bool -> loc:int -> name:string -> access_kind -> unit }
+
+let runtime : runtime option ref = ref None
+
+(* Location ids: process-global, allocation-time only (never hot). *)
+let next_loc = Stdlib.Atomic.make 0
+let fresh_locs n = Stdlib.Atomic.fetch_and_add next_loc n
+
+let[@inline] hook ~sync ~loc ~name kind =
+  match !runtime with None -> () | Some rt -> rt.on_access ~sync ~loc ~name kind
+
+module Atomic = struct
+  type 'a t = { cell : 'a Stdlib.Atomic.t; loc : int; name : string }
+
+  let make ?(name = "atomic") v =
+    { cell = Stdlib.Atomic.make v; loc = fresh_locs 1; name }
+
+  let get t =
+    hook ~sync:true ~loc:t.loc ~name:t.name Load;
+    Stdlib.Atomic.get t.cell
+
+  let set t v =
+    hook ~sync:true ~loc:t.loc ~name:t.name Store;
+    Stdlib.Atomic.set t.cell v
+
+  let exchange t v =
+    hook ~sync:true ~loc:t.loc ~name:t.name Rmw;
+    Stdlib.Atomic.exchange t.cell v
+
+  let compare_and_set t old nu =
+    hook ~sync:true ~loc:t.loc ~name:t.name Rmw;
+    Stdlib.Atomic.compare_and_set t.cell old nu
+
+  let fetch_and_add t d =
+    hook ~sync:true ~loc:t.loc ~name:t.name Rmw;
+    Stdlib.Atomic.fetch_and_add t.cell d
+
+  let incr t = ignore (fetch_and_add t 1)
+end
+
+module Cell = struct
+  type 'a t = { mutable v : 'a; loc : int; name : string }
+
+  let make ?(name = "cell") v = { v; loc = fresh_locs 1; name }
+
+  let get t =
+    hook ~sync:false ~loc:t.loc ~name:t.name Load;
+    t.v
+
+  let set t v =
+    hook ~sync:false ~loc:t.loc ~name:t.name Store;
+    t.v <- v
+end
+
+module Cells = struct
+  type 'a t = { arr : 'a array; base : int; name : string }
+
+  let make ?(name = "cells") n v = { arr = Array.make n v; base = fresh_locs n; name }
+  let length t = Array.length t.arr
+
+  let get t i =
+    hook ~sync:false ~loc:(t.base + i) ~name:t.name Load;
+    t.arr.(i)
+
+  let set t i v =
+    hook ~sync:false ~loc:(t.base + i) ~name:t.name Store;
+    t.arr.(i) <- v
+end
+
+(* ---------------- the schedule-exploring checker ---------------- *)
+
+module Sched = struct
+  type race = {
+    race_loc : string;
+    race_first : int * access_kind;
+    race_second : int * access_kind;
+  }
+
+  let kind_to_string = function Load -> "load" | Store -> "store" | Rmw -> "rmw"
+
+  let race_to_string r =
+    Printf.sprintf "race on %s: thread %d %s unordered with thread %d %s" r.race_loc
+      (fst r.race_first)
+      (kind_to_string (snd r.race_first))
+      (fst r.race_second)
+      (kind_to_string (snd r.race_second))
+
+  type report = {
+    schedule : int list;
+    steps : int;
+    races : race list;
+    error : string option;
+  }
+
+  type access = { a_sync : bool; a_loc : int; a_name : string; a_kind : access_kind }
+
+  type _ Effect.t += Yield : access -> unit Effect.t
+
+  type outcome =
+    | Done
+    | Raised of exn
+    | Suspended of access * (unit, outcome) Effect.Deep.continuation
+
+  type status =
+    | Not_started of (unit -> unit)
+    | Paused of (unit, outcome) Effect.Deep.continuation
+    | Finished
+
+  (* Vector clocks: one per thread; joins through sync locations; plain
+     locations keep the last write and the reads since it. *)
+  type plain_state = {
+    mutable wr : (int * access_kind * int array) option; (* tid, kind, clock *)
+    mutable rds : (int * int array) list; (* tid, clock at read *)
+  }
+
+  let vc_join into from =
+    Array.iteri (fun i v -> if v > into.(i) then into.(i) <- v) from
+
+  let vc_leq a b =
+    let ok = ref true in
+    Array.iteri (fun i v -> if v > b.(i) then ok := false) a;
+    !ok
+
+  let step_limit = 200_000
+
+  (* One schedule. [choose cp runnable] returns the forced decision for
+     choice point [cp] ([None] = deterministic round-robin); choice
+     points with index < [record_depth] are returned as DFS frames
+     (runnable set, decision taken). *)
+  let exec ?(record_depth = 0) ~choose threads =
+    let n = Array.length threads in
+    let statuses = Array.map (fun f -> Not_started f) threads in
+    let pending : access option array = Array.make n None in
+    let clocks = Array.init n (fun _ -> Array.make n 0) in
+    let sync_clocks : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+    let plains : (int, plain_state) Hashtbl.t = Hashtbl.create 64 in
+    let races = ref [] in
+    let race_keys = Hashtbl.create 8 in
+    let steps = ref 0 in
+    let schedule = ref [] in
+    let frames = ref [] in
+    let cp = ref 0 in
+    let rr = ref (n - 1) in
+    let error = ref None in
+    let current = ref (-1) in
+    let prev_rt = !runtime in
+    let record_race loc first second =
+      let key = (loc, first, second) in
+      if not (Hashtbl.mem race_keys key) then begin
+        Hashtbl.replace race_keys key ();
+        races := { race_loc = loc; race_first = first; race_second = second } :: !races
+      end
+    in
+    let bookkeep t a =
+      incr steps;
+      let vc = clocks.(t) in
+      if a.a_sync then begin
+        let l =
+          match Hashtbl.find_opt sync_clocks a.a_loc with
+          | Some l -> l
+          | None ->
+            let l = Array.make n 0 in
+            Hashtbl.replace sync_clocks a.a_loc l;
+            l
+        in
+        (* load = acquire, store = release, rmw = both: the SC
+           approximation of the OCaml 5 atomics. *)
+        (match a.a_kind with
+        | Load -> vc_join vc l
+        | Store -> vc_join l vc
+        | Rmw ->
+          vc_join vc l;
+          vc_join l vc)
+      end
+      else begin
+        let p =
+          match Hashtbl.find_opt plains a.a_loc with
+          | Some p -> p
+          | None ->
+            let p = { wr = None; rds = [] } in
+            Hashtbl.replace plains a.a_loc p;
+            p
+        in
+        let ordered other = vc_leq other vc in
+        (match p.wr with
+        | Some (wt, wk, wvc) when wt <> t && not (ordered wvc) ->
+          record_race a.a_name (wt, wk) (t, a.a_kind)
+        | _ -> ());
+        match a.a_kind with
+        | Load -> p.rds <- (t, Array.copy vc) :: List.remove_assoc t p.rds
+        | Store | Rmw ->
+          List.iter
+            (fun (rt, rvc) ->
+              if rt <> t && not (vc_leq rvc vc) then record_race a.a_name (rt, Load) (t, a.a_kind))
+            p.rds;
+          p.wr <- Some (t, a.a_kind, Array.copy vc);
+          p.rds <- []
+      end;
+      vc.(t) <- vc.(t) + 1
+    in
+    let resume t =
+      current := t;
+      let out =
+        match statuses.(t) with
+        | Not_started f ->
+          Effect.Deep.match_with
+            (fun () ->
+              f ();
+              Done)
+            ()
+            {
+              retc = Fun.id;
+              exnc = (fun e -> Raised e);
+              effc =
+                (fun (type a) (e : a Effect.t) ->
+                  match e with
+                  | Yield acc ->
+                    Some
+                      (fun (k : (a, outcome) Effect.Deep.continuation) -> Suspended (acc, k))
+                  | _ -> None);
+            }
+        | Paused k -> Effect.Deep.continue k ()
+        | Finished -> assert false
+      in
+      current := -1;
+      out
+    in
+    runtime :=
+      Some
+        {
+          on_access =
+            (fun ~sync ~loc ~name kind ->
+              (* Accesses outside a model thread (setup, post-run
+                 invariant inspection) are not scheduling points. *)
+              if !current >= 0 then
+                Effect.perform (Yield { a_sync = sync; a_loc = loc; a_name = name; a_kind = kind }));
+        };
+    Fun.protect
+      ~finally:(fun () -> runtime := prev_rt)
+      (fun () ->
+        let rec loop () =
+          if !error = None then begin
+            let runnable = ref [] in
+            for t = n - 1 downto 0 do
+              match statuses.(t) with
+              | Finished -> ()
+              | Not_started _ | Paused _ -> runnable := t :: !runnable
+            done;
+            match !runnable with
+            | [] -> ()
+            | runnable ->
+              let t =
+                match runnable with
+                | [ t ] -> t
+                | _ ->
+                  let default () =
+                    (* next runnable tid after !rr, cyclically *)
+                    let cand = List.filter (fun t -> t > !rr) runnable in
+                    match cand with t :: _ -> t | [] -> List.hd runnable
+                  in
+                  let t =
+                    match choose !cp runnable with
+                    | Some t when List.mem t runnable -> t
+                    | Some _ | None -> default ()
+                  in
+                  rr := t;
+                  schedule := t :: !schedule;
+                  if !cp < record_depth then frames := (runnable, t) :: !frames;
+                  incr cp;
+                  t
+              in
+              (match pending.(t) with
+              | Some a ->
+                pending.(t) <- None;
+                bookkeep t a
+              | None -> ());
+              (match resume t with
+              | Done -> statuses.(t) <- Finished
+              | Raised e ->
+                error := Some (Printexc.to_string e);
+                statuses.(t) <- Finished
+              | Suspended (a, k) ->
+                statuses.(t) <- Paused k;
+                pending.(t) <- Some a);
+              if !steps > step_limit then
+                error := Some "livelock: schedule exceeded the step limit"
+              else loop ()
+          end
+        in
+        loop ());
+    ( {
+        schedule = List.rev !schedule;
+        steps = !steps;
+        races = List.rev !races;
+        error = !error;
+      },
+      List.rev !frames )
+
+  let run ?(prefix = []) threads =
+    let parr = Array.of_list prefix in
+    let choose cp _runnable = if cp < Array.length parr then Some parr.(cp) else None in
+    fst (exec ~choose threads)
+
+  type exploration = {
+    distinct : int;
+    total_steps : int;
+    race_witnesses : (string * string) list;
+    failure_witnesses : (string * string) list;
+  }
+
+  let schedule_to_string s = String.concat "," (List.map string_of_int s)
+
+  let explore ?(depth = 6) ?(random = 0) ?(seed = 1) ?(max_schedules = 20_000) ~mk () =
+    let seen = Hashtbl.create 1024 in
+    let total_steps = ref 0 in
+    let race_witnesses = ref [] in
+    let race_seen = Hashtbl.create 8 in
+    let failure_witnesses = ref [] in
+    let fail_seen = Hashtbl.create 8 in
+    let run_one ~record_depth ~choose =
+      let threads, check = mk () in
+      let report, frames = exec ~record_depth ~choose threads in
+      let trace = schedule_to_string report.schedule in
+      Hashtbl.replace seen trace ();
+      total_steps := !total_steps + report.steps;
+      List.iter
+        (fun r ->
+          let d = race_to_string r in
+          if not (Hashtbl.mem race_seen d) then begin
+            Hashtbl.replace race_seen d ();
+            race_witnesses := (trace, d) :: !race_witnesses
+          end)
+        report.races;
+      let fail d =
+        if not (Hashtbl.mem fail_seen d) then begin
+          Hashtbl.replace fail_seen d ();
+          failure_witnesses := (trace, d) :: !failure_witnesses
+        end
+      in
+      (match report.error with
+      | Some e -> fail e
+      | None -> (
+        try check () with e -> fail (Printexc.to_string e)));
+      frames
+    in
+    let choose_of_prefix prefix cp _runnable =
+      if cp < Array.length prefix then Some prefix.(cp) else None
+    in
+    (* Bounded-exhaustive DFS over the first [depth] decisions. A call
+       owns the choice points at indices >= its prefix length: it runs
+       the default extension once, then recurses on every alternative
+       decision at every owned choice point. Alternatives differ from
+       the taken decision (and from each other) at their branch index,
+       so no schedule is executed twice. *)
+    let budget = ref max_schedules in
+    let rec dfs prefix =
+      if !budget > 0 then begin
+        decr budget;
+        let frames =
+          Array.of_list (run_one ~record_depth:depth ~choose:(choose_of_prefix prefix))
+        in
+        for i = Array.length frames - 1 downto Array.length prefix do
+          let runnable, chosen = frames.(i) in
+          List.iter
+            (fun sib ->
+              if sib <> chosen then begin
+                let next = Array.init (i + 1) (fun j -> snd frames.(j)) in
+                next.(i) <- sib;
+                dfs next
+              end)
+            runnable
+        done
+      end
+    in
+    dfs [||];
+    (* Seeded random walks: random decisions for the first 64 choice
+       points, round-robin beyond (keeps every walk finite). *)
+    for r = 1 to random do
+      let prng = Prng.create (seed + (r * 7919)) in
+      let choose cp runnable =
+        if cp < 64 then Some (List.nth runnable (Prng.int prng (List.length runnable)))
+        else None
+      in
+      ignore (run_one ~record_depth:0 ~choose)
+    done;
+    {
+      distinct = Hashtbl.length seen;
+      total_steps = !total_steps;
+      race_witnesses = List.rev !race_witnesses;
+      failure_witnesses = List.rev !failure_witnesses;
+    }
+end

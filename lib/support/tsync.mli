@@ -1,0 +1,132 @@
+(** Instrumented synchronization shim for the lock-free hot paths.
+
+    The daemon's shard pool is built from a handful of cross-domain
+    primitives: atomic cursors/counters, plain cells whose ownership is
+    handed between domains through those atomics, and the arrays behind
+    the SPSC rings. In production nothing here costs more than a read of
+    one global [ref] and a branch per operation — every call compiles
+    down to the raw [Stdlib.Atomic] op or field access.
+
+    In {e check mode} ([xroute_check --conc-audit]) a runtime is
+    installed and every operation becomes a scheduling point of a
+    cooperative scheduler plus an event fed to a vector-clock
+    happens-before race detector:
+
+    - {!Atomic} operations are synchronizing: a load acquires the
+      location's clock, a store releases the thread's clock into it, an
+      RMW does both. This is the sequentially-consistent approximation
+      of the OCaml 5 memory model — sound for the release/acquire
+      chains the pool relies on.
+    - {!Cell} and {!Cells} operations are {e plain}: two accesses to
+      the same location by different threads, neither ordered before
+      the other by the acquired clocks, are reported as a data race.
+
+    The scheduler ({!Sched}) runs a fixed set of model threads on one
+    domain, context-switching at every instrumented access. Schedules
+    are explored bounded-exhaustively (DFS over the first [depth]
+    scheduling choices, deterministic round-robin beyond) and by seeded
+    random walks; each completed schedule re-checks the model's own
+    invariants. The witness of any failure is the decision trace that
+    reproduces it. *)
+
+type access_kind = Load | Store | Rmw
+
+(** Installed by {!Sched}; [None] (the default, production) makes every
+    hook a no-op. The hook fires {e before} the underlying memory
+    operation executes. [sync] distinguishes {!Atomic} accesses from
+    plain {!Cell}/{!Cells} accesses. *)
+type runtime = { on_access : sync:bool -> loc:int -> name:string -> access_kind -> unit }
+
+val runtime : runtime option ref
+
+(** Instrumented [Stdlib.Atomic]. *)
+module Atomic : sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+end
+
+(** Instrumented plain mutable cell: a location whose cross-thread
+    ownership must be carried by {!Atomic} release/acquire chains. *)
+module Cell : sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+end
+
+(** Instrumented plain array: one race-detector location per index,
+    one flat [array] in memory (the SPSC slot layout). *)
+module Cells : sig
+  type 'a t
+
+  val make : ?name:string -> int -> 'a -> 'a t
+  val length : 'a t -> int
+  val get : 'a t -> int -> 'a
+  val set : 'a t -> int -> 'a -> unit
+end
+
+(** The cooperative schedule-exploring checker. Single-domain: a model
+    must not be run while real domains are using instrumented state. *)
+module Sched : sig
+  (** A data race: two plain accesses to one location, unordered by
+      happens-before. *)
+  type race = {
+    race_loc : string;  (** location name of the racy cell *)
+    race_first : int * access_kind;  (** earlier access: thread, kind *)
+    race_second : int * access_kind;  (** later access: thread, kind *)
+  }
+
+  val race_to_string : race -> string
+
+  (** Outcome of one schedule. [steps] counts instrumented accesses;
+      [schedule] is the decision trace — the thread chosen at each
+      scheduling point where more than one thread was runnable. *)
+  type report = {
+    schedule : int list;
+    steps : int;
+    races : race list;
+    error : string option;  (** exception raised by a model thread *)
+  }
+
+  val run : ?prefix:int list -> (unit -> unit) array -> report
+  (** [run ~prefix threads] executes the threads to completion under
+      the installed-by-[run] runtime: decisions are taken from [prefix]
+      while it lasts, then deterministic round-robin. Restores the
+      previous runtime on exit. *)
+
+  (** Aggregate over an exploration. [distinct] counts distinct
+      decision traces executed; [witnesses] pair each failing trace
+      (rendered ["t,t,..."] ) with its diagnosis. *)
+  type exploration = {
+    distinct : int;
+    total_steps : int;
+    race_witnesses : (string * string) list;
+    failure_witnesses : (string * string) list;
+  }
+
+  val explore :
+    ?depth:int ->
+    ?random:int ->
+    ?seed:int ->
+    ?max_schedules:int ->
+    mk:(unit -> (unit -> unit) array * (unit -> unit)) ->
+    unit ->
+    exploration
+  (** [explore ~depth ~random ~seed ~mk ()] instantiates a fresh model
+      per schedule via [mk] — the returned thunk re-checks the model's
+      invariants after the schedule completes (raise to fail) — and
+      runs (a) the bounded-exhaustive DFS over the first [depth]
+      scheduling choices (default 6), then (b) [random] (default 0)
+      seeded random schedules. [max_schedules] (default 20_000) caps
+      the DFS. *)
+
+  val schedule_to_string : int list -> string
+end

@@ -59,6 +59,7 @@ type spec = {
   channels : int; (* fanout feeds *)
   seed : int;
   dtd : string;
+  zipf : float option; (* pool-assignment skew override, None = per-kind *)
 }
 
 let default_spec =
@@ -73,13 +74,15 @@ let default_spec =
     channels = 8;
     seed = 42;
     dtd = "nitf";
+    zipf = None;
   }
 
 let spec_to_string s =
   Printf.sprintf
-    "kind=%s,clients=%d,docs=%d,levels=%d,xpes=%d,batch=%d,rounds=%d,channels=%d,seed=%d,dtd=%s"
+    "kind=%s,clients=%d,docs=%d,levels=%d,xpes=%d,batch=%d,rounds=%d,channels=%d,seed=%d,dtd=%s%s"
     (kind_to_string s.kind) s.clients s.docs s.levels s.xpes s.batch s.rounds s.channels
     s.seed s.dtd
+    (match s.zipf with None -> "" | Some z -> Printf.sprintf ",zipf=%g" z)
 
 let spec_of_string s =
   let parse_field spec kv =
@@ -109,6 +112,11 @@ let spec_of_string s =
       | "dtd" ->
         if List.mem value Xroute_dtd.Dtd_samples.names then Ok { spec with dtd = value }
         else Error (Printf.sprintf "unknown dtd %S" value)
+      | "zipf" -> (
+        match float_of_string_opt value with
+        | Some z when z >= 0.0 && z <= 16.0 ->
+          Ok { spec with zipf = Some z }
+        | _ -> Error (Printf.sprintf "bad zipf exponent %S (want 0 <= s <= 16)" value))
       | _ -> Error (Printf.sprintf "unknown scenario key %S" key))
   in
   List.fold_left
@@ -233,7 +241,11 @@ let run ?(queue = `Heap) ?(ledger = `Auto) ?decisions ?fault_spec spec =
   if Array.length pool = 0 then invalid_arg "Scenario.run: empty XPE pool";
   let assign_prng = Prng.create (spec.seed + 202) in
   let zipf =
-    let exponent = match spec.kind with Flash_crowd -> 1.1 | _ -> 0.6 in
+    let exponent =
+      match spec.zipf with
+      | Some s -> s
+      | None -> ( match spec.kind with Flash_crowd -> 1.1 | _ -> 0.6)
+    in
     Zipf.create ~n:(Array.length pool) ~exponent
   in
   let pick i =

@@ -32,6 +32,12 @@ type spec = {
   channels : int;  (** fanout feeds *)
   seed : int;
   dtd : string;  (** a {!Xroute_dtd.Dtd_samples} name *)
+  zipf : float option;
+      (** Zipf exponent for assigning clients to subscription-pool
+          entries ([zipf=<s>] in the spec string). [None] keeps the
+          per-kind default: 1.1 for flash crowds, 0.6 otherwise.
+          [Some 0.] is the uniform pool. Ignored by the fanout kind,
+          whose channels partition the pool instead. *)
 }
 
 (** flash, 2000 clients, 12 docs, 4 levels, 128 XPEs, batch 512,

@@ -341,6 +341,78 @@ let test_bench8_scenario_scale () =
              | _ -> None)
           = Some true))
 
+(* The BENCH_9 concurrency pin: the committed conc-audit sweep must
+   cover >= 1000 distinct schedules across >= 3 scenarios with zero
+   races and zero divergences, and the tsync'd pool's re-run of the
+   BENCH_7 sharded burst must land within noise of the committed
+   BENCH_7 throughput (production instrumentation is free). *)
+let test_bench9_conc () =
+  match List.assoc_opt "BENCH_9.json" (bench_files ()) with
+  | None -> Alcotest.fail "BENCH_9.json not committed at the repo root"
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error e -> Alcotest.fail ("BENCH_9.json: " ^ e)
+    | Ok j ->
+      check cs "schema" "xroute-bench/9"
+        (Option.value ~default:"<missing>"
+           (Option.bind (Json.member "schema" j) Json.to_str));
+      let experiments =
+        Option.value ~default:[]
+          (Option.bind (Json.member "experiments" j) Json.to_list)
+      in
+      let record name =
+        List.find_opt
+          (fun r -> Option.bind (Json.member "name" r) Json.to_str = Some name)
+          experiments
+      in
+      let get name =
+        match record name with
+        | Some r -> r
+        | None -> Alcotest.fail (name ^ " record missing")
+      in
+      let audit = get "conc-audit" in
+      let num r field = Option.bind (Json.member field r) Json.to_num in
+      check cb ">= 3 scenarios swept" true
+        (match num audit "scenarios" with Some v -> v >= 3.0 | None -> false);
+      (* the acceptance floor: >= 1000 distinct schedules *)
+      check cb ">= 1000 distinct schedules explored" true
+        (match num audit "schedules_explored" with Some v -> v >= 1000.0 | None -> false);
+      check cb "races_found = 0" true (num audit "races_found" = Some 0.0);
+      check cb "divergences_found = 0" true (num audit "divergences_found" = Some 0.0);
+      check cb "positive step count" true
+        (match num audit "total_steps" with Some v -> v > 0.0 | None -> false);
+      (* per-scenario records: clean and non-trivial *)
+      List.iter
+        (fun name ->
+          let r = get name in
+          check cb (name ^ ": schedules > 0") true
+            (match num r "schedules" with Some v -> v > 0.0 | None -> false);
+          check cb (name ^ ": clean") true
+            (num r "races" = Some 0.0 && num r "divergences" = Some 0.0))
+        [ "conc-spsc-ring-wrap"; "conc-pool-1worker"; "conc-pool-2worker" ];
+      let overhead = get "tsync-overhead" in
+      check cb "overhead run used >= 4 domains" true
+        (match num overhead "domains" with Some v -> v >= 4.0 | None -> false);
+      check cb "no publication loss" true
+        (match (num overhead "published", num overhead "delivered") with
+        | Some p, Some d -> d = p *. 0.75 (* 3 of 4 roots subscribed *)
+        | _ -> false);
+      check cb "compared against the committed BENCH_7 number" true
+        (num overhead "bench7_msgs_per_sec" = Some 13908.8);
+      (* within noise: generous both ways — machine variance between the
+         BENCH_7 and BENCH_9 recording runs dominates any shim cost *)
+      check cb "production tsync within noise of BENCH_7 (ratio in [0.7, 1.5])" true
+        (match num overhead "ratio_vs_bench7" with
+        | Some r -> r >= 0.7 && r <= 1.5
+        | None -> false);
+      check cb "ratio is consistent with the raw numbers" true
+        (match
+           (num overhead "ratio_vs_bench7", num overhead "msgs_per_sec",
+            num overhead "bench7_msgs_per_sec")
+         with
+        | Some r, Some m, Some b -> Float.abs (r -. (m /. b)) < 0.01
+        | _ -> false))
+
 (* ---------------- Chrome trace-event golden ---------------- *)
 
 (* Byte-exact golden: one recorded span, every field populated. *)
@@ -418,6 +490,8 @@ let () =
             test_bench7_saturation;
           Alcotest.test_case "BENCH_8 scenario scale" `Quick
             test_bench8_scenario_scale;
+          Alcotest.test_case "BENCH_9 concurrency audit" `Quick
+            test_bench9_conc;
         ] );
       ( "chrome-export",
         [

@@ -24,6 +24,7 @@ let small kind =
     channels = 4;
     dtd = "book";
     seed = 11;
+    zipf = None;
   }
 
 (* ---------------- spec parsing ---------------- *)
@@ -57,7 +58,27 @@ let test_spec_parse_errors () =
   bad "levels=1";
   bad "dtd=notadtd";
   bad "frobnicate=3";
-  bad "clients"
+  bad "clients";
+  bad "zipf=-0.5";
+  bad "zipf=17";
+  bad "zipf=steep"
+
+(* The zipf key: parses, round-trips through the spec string, and stays
+   absent from specs that never set it (so pre-PR-9 spec strings are
+   reproduced byte-identically). *)
+let test_spec_zipf_key () =
+  (match Scenario.spec_of_string "kind=diurnal,zipf=1.4" with
+  | Ok s -> check cb "zipf parsed" true (s.Scenario.zipf = Some 1.4)
+  | Error e -> Alcotest.failf "zipf=1.4 rejected: %s" e);
+  check cb "default has no zipf" true (Scenario.default_spec.Scenario.zipf = None);
+  let spec = { (small Scenario.Diurnal) with Scenario.zipf = Some 2.5 } in
+  let printed = Scenario.spec_to_string spec in
+  check cb "printed spec carries zipf" true
+    (String.length printed > 8
+    && String.sub printed (String.length printed - 8) 8 = "zipf=2.5");
+  match Scenario.spec_of_string printed with
+  | Ok parsed -> check cb "zipf round-trips" true (parsed = spec)
+  | Error e -> Alcotest.failf "zipf round-trip failed: %s" e
 
 (* ---------------- scenario sanity ---------------- *)
 
@@ -130,6 +151,25 @@ let test_same_seed_identical () =
       check ci (name ^ ": events identical") a.Scenario.events b.Scenario.events)
     Scenario.all_kinds
 
+(* The Zipf-skewed subscription pool is deterministic — same spec, same
+   ledger, twice — and the exponent is actually load-bearing: a steep
+   pool and the uniform pool must route differently. *)
+let test_zipf_pool_determinism () =
+  let steep = { (small Scenario.Diurnal) with Scenario.zipf = Some 3.0 } in
+  let a = Scenario.run steep in
+  let b = Scenario.run steep in
+  check cb "steep pool deterministic" true (Scenario.equal_ledgers a b);
+  check cb "steep rows identical" true (ledger_rows a = ledger_rows b);
+  check cb "decisions identical" true (a.Scenario.decisions = b.Scenario.decisions);
+  let uniform = Scenario.run { steep with Scenario.zipf = Some 0.0 } in
+  check cb "exponent changes the run" false (Scenario.equal_ledgers a uniform);
+  (* None reproduces the historical per-kind default (0.6 for diurnal) *)
+  let default_run = Scenario.run (small Scenario.Diurnal) in
+  let pinned = Scenario.run { (small Scenario.Diurnal) with Scenario.zipf = Some 0.6 } in
+  check cb "None = explicit per-kind default" true
+    (Scenario.equal_ledgers default_run pinned
+    && ledger_rows default_run = ledger_rows pinned)
+
 (* Different seeds must actually change the run (guards against the
    seed being ignored somewhere). *)
 let test_seed_sensitivity () =
@@ -182,6 +222,7 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_spec_roundtrip;
           Alcotest.test_case "partial parse" `Quick test_spec_parse_partial;
           Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+          Alcotest.test_case "zipf key" `Quick test_spec_zipf_key;
         ] );
       ( "sanity",
         [
@@ -191,6 +232,7 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "same seed identical" `Quick test_same_seed_identical;
+          Alcotest.test_case "zipf pool determinism" `Quick test_zipf_pool_determinism;
           Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
         ] );
       ( "differential",
