@@ -36,6 +36,7 @@ module Report = struct
   let records7 : (string * (string * value) list) list ref = ref []
   let records8 : (string * (string * value) list) list ref = ref []
   let records9 : (string * (string * value) list) list ref = ref []
+  let records10 : (string * (string * value) list) list ref = ref []
 
   (* Append fields to the experiment's record (merging by name; a
      re-recorded field replaces the old value rather than duplicating
@@ -54,6 +55,7 @@ module Report = struct
   let record7 name fields = record_in records7 name fields
   let record8 name fields = record_in records8 name fields
   let record9 name fields = record_in records9 name fields
+  let record10 name fields = record_in records10 name fields
 
   let render_value = function
     | F f -> if Float.is_finite f then Printf.sprintf "%.6g" f else "null"
@@ -90,7 +92,11 @@ module Report = struct
     if !records9 <> [] then
       write_sink ~schema:"xroute-bench/9"
         (Option.value ~default:"BENCH_9.json" (Sys.getenv_opt "XROUTE_BENCH_JSON9"))
-        !records9
+        !records9;
+    if !records10 <> [] then
+      write_sink ~schema:"xroute-bench/10"
+        (Option.value ~default:"BENCH_10.json" (Sys.getenv_opt "XROUTE_BENCH_JSON10"))
+        !records10
 end
 
 (* Process peak RSS (VmHWM) in bytes, from /proc/self/status — a
@@ -330,11 +336,14 @@ let daemon_throughput () =
    doc-id sets must be identical, and the sharded run's throughput is
    compared against the BENCH_2 seed baseline. *)
 
-let saturation_run ~domains ~docs_per_root =
+let saturation_run ?(telemetry = true) ~domains ~docs_per_root () =
   let open Xroute_daemon in
-  let d0 = Daemon.create ~domains ~id:0 ~port:0 ~neighbors:[ (1, ("127.0.0.1", 0)) ] () in
+  let d0 =
+    Daemon.create ~domains ~telemetry ~id:0 ~port:0
+      ~neighbors:[ (1, ("127.0.0.1", 0)) ] ()
+  in
   let d1 =
-    Daemon.create ~domains ~id:1 ~port:0
+    Daemon.create ~domains ~telemetry ~id:1 ~port:0
       ~neighbors:[ (0, ("127.0.0.1", Daemon.port d0)) ] ()
   in
   let threads =
@@ -445,7 +454,7 @@ let saturation () =
   let docs_per_root = scaled 5000 in
   let run domains =
     let published, delivered, expected, wall, per_sec, p50, p99 =
-      saturation_run ~domains ~docs_per_root
+      saturation_run ~domains ~docs_per_root ()
     in
     Printf.printf
       "domains %d: %d published, %d/%d delivered in %.2f s  (%.0f msgs/s, hop p50 %.2f ms, p99 %.2f ms)\n%!"
@@ -558,7 +567,7 @@ let conc_bench () =
   let bench7_msgs_per_sec = 13908.8 in
   let docs_per_root = scaled 5000 in
   let published, delivered, expected, wall, per_sec, p50, p99 =
-    saturation_run ~domains:4 ~docs_per_root
+    saturation_run ~domains:4 ~docs_per_root ()
   in
   Printf.printf
     "tsync'd pool, domains 4: %d published, %d/%d delivered in %.2f s  (%.0f msgs/s,\n\
@@ -582,6 +591,177 @@ let conc_bench () =
       ("bench7_msgs_per_sec", Report.F bench7_msgs_per_sec);
       ("ratio_vs_bench7", Report.F (per_sec /. bench7_msgs_per_sec));
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry federation: sketch error, convergence, overhead (BENCH_10)*)
+(* ------------------------------------------------------------------ *)
+
+(* Three claims of the telemetry-federation PR, each committed as a
+   BENCH_10 record. (a) The DDSketch-style quantile sketch stays within
+   its advertised relative-error bound against exact order statistics on
+   every seeded distribution shape the overlay actually produces. (b) A
+   hop-bounded FEDSTATS pull over a line overlay converges: the merged
+   view is exactly the union of the per-broker summaries — zero merge
+   diffs — at every overlay size, and is idempotent under self-merge.
+   (c) Telemetry is cheap: the BENCH_7 saturation burst re-run with the
+   per-link health summary on vs off must land within 1.1x. *)
+let obs_telemetry () =
+  section
+    "Telemetry federation - sketch error, FEDSTATS convergence, overhead\n\
+     (sketch quantiles vs exact order statistics per distribution; the\n\
+     sim FEDSTATS pull vs the union of broker healths at 3/5/7 brokers;\n\
+     the BENCH_7 burst with --no-telemetry vs the default)";
+  let module Sketch = Xroute_obs.Sketch in
+  let module Health = Xroute_obs.Health in
+  let module Prng = Xroute_support.Prng in
+  let alpha = Sketch.default_alpha in
+  let quantiles = [ 0.5; 0.9; 0.95; 0.99; 0.999 ] in
+  let samples = scaled 20_000 in
+  let prng = Prng.create 10 in
+  let zipf = Xroute_support.Zipf.create ~n:1000 ~exponent:1.1 in
+  let dists =
+    [
+      ("uniform", fun () -> 1.0 +. Prng.float prng 1000.0);
+      ("exponential", fun () -> -50.0 *. log (1.0 -. Prng.unit_float prng));
+      ("zipf", fun () -> float_of_int (1 + Xroute_support.Zipf.sample zipf prng));
+      ( "latency-mix",
+        fun () ->
+          if Prng.bernoulli prng 0.05 then 100.0 +. Prng.float prng 900.0
+          else 0.5 +. Prng.float prng 4.5 );
+    ]
+  in
+  Printf.printf "sketch error (alpha %.3f, %d samples per distribution):\n" alpha samples;
+  let worst = ref 0.0 in
+  List.iter
+    (fun (name, gen) ->
+      let sketch = Sketch.create () in
+      let raw = Array.init samples (fun _ -> gen ()) in
+      Array.iter (Sketch.observe sketch) raw;
+      let max_err =
+        List.fold_left
+          (fun acc q ->
+            let exact = Xroute_support.Stats.percentile raw q in
+            let est = Sketch.quantile sketch q in
+            Float.max acc (Float.abs (est -. exact) /. Float.max 1e-12 (Float.abs exact)))
+          0.0 quantiles
+      in
+      worst := Float.max !worst max_err;
+      Printf.printf "  %-12s max rel error %.5f  (bound %.3f)\n%!" name max_err alpha;
+      Report.record10
+        ("sketch-error-" ^ name)
+        [
+          ("samples", Report.I samples);
+          ("alpha", Report.F alpha);
+          ("max_rel_error", Report.F max_err);
+          ("within_bound", Report.B (max_err <= alpha +. 1e-9));
+        ])
+    dists;
+  Report.record10 "sketch-error"
+    [
+      ("distributions", Report.I (List.length dists));
+      ("alpha", Report.F alpha);
+      ("max_rel_error", Report.F !worst);
+      ("within_bound", Report.B (!worst <= alpha +. 1e-9));
+    ];
+  if !worst > alpha +. 1e-9 then begin
+    Printf.printf "ERROR: sketch quantile outside the advertised bound\n";
+    exit 1
+  end;
+  (* FEDSTATS convergence vs overlay size: publish down a line, pull the
+     federated view from one end, and diff it origin-by-origin against
+     the union of the brokers' own summaries. *)
+  Printf.printf "\nFEDSTATS convergence (line overlays):\n";
+  List.iter
+    (fun brokers ->
+      let net =
+        Net.create
+          ~config:{ Net.default_config with Net.latency = Latency.constant 1.0; seed = 10 }
+          (Topology.line brokers)
+      in
+      let publisher = Net.add_client net ~broker:0 in
+      let subscriber = Net.add_client net ~broker:(brokers - 1) in
+      ignore (Net.advertise_dtd net publisher psd_advs);
+      Net.run net;
+      ignore
+        (Net.subscribe net subscriber
+           (Xroute_xpath.Xpe_parser.parse ("/" ^ Xroute_dtd.Dtd_ast.root psd)));
+      Net.run net;
+      let docs = Xroute_workload.Workload.documents ~dtd:psd ~count:(scaled 20) ~seed:10 () in
+      List.iteri (fun i d -> ignore (Net.publish_doc net publisher ~doc_id:i d)) docs;
+      Net.run net;
+      let view = Net.fedstats net ~root:0 () in
+      let expected = Health.view_of (List.init brokers (Net.health net)) in
+      let merge_diffs =
+        List.fold_left
+          (fun acc (origin, s) ->
+            match List.assoc_opt origin view with
+            | Some got when Health.encode_summary got = Health.encode_summary s -> acc
+            | _ -> acc + 1)
+          0 expected
+      in
+      let pubs_total = List.fold_left (fun acc (_, s) -> acc + Health.pubs s) 0 view in
+      let idempotent = Health.view_equal (Health.merge_views view view) view in
+      Printf.printf
+        "  %d brokers: %d origins, %d merge diffs, %d pubs federated, idempotent %b\n%!"
+        brokers (List.length view) merge_diffs pubs_total idempotent;
+      Report.record10
+        (Printf.sprintf "fed-convergence-%d" brokers)
+        [
+          ("brokers", Report.I brokers);
+          ("origins", Report.I (List.length view));
+          ("merge_diffs", Report.I merge_diffs);
+          ("pubs_federated", Report.I pubs_total);
+          ("idempotent", Report.B idempotent);
+        ];
+      if merge_diffs <> 0 || List.length view <> brokers then begin
+        Printf.printf "ERROR: FEDSTATS view diverged from the union of broker healths\n";
+        exit 1
+      end)
+    [ 3; 5; 7 ];
+  (* Telemetry overhead: the BENCH_7 burst with the health summary on vs
+     off (the daemon's --no-telemetry switch). Best of two runs per mode
+     so the committed ratio reflects the shim cost, not scheduler
+     noise. *)
+  let docs_per_root = scaled 5000 in
+  let best telemetry =
+    let one () =
+      let published, delivered, expected, _, per_sec, _, _ =
+        saturation_run ~telemetry ~domains:4 ~docs_per_root ()
+      in
+      if delivered <> expected then begin
+        Printf.printf "ERROR: telemetry overhead burst lost or misrouted publications\n";
+        exit 1
+      end;
+      (published, per_sec)
+    in
+    let published, a = one () in
+    let _, b = one () in
+    (published, Float.max a b)
+  in
+  let published, per_sec_on = best true in
+  let _, per_sec_off = best false in
+  let ratio = per_sec_off /. per_sec_on in
+  let bench7_msgs_per_sec = 13908.8 in
+  Printf.printf
+    "\ntelemetry overhead (BENCH_7 burst, domains 4, best of 2):\n\
+    \  on  %8.0f msgs/s\n\
+    \  off %8.0f msgs/s   ratio off/on %.3f  (gate <= 1.1)\n%!"
+    per_sec_on per_sec_off ratio;
+  Report.record10 "telemetry-overhead"
+    [
+      ("domains", Report.I 4);
+      ("published", Report.I published);
+      ("msgs_per_sec_on", Report.F per_sec_on);
+      ("msgs_per_sec_off", Report.F per_sec_off);
+      ("ratio_off_over_on", Report.F ratio);
+      ("bench7_msgs_per_sec", Report.F bench7_msgs_per_sec);
+      ("ratio_vs_bench7", Report.F (per_sec_on /. bench7_msgs_per_sec));
+      ("within_gate", Report.B (ratio <= 1.1));
+    ];
+  if ratio > 1.1 then begin
+    Printf.printf "ERROR: telemetry costs more than 10%% of burst throughput\n";
+    exit 1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fault recovery: seeded outage plan, convergence after healing       *)
@@ -1962,6 +2142,7 @@ let experiments =
     ("daemon-throughput", daemon_throughput);
     ("saturation", saturation);
     ("conc", conc_bench);
+    ("obs-telemetry", obs_telemetry);
     ("fault-recovery", fault_recovery);
     ("ablation-exact-cover", ablation_exact_cover);
     ("ablation-yfilter", ablation_yfilter);

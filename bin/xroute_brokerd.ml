@@ -22,7 +22,7 @@ let parse_neighbor s =
 
 let neighbor_conv = Arg.conv (parse_neighbor, fun ppf (id, (h, p)) -> Format.fprintf ppf "%d:%s:%d" id h p)
 
-let run id port neighbors strategy_name no_srt_index match_engine_name flight_dir domains verbose =
+let run id port neighbors strategy_name no_srt_index match_engine_name flight_dir domains no_telemetry verbose =
   Fmt_tty.setup_std_outputs ();
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
@@ -41,7 +41,10 @@ let run id port neighbors strategy_name no_srt_index match_engine_name flight_di
       exit 1
   in
   let daemon =
-    match Xroute_daemon.Daemon.create ~strategy ?flight_dir ~domains ~id ~port ~neighbors () with
+    match
+      Xroute_daemon.Daemon.create ~strategy ?flight_dir ~domains ~telemetry:(not no_telemetry)
+        ~id ~port ~neighbors ()
+    with
     | d -> d
     | exception Invalid_argument msg ->
       prerr_endline ("xroute_brokerd: " ^ msg);
@@ -89,10 +92,17 @@ let cmd =
                  sequential). Routing decisions and emitted bytes are identical to the \
                  sequential engine; requires the nfa match engine and no trail routing.")
   in
+  let no_telemetry_arg =
+    Arg.(value & flag & info [ "no-telemetry" ]
+           ~doc:"Disable the per-link health summary (the FEDSTATS data source): skips \
+                 every health-recording call on the hot path — for measuring the \
+                 telemetry overhead (BENCH_10). The broker still answers FEDSTATS, \
+                 with an empty summary.")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Debug logging.") in
   Cmd.v
     (Cmd.info "xroute_brokerd" ~version:"1.0.0" ~doc:"Content-based XML router daemon")
     Term.(const run $ id_arg $ port_arg $ neighbors_arg $ strategy_arg $ no_srt_index_arg
-          $ match_engine_arg $ flight_dir_arg $ domains_arg $ verbose_arg)
+          $ match_engine_arg $ flight_dir_arg $ domains_arg $ no_telemetry_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

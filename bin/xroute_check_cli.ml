@@ -11,13 +11,16 @@
    - audit     : routing-state invariants over converged simulated
                  churn networks — or over a live daemon with --connect.
 
-   Three harness-integrity families ride along (also in the default
+   Four harness-integrity families ride along (also in the default
    set): --shard-audit checks the daemon's domain-pool PRT partition,
    --scenario-audit checks the scale harness itself — heap-vs-list
-   queue differential, run-to-run determinism, liveness smells — and
+   queue differential, run-to-run determinism, liveness smells —
    --conc-audit replays the pool's lock-free core (SPSC rings, reorder
    buffer, counters) under a schedule-exploring cooperative scheduler
-   with a vector-clock race detector.
+   with a vector-clock race detector, and --obs-audit checks the
+   telemetry itself: sketch quantile accuracy against exact order
+   statistics, counter monotonicity across snapshots, span/metric
+   cross-consistency, and FEDSTATS federation laws.
 
    Exit codes are uniform across every family and both output modes:
    0 when the run produced no Error-severity finding (warnings and
@@ -290,6 +293,15 @@ let conc_audit_report ~depth ~random ~seed ~inject ~quiet =
       report.Finding.findings;
   report
 
+(* ---------------- observability audit ---------------- *)
+
+(* Check the telemetry stack against ground truth: sketch quantiles vs
+   exact order statistics, federation merge laws, and a 3-broker line
+   overlay's counters/spans/health cross-checked against each other.
+   --inject-obs-drift rolls one counter of the collected snapshot data
+   back to zero; the audit must then exit 1 (the @obs mutation rule). *)
+let obs_audit_report ~seed ~inject = Xroute_check.Obs.audit ~seed ~inject ()
+
 (* ---------------- routing-state audit (live daemon) ---------------- *)
 
 let severity_of_string = function
@@ -343,17 +355,18 @@ let parse_seeds s =
     or_die (Error ("bad --seeds list " ^ s))
   else seeds
 
-let run dtd_spec workload soundness audit shard_audit scenario_audit conc_audit
+let run dtd_spec workload soundness audit shard_audit scenario_audit conc_audit obs_audit
     self_audit seeds_str pairs count clients strategy_name ops domains scenario_clients
     conc_depth conc_random inject_unsound inject_shard_skew inject_scenario_skew
-    inject_conc_race witness_incomplete json_path connect metrics quiet verbose =
+    inject_conc_race inject_obs_drift witness_incomplete json_path connect metrics quiet
+    verbose =
   setup_logs verbose;
   let dtd = or_die (load_dtd dtd_spec) in
   let seeds = parse_seeds seeds_str in
   let none_selected =
     not
       (workload || soundness || audit || shard_audit || scenario_audit || conc_audit
-     || connect <> None)
+     || obs_audit || connect <> None)
   in
   let all = self_audit || none_selected in
   let reports = ref [] in
@@ -377,6 +390,8 @@ let run dtd_spec workload soundness audit shard_audit scenario_audit conc_audit
     add
       (conc_audit_report ~depth:conc_depth ~random:conc_random ~seed:(List.hd seeds)
          ~inject:inject_conc_race ~quiet);
+  if obs_audit || all then
+    add (obs_audit_report ~seed:(List.hd seeds) ~inject:inject_obs_drift);
   (match connect with
   | Some c -> add (daemon_audit_report ~connect:c)
   | None ->
@@ -449,6 +464,17 @@ let cmd =
              (SPSC rings, reorder buffer, counters) under bounded-exhaustive plus \
              seeded-random schedules with a vector-clock race detector, checking every \
              schedule's decisions against the sequential engine.")
+  in
+  let obs_audit_arg =
+    Arg.(
+      value & flag
+      & info [ "obs-audit" ]
+          ~doc:
+            "Run the observability audit family: sketch quantile accuracy against exact \
+             order statistics on seeded distributions, federation merge laws \
+             (commutative, associative, idempotent, codec round-trip), and a 3-broker \
+             line overlay checked for counter monotonicity, gauge sanity, span/metric \
+             cross-consistency and FEDSTATS view agreement.")
   in
   let self_audit_arg =
     Arg.(
@@ -523,6 +549,14 @@ let cmd =
              the drain thread in the pool models; the run must report a data race with a \
              witness schedule and exit 1.")
   in
+  let inject_obs_drift_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-obs-drift" ]
+          ~doc:
+            "Mutation check: roll one counter of the collected snapshot data back to \
+             zero before the monotonicity check; the run must report errors and exit 1.")
+  in
   let inject_scenario_skew_arg =
     Arg.(
       value & flag
@@ -581,11 +615,11 @@ let cmd =
     (Cmd.info "xroute_check" ~version:"%%VERSION%%" ~doc)
     Term.(
       const run $ dtd_arg $ workload_arg $ soundness_arg $ audit_arg $ shard_audit_arg
-      $ scenario_audit_arg $ conc_audit_arg $ self_audit_arg $ seeds_arg $ pairs_arg
-      $ count_arg $ clients_arg $ strategy_arg $ ops_arg $ domains_arg
+      $ scenario_audit_arg $ conc_audit_arg $ obs_audit_arg $ self_audit_arg $ seeds_arg
+      $ pairs_arg $ count_arg $ clients_arg $ strategy_arg $ ops_arg $ domains_arg
       $ scenario_clients_arg $ conc_depth_arg $ conc_random_arg $ inject_arg
       $ inject_shard_skew_arg $ inject_scenario_skew_arg $ inject_conc_race_arg
-      $ witness_incomplete_arg $ json_arg $ connect_arg $ metrics_arg $ quiet_arg
-      $ verbose_arg)
+      $ inject_obs_drift_arg $ witness_incomplete_arg $ json_arg $ connect_arg
+      $ metrics_arg $ quiet_arg $ verbose_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,9 +15,20 @@ let connect_args =
   let id = Arg.(value & opt int (Unix.getpid ()) & info [ "id" ] ~doc:"Client id.") in
   Term.(const (fun h p i -> (h, p, i)) $ host $ port $ id)
 
+(* Connection failures — at dial time or mid-session once the reconnect
+   budget runs out — surface as one clean diagnostic line and exit 1,
+   never as a raw Unix_error backtrace. *)
 let with_client (host, port, id) f =
-  let c = Xroute_daemon.Client.connect ~client_id:id ~host ~port in
-  Fun.protect ~finally:(fun () -> Xroute_daemon.Client.close c) (fun () -> f c)
+  match Xroute_daemon.Client.connect ~client_id:id ~host ~port with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "xroute_client: cannot reach broker %s:%d (%s)\n" host port
+      (Unix.error_message e);
+    exit 1
+  | c -> (
+    try Fun.protect ~finally:(fun () -> Xroute_daemon.Client.close c) (fun () -> f c)
+    with Xroute_daemon.Client.Unavailable reason ->
+      Printf.eprintf "xroute_client: %s\n" reason;
+      exit 1)
 
 let subscribe_cmd =
   let xpe_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPE") in
@@ -113,6 +124,34 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Dump the daemon's metrics registry (Prometheus text or JSON).")
     Term.(const run $ connect_args $ format_arg)
 
+let top_cmd =
+  let ttl_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "ttl" ] ~docv:"N"
+          ~doc:"Hop bound for the federation pull (how far past the connected broker to \
+                reach).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the overlay view as JSON.")
+  in
+  let run conn ttl json =
+    with_client conn (fun c ->
+        match Xroute_daemon.Client.fedstats ~ttl c with
+        | Some view ->
+          if json then print_endline (Xroute_obs.Health.view_to_json view)
+          else print_string (Xroute_obs.Health.render_top view)
+        | None ->
+          prerr_endline "xroute_client: no FEDSTATS reply from the daemon";
+          exit 1)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Single-shot overlay health dashboard: pull the federated per-broker \
+             summaries (hop-latency/queue/backlog quantiles, per-link rates) via \
+             FEDSTATS and render them.")
+    Term.(const run $ connect_args $ ttl_arg $ json_arg)
+
 let trace_cmd =
   let key_arg = Arg.(required & pos 0 (some int) None & info [] ~docv:"TRACE-ID") in
   let host_arg = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Broker host.") in
@@ -164,4 +203,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ subscribe_cmd; listen_cmd; advertise_dtd_cmd; publish_cmd; stats_cmd; trace_cmd ]))
+          [
+            subscribe_cmd;
+            listen_cmd;
+            advertise_dtd_cmd;
+            publish_cmd;
+            stats_cmd;
+            top_cmd;
+            trace_cmd;
+          ]))

@@ -12,7 +12,7 @@ type t = {
   severity : severity;
   family : string;
       (** ["workload"] | ["soundness"] | ["routing"] | ["shard"] |
-          ["scenario"] | ["conc"] *)
+          ["scenario"] | ["conc"] | ["obs"] *)
   code : string;  (** stable machine-readable finding kind *)
   subject : string;  (** what the finding is about *)
   witness : string;  (** the evidence: the offending pair / entry *)

@@ -27,6 +27,8 @@ type t = {
   mutable reconnects : int;
 }
 
+exception Unavailable of string
+
 let reconnects t = t.reconnects
 let set_reconnect_wait t s = t.reconnect_wait <- s
 
@@ -54,8 +56,10 @@ let dial ~host ~port =
 let hello t fd = write_all fd (Printf.sprintf "HELLO|client|%d\n" t.client_id)
 
 (* Redial with capped exponential backoff until [reconnect_wait] is
-   spent, then replay the session: HELLO, advertisements, then
-   subscriptions, in registration order and with their original ids. *)
+   spent — raising [Unavailable] (never a raw [Unix_error]) when the
+   budget runs out — then replay the session: HELLO, advertisements,
+   then subscriptions, in registration order and with their original
+   ids. *)
 let reconnect t =
   (try Unix.close t.fd with Unix.Unix_error _ -> ());
   (* Drop any partial line from the dead connection: its tail is gone,
@@ -65,9 +69,16 @@ let reconnect t =
   let rec attempt backoff =
     match dial ~host:t.host ~port:t.port with
     | fd -> fd
-    | exception Unix.Unix_error _ when Unix.gettimeofday () +. backoff < deadline ->
-      Unix.sleepf backoff;
-      attempt (Float.min 1.0 (backoff *. 2.0))
+    | exception Unix.Unix_error (e, _, _) ->
+      if Unix.gettimeofday () +. backoff < deadline then begin
+        Unix.sleepf backoff;
+        attempt (Float.min 1.0 (backoff *. 2.0))
+      end
+      else
+        raise
+          (Unavailable
+             (Printf.sprintf "broker %s:%d unreachable (%s) after %.1fs of redialing" t.host
+                t.port (Unix.error_message e) t.reconnect_wait))
   in
   let fd = attempt 0.05 in
   t.fd <- fd;
@@ -87,9 +98,17 @@ let send_failure = function
 let send_line t line =
   let data = line ^ "\n" in
   try write_all t.fd data
-  with Unix.Unix_error (e, _, _) when send_failure e ->
+  with Unix.Unix_error (e, _, _) when send_failure e -> (
     reconnect t;
-    write_all t.fd data
+    (* The freshly-dialed socket can still die under us (broker accepted
+       then crashed again): surface that cleanly too, not as a raw
+       [Unix_error]. *)
+    try write_all t.fd data
+    with Unix.Unix_error (e, _, _) when send_failure e ->
+      raise
+        (Unavailable
+           (Printf.sprintf "broker %s:%d dropped the fresh connection (%s)" t.host t.port
+              (Unix.error_message e))))
 
 let connect ~client_id ~host ~port =
   (* Failed writes must raise EPIPE, not kill the process. *)
@@ -175,7 +194,7 @@ let next_line t ~deadline =
                is dead and replayable — same treatment as EOF. *)
             recover ())
       end
-  and recover () = match reconnect t with () -> go () | exception Unix.Unix_error _ -> None in
+  and recover () = match reconnect t with () -> go () | exception Unavailable _ -> None in
   go ()
 
 (* Receive the next message, waiting up to [timeout] seconds; [None] on
@@ -265,6 +284,30 @@ let trace ?(timeout = 2.0) t key =
         | Some sp -> spans := sp :: !spans
         | None -> ());
         go ())
+      | _ -> go () (* BEGIN frame or unrelated traffic *))
+  in
+  go ()
+
+(* Request the federated overlay health view (FEDSTATS|<reqid>|<ttl>|):
+   the framed reply (FEDSTATS|BEGIN|<reqid>, F| summary lines,
+   FEDSTATS|END|<reqid>|<count>) is decoded into a Health view. The
+   broker fans the pull out to its neighbors hop-bounded by [ttl]. *)
+let fedstats ?(timeout = 5.0) ?(ttl = 8) t =
+  t.next_seq <- t.next_seq + 1;
+  let reqid = Printf.sprintf "c%d.%d" t.client_id t.next_seq in
+  send_line t (Printf.sprintf "FEDSTATS|%s|%d|" reqid ttl);
+  let deadline = Unix.gettimeofday () +. timeout in
+  let lines = ref [] in
+  let rec go () =
+    match next_line t ~deadline with
+    | None -> None
+    | Some line -> (
+      match String.split_on_char '|' line with
+      | "FEDSTATS" :: "END" :: rid :: _ when String.equal rid reqid ->
+        Xroute_obs.Health.decode_view (List.rev !lines)
+      | "F" :: _ ->
+        lines := Framing.unescape (String.sub line 2 (String.length line - 2)) :: !lines;
+        go ()
       | _ -> go () (* BEGIN frame or unrelated traffic *))
   in
   go ()

@@ -11,6 +11,12 @@ open Xroute_core
 
 type t
 
+(** The broker stayed unreachable for the whole redial budget (or
+    dropped the freshly-dialed connection): the clean failure surface of
+    the reconnect path — callers never see a raw [Unix.Unix_error] from
+    a send. The payload is a human-readable reason. *)
+exception Unavailable of string
+
 (** Connect and identify as [client_id]. *)
 val connect : client_id:int -> host:string -> port:int -> t
 
@@ -57,6 +63,13 @@ val audit : ?timeout:float -> t -> (int * int * (string * string * string * stri
     reassemble a cross-broker trace
     (e.g. [Xroute_obs.Span.waterfall], [check_tree]). *)
 val trace : ?timeout:float -> t -> int -> Xroute_obs.Span.span list option
+
+(** Request the federated overlay health view
+    ([FEDSTATS|<reqid>|<ttl>|]): the broker's own summary merged with
+    its neighbors', pulled hop-bounded by [ttl] (default 8) with
+    origin-id loop suppression; [None] on timeout or a malformed reply.
+    Routed messages arriving while the reply streams are discarded. *)
+val fedstats : ?timeout:float -> ?ttl:int -> t -> Xroute_obs.Health.view option
 
 (** Distinct delivered doc ids until [timeout] seconds pass quietly. *)
 val drain_deliveries : ?timeout:float -> t -> int list

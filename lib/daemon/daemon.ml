@@ -38,6 +38,25 @@ type conn = {
   outq : string Queue.t; (* chunks awaiting write *)
   mutable out_off : int; (* sent prefix of the head chunk *)
   mutable closed : bool;
+  (* An in-progress incoming FEDSTATS reply frame from this peer:
+     (sub-request id, F| payload lines so far, newest first). One frame
+     at a time per connection — the daemon never interleaves frames on
+     one socket. *)
+  mutable fed_in : (string * string list) option;
+}
+
+(* One outstanding federation pull: we answered [fp_reqid] on
+   [fp_reply] only once every forwarded sub-pull ([fp_subid], sent to
+   [fp_waiting]) has replied, been disconnected, or the deadline
+   passes — then the accumulated view (own summary merged with every
+   neighbor view that made it back) is framed back. *)
+type fed_pending = {
+  fp_reply : conn;
+  fp_reqid : string;
+  fp_subid : string;
+  mutable fp_waiting : int list;
+  mutable fp_view : Xroute_obs.Health.view;
+  fp_deadline : float; (* Mono ms *)
 }
 
 type t = {
@@ -56,11 +75,19 @@ type t = {
   pool_gauge : Xroute_obs.Metrics.gauge option; (* publications routed via the pool *)
   read_buf : Bytes.t; (* reusable socket read buffer *)
   resolved : (string, Unix.inet_addr) Hashtbl.t; (* DNS memo for dials *)
+  health : Xroute_obs.Health.t; (* this broker's health summary *)
+  telemetry : bool; (* when false, skip health recording (bench switch) *)
+  mutable fed_pending : fed_pending list;
+  mutable fed_seq : int; (* fresh sub-request ids *)
   mutable last_snapshot : float;
   mutable conns : conn list;
   mutable last_dial : float;
   mutable stop_requested : bool;
 }
+
+(* How long a federation pull waits for neighbor replies before
+   answering with what it has (wall ms). *)
+let fed_timeout_ms = 1000.0
 
 (* Stop pulling new bytes off connections while this many publications
    sit between submission and emission: the kernel socket buffers fill
@@ -86,6 +113,7 @@ let conn_of fd =
     outq = Queue.create ();
     out_off = 0;
     closed = false;
+    fed_in = None;
   }
 
 let enqueue conn line =
@@ -102,6 +130,14 @@ let close_conn t conn =
     conn.closed <- true;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ());
     t.conns <- List.filter (fun c -> c != conn) t.conns;
+    (* A neighbor that vanishes mid-pull will never answer: stop waiting
+       for it (the sweep in [step] replies once the list empties). *)
+    (match conn.endpoint with
+    | Some (Rtable.Neighbor nid) ->
+      List.iter
+        (fun p -> p.fp_waiting <- List.filter (fun id -> id <> nid) p.fp_waiting)
+        t.fed_pending
+    | Some (Rtable.Client _) | None -> ());
     match conn.endpoint with
     | Some ep -> Log.info (fun m -> m "broker %d: %a disconnected" (Broker.id t.broker) Rtable.pp_endpoint ep)
     | None -> ()
@@ -117,7 +153,8 @@ let conn_for t ep =
 (* ---------------- creation ---------------- *)
 
 let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
-    ?(snapshot_period = 1000.0) ?flight_dir ?(domains = 1) ~id ~port ~neighbors () =
+    ?(snapshot_period = 1000.0) ?flight_dir ?(domains = 1) ?(telemetry = true) ~id ~port
+    ~neighbors () =
   if max_write_chunk <= 0 then invalid_arg "Daemon.create: max_write_chunk <= 0";
   if snapshot_period <= 0.0 then invalid_arg "Daemon.create: snapshot_period <= 0";
   if domains < 1 then invalid_arg "Daemon.create: domains < 1";
@@ -177,6 +214,10 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
     pool_gauge;
     read_buf = Bytes.create 65536;
     resolved = Hashtbl.create 4;
+    health = Xroute_obs.Health.create id;
+    telemetry;
+    fed_pending = [];
+    fed_seq = 0;
     last_snapshot = 0.0;
     conns = [];
     last_dial = 0.0;
@@ -185,6 +226,7 @@ let create ?(strategy = Broker.default_strategy) ?(max_write_chunk = max_int)
 
 let request_stop t = t.stop_requested <- true
 let pool t = t.pool
+let health t = t.health
 
 (* Per-shard observability counters, mirrored into the registry so
    STATS| and the timeseries snapshots carry them. *)
@@ -206,8 +248,19 @@ let refresh_pool_gauges t =
 
 let send_message t ep (msg : Message.t) =
   match conn_for t ep with
-  | Some conn -> enqueue conn ("M|" ^ Codec.encode msg)
+  | Some conn ->
+    (if t.telemetry then
+       match ep with
+       | Rtable.Neighbor n -> Xroute_obs.Health.record_send t.health ~peer:n
+       | Rtable.Client _ -> ());
+    enqueue conn ("M|" ^ Codec.encode msg)
   | None ->
+    (if t.telemetry then begin
+       Xroute_obs.Health.record_drop t.health;
+       match ep with
+       | Rtable.Neighbor n -> Xroute_obs.Health.record_link_drop t.health ~peer:n
+       | Rtable.Client _ -> ()
+     end);
     Log.warn (fun m ->
         m "broker %d: no connection for %a, dropping %a" (Broker.id t.broker)
           Rtable.pp_endpoint ep Message.pp msg)
@@ -293,6 +346,119 @@ let send_trace t conn key =
       ~line_tag:"T"
       (List.map Span.to_wire_line spans)
 
+(* FEDSTATS|<reqid>|<ttl>|<seen>: pull the overlay's health summaries,
+   hop-bounded by <ttl>, with <seen> (comma-separated broker ids) as
+   origin-id loop suppression — a broker already in <seen> is neither
+   asked again nor asked to forward, so the pull terminates on cyclic
+   overlays; a broker reached twice through a diamond merges
+   idempotently (views key by origin). The reply is framed:
+   FEDSTATS|BEGIN|<reqid>, one F|<escaped Health summary line> per
+   origin, FEDSTATS|END|<reqid>|<count>. With live eligible neighbors
+   and ttl > 0 the reply is deferred: decremented-ttl sub-pulls (fresh
+   sub-request id) fan out first and the frames merge as they return —
+   or the deadline passes and the partial view answers. <reqid> is
+   caller-chosen; "BEGIN"/"END" are reserved. *)
+
+let parse_seen = function
+  | [] -> []
+  | s :: _ -> String.split_on_char ',' s |> List.filter_map int_of_string_opt
+
+let fed_reply conn ~reqid view =
+  Framing.send ~enqueue:(enqueue conn) ~tag:"FEDSTATS" ~begin_args:[ reqid ]
+    ~end_args:[ reqid; string_of_int (List.length view) ]
+    ~line_tag:"F"
+    (List.map Framing.escape (Xroute_obs.Health.encode_view view))
+
+let handle_fedstats t conn ~reqid ~ttl ~seen =
+  let self = Broker.id t.broker in
+  (* Freshen the summary the pull will carry. *)
+  Broker.refresh_metrics t.broker;
+  Xroute_obs.Health.tick t.health ~now:(Mono.now t.clock);
+  let seen = self :: seen in
+  let view0 = Xroute_obs.Health.view_of [ t.health ] in
+  (* Fan over every live neighbor connection — declared at startup or
+     learned from an inbound HELLO|broker — so a one-sided neighbor
+     declaration (which routing already tolerates) still federates the
+     whole overlay. *)
+  let targets =
+    if ttl <= 0 then []
+    else
+      List.fold_left
+        (fun acc c ->
+          match c.endpoint with
+          | Some (Rtable.Neighbor nid)
+            when (not c.closed) && (not c.connecting) && (not (List.mem nid seen))
+                 && not (List.mem_assoc nid acc) -> (nid, c) :: acc
+          | Some _ | None -> acc)
+        [] t.conns
+      |> List.rev
+  in
+  if targets = [] then fed_reply conn ~reqid view0
+  else begin
+    t.fed_seq <- t.fed_seq + 1;
+    let subid = Printf.sprintf "f%d.%d" self t.fed_seq in
+    t.fed_pending <-
+      {
+        fp_reply = conn;
+        fp_reqid = reqid;
+        fp_subid = subid;
+        fp_waiting = List.map fst targets;
+        fp_view = view0;
+        fp_deadline = Mono.now t.clock +. fed_timeout_ms;
+      }
+      :: t.fed_pending;
+    (* Every sibling target lands in the forwarded seen-set too, so two
+       branches of the fan-out cannot pull each other into a cycle. *)
+    let seen' =
+      String.concat "," (List.map string_of_int (seen @ List.map fst targets))
+    in
+    List.iter
+      (fun (_, c) -> enqueue c (Printf.sprintf "FEDSTATS|%s|%d|%s" subid (ttl - 1) seen'))
+      targets
+  end
+
+(* A neighbor's reply frame, reassembled per-connection ([fed_in]) and
+   folded into whichever pending pull forwarded that sub-request id. *)
+
+let fed_frame_begin conn subid = conn.fed_in <- Some (subid, [])
+
+let fed_frame_line conn payload =
+  match conn.fed_in with
+  | Some (subid, lines) -> conn.fed_in <- Some (subid, Framing.unescape payload :: lines)
+  | None -> ()
+
+let fed_frame_end t conn subid =
+  match conn.fed_in with
+  | Some (id, lines) when String.equal id subid -> (
+    conn.fed_in <- None;
+    let nid =
+      match conn.endpoint with Some (Rtable.Neighbor n) -> Some n | Some _ | None -> None
+    in
+    match
+      (nid, List.find_opt (fun p -> String.equal p.fp_subid subid) t.fed_pending)
+    with
+    | Some nid, Some p ->
+      (match Xroute_obs.Health.decode_view (List.rev lines) with
+      | Some view -> p.fp_view <- Xroute_obs.Health.merge_views p.fp_view view
+      | None ->
+        Log.warn (fun m ->
+            m "broker %d: malformed FEDSTATS view from neighbor %d" (Broker.id t.broker) nid));
+      p.fp_waiting <- List.filter (fun id -> id <> nid) p.fp_waiting
+    | _ -> ())
+  | Some _ | None -> ()
+
+(* Answer every pull whose neighbors have all reported (or vanished),
+   and every pull past its deadline — with whatever view accumulated. *)
+let fed_sweep t =
+  if t.fed_pending <> [] then begin
+    let now = Mono.now t.clock in
+    let done_, waiting =
+      List.partition (fun p -> p.fp_waiting = [] || now >= p.fp_deadline) t.fed_pending
+    in
+    t.fed_pending <- waiting;
+    List.iter (fun p -> fed_reply p.fp_reply ~reqid:p.fp_reqid p.fp_view) (List.rev done_)
+  end
+
 (* Handle one routed publication, timing its stages into the span
    collector. The hop span covers [batch_t (socket readable) …
    serialize end]; its leaves tile that interval — queue (buffer wait
@@ -351,7 +517,20 @@ let handle_publish t ~batch_t ~from pub trail ctx =
   let t_ser = Mono.now t.clock in
   leaf "serialize" t_match t_ser ();
   Span.finish hop ~at:t_ser;
-  Option.iter (fun r -> Span.extend r ~at:t_ser) root
+  Option.iter (fun r -> Span.extend r ~at:t_ser) root;
+  if t.telemetry then begin
+    let h = t.health in
+    Xroute_obs.Health.record_pub h;
+    Xroute_obs.Health.record_hop_latency h (t_ser -. batch_t);
+    (* Attribute the hop's latency to each egress link it fed: the
+       per-link quantiles then expose which links sit behind slow hops. *)
+    List.iter
+      (fun (ep, _) ->
+        match ep with
+        | Rtable.Neighbor n -> Xroute_obs.Health.record_link_latency h ~peer:n (t_ser -. batch_t)
+        | Rtable.Client _ -> ())
+      outs
+  end
 
 (* Identify a connection. A peer re-connecting (or a confused one)
    can send a HELLO claiming an endpoint that already has a live
@@ -427,7 +606,18 @@ let handle_pool_publish t ~seq:_ ~from ~batch_t outcome =
     let t_ser = Mono.now t.clock in
     leaf "serialize" t_match_end t_ser ();
     Span.finish hop ~at:t_ser;
-    Option.iter (fun r -> Span.extend r ~at:t_ser) root
+    Option.iter (fun r -> Span.extend r ~at:t_ser) root;
+    if t.telemetry then begin
+      let h = t.health in
+      Xroute_obs.Health.record_pub h;
+      Xroute_obs.Health.record_hop_latency h (t_ser -. batch_t);
+      List.iter
+        (fun (ep, _) ->
+          match ep with
+          | Rtable.Neighbor n -> Xroute_obs.Health.record_link_latency h ~peer:n (t_ser -. batch_t)
+          | Rtable.Client _ -> ())
+        outs
+    end
 
 let pool_drain t pool =
   Shard_pool.drain pool ~publish:(fun ~seq ~from ~batch_t outcome ->
@@ -503,6 +693,21 @@ let handle_line_pool t pool conn ~batch_t line =
   | "TRACE" :: key :: _ ->
     let seq = Shard_pool.next_seq pool in
     Shard_pool.push_control pool ~seq (fun () -> send_trace t conn key)
+  | "FEDSTATS" :: "BEGIN" :: subid :: _ ->
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> fed_frame_begin conn subid)
+  | "FEDSTATS" :: "END" :: subid :: _ ->
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> fed_frame_end t conn subid)
+  | "FEDSTATS" :: reqid :: ttl :: rest ->
+    let ttl = Option.value (int_of_string_opt ttl) ~default:0 in
+    let seen = parse_seen rest in
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> handle_fedstats t conn ~reqid ~ttl ~seen)
+  | "F" :: _ ->
+    let payload = String.sub line 2 (String.length line - 2) in
+    let seq = Shard_pool.next_seq pool in
+    Shard_pool.push_control pool ~seq (fun () -> fed_frame_line conn payload)
   | _ -> Log.warn (fun m -> m "unknown line %S" line)
 
 let handle_line t conn ~batch_t line =
@@ -527,6 +732,12 @@ let handle_line t conn ~batch_t line =
       send_stats t conn fmt
     | "AUDIT" :: _ -> send_audit t conn
     | "TRACE" :: key :: _ -> send_trace t conn key
+    | "FEDSTATS" :: "BEGIN" :: subid :: _ -> fed_frame_begin conn subid
+    | "FEDSTATS" :: "END" :: subid :: _ -> fed_frame_end t conn subid
+    | "FEDSTATS" :: reqid :: ttl :: rest ->
+      let ttl = Option.value (int_of_string_opt ttl) ~default:0 in
+      handle_fedstats t conn ~reqid ~ttl ~seen:(parse_seen rest)
+    | "F" :: _ -> fed_frame_line conn (String.sub line 2 (String.length line - 2))
     | _ -> Log.warn (fun m -> m "unknown line %S" line))
 
 (* Extract complete lines from the connection buffer. [batch_t] is when
@@ -645,7 +856,25 @@ let maybe_snapshot t =
   if at -. t.last_snapshot >= t.snapshot_period then begin
     t.last_snapshot <- at;
     Broker.refresh_metrics t.broker;
-    Timeseries.snapshot t.timeseries ~at
+    refresh_pool_gauges t;
+    Timeseries.snapshot t.timeseries ~at;
+    if t.telemetry then begin
+      (* Health gauges sampled per snapshot: ingress queue depth (pool
+         in-flight) and egress backlog (bytes buffered across conns). *)
+      let depth =
+        match t.pool with Some pool -> Shard_pool.in_flight pool | None -> 0
+      in
+      Xroute_obs.Health.record_queue_depth t.health (float_of_int depth);
+      let backlog =
+        List.fold_left
+          (fun acc c ->
+            acc + Buffer.length c.outbuf
+            + Queue.fold (fun a s -> a + String.length s) (-c.out_off) c.outq)
+          0 t.conns
+      in
+      Xroute_obs.Health.record_backlog t.health (float_of_int backlog);
+      Xroute_obs.Health.tick t.health ~now:at
+    end
   end
 
 (* Accept everything the backlog holds, not just one connection per
@@ -705,6 +934,7 @@ let finish_connect t conn =
 let step ?(timeout = 0.05) t =
   dial_missing t;
   maybe_snapshot t;
+  fed_sweep t;
   (* Ingress throttle: past the watermark, leave peer sockets out of the
      read set and let TCP push the pressure back to the senders. *)
   let can_read =

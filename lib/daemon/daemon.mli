@@ -40,6 +40,9 @@ type t
     ([Xroute_obs.Recorder]). [domains] (default 1) shards publication
     matching across that many worker domains ({!Shard_pool}); routing
     decisions and emitted bytes stay identical to [domains = 1].
+    [telemetry] (default true) maintains the {!health} summary; [false]
+    skips every health-recording call — the switch behind the
+    telemetry-overhead experiment (BENCH_10).
     @raise Invalid_argument when [domains > 1] is combined with the tree
     match engine or trail routing (their match orders cannot be merged
     deterministically from per-shard results). *)
@@ -49,6 +52,7 @@ val create :
   ?snapshot_period:float ->
   ?flight_dir:string ->
   ?domains:int ->
+  ?telemetry:bool ->
   id:int ->
   port:int ->
   neighbors:(int * (string * int)) list ->
@@ -61,6 +65,19 @@ val broker : t -> Xroute_core.Broker.t
 (** The domain pool, when [create] was given [domains > 1] (for
     inspection: shard audits, quiescent state checks). *)
 val pool : t -> Shard_pool.t option
+
+(** This broker's live health summary ({!Xroute_obs.Health}): hop
+    latency / queue depth / egress backlog sketches, pub and drop
+    counts, per-link send rates. Link EWMA rates fold and the epoch
+    bumps on every registry snapshot ([snapshot_period]) and on every
+    [FEDSTATS] pull. Pulled overlay-wide by the [FEDSTATS|] command:
+    [FEDSTATS|<reqid>|<ttl>|<seen>] answers
+    [FEDSTATS|BEGIN|<reqid>], one [F|<escaped summary line>] per origin
+    broker, [FEDSTATS|END|<reqid>|<count>] — forwarding decremented-ttl
+    sub-pulls to neighbors not in [<seen>] (origin-id loop suppression;
+    safe on cyclic overlays) and merging their views by origin before
+    replying. *)
+val health : t -> Xroute_obs.Health.t
 
 (** The daemon's span collector (ids offset by [broker id × 10⁹] so
     spans merged across daemons stay unique). *)

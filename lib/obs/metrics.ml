@@ -9,9 +9,15 @@
    Naming convention: [xroute_<subsystem>_<metric>], with [_total] for
    monotonic counters and [_ms] for millisecond-valued histograms.
 
-   Histograms keep raw samples (capped; see [histogram ~cap]) and
-   summarize with {!Xroute_support.Stats.summarize}, exported as a
-   Prometheus summary (p50/p95/p99 quantiles plus [_sum]/[_count]). *)
+   Histograms feed two stores per observation: a capped raw-sample
+   array (see [histogram ~cap]) and an uncapped mergeable quantile
+   sketch ({!Sketch}). While nothing has been dropped the summary is
+   the exact [Stats.summarize] of the raw samples; once observations
+   pass the cap the quantiles switch to the sketch — which keeps seeing
+   every value, fixing the bias capped arrays had toward early samples —
+   while count/sum/mean/stddev/min/max stay exact throughout (tracked
+   as running scalars). Exported as a Prometheus summary (p50/p95/p99
+   quantiles plus [_sum]/[_count]). *)
 
 type counter = { c_name : string; mutable c_value : int }
 type gauge = { g_name : string; mutable g_value : float }
@@ -22,7 +28,11 @@ type histogram = {
   mutable h_samples : float array;
   mutable h_len : int;
   mutable h_sum : float;
+  mutable h_sumsq : float;
+  mutable h_min : float; (* exact over every observation; +inf when empty *)
+  mutable h_max : float;
   mutable h_total : int; (* observations ever, including beyond the cap *)
+  h_sketch : Sketch.t; (* every observation, never capped *)
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -80,7 +90,11 @@ let histogram t ?(help = "") ?(cap = 65536) name =
              h_samples = Array.make 64 0.0;
              h_len = 0;
              h_sum = 0.0;
+             h_sumsq = 0.0;
+             h_min = infinity;
+             h_max = neg_infinity;
              h_total = 0;
+             h_sketch = Sketch.create ();
            })
     with
     | Histogram h -> h
@@ -107,9 +121,7 @@ let gauge_value g = g.g_value
 
 (* ---------------- histograms ---------------- *)
 
-let observe h v =
-  h.h_sum <- h.h_sum +. v;
-  h.h_total <- h.h_total + 1;
+let push_sample h v =
   if h.h_len < h.h_cap then begin
     if h.h_len = Array.length h.h_samples then begin
       let bigger =
@@ -122,8 +134,48 @@ let observe h v =
     h.h_len <- h.h_len + 1
   end
 
+let observe h v =
+  h.h_sum <- h.h_sum +. v;
+  h.h_sumsq <- h.h_sumsq +. (v *. v);
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  h.h_total <- h.h_total + 1;
+  Sketch.observe h.h_sketch v;
+  push_sample h v
+
 let samples h = Array.sub h.h_samples 0 h.h_len
-let summary h = Xroute_support.Stats.summarize (samples h)
+let sketch h = h.h_sketch
+
+(* While no observation has been dropped the raw samples are the whole
+   stream and the summary is exact. Past the cap (or after an
+   [aggregate] that pooled more than fits) the quantiles come from the
+   sketch — within its relative-error bound but unbiased — and the
+   moments from the exact running scalars. *)
+let summary h =
+  if h.h_total <= h.h_len then Xroute_support.Stats.summarize (samples h)
+  else begin
+    let n = float_of_int h.h_total in
+    let mean = h.h_sum /. n in
+    let var =
+      if h.h_total < 2 then 0.0
+      else Float.max 0.0 ((h.h_sumsq -. (n *. mean *. mean)) /. (n -. 1.0))
+    in
+    {
+      Xroute_support.Stats.count = h.h_total;
+      mean;
+      stddev = sqrt var;
+      min = h.h_min;
+      max = h.h_max;
+      p50 = Sketch.quantile h.h_sketch 0.5;
+      p95 = Sketch.quantile h.h_sketch 0.95;
+      p99 = Sketch.quantile h.h_sketch 0.99;
+    }
+  end
+
+let quantile h q =
+  if h.h_total <= h.h_len then Xroute_support.Stats.percentile (samples h) q
+  else Sketch.quantile h.h_sketch q
+
 let observations h = h.h_total
 let sum h = h.h_sum
 
@@ -141,7 +193,8 @@ let scalar t name =
 (* ---------------- aggregation ---------------- *)
 
 (* Merge registries: counters and gauges sum, histograms pool their
-   retained samples. Used to total per-broker registries network-wide. *)
+   retained samples, merge their sketches, and combine their exact
+   running scalars. Used to total per-broker registries network-wide. *)
 let aggregate ts =
   let out = create () in
   List.iter
@@ -158,11 +211,14 @@ let aggregate ts =
           | Histogram h ->
             let h' = histogram out ~help ~cap:h.h_cap name in
             for i = 0 to h.h_len - 1 do
-              observe h' h.h_samples.(i)
+              push_sample h' h.h_samples.(i)
             done;
-            (* account for observations beyond the retained cap *)
-            h'.h_total <- h'.h_total + (h.h_total - h.h_len);
-            h'.h_sum <- h'.h_sum +. (h.h_sum -. Array.fold_left ( +. ) 0.0 (samples h)))
+            h'.h_total <- h'.h_total + h.h_total;
+            h'.h_sum <- h'.h_sum +. h.h_sum;
+            h'.h_sumsq <- h'.h_sumsq +. h.h_sumsq;
+            if h.h_min < h'.h_min then h'.h_min <- h.h_min;
+            if h.h_max > h'.h_max then h'.h_max <- h.h_max;
+            Sketch.merge_into ~dst:h'.h_sketch h.h_sketch)
         t.items)
     ts;
   out

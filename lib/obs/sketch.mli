@@ -1,0 +1,70 @@
+(** Mergeable quantile sketch with a bounded relative error (DDSketch
+    family).
+
+    Values are binned into exponential buckets indexed by
+    [ceil(log_gamma v)] with [gamma = (1+alpha)/(1-alpha)]; the midpoint
+    estimate of any bucket is within relative error [alpha] of every
+    value it holds, so for any quantile [q] with true value [x],
+    [|quantile t q - x| <= alpha * |x|]. Bucket counts are integers and
+    merge by addition — the merge is exact, commutative and associative,
+    which is what lets per-broker summaries federate into one overlay
+    view without bias ({!Health}, DESIGN.md Sec. 16).
+
+    Alongside the buckets the sketch tracks exact count, sum, min and
+    max; quantile estimates are clamped into [[min, max]]. Values with
+    magnitude below 1e-9 share a dedicated zero bucket (their estimate
+    is exactly 0); negative values are mirrored, so any non-NaN float
+    can be observed. *)
+
+type t
+
+(** The default relative-error bound (0.01). *)
+val default_alpha : float
+
+(** [create ?alpha ()] — [alpha] is the advertised relative-error bound
+    (default {!default_alpha}). @raise Invalid_argument unless
+    [0 < alpha < 1]. *)
+val create : ?alpha:float -> unit -> t
+
+val alpha : t -> float
+
+(** @raise Invalid_argument on NaN. *)
+val observe : t -> float -> unit
+
+val count : t -> int
+val sum : t -> float
+
+(** Exact extrema; [+inf]/[-inf] while empty. *)
+val min_value : t -> float
+
+val max_value : t -> float
+
+(** Nearest-rank quantile estimate ([q] in [[0, 1]]), within relative
+    error {!alpha} of the true value; [0.0] when empty.
+    @raise Invalid_argument when [q] is outside [[0, 1]]. *)
+val quantile : t -> float -> float
+
+(** [merge a b] is a fresh sketch equal to observing both inputs'
+    streams; [a] and [b] are unchanged. Exact: commutative, associative,
+    and order-independent on the bucket counts.
+    @raise Invalid_argument when the alphas differ. *)
+val merge : t -> t -> t
+
+(** In-place variant of {!merge}. *)
+val merge_into : dst:t -> t -> unit
+
+val copy : t -> t
+
+(** Forget every observation (the configuration is kept). *)
+val clear : t -> unit
+
+(** Canonical single-line encoding (no ['|'], ['\n'] or spaces): equal
+    sketches encode to equal strings on every platform (floats as hex
+    literals), buckets ascending by index. *)
+val encode : t -> string
+
+(** Inverse of {!encode}; [None] on any malformed input. *)
+val decode : string -> t option
+
+(** Structural equality, via the canonical encoding. *)
+val equal : t -> t -> bool

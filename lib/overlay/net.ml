@@ -168,6 +168,7 @@ type t = {
   trace : Trace.t option; (* per-hop delivery traces when enabled *)
   spans : Span.t option; (* causal span collection when enabled *)
   recorder : Recorder.t option; (* flight-recorder dumps on fault events *)
+  health : Xroute_obs.Health.t array; (* per-broker health summaries *)
 }
 
 (* Span context threaded from a hop to its outgoing transmissions, so
@@ -229,6 +230,7 @@ let create ?(config = default_config) ?queue ?trace ?spans ?recorder topo =
     trace;
     spans;
     recorder;
+    health = Array.init (Topology.broker_count topo) (fun b -> Xroute_obs.Health.create b);
   }
 
 let topology t = t.topo
@@ -401,10 +403,22 @@ let client_receive t c (msg : Message.t) =
    broker destroys the message (the sender learns nothing — recovery is
    the restart protocol's job, not a delivery guarantee). *)
 let rec broker_receive t ~from b (msg : Message.t) =
-  if not t.alive.(b) then destroy t msg
+  if not t.alive.(b) then begin
+    destroy t msg;
+    (* Attribute the loss to the link it arrived on, so the sender's
+       health summary exposes the lossy edge. *)
+    match from with
+    | Rtable.Neighbor src ->
+      Xroute_obs.Health.record_link_drop t.health.(src) ~peer:b;
+      Xroute_obs.Health.record_drop t.health.(src)
+    | Rtable.Client _ -> ()
+  end
   else begin
     touch_recovery t;
     count_traffic t msg;
+    let hb = t.health.(b) in
+    Xroute_obs.Health.record_queue_depth hb (float_of_int (Sim.pending t.sim));
+    (match msg with Message.Publish _ -> Xroute_obs.Health.record_pub hb | _ -> ());
     let broker = t.brokers.(b) in
     let w0 = Broker.work broker in
     let stage0 =
@@ -422,6 +436,7 @@ let rec broker_receive t ~from b (msg : Message.t) =
     let processing =
       t.config.per_msg_cost +. (float_of_int work *. t.config.per_match_cost)
     in
+    Xroute_obs.Health.record_hop_latency hb processing;
     (* One "hop" span per traced publication visit, with stage leaves
        tiling its processing interval: each matching stage is billed its
        op-count delta times the configured per-op cost, and the fixed
@@ -526,6 +541,7 @@ and transmit t ~src ~dst ~cost ?sp msg =
        are lost — [sp] is not carried through the blocked queue. *)
     let d = dlink t src dst in
     Queue.push (cost, msg) d.blocked;
+    Xroute_obs.Health.record_backlog t.health.(src) (float_of_int (Queue.length d.blocked));
     t.fstats.requeues <- t.fstats.requeues + 1;
     M.incr t.fm.requeues;
     if not d.probing then begin
@@ -580,6 +596,8 @@ and deliver_on_link t ~src ~dst ~cost ?sp msg =
   let arrival = Float.max (now +. cost +. link +. extra) d.tail in
   d.tail <- arrival;
   M.observe t.nm.nm_hop_latency (arrival -. now);
+  Xroute_obs.Health.record_send t.health.(src) ~peer:dst;
+  Xroute_obs.Health.record_link_latency t.health.(src) ~peer:dst (arrival -. now);
   (* Per-edge stage leaves, grouped under an "edge" span so fanout
      edges never produce overlapping sibling leaves: transmit (the
      per-byte charge), link (propagation + slow-fault extra), and queue
@@ -724,7 +742,11 @@ let publish_paths t c pubs =
 (* Run the simulation to quiescence. *)
 let run t =
   Sim.run t.sim;
-  close_recovery t
+  close_recovery t;
+  (* Fold this run's sends into the per-link EWMA rates and stamp a
+     fresh epoch on every live broker's health summary. *)
+  let now = Sim.now t.sim in
+  Array.iteri (fun b h -> if t.alive.(b) then Xroute_obs.Health.tick h ~now) t.health
 
 (* ------------------------------------------------------------------ *)
 (* Faults and recovery                                                 *)
@@ -946,6 +968,33 @@ let recorder t = t.recorder
 
 (* Refresh every broker's gauges (the network registry is always live). *)
 let refresh_metrics t = Array.iter Broker.refresh_metrics t.brokers
+
+(* ------------------------------------------------------------------ *)
+(* Health federation (sim side)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let health t b =
+  if b < 0 || b >= Array.length t.health then invalid_arg "Net.health";
+  t.health.(b)
+
+(* Pull health summaries hop-bounded from [root], the sim twin of the
+   daemon's FEDSTATS: a breadth-limited walk over the topology with a
+   visited set for loop suppression (safe on cyclic overlays), stopping
+   at dead brokers — exactly what a wire pull would see, since a dead
+   neighbor answers nothing and forwards nothing. *)
+let fedstats t ~root ?(ttl = max_int) () =
+  if root < 0 || root >= Array.length t.brokers then invalid_arg "Net.fedstats";
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let rec visit b depth =
+    if (not (Hashtbl.mem seen b)) && t.alive.(b) then begin
+      Hashtbl.add seen b ();
+      acc := t.health.(b) :: !acc;
+      if depth > 0 then List.iter (fun n -> visit n (depth - 1)) (Topology.neighbors t.topo b)
+    end
+  in
+  visit root ttl;
+  Xroute_obs.Health.view_of !acc
 
 (* One registry totalling the network registry and all broker
    registries; refreshes broker gauges first. *)

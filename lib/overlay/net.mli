@@ -203,6 +203,23 @@ val recorder : t -> Xroute_obs.Recorder.t option
 (** Refresh every broker's derived gauges. *)
 val refresh_metrics : t -> unit
 
+(** {2 Health federation}
+
+    Every broker maintains a {!Xroute_obs.Health} summary: hop-latency /
+    queue-depth / backlog sketches, pub and drop counts, and per-link
+    send rates and latency quantiles. Link EWMA rates fold and epochs
+    bump when {!run} reaches quiescence. *)
+
+(** Broker [b]'s live health summary. *)
+val health : t -> int -> Xroute_obs.Health.t
+
+(** [fedstats t ~root ?ttl ()] pulls summaries hop-bounded from [root]:
+    a visited-set walk over the topology (loop suppression — safe on
+    cyclic overlays) that stops at dead brokers, merged into one overlay
+    view. [ttl] bounds the hop depth (default unbounded). The sim twin
+    of the daemon's [FEDSTATS|] command. *)
+val fedstats : t -> root:int -> ?ttl:int -> unit -> Xroute_obs.Health.view
+
 (** One registry totalling the network registry and all (refreshed)
     broker registries. *)
 val aggregate_metrics : t -> Xroute_obs.Metrics.t

@@ -609,6 +609,99 @@ let test_trace_over_wire () =
   Client.close subscriber;
   stop_all (daemons, threads)
 
+(* ---------------- federated health over the wire ---------------- *)
+
+module Health = Xroute_obs.Health
+
+(* FEDSTATS across a 3-broker line: the client pulls one overlay view
+   through its home broker, which fans sub-pulls out to the neighbors
+   and merges. The merged view must be exactly the union of per-broker
+   summaries, idempotent under self-merge, and hop-bounded by ttl. *)
+let test_fedstats_over_wire () =
+  let daemons, threads = start_line 3 in
+  let d0 = List.nth daemons 0 and d2 = List.nth daemons 2 in
+  Thread.delay 0.3;
+  let publisher = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port:(Daemon.port d0) in
+  let subscriber = Client.connect ~client_id:200 ~host:"127.0.0.1" ~port:(Daemon.port d2) in
+  ignore (Client.advertise publisher (Xroute_xpath.Adv.parse "/a/b"));
+  Thread.delay 0.3;
+  ignore (Client.subscribe subscriber (xp "/a/b"));
+  Thread.delay 0.3;
+  let doc = Xroute_xml.Xml_parser.parse "<a><b/></a>" in
+  for i = 1 to 5 do
+    ignore (Client.publish_doc publisher ~doc_id:i doc)
+  done;
+  check (Alcotest.list ci) "docs delivered" [ 1; 2; 3; 4; 5 ]
+    (Client.drain_deliveries ~timeout:1.0 subscriber);
+  let view =
+    match Client.fedstats publisher with
+    | Some v -> v
+    | None -> Alcotest.fail "no FEDSTATS reply"
+  in
+  check (Alcotest.list ci) "every origin federated" [ 0; 1; 2 ] (List.map fst view);
+  (* the merged view is the union of the per-broker summaries: each
+     origin's publication count equals that daemon's own health (traffic
+     has quiesced, so the counts are stable) *)
+  List.iteri
+    (fun b d ->
+      match List.assoc_opt b view with
+      | Some s ->
+        check ci
+          (Printf.sprintf "broker %d pubs federated intact" b)
+          (Health.pubs (Daemon.health d))
+          (Health.pubs s)
+      | None -> Alcotest.fail (Printf.sprintf "origin %d missing" b))
+    daemons;
+  check cb "overlay saw publish traffic" true
+    (List.fold_left (fun acc (_, s) -> acc + Health.pubs s) 0 view > 0);
+  check cb "self-merge is the identity" true
+    (Health.view_equal (Health.merge_views view view) view);
+  (match Client.fedstats ~ttl:0 publisher with
+  | Some v -> check (Alcotest.list ci) "ttl=0: own summary only" [ 0 ] (List.map fst v)
+  | None -> Alcotest.fail "no ttl=0 FEDSTATS reply");
+  (match Client.fedstats ~ttl:1 publisher with
+  | Some v -> check (Alcotest.list ci) "ttl=1: one hop out" [ 0; 1 ] (List.map fst v)
+  | None -> Alcotest.fail "no ttl=1 FEDSTATS reply");
+  Client.close publisher;
+  Client.close subscriber;
+  stop_all (daemons, threads)
+
+(* A broker death mid-session must surface as Client.Unavailable — a
+   clean, named failure after the redial budget — never a raw
+   Unix_error; and the same client must recover once a broker listens
+   on the port again. *)
+let test_stats_unavailable_after_death () =
+  let d = Daemon.create ~id:0 ~port:0 ~neighbors:[] () in
+  let port = Daemon.port d in
+  let th = Thread.create (fun () -> Daemon.run ~timeout:0.01 d) () in
+  let c = Client.connect ~client_id:100 ~host:"127.0.0.1" ~port in
+  check cb "stats answers while alive" true (Client.stats c <> None);
+  Daemon.request_stop d;
+  Thread.join th;
+  Client.set_reconnect_wait c 0.4;
+  let saw_unavailable = ref false in
+  (try
+     (* first call eats the EOF and times out; a later send hits the
+        closed socket and must raise the clean exception *)
+     for _ = 1 to 3 do
+       match Client.stats ~timeout:0.6 c with
+       | Some _ -> Alcotest.fail "stats answered from a dead broker"
+       | None -> ()
+     done
+   with
+  | Client.Unavailable _ -> saw_unavailable := true
+  | Unix.Unix_error (e, _, _) ->
+    Alcotest.failf "raw Unix_error leaked to the caller: %s" (Unix.error_message e));
+  check cb "death surfaced as Client.Unavailable" true !saw_unavailable;
+  (* a fresh broker on the same port: the same client session recovers *)
+  let d2 = Daemon.create ~id:0 ~port ~neighbors:[] () in
+  let th2 = Thread.create (fun () -> Daemon.run ~timeout:0.01 d2) () in
+  Client.set_reconnect_wait c 8.0;
+  check cb "stats answers after the broker returns" true (Client.stats c <> None);
+  Client.close c;
+  Daemon.request_stop d2;
+  Thread.join th2
+
 (* ---------------- framed multi-line responses ---------------- *)
 
 let test_framing_escape_roundtrip () =
@@ -730,6 +823,13 @@ let () =
         [
           Alcotest.test_case "end to end, sharded vs sequential" `Quick
             test_domains_end_to_end;
+        ] );
+      ( "fedstats",
+        [
+          Alcotest.test_case "federated view over the wire, 3 brokers" `Quick
+            test_fedstats_over_wire;
+          Alcotest.test_case "broker death surfaces as Unavailable" `Quick
+            test_stats_unavailable_after_death;
         ] );
       ( "tracing",
         [

@@ -413,6 +413,94 @@ let test_bench9_conc () =
         | Some r, Some m, Some b -> Float.abs (r -. (m /. b)) < 0.01
         | _ -> false))
 
+(* The BENCH_10 telemetry pin: the committed sketch-error records must
+   sit within the advertised relative-error bound on every distribution,
+   the FEDSTATS pull must have converged with zero merge diffs at every
+   overlay size (all origins present, idempotent), and the telemetry-
+   overhead re-run of the BENCH_7 burst must show the health summary
+   costing at most 10% throughput (off/on ratio <= 1.1). *)
+let test_bench10_obs () =
+  match List.assoc_opt "BENCH_10.json" (bench_files ()) with
+  | None -> Alcotest.fail "BENCH_10.json not committed at the repo root"
+  | Some path -> (
+    match Json.parse (read_file path) with
+    | Error e -> Alcotest.fail ("BENCH_10.json: " ^ e)
+    | Ok j ->
+      check cs "schema" "xroute-bench/10"
+        (Option.value ~default:"<missing>"
+           (Option.bind (Json.member "schema" j) Json.to_str));
+      let experiments =
+        Option.value ~default:[]
+          (Option.bind (Json.member "experiments" j) Json.to_list)
+      in
+      let record name =
+        List.find_opt
+          (fun r -> Option.bind (Json.member "name" r) Json.to_str = Some name)
+          experiments
+      in
+      let get name =
+        match record name with
+        | Some r -> r
+        | None -> Alcotest.fail (name ^ " record missing")
+      in
+      let num r field = Option.bind (Json.member field r) Json.to_num in
+      let flag r field =
+        Option.bind (Json.member field r) (function
+          | Json.Bool b -> Some b
+          | _ -> None)
+      in
+      (* sketch accuracy: every distribution within the advertised bound *)
+      List.iter
+        (fun dist ->
+          let name = "sketch-error-" ^ dist in
+          let r = get name in
+          check cb (name ^ ": positive sample count") true
+            (match num r "samples" with Some v -> v > 0.0 | None -> false);
+          check cb (name ^ ": within_bound") true (flag r "within_bound" = Some true);
+          check cb (name ^ ": max_rel_error <= alpha") true
+            (match (num r "max_rel_error", num r "alpha") with
+            | Some e, Some a -> a > 0.0 && e <= a +. 1e-9
+            | _ -> false))
+        [ "uniform"; "exponential"; "zipf"; "latency-mix" ];
+      let summary = get "sketch-error" in
+      check cb "sketch summary covers all four distributions" true
+        (num summary "distributions" = Some 4.0);
+      check cb "sketch summary within_bound" true
+        (flag summary "within_bound" = Some true);
+      (* federation convergence: all origins, zero diffs, idempotent *)
+      List.iter
+        (fun brokers ->
+          let name = Printf.sprintf "fed-convergence-%d" brokers in
+          let r = get name in
+          check cb (name ^ ": every origin present") true
+            (num r "origins" = Some (float_of_int brokers));
+          check cb (name ^ ": zero merge diffs") true (num r "merge_diffs" = Some 0.0);
+          check cb (name ^ ": traffic federated") true
+            (match num r "pubs_federated" with Some v -> v > 0.0 | None -> false);
+          check cb (name ^ ": idempotent") true (flag r "idempotent" = Some true))
+        [ 3; 5; 7 ];
+      (* telemetry overhead: the acceptance gate is ratio <= 1.1 *)
+      let overhead = get "telemetry-overhead" in
+      List.iter
+        (fun field ->
+          check cb ("telemetry-overhead has positive " ^ field) true
+            (match num overhead field with Some v -> v > 0.0 | None -> false))
+        [ "domains"; "published"; "msgs_per_sec_on"; "msgs_per_sec_off" ];
+      check cb "compared against the committed BENCH_7 number" true
+        (num overhead "bench7_msgs_per_sec" = Some 13908.8);
+      check cb "within_gate" true (flag overhead "within_gate" = Some true);
+      check cb "telemetry costs <= 10% (off/on ratio <= 1.1)" true
+        (match num overhead "ratio_off_over_on" with
+        | Some r -> r <= 1.1
+        | None -> false);
+      check cb "ratio is consistent with the raw numbers" true
+        (match
+           (num overhead "ratio_off_over_on", num overhead "msgs_per_sec_off",
+            num overhead "msgs_per_sec_on")
+         with
+        | Some r, Some off, Some on -> Float.abs (r -. (off /. on)) < 0.01
+        | _ -> false))
+
 (* ---------------- Chrome trace-event golden ---------------- *)
 
 (* Byte-exact golden: one recorded span, every field populated. *)
@@ -492,6 +580,8 @@ let () =
             test_bench8_scenario_scale;
           Alcotest.test_case "BENCH_9 concurrency audit" `Quick
             test_bench9_conc;
+          Alcotest.test_case "BENCH_10 telemetry federation" `Quick
+            test_bench10_obs;
         ] );
       ( "chrome-export",
         [
